@@ -1,0 +1,21 @@
+use coconut_ads::{AdsConfig, AdsTree};
+use coconut_sax::SaxConfig;
+use coconut_series::generator::{RandomWalkGenerator, SeriesGenerator};
+use coconut_series::Dataset;
+use coconut_storage::iostats::IoStats;
+use coconut_storage::ScratchDir;
+use std::sync::Arc;
+
+#[test]
+fn dbg_io_pattern() {
+    let dir = ScratchDir::new("ads-dbg").unwrap();
+    let sax = SaxConfig::new(64, 8, 8);
+    let mut gen = RandomWalkGenerator::new(64, 5);
+    let series = gen.generate(1500);
+    let dataset = Dataset::create_from_series(dir.file("raw.bin"), &series).unwrap();
+    let stats = IoStats::shared();
+    let config = AdsConfig::new(sax).materialized(true).with_leaf_capacity(32).with_buffer_capacity(256);
+    let tree = AdsTree::build(&dataset, config, dir.path(), Arc::clone(&stats)).unwrap();
+    let io = tree.build_stats().io;
+    eprintln!("io = {:?} random_frac={} leaves={} splits={} flushes={}", io, io.random_fraction(), tree.num_leaves(), tree.splits(), tree.build_stats().flushes);
+}

@@ -1,0 +1,590 @@
+//! # coconut-clsm
+//!
+//! CoconutLSM (CLSM): the write-optimized, log-structured data series index
+//! of the Coconut infrastructure.
+//!
+//! CLSM ingests series into an in-memory buffer; when the buffer fills it is
+//! sorted by the interleaved SAX key and written out sequentially as a run
+//! (a [`SortedSeriesFile`]).  Runs are organized into levels with a
+//! configurable **growth factor** `T`: when a level accumulates `T` runs they
+//! are sort-merged (sequential I/O) into a single run at the next level.
+//! Smaller growth factors merge more aggressively (fewer runs to probe at
+//! query time, more write amplification); larger factors favour ingestion —
+//! exactly the read/write knob Section 2 of the paper describes.
+//!
+//! Queries probe the buffer plus every run, newest first, sharing one
+//! best-so-far bound so that older, larger runs are pruned effectively.
+
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
+
+use coconut_ctree::entry::{EntryLayout, SeriesEntry};
+use coconut_ctree::query::{KnnHeap, QueryContext, QueryCost};
+use coconut_ctree::sorted_file::SortedSeriesFile;
+use coconut_ctree::{IndexError, Result};
+use coconut_sax::{SaxConfig, SortableSummarizer};
+use coconut_series::dataset::Dataset;
+use coconut_series::distance::{euclidean_early_abandon, Neighbor};
+use coconut_series::{Series, Timestamp};
+use coconut_storage::iostats::IoStatsSnapshot;
+use coconut_storage::SharedIoStats;
+
+/// Configuration of a CoconutLSM index.
+#[derive(Debug, Clone, Copy)]
+pub struct ClsmConfig {
+    /// Summarization configuration.
+    pub sax: SaxConfig,
+    /// Whether runs embed the full series values.
+    pub materialized: bool,
+    /// Number of entries buffered in memory before a flush.
+    pub buffer_capacity: usize,
+    /// Growth factor `T`: a level is merged into the next one once it holds
+    /// `T` runs.
+    pub growth_factor: usize,
+    /// Entries per block inside each run (query granularity).
+    pub entries_per_block: usize,
+    /// Page size used for I/O accounting.
+    pub page_size: usize,
+}
+
+impl ClsmConfig {
+    /// A reasonable default configuration for the given summarization.
+    pub fn new(sax: SaxConfig) -> Self {
+        ClsmConfig {
+            sax,
+            materialized: false,
+            buffer_capacity: 4096,
+            growth_factor: 4,
+            entries_per_block: 64,
+            page_size: coconut_storage::DEFAULT_PAGE_SIZE,
+        }
+    }
+
+    /// Enables or disables materialization.
+    pub fn materialized(mut self, yes: bool) -> Self {
+        self.materialized = yes;
+        self
+    }
+
+    /// Sets the buffer capacity in entries.
+    pub fn with_buffer_capacity(mut self, entries: usize) -> Self {
+        self.buffer_capacity = entries.max(1);
+        self
+    }
+
+    /// Sets the growth factor.
+    pub fn with_growth_factor(mut self, t: usize) -> Self {
+        assert!(t >= 2, "growth factor must be at least 2");
+        self.growth_factor = t;
+        self
+    }
+
+    fn layout(&self) -> EntryLayout {
+        if self.materialized {
+            EntryLayout::materialized(self.sax.key_bits(), self.sax.series_len)
+        } else {
+            EntryLayout::non_materialized(self.sax.key_bits())
+        }
+    }
+}
+
+/// Cumulative ingestion statistics.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ClsmStats {
+    /// Number of buffer flushes (level-0 run creations).
+    pub flushes: u64,
+    /// Number of merge compactions.
+    pub merges: u64,
+    /// Total entries written to disk across flushes and merges
+    /// (write amplification numerator).
+    pub entries_written: u64,
+    /// Total entries ingested.
+    pub entries_ingested: u64,
+}
+
+impl ClsmStats {
+    /// Write amplification: entries written to disk per ingested entry.
+    pub fn write_amplification(&self) -> f64 {
+        if self.entries_ingested == 0 {
+            0.0
+        } else {
+            self.entries_written as f64 / self.entries_ingested as f64
+        }
+    }
+}
+
+/// The CoconutLSM index.
+pub struct ClsmTree {
+    config: ClsmConfig,
+    summarizer: SortableSummarizer,
+    buffer: Vec<SeriesEntry>,
+    /// `levels[i]` holds the runs of level `i`, oldest first.
+    levels: Vec<Vec<SortedSeriesFile>>,
+    dir: PathBuf,
+    stats: SharedIoStats,
+    dataset: Option<Dataset>,
+    next_run_id: u64,
+    lsm_stats: ClsmStats,
+}
+
+impl std::fmt::Debug for ClsmTree {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ClsmTree")
+            .field("entries", &self.len())
+            .field("levels", &self.levels.len())
+            .field("runs", &self.num_runs())
+            .finish()
+    }
+}
+
+impl ClsmTree {
+    /// Creates an empty CLSM whose runs are stored in `dir`.
+    pub fn new(config: ClsmConfig, dir: &Path, stats: SharedIoStats) -> Result<Self> {
+        std::fs::create_dir_all(dir).map_err(coconut_storage::StorageError::from)?;
+        Ok(ClsmTree {
+            config,
+            summarizer: SortableSummarizer::new(config.sax),
+            buffer: Vec::with_capacity(config.buffer_capacity.min(1 << 20)),
+            levels: Vec::new(),
+            dir: dir.to_path_buf(),
+            stats,
+            dataset: None,
+            next_run_id: 0,
+            lsm_stats: ClsmStats::default(),
+        })
+    }
+
+    /// Attaches the raw dataset handle used for non-materialized refinement.
+    pub fn attach_dataset(&mut self, dataset: Dataset) {
+        self.dataset = Some(dataset);
+    }
+
+    /// Builds a CLSM by ingesting every series of `dataset` in order.
+    pub fn build(
+        dataset: &Dataset,
+        config: ClsmConfig,
+        dir: &Path,
+        stats: SharedIoStats,
+    ) -> Result<Self> {
+        if dataset.series_len() != config.sax.series_len {
+            return Err(IndexError::Config(format!(
+                "dataset series length {} does not match SAX config {}",
+                dataset.series_len(),
+                config.sax.series_len
+            )));
+        }
+        let mut tree = ClsmTree::new(config, dir, stats)?;
+        for series in dataset.iter()? {
+            tree.insert(&series?, 0)?;
+        }
+        tree.flush()?;
+        if !config.materialized {
+            tree.dataset = Some(dataset.reopen()?);
+        }
+        Ok(tree)
+    }
+
+    /// Configuration of this index.
+    pub fn config(&self) -> &ClsmConfig {
+        &self.config
+    }
+
+    /// Number of indexed entries (including the in-memory buffer).
+    pub fn len(&self) -> u64 {
+        self.buffer.len() as u64
+            + self
+                .levels
+                .iter()
+                .flat_map(|l| l.iter())
+                .map(|r| r.len())
+                .sum::<u64>()
+    }
+
+    /// Returns `true` when nothing has been ingested.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Number of on-disk runs across all levels.
+    pub fn num_runs(&self) -> usize {
+        self.levels.iter().map(|l| l.len()).sum()
+    }
+
+    /// Number of levels currently in use.
+    pub fn num_levels(&self) -> usize {
+        self.levels.len()
+    }
+
+    /// On-disk footprint in bytes.
+    pub fn footprint_bytes(&self) -> u64 {
+        self.levels
+            .iter()
+            .flat_map(|l| l.iter())
+            .map(|r| r.byte_size())
+            .sum()
+    }
+
+    /// Cumulative ingestion statistics.
+    pub fn stats(&self) -> ClsmStats {
+        self.lsm_stats
+    }
+
+    /// I/O snapshot of the shared statistics handle.
+    pub fn io_snapshot(&self) -> IoStatsSnapshot {
+        self.stats.snapshot()
+    }
+
+    /// Inserts one series with an arrival timestamp.
+    pub fn insert(&mut self, series: &Series, timestamp: Timestamp) -> Result<()> {
+        if series.len() != self.config.sax.series_len {
+            return Err(IndexError::Config(format!(
+                "inserted series length {} does not match index ({})",
+                series.len(),
+                self.config.sax.series_len
+            )));
+        }
+        self.buffer.push(SeriesEntry::from_series(
+            series,
+            timestamp,
+            &self.summarizer,
+            self.config.materialized,
+        ));
+        self.lsm_stats.entries_ingested += 1;
+        if self.buffer.len() >= self.config.buffer_capacity {
+            self.flush()?;
+        }
+        Ok(())
+    }
+
+    /// Inserts a batch of series sharing one timestamp.
+    pub fn insert_batch(&mut self, series: &[Series], timestamp: Timestamp) -> Result<()> {
+        for s in series {
+            self.insert(s, timestamp)?;
+        }
+        Ok(())
+    }
+
+    /// Flushes the in-memory buffer into a new level-0 run and compacts
+    /// levels that reached the growth factor.
+    pub fn flush(&mut self) -> Result<()> {
+        if self.buffer.is_empty() {
+            return Ok(());
+        }
+        let entries = std::mem::take(&mut self.buffer);
+        let count = entries.len() as u64;
+        let run = self.write_sorted_run(entries, 0)?;
+        if self.levels.is_empty() {
+            self.levels.push(Vec::new());
+        }
+        self.levels[0].push(run);
+        self.lsm_stats.flushes += 1;
+        self.lsm_stats.entries_written += count;
+        self.compact()?;
+        Ok(())
+    }
+
+    fn write_sorted_run(&mut self, entries: Vec<SeriesEntry>, level: usize) -> Result<SortedSeriesFile> {
+        let path = self
+            .dir
+            .join(format!("clsm-L{level}-{:06}.run", self.next_run_id));
+        self.next_run_id += 1;
+        SortedSeriesFile::build_from_entries(
+            path,
+            self.config.layout(),
+            self.config.sax,
+            entries,
+            self.config.entries_per_block,
+            Arc::clone(&self.stats),
+            self.config.page_size,
+        )
+    }
+
+    fn compact(&mut self) -> Result<()> {
+        let t = self.config.growth_factor;
+        let mut level = 0;
+        while level < self.levels.len() {
+            if self.levels[level].len() >= t {
+                let runs = std::mem::take(&mut self.levels[level]);
+                let merged = self.merge_runs(&runs, level + 1)?;
+                for run in runs {
+                    let _ = run.delete();
+                }
+                if self.levels.len() <= level + 1 {
+                    self.levels.push(Vec::new());
+                }
+                let count = merged.len();
+                self.levels[level + 1].push(merged);
+                self.lsm_stats.merges += 1;
+                self.lsm_stats.entries_written += count;
+            }
+            level += 1;
+        }
+        Ok(())
+    }
+
+    fn merge_runs(&mut self, runs: &[SortedSeriesFile], target_level: usize) -> Result<SortedSeriesFile> {
+        let layout = self.config.layout();
+        let dyn_runs: Vec<_> = runs.iter().map(|r| r.run().clone()).collect();
+        let merge = coconut_storage::DynKWayMerge::new(layout, &dyn_runs, 256)?;
+        let path = self
+            .dir
+            .join(format!("clsm-L{target_level}-{:06}.run", self.next_run_id));
+        self.next_run_id += 1;
+        SortedSeriesFile::build_from_sorted(
+            path,
+            layout,
+            self.config.sax,
+            merge.map(|r| r.map_err(IndexError::from)),
+            self.config.entries_per_block,
+            Arc::clone(&self.stats),
+            self.config.page_size,
+        )
+    }
+
+    fn query_context(&self) -> QueryContext<'_> {
+        match &self.dataset {
+            Some(ds) => QueryContext::non_materialized(ds, Arc::clone(&self.stats)),
+            None => QueryContext::materialized(),
+        }
+    }
+
+    fn search_buffer(
+        &self,
+        query: &[f32],
+        heap: &mut KnnHeap,
+        ctx: &mut QueryContext<'_>,
+        window: Option<(Timestamp, Timestamp)>,
+    ) -> Result<()> {
+        for entry in &self.buffer {
+            if let Some((start, end)) = window {
+                if entry.timestamp < start || entry.timestamp > end {
+                    continue;
+                }
+            }
+            ctx.cost.entries_examined += 1;
+            if entry.is_materialized() {
+                if let Some(d) = euclidean_early_abandon(query, &entry.values, heap.bound()) {
+                    heap.offer(entry.id, d);
+                }
+            } else {
+                let values = ctx.fetch(entry.id)?;
+                if let Some(d) = euclidean_early_abandon(query, &values, heap.bound()) {
+                    heap.offer(entry.id, d);
+                }
+            }
+        }
+        Ok(())
+    }
+
+    fn runs_newest_first(&self) -> Vec<&SortedSeriesFile> {
+        // Level 0 holds the newest data; within a level, later runs are newer.
+        let mut out = Vec::with_capacity(self.num_runs());
+        for level in &self.levels {
+            for run in level.iter().rev() {
+                out.push(run);
+            }
+        }
+        out
+    }
+
+    /// Approximate kNN over the buffer plus every run.
+    pub fn approximate_knn(&self, query: &[f32], k: usize) -> Result<(Vec<Neighbor>, QueryCost)> {
+        self.approximate_knn_window(query, k, None)
+    }
+
+    /// Approximate kNN restricted to a timestamp window.
+    pub fn approximate_knn_window(
+        &self,
+        query: &[f32],
+        k: usize,
+        window: Option<(Timestamp, Timestamp)>,
+    ) -> Result<(Vec<Neighbor>, QueryCost)> {
+        let mut heap = KnnHeap::new(k);
+        let mut ctx = self.query_context();
+        self.search_buffer(query, &mut heap, &mut ctx, window)?;
+        for run in self.runs_newest_first() {
+            run.search_approximate(query, &mut heap, &mut ctx, window)?;
+        }
+        let cost = ctx.cost;
+        Ok((heap.into_sorted(), cost))
+    }
+
+    /// Exact kNN over the buffer plus every run.
+    pub fn exact_knn(&self, query: &[f32], k: usize) -> Result<(Vec<Neighbor>, QueryCost)> {
+        self.exact_knn_window(query, k, None)
+    }
+
+    /// Exact kNN restricted to a timestamp window.
+    pub fn exact_knn_window(
+        &self,
+        query: &[f32],
+        k: usize,
+        window: Option<(Timestamp, Timestamp)>,
+    ) -> Result<(Vec<Neighbor>, QueryCost)> {
+        let mut heap = KnnHeap::new(k);
+        let mut ctx = self.query_context();
+        self.search_buffer(query, &mut heap, &mut ctx, window)?;
+        for run in self.runs_newest_first() {
+            run.search_exact(query, &mut heap, &mut ctx, window)?;
+        }
+        let cost = ctx.cost;
+        Ok((heap.into_sorted(), cost))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use coconut_series::distance::brute_force_knn;
+    use coconut_series::generator::{RandomWalkGenerator, SeriesGenerator};
+    use coconut_storage::iostats::IoStats;
+    use coconut_storage::ScratchDir;
+
+    fn build_clsm(
+        n: usize,
+        materialized: bool,
+        buffer: usize,
+        growth: usize,
+        seed: u64,
+    ) -> (ScratchDir, Vec<Series>, ClsmTree, SharedIoStats) {
+        let dir = ScratchDir::new("clsm").unwrap();
+        let sax = SaxConfig::new(64, 8, 8);
+        let mut gen = RandomWalkGenerator::new(64, seed);
+        let series = gen.generate(n);
+        let dataset = Dataset::create_from_series(dir.file("raw.bin"), &series).unwrap();
+        let stats = IoStats::shared();
+        let config = ClsmConfig::new(sax)
+            .materialized(materialized)
+            .with_buffer_capacity(buffer)
+            .with_growth_factor(growth);
+        let tree = ClsmTree::build(&dataset, config, &dir.file("lsm"), Arc::clone(&stats)).unwrap();
+        (dir, series, tree, stats)
+    }
+
+    #[test]
+    fn ingestion_creates_runs_and_levels() {
+        let (_dir, series, tree, _) = build_clsm(1000, true, 100, 3, 1);
+        assert_eq!(tree.len(), series.len() as u64);
+        assert!(tree.stats().flushes >= 10);
+        assert!(tree.stats().merges > 0);
+        assert!(tree.num_levels() > 1);
+        assert!(tree.footprint_bytes() > 0);
+    }
+
+    #[test]
+    fn exact_knn_matches_brute_force_materialized() {
+        let (_dir, series, tree, _) = build_clsm(600, true, 128, 4, 2);
+        let mut gen = RandomWalkGenerator::new(64, 93);
+        for _ in 0..8 {
+            let q = gen.next_series();
+            let expected = brute_force_knn(
+                &q.values,
+                series.iter().map(|s| (s.id, s.values.as_slice())),
+                5,
+            );
+            let (got, _) = tree.exact_knn(&q.values, 5).unwrap();
+            assert_eq!(got.len(), 5);
+            for (g, e) in got.iter().zip(expected.iter()) {
+                assert!((g.squared_distance - e.squared_distance).abs() < 1e-6);
+            }
+        }
+    }
+
+    #[test]
+    fn exact_knn_matches_brute_force_non_materialized() {
+        let (_dir, series, tree, _) = build_clsm(400, false, 100, 3, 3);
+        let mut gen = RandomWalkGenerator::new(64, 19);
+        for _ in 0..4 {
+            let q = gen.next_series();
+            let expected = brute_force_knn(
+                &q.values,
+                series.iter().map(|s| (s.id, s.values.as_slice())),
+                1,
+            );
+            let (got, cost) = tree.exact_knn(&q.values, 1).unwrap();
+            assert_eq!(got[0].id, expected[0].id);
+            assert!(cost.raw_fetches < 400);
+        }
+    }
+
+    #[test]
+    fn buffered_entries_are_visible_before_flush() {
+        let dir = ScratchDir::new("clsm-buf").unwrap();
+        let sax = SaxConfig::new(64, 8, 8);
+        let config = ClsmConfig::new(sax).materialized(true).with_buffer_capacity(1000);
+        let mut tree = ClsmTree::new(config, &dir.file("lsm"), IoStats::shared()).unwrap();
+        let mut gen = RandomWalkGenerator::new(64, 4);
+        let series = gen.generate(50);
+        tree.insert_batch(&series, 7).unwrap();
+        assert_eq!(tree.num_runs(), 0, "nothing should be flushed yet");
+        let target = &series[20];
+        let query: Vec<f32> = target.values.iter().map(|v| v + 0.001).collect();
+        let (got, _) = tree.exact_knn(&query, 1).unwrap();
+        assert_eq!(got[0].id, target.id);
+    }
+
+    #[test]
+    fn ingestion_io_is_mostly_sequential() {
+        let (_dir, _series, tree, stats) = build_clsm(2000, true, 100, 3, 5);
+        let snap = stats.snapshot();
+        assert!(snap.total_writes() > 0);
+        assert!(
+            snap.random_fraction() < 0.2,
+            "CLSM ingestion should be log-structured/sequential, got {}",
+            snap.random_fraction()
+        );
+        let _ = tree;
+    }
+
+    #[test]
+    fn smaller_growth_factor_means_fewer_runs_more_writes() {
+        let (_d1, _s1, aggressive, _) = build_clsm(1500, true, 100, 2, 6);
+        let (_d2, _s2, lazy, _) = build_clsm(1500, true, 100, 8, 6);
+        assert!(aggressive.num_runs() <= lazy.num_runs());
+        assert!(
+            aggressive.stats().write_amplification() > lazy.stats().write_amplification(),
+            "aggressive merging must rewrite entries more often ({} vs {})",
+            aggressive.stats().write_amplification(),
+            lazy.stats().write_amplification()
+        );
+    }
+
+    #[test]
+    fn window_queries_respect_window() {
+        let dir = ScratchDir::new("clsm-window").unwrap();
+        let sax = SaxConfig::new(32, 4, 8);
+        let config = ClsmConfig::new(sax).materialized(true).with_buffer_capacity(32);
+        let mut tree = ClsmTree::new(config, &dir.file("lsm"), IoStats::shared()).unwrap();
+        let mut gen = RandomWalkGenerator::new(32, 7);
+        for batch in 0..10u64 {
+            let series = gen.generate(20);
+            tree.insert_batch(&series, batch * 100).unwrap();
+        }
+        tree.flush().unwrap();
+        let q = gen.next_series();
+        let (got, _) = tree.exact_knn_window(&q.values, 200, Some((300, 600))).unwrap();
+        assert!(!got.is_empty());
+        // Every returned id must belong to batches 3..=6 (ids 60..140).
+        for n in &got {
+            assert!(n.id >= 60 && n.id < 140, "id {} outside window batches", n.id);
+        }
+    }
+
+    #[test]
+    fn empty_tree_query_returns_nothing() {
+        let dir = ScratchDir::new("clsm-empty").unwrap();
+        let config = ClsmConfig::new(SaxConfig::new(32, 4, 8)).materialized(true);
+        let tree = ClsmTree::new(config, &dir.file("lsm"), IoStats::shared()).unwrap();
+        let (got, _) = tree.exact_knn(&vec![0.0; 32], 3).unwrap();
+        assert!(got.is_empty());
+    }
+
+    #[test]
+    fn mismatched_series_length_rejected() {
+        let dir = ScratchDir::new("clsm-mismatch").unwrap();
+        let config = ClsmConfig::new(SaxConfig::new(32, 4, 8)).materialized(true);
+        let mut tree = ClsmTree::new(config, &dir.file("lsm"), IoStats::shared()).unwrap();
+        let bad = Series::new(0, vec![0.0; 8]);
+        assert!(matches!(tree.insert(&bad, 0), Err(IndexError::Config(_))));
+    }
+}

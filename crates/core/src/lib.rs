@@ -1,0 +1,434 @@
+//! # coconut-core
+//!
+//! The Coconut Palm facade: one entry point over the whole index variant
+//! matrix of Figure 1, plus the recommender and the "algorithms server"
+//! request/response layer the demo GUI talks to.
+//!
+//! * [`IndexConfig`] / [`StaticIndex`] — build and query any static variant
+//!   (ADS+, CTree, CLSM; materialized or not) behind a single API, with
+//!   uniform build/query metrics.
+//! * [`streaming_index`] — instantiate any streaming variant (ADS+PP,
+//!   CLSM+PP, TP with sorted or ADS partitions, CLSM-style BTP).
+//! * [`palm`] — a JSON request/response layer mirroring the demo's
+//!   client/server protocol (build an index, run queries, fetch metrics,
+//!   consult the recommender).
+
+pub mod palm;
+
+use std::path::Path;
+use std::sync::Arc;
+use std::time::Instant;
+
+use serde::{Deserialize, Serialize};
+
+pub use coconut_ads::{AdsConfig, AdsTree};
+pub use coconut_clsm::{ClsmConfig, ClsmTree};
+pub use coconut_ctree::query::QueryCost;
+pub use coconut_ctree::{CTree, CTreeConfig, IndexError, Result};
+pub use coconut_recommender::{recommend, DataArrival, Recommendation, Scenario, StructureKind};
+pub use coconut_sax::SaxConfig;
+pub use coconut_series::distance::Neighbor;
+pub use coconut_series::{Dataset, Series, TimestampedSeries};
+pub use coconut_storage::{CostModel, IoStats, IoStatsSnapshot, ScratchDir, SharedIoStats};
+pub use coconut_stream::{
+    PartitionKind, PartitionedConfig, PartitionedStream, PpStream, StreamingIndex, WindowScheme,
+};
+
+/// The three index structure families of the Figure 1 matrix.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum VariantKind {
+    /// ADS+-style baseline.
+    Ads,
+    /// CoconutTree.
+    CTree,
+    /// CoconutLSM.
+    Clsm,
+}
+
+impl VariantKind {
+    /// All variants, in the order used by reports.
+    pub fn all() -> [VariantKind; 3] {
+        [VariantKind::Ads, VariantKind::CTree, VariantKind::Clsm]
+    }
+
+    /// Display name matching the paper's terminology.
+    pub fn name(&self) -> &'static str {
+        match self {
+            VariantKind::Ads => "ADS+",
+            VariantKind::CTree => "CTree",
+            VariantKind::Clsm => "CLSM",
+        }
+    }
+}
+
+/// Configuration of a static index variant.
+#[derive(Debug, Clone, Copy)]
+pub struct IndexConfig {
+    /// Which structure family to build.
+    pub variant: VariantKind,
+    /// Summarization configuration.
+    pub sax: SaxConfig,
+    /// Whether the index embeds the full series (materialized).
+    pub materialized: bool,
+    /// CTree leaf fill factor.
+    pub fill_factor: f64,
+    /// CLSM growth factor.
+    pub growth_factor: usize,
+    /// Memory budget in bytes (external sort / buffers).
+    pub memory_budget_bytes: usize,
+}
+
+impl IndexConfig {
+    /// Default configuration for a variant at a given series length.
+    pub fn new(variant: VariantKind, series_len: usize) -> Self {
+        IndexConfig {
+            variant,
+            sax: SaxConfig::paper_default(series_len),
+            materialized: false,
+            fill_factor: 1.0,
+            growth_factor: 4,
+            memory_budget_bytes: 32 << 20,
+        }
+    }
+
+    /// Enables or disables materialization.
+    pub fn materialized(mut self, yes: bool) -> Self {
+        self.materialized = yes;
+        self
+    }
+
+    /// Sets the memory budget.
+    pub fn with_memory_budget(mut self, bytes: usize) -> Self {
+        self.memory_budget_bytes = bytes;
+        self
+    }
+
+    /// Display name like "CTreeFull" / "CTree" following Figure 1.
+    pub fn display_name(&self) -> String {
+        if self.materialized {
+            format!("{}Full", self.variant.name())
+        } else {
+            self.variant.name().to_string()
+        }
+    }
+
+    /// Builds a configuration from a recommender output.
+    pub fn from_recommendation(rec: &Recommendation, series_len: usize) -> Self {
+        let variant = match rec.structure {
+            StructureKind::Ads => VariantKind::Ads,
+            StructureKind::CTree => VariantKind::CTree,
+            StructureKind::Clsm => VariantKind::Clsm,
+        };
+        IndexConfig {
+            variant,
+            sax: SaxConfig::paper_default(series_len),
+            materialized: rec.materialized,
+            fill_factor: rec.fill_factor,
+            growth_factor: rec.growth_factor.max(2),
+            memory_budget_bytes: 32 << 20,
+        }
+    }
+}
+
+/// Metrics reported after building an index.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct BuildReport {
+    /// Wall-clock build time in milliseconds.
+    pub elapsed_ms: f64,
+    /// I/O performed during the build.
+    pub io: IoStatsSnapshot,
+    /// Index footprint on disk in bytes.
+    pub footprint_bytes: u64,
+    /// Number of entries indexed.
+    pub entries: u64,
+}
+
+/// A built static index of any variant.
+pub enum StaticIndex {
+    /// ADS+-style baseline.
+    Ads(AdsTree),
+    /// CoconutTree.
+    CTree(CTree),
+    /// CoconutLSM.
+    Clsm(ClsmTree),
+}
+
+impl StaticIndex {
+    /// Builds the configured variant over `dataset`, storing index files in
+    /// `dir` and charging I/O to `stats`.
+    pub fn build(
+        dataset: &Dataset,
+        config: IndexConfig,
+        dir: &Path,
+        stats: SharedIoStats,
+    ) -> Result<(StaticIndex, BuildReport)> {
+        std::fs::create_dir_all(dir).map_err(coconut_storage::StorageError::from)?;
+        let before = stats.snapshot();
+        let start = Instant::now();
+        let index = match config.variant {
+            VariantKind::Ads => {
+                let ads_config = AdsConfig::new(config.sax)
+                    .materialized(config.materialized)
+                    .with_buffer_capacity(
+                        (config.memory_budget_bytes
+                            / (config.sax.series_len * 4 + 32))
+                            .max(64),
+                    );
+                StaticIndex::Ads(AdsTree::build(dataset, ads_config, dir, Arc::clone(&stats))?)
+            }
+            VariantKind::CTree => {
+                let ctree_config = CTreeConfig::new(config.sax)
+                    .materialized(config.materialized)
+                    .with_fill_factor(config.fill_factor)
+                    .with_memory_budget(config.memory_budget_bytes);
+                StaticIndex::CTree(CTree::build(dataset, ctree_config, dir, Arc::clone(&stats))?)
+            }
+            VariantKind::Clsm => {
+                let clsm_config = ClsmConfig::new(config.sax)
+                    .materialized(config.materialized)
+                    .with_growth_factor(config.growth_factor)
+                    .with_buffer_capacity(
+                        (config.memory_budget_bytes
+                            / (config.sax.series_len * 4 + 32))
+                            .max(64),
+                    );
+                StaticIndex::Clsm(ClsmTree::build(dataset, clsm_config, dir, Arc::clone(&stats))?)
+            }
+        };
+        let report = BuildReport {
+            elapsed_ms: start.elapsed().as_secs_f64() * 1000.0,
+            io: stats.snapshot().since(&before),
+            footprint_bytes: index.footprint_bytes(),
+            entries: index.len(),
+        };
+        Ok((index, report))
+    }
+
+    /// Number of indexed entries.
+    pub fn len(&self) -> u64 {
+        match self {
+            StaticIndex::Ads(t) => t.len(),
+            StaticIndex::CTree(t) => t.len(),
+            StaticIndex::Clsm(t) => t.len(),
+        }
+    }
+
+    /// Returns `true` when the index is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// On-disk footprint in bytes.
+    pub fn footprint_bytes(&self) -> u64 {
+        match self {
+            StaticIndex::Ads(t) => t.footprint_bytes(),
+            StaticIndex::CTree(t) => t.footprint_bytes(),
+            StaticIndex::Clsm(t) => t.footprint_bytes(),
+        }
+    }
+
+    /// Approximate kNN query.
+    pub fn approximate_knn(&self, query: &[f32], k: usize) -> Result<(Vec<Neighbor>, QueryCost)> {
+        match self {
+            StaticIndex::Ads(t) => t.approximate_knn(query, k),
+            StaticIndex::CTree(t) => t.approximate_knn(query, k),
+            StaticIndex::Clsm(t) => t.approximate_knn(query, k),
+        }
+    }
+
+    /// Exact kNN query.
+    pub fn exact_knn(&self, query: &[f32], k: usize) -> Result<(Vec<Neighbor>, QueryCost)> {
+        match self {
+            StaticIndex::Ads(t) => t.exact_knn(query, k),
+            StaticIndex::CTree(t) => t.exact_knn(query, k),
+            StaticIndex::Clsm(t) => t.exact_knn(query, k),
+        }
+    }
+
+    /// Inserts a batch of new series (updates after the initial build).
+    pub fn insert_batch(&mut self, series: &[Series], timestamp: u64) -> Result<()> {
+        match self {
+            StaticIndex::Ads(t) => t.insert_batch(series, timestamp),
+            StaticIndex::CTree(t) => t.insert_batch(series, timestamp),
+            StaticIndex::Clsm(t) => t.insert_batch(series, timestamp),
+        }
+    }
+}
+
+/// Configuration of a streaming index variant (structure + window scheme).
+#[derive(Debug, Clone, Copy)]
+pub struct StreamingConfig {
+    /// Structure family used by the scheme (`Ads` or `Clsm` for PP; the
+    /// partition kind for TP; BTP always uses sorted partitions).
+    pub variant: VariantKind,
+    /// Windowing scheme.
+    pub scheme: WindowScheme,
+    /// Summarization configuration.
+    pub sax: SaxConfig,
+    /// Buffer capacity in entries (partition size for TP/BTP).
+    pub buffer_capacity: usize,
+    /// Growth factor for CLSM / BTP merging.
+    pub growth_factor: usize,
+}
+
+impl StreamingConfig {
+    /// Default streaming configuration.
+    pub fn new(variant: VariantKind, scheme: WindowScheme, series_len: usize) -> Self {
+        StreamingConfig {
+            variant,
+            scheme,
+            sax: SaxConfig::paper_default(series_len),
+            buffer_capacity: 1024,
+            growth_factor: 3,
+        }
+    }
+
+    /// Display name like "ADS+ PP", "CLSM BTP".
+    pub fn display_name(&self) -> String {
+        format!("{} {}", self.variant.name(), self.scheme.short_name())
+    }
+}
+
+/// Instantiates a streaming index for the given configuration.
+pub fn streaming_index(
+    config: StreamingConfig,
+    dir: &Path,
+    stats: SharedIoStats,
+) -> Result<Box<dyn StreamingIndex>> {
+    std::fs::create_dir_all(dir).map_err(coconut_storage::StorageError::from)?;
+    match config.scheme {
+        WindowScheme::PostProcessing => match config.variant {
+            VariantKind::Ads => {
+                let ads = AdsTree::new(
+                    AdsConfig::new(config.sax).materialized(true),
+                    dir,
+                    stats,
+                )?;
+                Ok(Box::new(PpStream::over_ads(ads)))
+            }
+            _ => {
+                let clsm = ClsmTree::new(
+                    ClsmConfig::new(config.sax)
+                        .materialized(true)
+                        .with_buffer_capacity(config.buffer_capacity)
+                        .with_growth_factor(config.growth_factor),
+                    dir,
+                    stats,
+                )?;
+                Ok(Box::new(PpStream::over_clsm(clsm)))
+            }
+        },
+        WindowScheme::TemporalPartitioning => {
+            let kind = if config.variant == VariantKind::Ads {
+                PartitionKind::Ads
+            } else {
+                PartitionKind::Sorted
+            };
+            let cfg = PartitionedConfig::new(config.sax)
+                .with_buffer_capacity(config.buffer_capacity)
+                .with_partition_kind(kind);
+            Ok(Box::new(PartitionedStream::temporal_partitioning(
+                cfg, dir, stats,
+            )?))
+        }
+        WindowScheme::BoundedTemporalPartitioning => {
+            let cfg = PartitionedConfig::new(config.sax)
+                .with_buffer_capacity(config.buffer_capacity)
+                .with_growth_factor(config.growth_factor);
+            Ok(Box::new(PartitionedStream::bounded_temporal_partitioning(
+                cfg, dir, stats,
+            )?))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use coconut_series::generator::{RandomWalkGenerator, SeriesGenerator};
+
+    fn dataset(dir: &ScratchDir, n: usize, len: usize, seed: u64) -> (Vec<Series>, Dataset) {
+        let mut gen = RandomWalkGenerator::new(len, seed);
+        let series = gen.generate(n);
+        let ds = Dataset::create_from_series(dir.file("raw.bin"), &series).unwrap();
+        (series, ds)
+    }
+
+    #[test]
+    fn every_static_variant_builds_and_agrees_on_exact_answers() {
+        let dir = ScratchDir::new("core-matrix").unwrap();
+        let (series, ds) = dataset(&dir, 300, 64, 1);
+        let mut gen = RandomWalkGenerator::new(64, 50);
+        let query = gen.next_series();
+        let mut distances = Vec::new();
+        for variant in VariantKind::all() {
+            for materialized in [false, true] {
+                let config = IndexConfig::new(variant, 64).materialized(materialized);
+                let stats = IoStats::shared();
+                let subdir = dir.file(&format!("{}-{}", config.display_name(), materialized));
+                let (index, report) =
+                    StaticIndex::build(&ds, config, &subdir, Arc::clone(&stats)).unwrap();
+                assert_eq!(index.len(), series.len() as u64);
+                assert!(report.footprint_bytes > 0);
+                let (nn, _) = index.exact_knn(&query.values, 1).unwrap();
+                distances.push(nn[0].squared_distance);
+            }
+        }
+        // Every variant must return the same exact nearest-neighbour distance.
+        for d in &distances {
+            assert!((d - distances[0]).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn display_names_follow_figure_1() {
+        assert_eq!(IndexConfig::new(VariantKind::CTree, 64).display_name(), "CTree");
+        assert_eq!(
+            IndexConfig::new(VariantKind::Ads, 64).materialized(true).display_name(),
+            "ADS+Full"
+        );
+        let sc = StreamingConfig::new(VariantKind::Clsm, WindowScheme::BoundedTemporalPartitioning, 64);
+        assert_eq!(sc.display_name(), "CLSM BTP");
+    }
+
+    #[test]
+    fn recommendation_translates_to_config() {
+        let rec = recommend(&Scenario::streaming(10_000, 64));
+        let config = IndexConfig::from_recommendation(&rec, 64);
+        assert_eq!(config.variant, VariantKind::Clsm);
+        let rec = recommend(&Scenario::static_archive(10_000, 64));
+        let config = IndexConfig::from_recommendation(&rec, 64);
+        assert_eq!(config.variant, VariantKind::CTree);
+    }
+
+    #[test]
+    fn streaming_variants_ingest_and_answer_window_queries() {
+        let dir = ScratchDir::new("core-stream").unwrap();
+        let mut gen = coconut_series::generator::SeismicStreamGenerator::new(64, 3, 0.1);
+        let batches: Vec<_> = (0..6).map(|_| gen.next_batch(40)).collect();
+        let query = gen.quake_template();
+        let configs = [
+            StreamingConfig::new(VariantKind::Ads, WindowScheme::PostProcessing, 64),
+            StreamingConfig::new(VariantKind::Clsm, WindowScheme::PostProcessing, 64),
+            StreamingConfig::new(VariantKind::CTree, WindowScheme::TemporalPartitioning, 64),
+            StreamingConfig::new(VariantKind::Clsm, WindowScheme::BoundedTemporalPartitioning, 64),
+        ];
+        let mut results = Vec::new();
+        for (i, cfg) in configs.iter().enumerate() {
+            let mut cfg = *cfg;
+            cfg.buffer_capacity = 40;
+            let stats = IoStats::shared();
+            let mut index = streaming_index(cfg, &dir.file(&format!("s{i}")), stats).unwrap();
+            for b in &batches {
+                index.ingest_batch(b).unwrap();
+            }
+            assert_eq!(index.len(), 240);
+            let r = index.query_window(&query, 1, Some((100, 200)), true).unwrap();
+            assert_eq!(r.neighbors.len(), 1);
+            results.push(r.neighbors[0].squared_distance);
+        }
+        for d in &results {
+            assert!((d - results[0]).abs() < 1e-6, "streaming variants disagree");
+        }
+    }
+}

@@ -1,0 +1,374 @@
+//! The "algorithms server" request/response layer.
+//!
+//! The demo's GUI client talks to a back-end algorithms server over REST with
+//! JSON payloads (Section 4, "Implementation").  This module reproduces that
+//! protocol as a library: [`PalmServer`] holds built indexes keyed by name
+//! and processes [`PalmRequest`] values, returning [`PalmResponse`] values
+//! that serialize to the same kind of JSON the GUI would consume (build
+//! metrics, query results, heat-map style access summaries, recommender
+//! advice).  Examples and benchmarks drive it directly; an actual HTTP
+//! front-end would be a thin wrapper around [`PalmServer::handle`].
+
+use std::collections::HashMap;
+use std::path::PathBuf;
+use std::sync::Arc;
+use std::time::Instant;
+
+use serde::{Deserialize, Serialize};
+
+use crate::{
+    recommend, BuildReport, Dataset, IndexConfig, IoStats, Scenario, StaticIndex, VariantKind,
+};
+use coconut_storage::SharedIoStats;
+
+/// A request to the algorithms server.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+#[serde(tag = "type", rename_all = "snake_case")]
+pub enum PalmRequest {
+    /// Build an index over a dataset file.
+    BuildIndex {
+        /// Name under which the index is registered.
+        name: String,
+        /// Path of the raw dataset file.
+        dataset_path: String,
+        /// Structure family.
+        variant: VariantKind,
+        /// Whether to materialize the series inside the index.
+        materialized: bool,
+        /// Memory budget in bytes.
+        memory_budget_bytes: usize,
+    },
+    /// Run a query against a registered index.
+    Query {
+        /// Name of the index to query.
+        name: String,
+        /// The query series values.
+        query: Vec<f32>,
+        /// Number of neighbours.
+        k: usize,
+        /// Exact or approximate search.
+        exact: bool,
+    },
+    /// Fetch the build report of a registered index.
+    Metrics {
+        /// Name of the index.
+        name: String,
+    },
+    /// Ask the recommender for advice.
+    Recommend {
+        /// The application scenario.
+        scenario: Scenario,
+    },
+    /// List registered indexes.
+    ListIndexes,
+}
+
+/// A response from the algorithms server.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+#[serde(tag = "type", rename_all = "snake_case")]
+pub enum PalmResponse {
+    /// Result of a build request.
+    Built {
+        /// Index name.
+        name: String,
+        /// Variant display name ("CTreeFull", ...).
+        variant: String,
+        /// Build metrics.
+        report: BuildReport,
+    },
+    /// Result of a query request.
+    QueryResult {
+        /// Index name.
+        name: String,
+        /// Neighbour ids, ascending distance.
+        ids: Vec<u64>,
+        /// Neighbour distances (Euclidean, not squared).
+        distances: Vec<f64>,
+        /// Query latency in milliseconds.
+        elapsed_ms: f64,
+        /// Entries examined / refined / raw fetches / blocks read+skipped.
+        cost: QueryCostJson,
+    },
+    /// Metrics of a registered index.
+    Metrics {
+        /// Index name.
+        name: String,
+        /// Build metrics.
+        report: BuildReport,
+        /// Current footprint in bytes.
+        footprint_bytes: u64,
+    },
+    /// Recommender advice.
+    Recommendation {
+        /// The recommendation, including the rationale path.
+        recommendation: coconut_recommender::Recommendation,
+    },
+    /// Names of registered indexes.
+    Indexes {
+        /// Registered names.
+        names: Vec<String>,
+    },
+    /// The request failed.
+    Error {
+        /// Human-readable error message.
+        message: String,
+    },
+}
+
+/// JSON-friendly projection of [`coconut_ctree::query::QueryCost`].
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct QueryCostJson {
+    /// Entries whose summarization was examined.
+    pub entries_examined: u64,
+    /// Entries refined with a true distance computation.
+    pub entries_refined: u64,
+    /// Raw series fetched from the data file.
+    pub raw_fetches: u64,
+    /// Blocks/partitions read.
+    pub blocks_read: u64,
+    /// Blocks/partitions skipped by pruning.
+    pub blocks_skipped: u64,
+}
+
+impl From<coconut_ctree::query::QueryCost> for QueryCostJson {
+    fn from(c: coconut_ctree::query::QueryCost) -> Self {
+        QueryCostJson {
+            entries_examined: c.entries_examined,
+            entries_refined: c.entries_refined,
+            raw_fetches: c.raw_fetches,
+            blocks_read: c.blocks_read,
+            blocks_skipped: c.blocks_skipped,
+        }
+    }
+}
+
+struct Registered {
+    index: StaticIndex,
+    report: BuildReport,
+    stats: SharedIoStats,
+}
+
+/// The in-process algorithms server.
+pub struct PalmServer {
+    work_dir: PathBuf,
+    indexes: HashMap<String, Registered>,
+}
+
+impl PalmServer {
+    /// Creates a server that stores index files under `work_dir`.
+    pub fn new<P: Into<PathBuf>>(work_dir: P) -> Self {
+        PalmServer {
+            work_dir: work_dir.into(),
+            indexes: HashMap::new(),
+        }
+    }
+
+    /// Handles one request, never panicking: failures become
+    /// [`PalmResponse::Error`].
+    pub fn handle(&mut self, request: PalmRequest) -> PalmResponse {
+        match self.try_handle(request) {
+            Ok(response) => response,
+            Err(e) => PalmResponse::Error {
+                message: e.to_string(),
+            },
+        }
+    }
+
+    /// Handles a request given as a JSON string, returning a JSON response
+    /// (the exact shape the GUI client would exchange over REST).
+    pub fn handle_json(&mut self, request_json: &str) -> String {
+        let response = match serde_json::from_str::<PalmRequest>(request_json) {
+            Ok(req) => self.handle(req),
+            Err(e) => PalmResponse::Error {
+                message: format!("malformed request: {e}"),
+            },
+        };
+        serde_json::to_string(&response).unwrap_or_else(|e| {
+            format!("{{\"type\":\"error\",\"message\":\"serialization failure: {e}\"}}")
+        })
+    }
+
+    fn try_handle(&mut self, request: PalmRequest) -> crate::Result<PalmResponse> {
+        match request {
+            PalmRequest::BuildIndex {
+                name,
+                dataset_path,
+                variant,
+                materialized,
+                memory_budget_bytes,
+            } => {
+                let dataset = Dataset::open(&dataset_path)?;
+                let config = IndexConfig::new(variant, dataset.series_len())
+                    .materialized(materialized)
+                    .with_memory_budget(memory_budget_bytes.max(1 << 20));
+                let stats = IoStats::shared();
+                let dir = self.work_dir.join(&name);
+                let (index, report) = StaticIndex::build(&dataset, config, &dir, Arc::clone(&stats))?;
+                let variant_name = config.display_name();
+                self.indexes.insert(
+                    name.clone(),
+                    Registered {
+                        index,
+                        report,
+                        stats,
+                    },
+                );
+                Ok(PalmResponse::Built {
+                    name,
+                    variant: variant_name,
+                    report,
+                })
+            }
+            PalmRequest::Query {
+                name,
+                query,
+                k,
+                exact,
+            } => {
+                let registered = self.indexes.get(&name).ok_or_else(|| {
+                    crate::IndexError::Config(format!("no index registered under '{name}'"))
+                })?;
+                let start = Instant::now();
+                let (neighbors, cost) = if exact {
+                    registered.index.exact_knn(&query, k)?
+                } else {
+                    registered.index.approximate_knn(&query, k)?
+                };
+                Ok(PalmResponse::QueryResult {
+                    name,
+                    ids: neighbors.iter().map(|n| n.id).collect(),
+                    distances: neighbors.iter().map(|n| n.distance()).collect(),
+                    elapsed_ms: start.elapsed().as_secs_f64() * 1000.0,
+                    cost: cost.into(),
+                })
+            }
+            PalmRequest::Metrics { name } => {
+                let registered = self.indexes.get(&name).ok_or_else(|| {
+                    crate::IndexError::Config(format!("no index registered under '{name}'"))
+                })?;
+                Ok(PalmResponse::Metrics {
+                    name,
+                    report: registered.report,
+                    footprint_bytes: registered.index.footprint_bytes(),
+                })
+            }
+            PalmRequest::Recommend { scenario } => Ok(PalmResponse::Recommendation {
+                recommendation: recommend(&scenario),
+            }),
+            PalmRequest::ListIndexes => {
+                let mut names: Vec<String> = self.indexes.keys().cloned().collect();
+                names.sort();
+                Ok(PalmResponse::Indexes { names })
+            }
+        }
+    }
+
+    /// Shared I/O statistics of a registered index (for heat-map style
+    /// reporting in examples).
+    pub fn io_stats(&self, name: &str) -> Option<SharedIoStats> {
+        self.indexes.get(name).map(|r| Arc::clone(&r.stats))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use coconut_series::generator::{RandomWalkGenerator, SeriesGenerator};
+    use coconut_storage::ScratchDir;
+
+    fn setup() -> (ScratchDir, String, Vec<coconut_series::Series>) {
+        let dir = ScratchDir::new("palm").unwrap();
+        let mut gen = RandomWalkGenerator::new(64, 12);
+        let series = gen.generate(200);
+        let path = dir.file("raw.bin");
+        Dataset::create_from_series(&path, &series).unwrap();
+        (dir, path.to_string_lossy().into_owned(), series)
+    }
+
+    #[test]
+    fn build_query_metrics_roundtrip() {
+        let (dir, dataset_path, series) = setup();
+        let mut server = PalmServer::new(dir.file("work"));
+        let built = server.handle(PalmRequest::BuildIndex {
+            name: "ctree".into(),
+            dataset_path,
+            variant: VariantKind::CTree,
+            materialized: true,
+            memory_budget_bytes: 8 << 20,
+        });
+        match &built {
+            PalmResponse::Built { variant, report, .. } => {
+                assert_eq!(variant, "CTreeFull");
+                assert_eq!(report.entries, 200);
+            }
+            other => panic!("unexpected response {other:?}"),
+        }
+        let target = &series[17];
+        let query: Vec<f32> = target.values.iter().map(|v| v + 0.001).collect();
+        let result = server.handle(PalmRequest::Query {
+            name: "ctree".into(),
+            query,
+            k: 1,
+            exact: true,
+        });
+        match result {
+            PalmResponse::QueryResult { ids, distances, .. } => {
+                assert_eq!(ids, vec![17]);
+                assert!(distances[0] < 1.0);
+            }
+            other => panic!("unexpected response {other:?}"),
+        }
+        match server.handle(PalmRequest::Metrics { name: "ctree".into() }) {
+            PalmResponse::Metrics { footprint_bytes, .. } => assert!(footprint_bytes > 0),
+            other => panic!("unexpected response {other:?}"),
+        }
+        match server.handle(PalmRequest::ListIndexes) {
+            PalmResponse::Indexes { names } => assert_eq!(names, vec!["ctree".to_string()]),
+            other => panic!("unexpected response {other:?}"),
+        }
+    }
+
+    #[test]
+    fn json_protocol_roundtrip() {
+        let (dir, dataset_path, _series) = setup();
+        let mut server = PalmServer::new(dir.file("work"));
+        let request = format!(
+            r#"{{"type":"build_index","name":"a","dataset_path":{},"variant":"CTree","materialized":false,"memory_budget_bytes":1048576}}"#,
+            serde_json::to_string(&dataset_path).unwrap()
+        );
+        let response = server.handle_json(&request);
+        assert!(response.contains("\"built\""), "response was {response}");
+        let response = server.handle_json(r#"{"type":"list_indexes"}"#);
+        assert!(response.contains("\"a\""));
+        let response = server.handle_json("not json at all");
+        assert!(response.contains("malformed request"));
+    }
+
+    #[test]
+    fn unknown_index_is_an_error_response() {
+        let dir = ScratchDir::new("palm-err").unwrap();
+        let mut server = PalmServer::new(dir.file("work"));
+        let response = server.handle(PalmRequest::Query {
+            name: "missing".into(),
+            query: vec![0.0; 8],
+            k: 1,
+            exact: false,
+        });
+        assert!(matches!(response, PalmResponse::Error { .. }));
+    }
+
+    #[test]
+    fn recommend_request_returns_rationale() {
+        let dir = ScratchDir::new("palm-rec").unwrap();
+        let mut server = PalmServer::new(dir.file("work"));
+        let response = server.handle(PalmRequest::Recommend {
+            scenario: Scenario::streaming(1_000_000, 256),
+        });
+        match response {
+            PalmResponse::Recommendation { recommendation } => {
+                assert!(!recommendation.rationale.is_empty());
+            }
+            other => panic!("unexpected response {other:?}"),
+        }
+    }
+}

@@ -1,0 +1,83 @@
+//! # coconut-ctree
+//!
+//! CoconutTree (CTree): the read-optimized, compact and contiguous data
+//! series index of the Coconut infrastructure.
+//!
+//! A CTree is bulk-loaded bottom-up: every series in the dataset is
+//! summarized into its sortable interleaved SAX key, the `(key, id[, series])`
+//! entries are sorted with a bounded-memory external merge sort, and the
+//! sorted stream is packed into contiguous leaf blocks (to a configurable
+//! fill factor).  Construction therefore performs only sequential I/O, and
+//! the resulting index is fully dense and contiguous — the properties the
+//! paper contrasts with the sparse, random-I/O-built ADS+ baseline.
+//!
+//! This crate also provides the building blocks shared with CoconutLSM and
+//! the streaming partitions:
+//!
+//! * [`entry`] — the on-disk index entry and its [`storage::RecordLayout`].
+//! * [`sorted_file`] — a sorted, block-indexed partition with approximate and
+//!   exact kNN search (skip-sequential scan with MINDIST pruning).
+//! * [`query`] — query-side helpers: the kNN result heap and the raw-dataset
+//!   refinement context used by non-materialized indexes.
+//! * [`tree`] — the [`CTree`] itself: bulk build, optional delta inserts with
+//!   fill-factor-driven merge, and query entry points.
+
+pub mod entry;
+pub mod query;
+pub mod sorted_file;
+pub mod tree;
+
+pub use entry::{EntryLayout, SeriesEntry};
+pub use query::{KnnHeap, QueryContext, QueryCost};
+pub use sorted_file::{BlockMeta, SortedSeriesFile};
+pub use tree::{BuildStats, CTree, CTreeConfig};
+
+use coconut_series::SeriesError;
+use coconut_storage::StorageError;
+
+/// Errors produced by the CTree crate (and reused by the LSM / streaming
+/// layers built on top of it).
+#[derive(Debug)]
+pub enum IndexError {
+    /// Error from the storage substrate.
+    Storage(StorageError),
+    /// Error from the series substrate (raw data file access).
+    Series(SeriesError),
+    /// The index was asked to do something inconsistent with its config.
+    Config(String),
+}
+
+impl std::fmt::Display for IndexError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            IndexError::Storage(e) => write!(f, "storage error: {e}"),
+            IndexError::Series(e) => write!(f, "series error: {e}"),
+            IndexError::Config(msg) => write!(f, "configuration error: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for IndexError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            IndexError::Storage(e) => Some(e),
+            IndexError::Series(e) => Some(e),
+            IndexError::Config(_) => None,
+        }
+    }
+}
+
+impl From<StorageError> for IndexError {
+    fn from(e: StorageError) -> Self {
+        IndexError::Storage(e)
+    }
+}
+
+impl From<SeriesError> for IndexError {
+    fn from(e: SeriesError) -> Self {
+        IndexError::Series(e)
+    }
+}
+
+/// Convenience alias used throughout the index crates.
+pub type Result<T> = std::result::Result<T, IndexError>;

@@ -1,0 +1,221 @@
+//! Query-side helpers shared by every index variant.
+
+use std::collections::BinaryHeap;
+
+use coconut_series::dataset::Dataset;
+use coconut_series::distance::Neighbor;
+use coconut_storage::iostats::AccessKind;
+use coconut_storage::SharedIoStats;
+
+use crate::Result;
+
+/// A bounded max-heap holding the `k` best (smallest-distance) neighbours
+/// seen so far; its current worst distance is the pruning bound.
+#[derive(Debug)]
+pub struct KnnHeap {
+    k: usize,
+    heap: BinaryHeap<Neighbor>,
+}
+
+impl KnnHeap {
+    /// Creates a heap that retains the best `k` neighbours.
+    pub fn new(k: usize) -> Self {
+        assert!(k > 0, "k must be positive");
+        KnnHeap {
+            k,
+            heap: BinaryHeap::with_capacity(k + 1),
+        }
+    }
+
+    /// Offers a candidate; keeps it only if it is among the best `k`.
+    pub fn offer(&mut self, id: u64, squared_distance: f64) {
+        let n = Neighbor::new(id, squared_distance);
+        if self.heap.len() < self.k {
+            self.heap.push(n);
+        } else if let Some(worst) = self.heap.peek() {
+            if n < *worst {
+                self.heap.pop();
+                self.heap.push(n);
+            }
+        }
+    }
+
+    /// Current pruning bound: the squared distance of the k-th best
+    /// neighbour, or `+inf` while fewer than `k` have been seen.
+    pub fn bound(&self) -> f64 {
+        if self.heap.len() < self.k {
+            f64::INFINITY
+        } else {
+            self.heap.peek().map(|n| n.squared_distance).unwrap_or(f64::INFINITY)
+        }
+    }
+
+    /// Number of neighbours currently held.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// Returns `true` when no neighbour has been offered yet.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+
+    /// Consumes the heap, returning neighbours sorted by ascending distance.
+    pub fn into_sorted(self) -> Vec<Neighbor> {
+        let mut v = self.heap.into_vec();
+        v.sort();
+        v
+    }
+}
+
+/// Per-query cost counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct QueryCost {
+    /// Entries whose summarization was examined (lower bound computed).
+    pub entries_examined: u64,
+    /// Entries refined with a true distance computation.
+    pub entries_refined: u64,
+    /// Raw series fetched from the original data file (non-materialized).
+    pub raw_fetches: u64,
+    /// Partitions / blocks skipped thanks to summarization pruning.
+    pub blocks_skipped: u64,
+    /// Partitions / blocks actually read.
+    pub blocks_read: u64,
+}
+
+impl QueryCost {
+    /// Element-wise sum.
+    pub fn plus(&self, other: &QueryCost) -> QueryCost {
+        QueryCost {
+            entries_examined: self.entries_examined + other.entries_examined,
+            entries_refined: self.entries_refined + other.entries_refined,
+            raw_fetches: self.raw_fetches + other.raw_fetches,
+            blocks_skipped: self.blocks_skipped + other.blocks_skipped,
+            blocks_read: self.blocks_read + other.blocks_read,
+        }
+    }
+}
+
+/// Context passed through a query: access to the raw data file (for
+/// non-materialized refinement), shared I/O statistics and cost counters.
+pub struct QueryContext<'a> {
+    dataset: Option<&'a Dataset>,
+    stats: Option<SharedIoStats>,
+    /// Cost counters accumulated during the query.
+    pub cost: QueryCost,
+}
+
+impl<'a> QueryContext<'a> {
+    /// Context for a materialized index (no raw data file needed).
+    pub fn materialized() -> Self {
+        QueryContext {
+            dataset: None,
+            stats: None,
+            cost: QueryCost::default(),
+        }
+    }
+
+    /// Context for a non-materialized index backed by `dataset`.  Raw series
+    /// fetches are charged to `stats` as random page reads.
+    pub fn non_materialized(dataset: &'a Dataset, stats: SharedIoStats) -> Self {
+        QueryContext {
+            dataset: Some(dataset),
+            stats: Some(stats),
+            cost: QueryCost::default(),
+        }
+    }
+
+    /// Returns `true` when raw series can be fetched.
+    pub fn can_fetch(&self) -> bool {
+        self.dataset.is_some()
+    }
+
+    /// Fetches the raw values of series `id` from the data file, charging
+    /// the access as a random read.
+    pub fn fetch(&mut self, id: u64) -> Result<Vec<f32>> {
+        let ds = self.dataset.ok_or_else(|| {
+            crate::IndexError::Config(
+                "non-materialized refinement requires a raw dataset handle".into(),
+            )
+        })?;
+        let series = ds.read_series(id)?;
+        self.cost.raw_fetches += 1;
+        if let Some(stats) = &self.stats {
+            stats.record(AccessKind::RandomRead, (series.len() * 4) as u64);
+        }
+        Ok(series.values)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use coconut_series::generator::{RandomWalkGenerator, SeriesGenerator};
+    use coconut_storage::iostats::IoStats;
+    use coconut_storage::ScratchDir;
+
+    #[test]
+    fn knn_heap_keeps_best_k() {
+        let mut heap = KnnHeap::new(3);
+        assert_eq!(heap.bound(), f64::INFINITY);
+        for (id, d) in [(1, 9.0), (2, 1.0), (3, 4.0), (4, 16.0), (5, 0.5)] {
+            heap.offer(id, d);
+        }
+        assert_eq!(heap.len(), 3);
+        let sorted = heap.into_sorted();
+        let ids: Vec<u64> = sorted.iter().map(|n| n.id).collect();
+        assert_eq!(ids, vec![5, 2, 3]);
+    }
+
+    #[test]
+    fn knn_heap_bound_tracks_worst_of_k() {
+        let mut heap = KnnHeap::new(2);
+        heap.offer(1, 10.0);
+        assert_eq!(heap.bound(), f64::INFINITY);
+        heap.offer(2, 5.0);
+        assert_eq!(heap.bound(), 10.0);
+        heap.offer(3, 1.0);
+        assert_eq!(heap.bound(), 5.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "k must be positive")]
+    fn zero_k_rejected() {
+        KnnHeap::new(0);
+    }
+
+    #[test]
+    fn materialized_context_cannot_fetch() {
+        let mut ctx = QueryContext::materialized();
+        assert!(!ctx.can_fetch());
+        assert!(ctx.fetch(0).is_err());
+    }
+
+    #[test]
+    fn non_materialized_context_fetches_and_counts() {
+        let dir = ScratchDir::new("qctx").unwrap();
+        let mut gen = RandomWalkGenerator::new(32, 9);
+        let series = gen.generate(5);
+        let ds = Dataset::create_from_series(dir.file("d.bin"), &series).unwrap();
+        let stats = IoStats::shared();
+        let mut ctx = QueryContext::non_materialized(&ds, std::sync::Arc::clone(&stats));
+        let v = ctx.fetch(3).unwrap();
+        assert_eq!(v, series[3].values);
+        assert_eq!(ctx.cost.raw_fetches, 1);
+        assert_eq!(stats.snapshot().random_reads, 1);
+    }
+
+    #[test]
+    fn query_cost_plus_adds_fields() {
+        let a = QueryCost {
+            entries_examined: 1,
+            entries_refined: 2,
+            raw_fetches: 3,
+            blocks_skipped: 4,
+            blocks_read: 5,
+        };
+        let b = a.plus(&a);
+        assert_eq!(b.entries_examined, 2);
+        assert_eq!(b.blocks_read, 10);
+    }
+}

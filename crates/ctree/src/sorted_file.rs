@@ -1,0 +1,620 @@
+//! Sorted, block-indexed partitions of index entries.
+//!
+//! A [`SortedSeriesFile`] is the fundamental on-disk unit of every Coconut
+//! structure: the (single) leaf level of a CoconutTree, each run of a
+//! CoconutLSM level, and each temporal partition of the TP / BTP streaming
+//! schemes.  It stores entries sorted by their interleaved SAX key, packed
+//! into fixed-size blocks, and keeps a small in-memory block index (fence
+//! keys, entry ranges, timestamp ranges) that plays the role of the B+-tree's
+//! internal levels.
+//!
+//! Queries use the block index for **skip-sequential** search: blocks are
+//! visited in order of their lower-bound distance to the query and skipped
+//! entirely once the bound exceeds the best-so-far answer, so an exact query
+//! reads only a contiguous subset of the blocks with sequential I/O.
+
+use std::path::Path;
+use std::sync::Arc;
+
+use coconut_sax::breakpoints::BreakpointTable;
+use coconut_sax::mindist::{mindist_paa_isax_sq, mindist_paa_sax_sq};
+use coconut_sax::{InvSaxKey, SaxConfig};
+use coconut_series::distance::euclidean_early_abandon;
+use coconut_series::paa::paa;
+use coconut_series::Timestamp;
+use coconut_storage::dynsort::DynRunWriter;
+use coconut_storage::SharedIoStats;
+
+use crate::entry::{EntryLayout, SeriesEntry};
+use crate::query::{KnnHeap, QueryContext};
+use crate::{IndexError, Result};
+
+/// Metadata of one block of a [`SortedSeriesFile`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BlockMeta {
+    /// Smallest key in the block.
+    pub min_key: u128,
+    /// Largest key in the block.
+    pub max_key: u128,
+    /// Index of the first entry of the block within the file.
+    pub start: u64,
+    /// Number of entries in the block.
+    pub count: u32,
+    /// Smallest timestamp in the block.
+    pub min_ts: Timestamp,
+    /// Largest timestamp in the block.
+    pub max_ts: Timestamp,
+}
+
+impl BlockMeta {
+    /// Returns `true` when the block's timestamp range intersects `window`.
+    pub fn intersects_window(&self, window: Option<(Timestamp, Timestamp)>) -> bool {
+        match window {
+            None => true,
+            Some((start, end)) => self.min_ts <= end && self.max_ts >= start,
+        }
+    }
+}
+
+/// A sorted partition of entries with an in-memory block index.
+#[derive(Debug)]
+pub struct SortedSeriesFile {
+    run: coconut_storage::DynRunFile<EntryLayout>,
+    blocks: Vec<BlockMeta>,
+    sax: SaxConfig,
+    table: Arc<BreakpointTable>,
+    min_ts: Timestamp,
+    max_ts: Timestamp,
+}
+
+impl SortedSeriesFile {
+    /// Builds a partition at `path` by streaming already-sorted entries into
+    /// blocks of `entries_per_block` entries.
+    pub fn build_from_sorted<P, I>(
+        path: P,
+        layout: EntryLayout,
+        sax: SaxConfig,
+        sorted: I,
+        entries_per_block: usize,
+        stats: SharedIoStats,
+        page_size: usize,
+    ) -> Result<Self>
+    where
+        P: AsRef<Path>,
+        I: IntoIterator<Item = Result<SeriesEntry>>,
+    {
+        assert!(entries_per_block > 0);
+        let mut writer = DynRunWriter::create(layout, path, Arc::clone(&stats), page_size)?;
+        let mut blocks: Vec<BlockMeta> = Vec::new();
+        let mut current: Option<BlockMeta> = None;
+        let mut index: u64 = 0;
+        let mut last_key: Option<(u128, u64)> = None;
+        let mut min_ts = Timestamp::MAX;
+        let mut max_ts = Timestamp::MIN;
+
+        for entry in sorted {
+            let entry = entry?;
+            if let Some(prev) = last_key {
+                if (entry.key, entry.id) < prev {
+                    return Err(IndexError::Config(
+                        "build_from_sorted requires key-ordered input".into(),
+                    ));
+                }
+            }
+            last_key = Some((entry.key, entry.id));
+            min_ts = min_ts.min(entry.timestamp);
+            max_ts = max_ts.max(entry.timestamp);
+            let block = current.get_or_insert(BlockMeta {
+                min_key: entry.key,
+                max_key: entry.key,
+                start: index,
+                count: 0,
+                min_ts: entry.timestamp,
+                max_ts: entry.timestamp,
+            });
+            block.max_key = entry.key;
+            block.count += 1;
+            block.min_ts = block.min_ts.min(entry.timestamp);
+            block.max_ts = block.max_ts.max(entry.timestamp);
+            writer.push(&entry)?;
+            index += 1;
+            if block.count as usize >= entries_per_block {
+                blocks.push(current.take().unwrap());
+            }
+        }
+        if let Some(block) = current.take() {
+            blocks.push(block);
+        }
+        if index == 0 {
+            min_ts = 0;
+            max_ts = 0;
+        }
+        let run = writer.finish()?;
+        Ok(SortedSeriesFile {
+            run,
+            blocks,
+            sax,
+            table: Arc::new(BreakpointTable::new()),
+            min_ts,
+            max_ts,
+        })
+    }
+
+    /// Builds a partition from unsorted in-memory entries (sorts them first).
+    /// Used for buffer flushes in CoconutLSM and the streaming schemes.
+    pub fn build_from_entries<P: AsRef<Path>>(
+        path: P,
+        layout: EntryLayout,
+        sax: SaxConfig,
+        mut entries: Vec<SeriesEntry>,
+        entries_per_block: usize,
+        stats: SharedIoStats,
+        page_size: usize,
+    ) -> Result<Self> {
+        entries.sort_by_key(|e| (e.key, e.id));
+        Self::build_from_sorted(
+            path,
+            layout,
+            sax,
+            entries.into_iter().map(Ok),
+            entries_per_block,
+            stats,
+            page_size,
+        )
+    }
+
+    /// Number of entries.
+    pub fn len(&self) -> u64 {
+        self.run.len()
+    }
+
+    /// Returns `true` when the partition has no entries.
+    pub fn is_empty(&self) -> bool {
+        self.run.is_empty()
+    }
+
+    /// On-disk size in bytes.
+    pub fn byte_size(&self) -> u64 {
+        self.run.byte_size()
+    }
+
+    /// The block index.
+    pub fn blocks(&self) -> &[BlockMeta] {
+        &self.blocks
+    }
+
+    /// Entry layout of the partition.
+    pub fn layout(&self) -> &EntryLayout {
+        self.run.layout()
+    }
+
+    /// Timestamp range covered by the partition.
+    pub fn time_range(&self) -> (Timestamp, Timestamp) {
+        (self.min_ts, self.max_ts)
+    }
+
+    /// Returns a sequential reader over all entries (for merging).
+    pub fn reader(&self, buffer_records: usize) -> coconut_storage::DynRunReader<EntryLayout> {
+        self.run.reader(buffer_records)
+    }
+
+    /// The underlying run file (for merge plumbing).
+    pub fn run(&self) -> &coconut_storage::DynRunFile<EntryLayout> {
+        &self.run
+    }
+
+    /// Deletes the backing file.
+    pub fn delete(self) -> Result<()> {
+        self.run.delete()?;
+        Ok(())
+    }
+
+    /// Index of the block whose key range should contain `key` (the last
+    /// block whose `min_key <= key`, clamped to the first block).
+    pub fn locate_block(&self, key: u128) -> Option<usize> {
+        if self.blocks.is_empty() {
+            return None;
+        }
+        let idx = self.blocks.partition_point(|b| b.min_key <= key);
+        Some(idx.saturating_sub(1))
+    }
+
+    /// Lower bound (squared) on the distance between the query and *any*
+    /// entry in the block, derived from the interleaved-key prefix shared by
+    /// the block's minimum and maximum keys.
+    ///
+    /// Because the key interleaves bits level by level across segments, a
+    /// shared prefix of `p` bits constrains the first `p / segments` bit
+    /// levels of *every* segment plus one extra bit for the first
+    /// `p % segments` segments.  The bound is the iSAX MINDIST against that
+    /// partially refined word, which is valid for every key in
+    /// `[min_key, max_key]`.
+    pub fn block_mindist_sq(&self, block: &BlockMeta, query_paa: &[f64]) -> f64 {
+        let width = self.sax.key_bits();
+        let min = InvSaxKey::from_raw(block.min_key, width);
+        let max = InvSaxKey::from_raw(block.max_key, width);
+        let shared_bits = min.common_prefix_bits(&max);
+        let segments = self.sax.segments as u32;
+        let base_levels = (shared_bits / segments).min(self.sax.bits_per_segment as u32) as u8;
+        let extra_segments = if base_levels as u32 >= self.sax.bits_per_segment as u32 {
+            0
+        } else {
+            (shared_bits % segments) as usize
+        };
+        let sax_word = min.to_sax(&self.sax);
+        let symbols: Vec<coconut_sax::IsaxSymbol> = (0..self.sax.segments)
+            .map(|seg| {
+                let bits = if seg < extra_segments {
+                    base_levels + 1
+                } else {
+                    base_levels
+                };
+                if bits == 0 {
+                    coconut_sax::IsaxSymbol::ANY
+                } else {
+                    coconut_sax::IsaxSymbol::new(sax_word.symbol_at_bits(seg, bits), bits)
+                }
+            })
+            .collect();
+        let prefix = coconut_sax::IsaxWord::new(symbols);
+        mindist_paa_isax_sq(query_paa, &prefix, &self.sax, &self.table)
+    }
+
+    fn refine_entry(
+        &self,
+        entry: &SeriesEntry,
+        query: &[f32],
+        heap: &mut KnnHeap,
+        ctx: &mut QueryContext<'_>,
+    ) -> Result<()> {
+        ctx.cost.entries_refined += 1;
+        let bound = heap.bound();
+        if entry.is_materialized() {
+            if let Some(d) = euclidean_early_abandon(query, &entry.values, bound) {
+                heap.offer(entry.id, d);
+            }
+        } else {
+            let values = ctx.fetch(entry.id)?;
+            if let Some(d) = euclidean_early_abandon(query, &values, bound) {
+                heap.offer(entry.id, d);
+            }
+        }
+        Ok(())
+    }
+
+    fn scan_block(
+        &self,
+        block: &BlockMeta,
+        query: &[f32],
+        query_paa: &[f64],
+        heap: &mut KnnHeap,
+        ctx: &mut QueryContext<'_>,
+        window: Option<(Timestamp, Timestamp)>,
+        prune_entries: bool,
+    ) -> Result<()> {
+        ctx.cost.blocks_read += 1;
+        let entries = self.run.read_range(block.start, block.count as usize)?;
+        let breakpoints = self.table.for_bits(self.sax.bits_per_segment);
+        for entry in &entries {
+            if let Some((start, end)) = window {
+                if entry.timestamp < start || entry.timestamp > end {
+                    continue;
+                }
+            }
+            ctx.cost.entries_examined += 1;
+            if prune_entries {
+                let sax = InvSaxKey::from_raw(entry.key, self.sax.key_bits()).to_sax(&self.sax);
+                let lb = mindist_paa_sax_sq(query_paa, &sax, &self.sax, breakpoints);
+                if lb > heap.bound() {
+                    continue;
+                }
+            }
+            self.refine_entry(entry, query, heap, ctx)?;
+        }
+        Ok(())
+    }
+
+    /// Approximate kNN: reads only the block(s) around the query's key
+    /// position and refines their entries.  This is the "approximate query"
+    /// of the iSAX family: fast, no guarantee of exactness.
+    pub fn search_approximate(
+        &self,
+        query: &[f32],
+        heap: &mut KnnHeap,
+        ctx: &mut QueryContext<'_>,
+        window: Option<(Timestamp, Timestamp)>,
+    ) -> Result<()> {
+        assert_eq!(query.len(), self.sax.series_len);
+        if self.blocks.is_empty() {
+            return Ok(());
+        }
+        let query_paa = paa(query, self.sax.segments);
+        let summarizer = coconut_sax::SortableSummarizer::new(self.sax);
+        let key = summarizer.key(query).raw();
+        let target = self.locate_block(key).unwrap();
+        // Visit the target block plus its neighbours until the heap is full
+        // (or the partition is exhausted).
+        let mut offsets: Vec<usize> = vec![target];
+        let mut radius = 1usize;
+        while offsets.len() < self.blocks.len() {
+            let mut extended = false;
+            if target + radius < self.blocks.len() {
+                offsets.push(target + radius);
+                extended = true;
+            }
+            if let Some(lo) = target.checked_sub(radius) {
+                offsets.push(lo);
+                extended = true;
+            }
+            if heap.bound() < f64::INFINITY || !extended {
+                break;
+            }
+            radius += 1;
+        }
+        for idx in offsets {
+            let block = self.blocks[idx];
+            if !block.intersects_window(window) {
+                ctx.cost.blocks_skipped += 1;
+                continue;
+            }
+            self.scan_block(&block, query, &query_paa, heap, ctx, window, false)?;
+            if heap.bound() < f64::INFINITY {
+                break;
+            }
+        }
+        Ok(())
+    }
+
+    /// Exact kNN contribution of this partition: visits blocks in ascending
+    /// order of their lower bound, skipping blocks (and entries) whose bound
+    /// exceeds the current best-so-far answer in `heap`.
+    pub fn search_exact(
+        &self,
+        query: &[f32],
+        heap: &mut KnnHeap,
+        ctx: &mut QueryContext<'_>,
+        window: Option<(Timestamp, Timestamp)>,
+    ) -> Result<()> {
+        assert_eq!(query.len(), self.sax.series_len);
+        if self.blocks.is_empty() {
+            return Ok(());
+        }
+        let query_paa = paa(query, self.sax.segments);
+        // Order blocks by lower bound so the tightest candidates are refined
+        // first and the rest can be skipped.
+        let mut ordered: Vec<(f64, usize)> = self
+            .blocks
+            .iter()
+            .enumerate()
+            .filter(|(_, b)| b.intersects_window(window))
+            .map(|(i, b)| (self.block_mindist_sq(b, &query_paa), i))
+            .collect();
+        ctx.cost.blocks_skipped += (self.blocks.len() - ordered.len()) as u64;
+        ordered.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap_or(std::cmp::Ordering::Equal));
+        for (lb, idx) in ordered {
+            if lb > heap.bound() {
+                ctx.cost.blocks_skipped += 1;
+                continue;
+            }
+            let block = self.blocks[idx];
+            self.scan_block(&block, query, &query_paa, heap, ctx, window, true)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use coconut_sax::SortableSummarizer;
+    use coconut_series::distance::brute_force_knn;
+    use coconut_series::generator::{RandomWalkGenerator, SeriesGenerator};
+    use coconut_series::Dataset;
+    use coconut_storage::iostats::IoStats;
+    use coconut_storage::ScratchDir;
+
+    fn make_entries(
+        n: usize,
+        sax: SaxConfig,
+        materialized: bool,
+        seed: u64,
+    ) -> (Vec<coconut_series::Series>, Vec<SeriesEntry>) {
+        let summarizer = SortableSummarizer::new(sax);
+        let mut gen = RandomWalkGenerator::new(sax.series_len, seed);
+        let series = gen.generate(n);
+        let entries = series
+            .iter()
+            .map(|s| SeriesEntry::from_series(s, s.id, &summarizer, materialized))
+            .collect();
+        (series, entries)
+    }
+
+    fn build(
+        dir: &ScratchDir,
+        sax: SaxConfig,
+        entries: Vec<SeriesEntry>,
+        materialized: bool,
+        entries_per_block: usize,
+    ) -> SortedSeriesFile {
+        let layout = if materialized {
+            EntryLayout::materialized(sax.key_bits(), sax.series_len)
+        } else {
+            EntryLayout::non_materialized(sax.key_bits())
+        };
+        SortedSeriesFile::build_from_entries(
+            dir.file("part.run"),
+            layout,
+            sax,
+            entries,
+            entries_per_block,
+            IoStats::shared(),
+            4096,
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn build_creates_sorted_blocks() {
+        let dir = ScratchDir::new("ssf-build").unwrap();
+        let sax = SaxConfig::new(64, 8, 8);
+        let (_, entries) = make_entries(500, sax, true, 1);
+        let file = build(&dir, sax, entries, true, 64);
+        assert_eq!(file.len(), 500);
+        assert_eq!(file.blocks().len(), (500 + 63) / 64);
+        let mut prev_max = 0u128;
+        for (i, b) in file.blocks().iter().enumerate() {
+            assert!(b.min_key <= b.max_key);
+            if i > 0 {
+                assert!(b.min_key >= prev_max);
+            }
+            prev_max = b.max_key;
+        }
+    }
+
+    #[test]
+    fn unsorted_input_to_build_from_sorted_is_rejected() {
+        let dir = ScratchDir::new("ssf-unsorted").unwrap();
+        let sax = SaxConfig::new(32, 4, 4);
+        let (_, mut entries) = make_entries(10, sax, false, 2);
+        entries.sort_by_key(|e| std::cmp::Reverse(e.key));
+        let layout = EntryLayout::non_materialized(sax.key_bits());
+        let result = SortedSeriesFile::build_from_sorted(
+            dir.file("bad.run"),
+            layout,
+            sax,
+            entries.into_iter().map(Ok),
+            8,
+            IoStats::shared(),
+            1024,
+        );
+        assert!(matches!(result, Err(IndexError::Config(_))));
+    }
+
+    #[test]
+    fn exact_search_matches_brute_force_materialized() {
+        let dir = ScratchDir::new("ssf-exact-mat").unwrap();
+        let sax = SaxConfig::new(96, 8, 8);
+        let (series, entries) = make_entries(400, sax, true, 3);
+        let file = build(&dir, sax, entries, true, 32);
+        let mut gen = RandomWalkGenerator::new(96, 77);
+        for _ in 0..10 {
+            let q = gen.next_series();
+            let expected = brute_force_knn(
+                &q.values,
+                series.iter().map(|s| (s.id, s.values.as_slice())),
+                5,
+            );
+            let mut heap = KnnHeap::new(5);
+            let mut ctx = QueryContext::materialized();
+            file.search_exact(&q.values, &mut heap, &mut ctx, None).unwrap();
+            let got = heap.into_sorted();
+            assert_eq!(got.len(), 5);
+            for (g, e) in got.iter().zip(expected.iter()) {
+                assert!((g.squared_distance - e.squared_distance).abs() < 1e-6);
+            }
+        }
+    }
+
+    #[test]
+    fn exact_search_matches_brute_force_non_materialized() {
+        let dir = ScratchDir::new("ssf-exact-non").unwrap();
+        let sax = SaxConfig::new(64, 8, 8);
+        let (series, entries) = make_entries(300, sax, false, 4);
+        let dataset = Dataset::create_from_series(dir.file("raw.bin"), &series).unwrap();
+        let file = build(&dir, sax, entries, false, 32);
+        let stats = IoStats::shared();
+        let mut gen = RandomWalkGenerator::new(64, 101);
+        for _ in 0..5 {
+            let q = gen.next_series();
+            let expected = brute_force_knn(
+                &q.values,
+                series.iter().map(|s| (s.id, s.values.as_slice())),
+                3,
+            );
+            let mut heap = KnnHeap::new(3);
+            let mut ctx = QueryContext::non_materialized(&dataset, std::sync::Arc::clone(&stats));
+            file.search_exact(&q.values, &mut heap, &mut ctx, None).unwrap();
+            let got = heap.into_sorted();
+            assert_eq!(got[0].id, expected[0].id);
+            assert!((got[0].squared_distance - expected[0].squared_distance).abs() < 1e-6);
+            // Pruning must have avoided fetching every raw series.
+            assert!(ctx.cost.raw_fetches < 300);
+        }
+    }
+
+    #[test]
+    fn approximate_search_finds_close_answer() {
+        let dir = ScratchDir::new("ssf-approx").unwrap();
+        let sax = SaxConfig::new(64, 8, 8);
+        let (series, entries) = make_entries(500, sax, true, 5);
+        let file = build(&dir, sax, entries, true, 32);
+        // Query = slightly perturbed member: the approximate answer must be
+        // very close (usually the member itself).
+        let target = &series[123];
+        let query: Vec<f32> = target.values.iter().map(|v| v + 0.001).collect();
+        let mut heap = KnnHeap::new(1);
+        let mut ctx = QueryContext::materialized();
+        file.search_approximate(&query, &mut heap, &mut ctx, None).unwrap();
+        let got = heap.into_sorted();
+        assert_eq!(got.len(), 1);
+        assert!(got[0].squared_distance < 1.0);
+        // Approximate search must touch far fewer blocks than there are.
+        assert!(ctx.cost.blocks_read <= 3);
+    }
+
+    #[test]
+    fn window_filter_restricts_results() {
+        let dir = ScratchDir::new("ssf-window").unwrap();
+        let sax = SaxConfig::new(32, 4, 8);
+        let summarizer = SortableSummarizer::new(sax);
+        let mut gen = RandomWalkGenerator::new(32, 6);
+        let series = gen.generate(100);
+        let entries: Vec<SeriesEntry> = series
+            .iter()
+            .map(|s| SeriesEntry::from_series(s, s.id * 10, &summarizer, true))
+            .collect();
+        let file = build(&dir, sax, entries, true, 16);
+        let q = gen.next_series();
+        let mut heap = KnnHeap::new(100);
+        let mut ctx = QueryContext::materialized();
+        file.search_exact(&q.values, &mut heap, &mut ctx, Some((200, 400))).unwrap();
+        let got = heap.into_sorted();
+        assert!(!got.is_empty());
+        for n in &got {
+            assert!(n.id * 10 >= 200 && n.id * 10 <= 400);
+        }
+    }
+
+    #[test]
+    fn exact_search_skips_blocks_via_pruning() {
+        let dir = ScratchDir::new("ssf-prune").unwrap();
+        let sax = SaxConfig::new(128, 16, 8);
+        let (series, entries) = make_entries(2000, sax, true, 7);
+        let file = build(&dir, sax, entries, true, 64);
+        let target = &series[42];
+        let query: Vec<f32> = target.values.iter().map(|v| v + 0.01).collect();
+        let mut heap = KnnHeap::new(1);
+        let mut ctx = QueryContext::materialized();
+        file.search_exact(&query, &mut heap, &mut ctx, None).unwrap();
+        assert!(
+            ctx.cost.blocks_skipped > 0,
+            "a near-duplicate query must allow block pruning (read {} skipped {})",
+            ctx.cost.blocks_read,
+            ctx.cost.blocks_skipped
+        );
+    }
+
+    #[test]
+    fn empty_partition_is_searchable() {
+        let dir = ScratchDir::new("ssf-empty").unwrap();
+        let sax = SaxConfig::new(32, 4, 4);
+        let file = build(&dir, sax, Vec::new(), true, 16);
+        assert!(file.is_empty());
+        let mut heap = KnnHeap::new(3);
+        let mut ctx = QueryContext::materialized();
+        let q = vec![0.5f32; 32];
+        file.search_exact(&q, &mut heap, &mut ctx, None).unwrap();
+        file.search_approximate(&q, &mut heap, &mut ctx, None).unwrap();
+        assert!(heap.is_empty());
+    }
+}

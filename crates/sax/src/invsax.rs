@@ -1,0 +1,371 @@
+//! Sortable (interleaved) SAX keys — the paper's core contribution.
+//!
+//! A SAX word cannot be sorted meaningfully segment-by-segment: sorting by
+//! the concatenation of the segment symbols orders series by their *first*
+//! segment and only uses the remaining segments as tie-breakers, so two
+//! series that are similar overall but differ slightly in the first segment
+//! end up arbitrarily far apart.
+//!
+//! The sortable summarization interleaves the **bits** of all segments,
+//! most-significant bits first: the key starts with the most significant bit
+//! of segment 0, then of segment 1, ... segment `w-1`, then the second bit of
+//! every segment, and so on.  Sorting by this key therefore clusters series
+//! that agree on the high-order bits of *all* segments — i.e. series that are
+//! coarsely similar in every part of their shape — which is exactly what
+//! allows Coconut to bulk-load compact, contiguous indexes with external
+//! sorting and to maintain them with log-structured merges.
+//!
+//! The transform is invertible ([`InvSaxKey::to_sax`]) and prefix-compatible
+//! with iSAX: the first `k * segments` bits of the key determine the iSAX
+//! word in which every segment has cardinality `2^k`.
+
+use crate::breakpoints::Breakpoints;
+use crate::isax::{IsaxSymbol, IsaxWord};
+use crate::sax::SaxWord;
+use crate::SaxConfig;
+use coconut_series::paa::paa;
+
+/// A sortable interleaved SAX key.
+///
+/// The key occupies the low [`SaxConfig::key_bits`] bits of a `u128`,
+/// left-aligned within that width so that ordinary integer comparison orders
+/// keys exactly as the bit-interleaved summarization prescribes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct InvSaxKey {
+    bits: u128,
+    /// Total number of significant bits (segments * bits_per_segment).
+    width: u32,
+}
+
+impl InvSaxKey {
+    /// Builds a key by interleaving the bits of a full-resolution SAX word.
+    pub fn from_sax(word: &SaxWord) -> Self {
+        let segments = word.segments();
+        let bits_per_segment = word.bits();
+        let width = segments as u32 * bits_per_segment as u32;
+        assert!(width <= crate::MAX_KEY_BITS);
+        let mut key: u128 = 0;
+        // Bit level 0 is the most significant bit of each segment symbol.
+        for level in 0..bits_per_segment {
+            for seg in 0..segments {
+                let symbol = word.symbols()[seg];
+                let bit = (symbol >> (bits_per_segment - 1 - level)) & 1;
+                key = (key << 1) | bit as u128;
+            }
+        }
+        InvSaxKey { bits: key, width }
+    }
+
+    /// Reconstructs a key from its raw integer value and width (used when
+    /// reading keys back from storage).
+    pub fn from_raw(bits: u128, width: u32) -> Self {
+        assert!(width <= crate::MAX_KEY_BITS);
+        if width < 128 {
+            assert!(bits < (1u128 << width), "raw key does not fit in width");
+        }
+        InvSaxKey { bits, width }
+    }
+
+    /// The raw integer value (low `width` bits are significant).
+    pub fn raw(&self) -> u128 {
+        self.bits
+    }
+
+    /// Number of significant bits in the key.
+    pub fn width(&self) -> u32 {
+        self.width
+    }
+
+    /// Big-endian byte representation of the key, `ceil(width/8)` bytes,
+    /// left-padded with the key's own high bits so that lexicographic byte
+    /// comparison matches integer comparison.
+    pub fn to_be_bytes(&self) -> Vec<u8> {
+        let nbytes = self.width.div_ceil(8) as usize;
+        let full = self.bits.to_be_bytes();
+        full[16 - nbytes..].to_vec()
+    }
+
+    /// Parses a key from its big-endian byte representation.
+    pub fn from_be_bytes(bytes: &[u8], width: u32) -> Self {
+        assert_eq!(bytes.len(), width.div_ceil(8) as usize);
+        let mut full = [0u8; 16];
+        full[16 - bytes.len()..].copy_from_slice(bytes);
+        InvSaxKey::from_raw(u128::from_be_bytes(full), width)
+    }
+
+    /// Inverts the interleaving, recovering the original SAX word.
+    pub fn to_sax(&self, config: &SaxConfig) -> SaxWord {
+        assert_eq!(self.width, config.key_bits());
+        let segments = config.segments;
+        let bits_per_segment = config.bits_per_segment;
+        let mut symbols = vec![0u8; segments];
+        for level in 0..bits_per_segment {
+            for seg in 0..segments {
+                // Position of this bit counted from the most significant end
+                // of the key.
+                let pos_from_msb = level as u32 * segments as u32 + seg as u32;
+                let shift = self.width - 1 - pos_from_msb;
+                let bit = ((self.bits >> shift) & 1) as u8;
+                symbols[seg] = (symbols[seg] << 1) | bit;
+            }
+        }
+        SaxWord::from_symbols(symbols, bits_per_segment)
+    }
+
+    /// Truncates the key to the iSAX word obtained by keeping only the first
+    /// `levels` interleaved bit levels (every segment at cardinality
+    /// `2^levels`).  `levels == 0` yields the unconstrained root word.
+    pub fn to_isax_prefix(&self, config: &SaxConfig, levels: u8) -> IsaxWord {
+        assert!(levels <= config.bits_per_segment);
+        if levels == 0 {
+            return IsaxWord::root(config.segments);
+        }
+        let sax = self.to_sax(config);
+        let symbols = (0..config.segments)
+            .map(|seg| IsaxSymbol::new(sax.symbol_at_bits(seg, levels), levels))
+            .collect();
+        IsaxWord::new(symbols)
+    }
+
+    /// Number of leading bits shared between two keys of equal width.
+    pub fn common_prefix_bits(&self, other: &InvSaxKey) -> u32 {
+        assert_eq!(self.width, other.width);
+        let diff = self.bits ^ other.bits;
+        if diff == 0 {
+            return self.width;
+        }
+        let leading = diff.leading_zeros(); // out of 128
+        let skipped = 128 - self.width;
+        leading - skipped
+    }
+}
+
+/// Convenience wrapper bundling a [`SaxConfig`] and its breakpoint table to
+/// summarize raw series into sortable keys.
+#[derive(Debug, Clone)]
+pub struct SortableSummarizer {
+    config: SaxConfig,
+    breakpoints: Breakpoints,
+}
+
+impl SortableSummarizer {
+    /// Creates a summarizer for the given configuration.
+    pub fn new(config: SaxConfig) -> Self {
+        SortableSummarizer {
+            breakpoints: Breakpoints::new(config.bits_per_segment),
+            config,
+        }
+    }
+
+    /// The configuration this summarizer was built with.
+    pub fn config(&self) -> &SaxConfig {
+        &self.config
+    }
+
+    /// The breakpoint table at the configured cardinality.
+    pub fn breakpoints(&self) -> &Breakpoints {
+        &self.breakpoints
+    }
+
+    /// Computes the PAA representation of a raw series.
+    pub fn paa(&self, values: &[f32]) -> Vec<f64> {
+        paa(values, self.config.segments)
+    }
+
+    /// Summarizes a raw series into its SAX word.
+    pub fn sax(&self, values: &[f32]) -> SaxWord {
+        SaxWord::from_series(values, &self.config, &self.breakpoints)
+    }
+
+    /// Summarizes a raw series into its sortable interleaved key.
+    pub fn key(&self, values: &[f32]) -> InvSaxKey {
+        InvSaxKey::from_sax(&self.sax(values))
+    }
+
+    /// Decodes a sortable key back into its SAX word.
+    pub fn decode(&self, key: InvSaxKey) -> SaxWord {
+        key.to_sax(&self.config)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use coconut_series::distance::squared_euclidean;
+    use coconut_series::generator::{RandomWalkGenerator, SeriesGenerator};
+
+    fn cfg() -> SaxConfig {
+        SaxConfig::new(128, 16, 8)
+    }
+
+    #[test]
+    fn interleave_roundtrip() {
+        let config = cfg();
+        let summarizer = SortableSummarizer::new(config);
+        let mut gen = RandomWalkGenerator::new(config.series_len, 17);
+        for _ in 0..50 {
+            let s = gen.next_series();
+            let sax = summarizer.sax(&s.values);
+            let key = InvSaxKey::from_sax(&sax);
+            assert_eq!(key.width(), 128);
+            let back = key.to_sax(&config);
+            assert_eq!(back, sax);
+        }
+    }
+
+    #[test]
+    fn manual_interleave_small_example() {
+        // 2 segments, 2 bits each. Symbols: seg0 = 0b10, seg1 = 0b01.
+        // Interleaved MSB-first: level0 -> [1, 0], level1 -> [0, 1]
+        // => key bits = 1001 = 9.
+        let w = SaxWord::from_symbols(vec![0b10, 0b01], 2);
+        let key = InvSaxKey::from_sax(&w);
+        assert_eq!(key.width(), 4);
+        assert_eq!(key.raw(), 0b1001);
+        let config = SaxConfig::new(4, 2, 2);
+        assert_eq!(key.to_sax(&config), w);
+    }
+
+    #[test]
+    fn byte_roundtrip_preserves_order() {
+        let config = cfg();
+        let summarizer = SortableSummarizer::new(config);
+        let mut gen = RandomWalkGenerator::new(config.series_len, 23);
+        let mut keys: Vec<InvSaxKey> = (0..100).map(|_| summarizer.key(&gen.next_series().values)).collect();
+        keys.sort();
+        let bytes: Vec<Vec<u8>> = keys.iter().map(|k| k.to_be_bytes()).collect();
+        let mut sorted_bytes = bytes.clone();
+        sorted_bytes.sort();
+        assert_eq!(bytes, sorted_bytes, "byte order must match integer order");
+        for (k, b) in keys.iter().zip(bytes.iter()) {
+            assert_eq!(InvSaxKey::from_be_bytes(b, k.width()), *k);
+        }
+    }
+
+    #[test]
+    fn isax_prefix_covers_the_word() {
+        let config = cfg();
+        let summarizer = SortableSummarizer::new(config);
+        let mut gen = RandomWalkGenerator::new(config.series_len, 29);
+        for _ in 0..20 {
+            let s = gen.next_series();
+            let sax = summarizer.sax(&s.values);
+            let key = InvSaxKey::from_sax(&sax);
+            for levels in 0..=8u8 {
+                let prefix = key.to_isax_prefix(&config, levels);
+                assert!(prefix.covers(&sax), "prefix at {levels} levels must cover");
+            }
+        }
+    }
+
+    #[test]
+    fn shared_prefix_increases_with_similarity() {
+        // Sorting property sanity check: a series and a mildly perturbed copy
+        // share (on average) a much longer key prefix than two independent
+        // random walks.  This is the heart of "sortable summarizations keep
+        // similar series close in the sorted order".
+        let config = cfg();
+        let summarizer = SortableSummarizer::new(config);
+        let mut gen = RandomWalkGenerator::new(config.series_len, 31);
+        let mut similar_prefix_sum = 0u64;
+        let mut random_prefix_sum = 0u64;
+        let n = 200;
+        let series: Vec<_> = gen.generate(n + 1);
+        for i in 0..n {
+            let a = &series[i];
+            // Perturbed copy of a.
+            let perturbed: Vec<f32> = a.values.iter().map(|&v| v + 0.02).collect();
+            let other = &series[i + 1];
+            let ka = summarizer.key(&a.values);
+            let kp = summarizer.key(&perturbed);
+            let ko = summarizer.key(&other.values);
+            similar_prefix_sum += ka.common_prefix_bits(&kp) as u64;
+            random_prefix_sum += ka.common_prefix_bits(&ko) as u64;
+        }
+        assert!(
+            similar_prefix_sum > random_prefix_sum * 2,
+            "similar pairs ({similar_prefix_sum}) should share much longer prefixes than random pairs ({random_prefix_sum})"
+        );
+    }
+
+    #[test]
+    fn key_order_correlates_with_distance() {
+        // Neighbouring keys in the sorted order should on average be closer
+        // in Euclidean distance than random pairs.
+        let config = cfg();
+        let summarizer = SortableSummarizer::new(config);
+        let mut gen = RandomWalkGenerator::new(config.series_len, 41);
+        let series: Vec<_> = gen.generate(400);
+        let mut keyed: Vec<(InvSaxKey, usize)> = series
+            .iter()
+            .enumerate()
+            .map(|(i, s)| (summarizer.key(&s.values), i))
+            .collect();
+        keyed.sort();
+        let mut adjacent = 0.0;
+        let mut random = 0.0;
+        let n = keyed.len();
+        for i in 0..n - 1 {
+            let a = &series[keyed[i].1];
+            let b = &series[keyed[i + 1].1];
+            adjacent += squared_euclidean(&a.values, &b.values);
+            let c = &series[keyed[(i * 997 + 501) % n].1];
+            random += squared_euclidean(&a.values, &c.values);
+        }
+        assert!(
+            adjacent < random,
+            "adjacent-in-sort pairs ({adjacent}) must be closer than random pairs ({random})"
+        );
+    }
+
+    #[test]
+    fn common_prefix_of_identical_keys_is_width() {
+        let w = SaxWord::from_symbols(vec![3, 1, 2, 0], 2);
+        let k = InvSaxKey::from_sax(&w);
+        assert_eq!(k.common_prefix_bits(&k), 8);
+    }
+
+    #[test]
+    #[should_panic(expected = "does not fit")]
+    fn from_raw_validates_width() {
+        InvSaxKey::from_raw(16, 4);
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        #[test]
+        fn roundtrip_any_symbols(
+            symbols in proptest::collection::vec(0u8..=255, 1..16),
+        ) {
+            let word = SaxWord::from_symbols(symbols.clone(), 8);
+            let key = InvSaxKey::from_sax(&word);
+            let config = SaxConfig::new(symbols.len().max(1), symbols.len(), 8);
+            prop_assert_eq!(key.to_sax(&config), word);
+        }
+
+        #[test]
+        fn byte_encoding_roundtrip(
+            symbols in proptest::collection::vec(0u8..=15, 1..8),
+        ) {
+            let word = SaxWord::from_symbols(symbols, 4);
+            let key = InvSaxKey::from_sax(&word);
+            let bytes = key.to_be_bytes();
+            prop_assert_eq!(InvSaxKey::from_be_bytes(&bytes, key.width()), key);
+        }
+
+        #[test]
+        fn prefix_bits_symmetric(
+            a in proptest::collection::vec(0u8..=255, 4),
+            b in proptest::collection::vec(0u8..=255, 4),
+        ) {
+            let ka = InvSaxKey::from_sax(&SaxWord::from_symbols(a, 8));
+            let kb = InvSaxKey::from_sax(&SaxWord::from_symbols(b, 8));
+            prop_assert_eq!(ka.common_prefix_bits(&kb), kb.common_prefix_bits(&ka));
+        }
+    }
+}

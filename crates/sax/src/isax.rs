@@ -1,0 +1,245 @@
+//! iSAX words: variable-cardinality summarizations.
+//!
+//! An iSAX word annotates every segment symbol with its own number of bits
+//! (cardinality).  A word with fewer bits in a segment covers a larger region
+//! of the value space; this is what lets an iSAX-family index (like the ADS+
+//! baseline) start with a coarse root and progressively *split* nodes by
+//! promoting the cardinality of one segment at a time.
+
+use crate::sax::SaxWord;
+
+/// One segment of an iSAX word: a symbol expressed at `bits` bits.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct IsaxSymbol {
+    /// The symbol value, occupying the low `bits` bits.
+    pub symbol: u8,
+    /// Number of significant bits (cardinality = `2^bits`); zero means the
+    /// segment is completely unconstrained (covers everything).
+    pub bits: u8,
+}
+
+impl IsaxSymbol {
+    /// An unconstrained symbol (covers the whole value range).
+    pub const ANY: IsaxSymbol = IsaxSymbol { symbol: 0, bits: 0 };
+
+    /// Creates a symbol, validating that it fits in `bits` bits.
+    pub fn new(symbol: u8, bits: u8) -> Self {
+        assert!(bits <= crate::MAX_BITS_PER_SEGMENT);
+        if bits < 8 {
+            assert!(
+                (symbol as u16) < (1u16 << bits),
+                "symbol {symbol} does not fit in {bits} bits"
+            );
+        }
+        IsaxSymbol { symbol, bits }
+    }
+
+    /// Returns `true` if a full-resolution symbol (at `full_bits` bits) falls
+    /// inside the region covered by this iSAX symbol.
+    pub fn covers(&self, full_symbol: u8, full_bits: u8) -> bool {
+        assert!(full_bits >= self.bits);
+        if self.bits == 0 {
+            return true;
+        }
+        (full_symbol >> (full_bits - self.bits)) == self.symbol
+    }
+
+    /// Splits this symbol into its two children at one more bit of
+    /// resolution: `(low_child, high_child)`.
+    pub fn split(&self) -> (IsaxSymbol, IsaxSymbol) {
+        assert!(
+            self.bits < crate::MAX_BITS_PER_SEGMENT,
+            "cannot split a symbol already at maximum cardinality"
+        );
+        let low = IsaxSymbol {
+            symbol: self.symbol << 1,
+            bits: self.bits + 1,
+        };
+        let high = IsaxSymbol {
+            symbol: (self.symbol << 1) | 1,
+            bits: self.bits + 1,
+        };
+        (low, high)
+    }
+}
+
+/// An iSAX word: one [`IsaxSymbol`] per segment, each at its own cardinality.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct IsaxWord {
+    symbols: Vec<IsaxSymbol>,
+}
+
+impl IsaxWord {
+    /// The fully unconstrained word over `segments` segments (the root of an
+    /// iSAX tree).
+    pub fn root(segments: usize) -> Self {
+        IsaxWord {
+            symbols: vec![IsaxSymbol::ANY; segments],
+        }
+    }
+
+    /// Builds an iSAX word from per-segment symbols.
+    pub fn new(symbols: Vec<IsaxSymbol>) -> Self {
+        assert!(!symbols.is_empty());
+        IsaxWord { symbols }
+    }
+
+    /// Builds the full-resolution iSAX word of a SAX word (every segment at
+    /// the SAX word's cardinality).
+    pub fn from_sax(word: &SaxWord) -> Self {
+        IsaxWord {
+            symbols: word
+                .symbols()
+                .iter()
+                .map(|&s| IsaxSymbol::new(s, word.bits()))
+                .collect(),
+        }
+    }
+
+    /// Per-segment symbols.
+    pub fn symbols(&self) -> &[IsaxSymbol] {
+        &self.symbols
+    }
+
+    /// Number of segments.
+    pub fn segments(&self) -> usize {
+        self.symbols.len()
+    }
+
+    /// Returns `true` when a full-resolution SAX word falls inside the region
+    /// this iSAX word covers (per-segment prefix match).
+    pub fn covers(&self, word: &SaxWord) -> bool {
+        assert_eq!(self.segments(), word.segments());
+        self.symbols
+            .iter()
+            .enumerate()
+            .all(|(i, s)| s.covers(word.symbols()[i], word.bits()))
+    }
+
+    /// Splits this word along `segment`, producing the two child words whose
+    /// that segment has one extra bit of cardinality.
+    pub fn split(&self, segment: usize) -> (IsaxWord, IsaxWord) {
+        assert!(segment < self.segments());
+        let (lo_sym, hi_sym) = self.symbols[segment].split();
+        let mut lo = self.clone();
+        let mut hi = self.clone();
+        lo.symbols[segment] = lo_sym;
+        hi.symbols[segment] = hi_sym;
+        (lo, hi)
+    }
+
+    /// Picks the segment to split next using round-robin over the segments
+    /// with the lowest current cardinality (the iSAX 2.0 splitting policy).
+    /// Returns `None` if every segment is already at maximum cardinality.
+    pub fn next_split_segment(&self) -> Option<usize> {
+        self.symbols
+            .iter()
+            .enumerate()
+            .filter(|(_, s)| s.bits < crate::MAX_BITS_PER_SEGMENT)
+            .min_by_key(|(i, s)| (s.bits, *i))
+            .map(|(i, _)| i)
+    }
+
+    /// Total number of cardinality bits across all segments (a measure of how
+    /// refined this node is).
+    pub fn total_bits(&self) -> u32 {
+        self.symbols.iter().map(|s| s.bits as u32).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::breakpoints::Breakpoints;
+    use crate::SaxConfig;
+    use coconut_series::generator::{RandomWalkGenerator, SeriesGenerator};
+
+    #[test]
+    fn root_covers_everything() {
+        let config = SaxConfig::new(64, 4, 8);
+        let bp = Breakpoints::new(8);
+        let root = IsaxWord::root(4);
+        let mut gen = RandomWalkGenerator::new(64, 3);
+        for _ in 0..10 {
+            let s = gen.next_series();
+            let w = SaxWord::from_series(&s.values, &config, &bp);
+            assert!(root.covers(&w));
+        }
+    }
+
+    #[test]
+    fn split_partitions_coverage() {
+        let config = SaxConfig::new(64, 4, 8);
+        let bp = Breakpoints::new(8);
+        let root = IsaxWord::root(4);
+        let (lo, hi) = root.split(0);
+        let mut gen = RandomWalkGenerator::new(64, 5);
+        for _ in 0..50 {
+            let s = gen.next_series();
+            let w = SaxWord::from_series(&s.values, &config, &bp);
+            let in_lo = lo.covers(&w);
+            let in_hi = hi.covers(&w);
+            assert!(in_lo ^ in_hi, "exactly one child must cover each word");
+        }
+    }
+
+    #[test]
+    fn symbol_split_children_cover_parent_region() {
+        let s = IsaxSymbol::new(0b101, 3);
+        let (lo, hi) = s.split();
+        assert_eq!(lo.symbol, 0b1010);
+        assert_eq!(hi.symbol, 0b1011);
+        assert_eq!(lo.bits, 4);
+        // Any full symbol covered by a child is covered by the parent.
+        for full in 0..=255u8 {
+            if lo.covers(full, 8) || hi.covers(full, 8) {
+                assert!(s.covers(full, 8));
+            }
+            if s.covers(full, 8) {
+                assert!(lo.covers(full, 8) || hi.covers(full, 8));
+            }
+        }
+    }
+
+    #[test]
+    fn from_sax_covers_its_own_word() {
+        let config = SaxConfig::new(32, 4, 6);
+        let bp = Breakpoints::new(6);
+        let mut gen = RandomWalkGenerator::new(32, 8);
+        let s = gen.next_series();
+        let w = SaxWord::from_series(&s.values, &config, &bp);
+        let iw = IsaxWord::from_sax(&w);
+        assert!(iw.covers(&w));
+        assert_eq!(iw.total_bits(), 24);
+    }
+
+    #[test]
+    fn next_split_segment_prefers_lowest_cardinality() {
+        let w = IsaxWord::new(vec![
+            IsaxSymbol::new(1, 2),
+            IsaxSymbol::new(0, 1),
+            IsaxSymbol::new(0, 1),
+        ]);
+        assert_eq!(w.next_split_segment(), Some(1));
+        let (lo, _) = w.split(1);
+        assert_eq!(lo.next_split_segment(), Some(2));
+    }
+
+    #[test]
+    fn next_split_segment_none_at_max() {
+        let w = IsaxWord::new(vec![IsaxSymbol::new(255, 8), IsaxSymbol::new(0, 8)]);
+        assert_eq!(w.next_split_segment(), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "does not fit")]
+    fn symbol_range_validated() {
+        IsaxSymbol::new(4, 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot split")]
+    fn split_at_max_cardinality_panics() {
+        IsaxSymbol::new(0, 8).split();
+    }
+}

@@ -1,0 +1,205 @@
+//! Lower-bounding distances (MINDIST) between queries and summarizations.
+//!
+//! During search, an index never computes true distances to summarized
+//! candidates directly; it computes a *lower bound* of the true Euclidean
+//! distance from the query to any series whose summarization matches the
+//! candidate.  If the lower bound already exceeds the best answer found so
+//! far, the candidate (or the whole subtree / key range) is pruned.
+//!
+//! The bounds implemented here are the standard `MINDIST_PAA_iSAX` family:
+//! for each segment, the distance from the query's PAA coefficient to the
+//! breakpoint region of the candidate's symbol, scaled by
+//! `series_len / segments`.
+
+use crate::breakpoints::{BreakpointTable, Breakpoints};
+use crate::isax::IsaxWord;
+use crate::sax::SaxWord;
+use crate::SaxConfig;
+
+/// Squared lower bound between a query PAA vector and a full-resolution SAX
+/// word.
+pub fn mindist_paa_sax_sq(
+    query_paa: &[f64],
+    word: &SaxWord,
+    config: &SaxConfig,
+    breakpoints: &Breakpoints,
+) -> f64 {
+    assert_eq!(query_paa.len(), config.segments);
+    assert_eq!(word.segments(), config.segments);
+    assert_eq!(breakpoints.bits(), word.bits());
+    let scale = config.series_len as f64 / config.segments as f64;
+    let mut acc = 0.0;
+    for (seg, &q) in query_paa.iter().enumerate() {
+        acc += breakpoints.region_distance_sq(q, word.symbols()[seg] as u32);
+    }
+    scale * acc
+}
+
+/// Squared lower bound between a query PAA vector and a variable-cardinality
+/// iSAX word (used by the ADS+ baseline's internal nodes).
+///
+/// Segments with zero cardinality (unconstrained) contribute nothing.
+pub fn mindist_paa_isax_sq(
+    query_paa: &[f64],
+    word: &IsaxWord,
+    config: &SaxConfig,
+    table: &BreakpointTable,
+) -> f64 {
+    assert_eq!(query_paa.len(), config.segments);
+    assert_eq!(word.segments(), config.segments);
+    let scale = config.series_len as f64 / config.segments as f64;
+    let mut acc = 0.0;
+    for (seg, &q) in query_paa.iter().enumerate() {
+        let sym = word.symbols()[seg];
+        if sym.bits == 0 {
+            continue;
+        }
+        let bp = table.for_bits(sym.bits);
+        acc += bp.region_distance_sq(q, sym.symbol as u32);
+    }
+    scale * acc
+}
+
+/// Squared lower bound between two full-resolution SAX words (used when the
+/// query itself is only available in summarized form, e.g. for bulk
+/// index-to-index comparisons).
+pub fn mindist_sax_sax_sq(
+    a: &SaxWord,
+    b: &SaxWord,
+    config: &SaxConfig,
+    breakpoints: &Breakpoints,
+) -> f64 {
+    assert_eq!(a.segments(), config.segments);
+    assert_eq!(b.segments(), config.segments);
+    let scale = config.series_len as f64 / config.segments as f64;
+    let mut acc = 0.0;
+    for seg in 0..config.segments {
+        acc += breakpoints.symbol_distance_sq(a.symbols()[seg] as u32, b.symbols()[seg] as u32);
+    }
+    scale * acc
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::invsax::SortableSummarizer;
+    use coconut_series::distance::squared_euclidean;
+    use coconut_series::generator::{RandomWalkGenerator, SeriesGenerator};
+    use coconut_series::paa::paa;
+
+    fn cfg() -> SaxConfig {
+        SaxConfig::new(128, 16, 8)
+    }
+
+    #[test]
+    fn mindist_sax_lower_bounds_true_distance() {
+        let config = cfg();
+        let summarizer = SortableSummarizer::new(config);
+        let mut gen = RandomWalkGenerator::new(config.series_len, 71);
+        let series: Vec<_> = gen.generate(100);
+        for i in 0..50 {
+            let q = &series[i];
+            let c = &series[i + 50];
+            let q_paa = paa(&q.values, config.segments);
+            let word = summarizer.sax(&c.values);
+            let lb = mindist_paa_sax_sq(&q_paa, &word, &config, summarizer.breakpoints());
+            let true_d = squared_euclidean(&q.values, &c.values);
+            assert!(
+                lb <= true_d + 1e-6,
+                "lower bound {lb} exceeds true distance {true_d}"
+            );
+        }
+    }
+
+    #[test]
+    fn mindist_isax_lower_bounds_and_weakens_with_fewer_bits() {
+        let config = cfg();
+        let summarizer = SortableSummarizer::new(config);
+        let table = BreakpointTable::new();
+        let mut gen = RandomWalkGenerator::new(config.series_len, 73);
+        let series: Vec<_> = gen.generate(40);
+        for i in 0..20 {
+            let q = &series[i];
+            let c = &series[i + 20];
+            let q_paa = paa(&q.values, config.segments);
+            let key = summarizer.key(&c.values);
+            let true_d = squared_euclidean(&q.values, &c.values);
+            let mut prev = f64::INFINITY;
+            for levels in (0..=8u8).rev() {
+                let word = key.to_isax_prefix(&config, levels);
+                let lb = mindist_paa_isax_sq(&q_paa, &word, &config, &table);
+                assert!(lb <= true_d + 1e-6, "lb {lb} > true {true_d} at {levels} levels");
+                // Coarser words must give looser (not larger) bounds.
+                assert!(lb <= prev + 1e-9);
+                prev = lb;
+            }
+        }
+    }
+
+    #[test]
+    fn mindist_of_matching_word_is_zero() {
+        let config = cfg();
+        let summarizer = SortableSummarizer::new(config);
+        let mut gen = RandomWalkGenerator::new(config.series_len, 79);
+        let s = gen.next_series();
+        let q_paa = paa(&s.values, config.segments);
+        let word = summarizer.sax(&s.values);
+        let lb = mindist_paa_sax_sq(&q_paa, &word, &config, summarizer.breakpoints());
+        assert_eq!(lb, 0.0);
+    }
+
+    #[test]
+    fn mindist_sax_sax_lower_bounds_true_distance() {
+        let config = cfg();
+        let summarizer = SortableSummarizer::new(config);
+        let mut gen = RandomWalkGenerator::new(config.series_len, 83);
+        let series: Vec<_> = gen.generate(60);
+        for i in 0..30 {
+            let a = &series[i];
+            let b = &series[i + 30];
+            let wa = summarizer.sax(&a.values);
+            let wb = summarizer.sax(&b.values);
+            let lb = mindist_sax_sax_sq(&wa, &wb, &config, summarizer.breakpoints());
+            let true_d = squared_euclidean(&a.values, &b.values);
+            assert!(lb <= true_d + 1e-6);
+        }
+    }
+
+    #[test]
+    fn root_isax_word_gives_zero_bound() {
+        let config = cfg();
+        let table = BreakpointTable::new();
+        let q_paa = vec![1.0; config.segments];
+        let root = IsaxWord::root(config.segments);
+        assert_eq!(mindist_paa_isax_sq(&q_paa, &root, &config, &table), 0.0);
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use crate::invsax::SortableSummarizer;
+    use coconut_series::distance::squared_euclidean;
+    use coconut_series::znorm::znormalize;
+    use coconut_series::paa::paa;
+    use proptest::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+        #[test]
+        fn lower_bound_property_random_series(
+            a in proptest::collection::vec(-5.0f32..5.0, 64),
+            b in proptest::collection::vec(-5.0f32..5.0, 64),
+        ) {
+            let a = znormalize(&a);
+            let b = znormalize(&b);
+            let config = SaxConfig::new(64, 8, 8);
+            let summarizer = SortableSummarizer::new(config);
+            let q_paa = paa(&a, config.segments);
+            let word = summarizer.sax(&b);
+            let lb = mindist_paa_sax_sq(&q_paa, &word, &config, summarizer.breakpoints());
+            let d = squared_euclidean(&a, &b);
+            prop_assert!(lb <= d + 1e-3, "lb {} > d {}", lb, d);
+        }
+    }
+}

@@ -1,0 +1,159 @@
+//! SAX words: fixed-cardinality quantized summarizations.
+
+use crate::breakpoints::Breakpoints;
+use crate::SaxConfig;
+use coconut_series::paa::paa;
+
+/// A SAX word: one symbol per PAA segment at a single, fixed cardinality.
+///
+/// This is the "flat" summarization that both the sortable key and the iSAX
+/// word are derived from.  Symbols are stored at the configured
+/// `bits_per_segment` resolution (one `u8` per segment, since the maximum
+/// supported cardinality is 256).
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct SaxWord {
+    symbols: Vec<u8>,
+    bits: u8,
+}
+
+impl SaxWord {
+    /// Summarizes a raw series into a SAX word under `config`, using the
+    /// provided breakpoint table for the configured bit width.
+    ///
+    /// # Panics
+    /// Panics if the series length or the breakpoint bit width do not match
+    /// the configuration.
+    pub fn from_series(values: &[f32], config: &SaxConfig, breakpoints: &Breakpoints) -> Self {
+        assert_eq!(
+            values.len(),
+            config.series_len,
+            "series length does not match SaxConfig"
+        );
+        let paa_values = paa(values, config.segments);
+        Self::from_paa(&paa_values, config, breakpoints)
+    }
+
+    /// Builds a SAX word from an already-computed PAA representation.
+    pub fn from_paa(paa_values: &[f64], config: &SaxConfig, breakpoints: &Breakpoints) -> Self {
+        assert_eq!(paa_values.len(), config.segments);
+        assert_eq!(
+            breakpoints.bits(),
+            config.bits_per_segment,
+            "breakpoint table bit width does not match SaxConfig"
+        );
+        let symbols = paa_values
+            .iter()
+            .map(|&v| breakpoints.symbol(v) as u8)
+            .collect();
+        SaxWord {
+            symbols,
+            bits: config.bits_per_segment,
+        }
+    }
+
+    /// Constructs a SAX word directly from symbols (used by decoders/tests).
+    pub fn from_symbols(symbols: Vec<u8>, bits: u8) -> Self {
+        assert!(bits >= 1 && bits <= crate::MAX_BITS_PER_SEGMENT);
+        let card = 1u16 << bits;
+        assert!(
+            symbols.iter().all(|&s| (s as u16) < card),
+            "symbol out of range for cardinality {card}"
+        );
+        SaxWord { symbols, bits }
+    }
+
+    /// Per-segment symbols at full configured cardinality.
+    pub fn symbols(&self) -> &[u8] {
+        &self.symbols
+    }
+
+    /// Bits per symbol.
+    pub fn bits(&self) -> u8 {
+        self.bits
+    }
+
+    /// Number of segments.
+    pub fn segments(&self) -> usize {
+        self.symbols.len()
+    }
+
+    /// Returns the symbol of segment `i` truncated to `bits` most significant
+    /// bits (i.e. the symbol this series would have at a coarser cardinality).
+    pub fn symbol_at_bits(&self, segment: usize, bits: u8) -> u8 {
+        assert!(bits >= 1 && bits <= self.bits);
+        self.symbols[segment] >> (self.bits - bits)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::breakpoints::Breakpoints;
+    use coconut_series::generator::{RandomWalkGenerator, SeriesGenerator};
+
+    fn cfg() -> SaxConfig {
+        SaxConfig::new(128, 8, 8)
+    }
+
+    #[test]
+    fn word_has_one_symbol_per_segment() {
+        let config = cfg();
+        let bp = Breakpoints::new(config.bits_per_segment);
+        let mut gen = RandomWalkGenerator::new(config.series_len, 1);
+        let s = gen.next_series();
+        let w = SaxWord::from_series(&s.values, &config, &bp);
+        assert_eq!(w.segments(), 8);
+        assert_eq!(w.bits(), 8);
+    }
+
+    #[test]
+    fn constant_low_series_maps_to_lowest_symbols() {
+        let config = SaxConfig::new(64, 4, 4);
+        let bp = Breakpoints::new(4);
+        let values = vec![-10.0f32; 64];
+        let w = SaxWord::from_series(&values, &config, &bp);
+        assert!(w.symbols().iter().all(|&s| s == 0));
+        let values = vec![10.0f32; 64];
+        let w = SaxWord::from_series(&values, &config, &bp);
+        assert!(w.symbols().iter().all(|&s| s == 15));
+    }
+
+    #[test]
+    fn symbol_at_bits_is_prefix() {
+        let config = cfg();
+        let bp = Breakpoints::new(config.bits_per_segment);
+        let mut gen = RandomWalkGenerator::new(config.series_len, 9);
+        let s = gen.next_series();
+        let w = SaxWord::from_series(&s.values, &config, &bp);
+        for seg in 0..w.segments() {
+            for bits in 1..=8u8 {
+                assert_eq!(w.symbol_at_bits(seg, bits), w.symbols()[seg] >> (8 - bits));
+            }
+        }
+    }
+
+    #[test]
+    fn coarse_symbols_match_coarse_breakpoints() {
+        // Quantizing with a 3-bit table must equal the 8-bit symbols
+        // truncated to 3 bits (the nesting property, end to end).
+        let fine_cfg = SaxConfig::new(96, 6, 8);
+        let coarse_cfg = SaxConfig::new(96, 6, 3);
+        let fine_bp = Breakpoints::new(8);
+        let coarse_bp = Breakpoints::new(3);
+        let mut gen = RandomWalkGenerator::new(96, 33);
+        for _ in 0..20 {
+            let s = gen.next_series();
+            let fine = SaxWord::from_series(&s.values, &fine_cfg, &fine_bp);
+            let coarse = SaxWord::from_series(&s.values, &coarse_cfg, &coarse_bp);
+            for seg in 0..6 {
+                assert_eq!(coarse.symbols()[seg], fine.symbol_at_bits(seg, 3));
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "symbol out of range")]
+    fn from_symbols_validates_range() {
+        SaxWord::from_symbols(vec![4], 2);
+    }
+}

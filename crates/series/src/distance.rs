@@ -1,0 +1,236 @@
+//! Distance functions over data series.
+//!
+//! Exact nearest-neighbour search in the Coconut infrastructure is defined
+//! under the Euclidean distance over z-normalized series.  All distances are
+//! accumulated in `f64` even though the raw values are `f32`, to keep the
+//! pruning bounds (computed in `f64` by the summarization layer) comparable
+//! without precision surprises.
+
+/// Squared Euclidean distance between two equal-length slices.
+///
+/// # Panics
+/// Panics if the slices have different lengths.
+pub fn squared_euclidean(a: &[f32], b: &[f32]) -> f64 {
+    assert_eq!(
+        a.len(),
+        b.len(),
+        "squared_euclidean requires equal-length series"
+    );
+    let mut acc = 0.0f64;
+    for (&x, &y) in a.iter().zip(b.iter()) {
+        let d = x as f64 - y as f64;
+        acc += d * d;
+    }
+    acc
+}
+
+/// Euclidean distance between two equal-length slices.
+pub fn euclidean(a: &[f32], b: &[f32]) -> f64 {
+    squared_euclidean(a, b).sqrt()
+}
+
+/// Early-abandoning squared Euclidean distance.
+///
+/// Accumulates the squared distance and returns `None` as soon as the partial
+/// sum exceeds `threshold` (a squared distance).  This is the standard
+/// optimization used when scanning candidates during exact search: the
+/// threshold is the squared distance of the best-so-far answer, and most
+/// candidates are abandoned after a few terms.
+pub fn euclidean_early_abandon(a: &[f32], b: &[f32], threshold: f64) -> Option<f64> {
+    assert_eq!(
+        a.len(),
+        b.len(),
+        "euclidean_early_abandon requires equal-length series"
+    );
+    let mut acc = 0.0f64;
+    for (&x, &y) in a.iter().zip(b.iter()) {
+        let d = x as f64 - y as f64;
+        acc += d * d;
+        if acc > threshold {
+            return None;
+        }
+    }
+    Some(acc)
+}
+
+/// Result of a nearest-neighbour computation: the series id and its distance.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Neighbor {
+    /// Identifier of the neighbouring series.
+    pub id: u64,
+    /// Squared Euclidean distance from the query to this neighbour.
+    pub squared_distance: f64,
+}
+
+impl Neighbor {
+    /// Creates a new neighbour record.
+    pub fn new(id: u64, squared_distance: f64) -> Self {
+        Neighbor {
+            id,
+            squared_distance,
+        }
+    }
+
+    /// Euclidean (non-squared) distance.
+    pub fn distance(&self) -> f64 {
+        self.squared_distance.sqrt()
+    }
+}
+
+impl Eq for Neighbor {}
+
+impl PartialOrd for Neighbor {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Neighbor {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        // Order primarily by distance, break ties by id so that the ordering
+        // is total and deterministic (required for use in BinaryHeap / sort).
+        self.squared_distance
+            .partial_cmp(&other.squared_distance)
+            .unwrap_or(std::cmp::Ordering::Equal)
+            .then_with(|| self.id.cmp(&other.id))
+    }
+}
+
+/// Brute-force exact k-nearest-neighbour search over an in-memory collection.
+///
+/// Used by tests and benchmarks as the ground truth against which every index
+/// variant is validated.
+pub fn brute_force_knn<'a, I>(query: &[f32], candidates: I, k: usize) -> Vec<Neighbor>
+where
+    I: IntoIterator<Item = (u64, &'a [f32])>,
+{
+    let mut heap: std::collections::BinaryHeap<Neighbor> = std::collections::BinaryHeap::new();
+    for (id, values) in candidates {
+        let d = squared_euclidean(query, values);
+        let n = Neighbor::new(id, d);
+        if heap.len() < k {
+            heap.push(n);
+        } else if let Some(worst) = heap.peek() {
+            if n < *worst {
+                heap.pop();
+                heap.push(n);
+            }
+        }
+    }
+    let mut out: Vec<Neighbor> = heap.into_vec();
+    out.sort();
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn squared_euclidean_simple() {
+        assert_eq!(squared_euclidean(&[0.0, 0.0], &[3.0, 4.0]), 25.0);
+        assert_eq!(euclidean(&[0.0, 0.0], &[3.0, 4.0]), 5.0);
+    }
+
+    #[test]
+    fn distance_to_self_is_zero() {
+        let v = vec![1.5f32, -2.25, 0.0, 7.0];
+        assert_eq!(squared_euclidean(&v, &v), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "equal-length")]
+    fn mismatched_lengths_panic() {
+        squared_euclidean(&[1.0], &[1.0, 2.0]);
+    }
+
+    #[test]
+    fn early_abandon_abandons() {
+        let a = vec![0.0f32; 10];
+        let b = vec![10.0f32; 10];
+        assert_eq!(euclidean_early_abandon(&a, &b, 50.0), None);
+        assert_eq!(euclidean_early_abandon(&a, &a, 50.0), Some(0.0));
+    }
+
+    #[test]
+    fn early_abandon_matches_full_distance_when_under_threshold() {
+        let a = vec![1.0f32, 2.0, 3.0];
+        let b = vec![2.0f32, 2.0, 1.0];
+        let full = squared_euclidean(&a, &b);
+        assert_eq!(euclidean_early_abandon(&a, &b, full + 1.0), Some(full));
+    }
+
+    #[test]
+    fn brute_force_knn_finds_closest() {
+        let data: Vec<(u64, Vec<f32>)> = (0..100u64)
+            .map(|i| (i, vec![i as f32, i as f32]))
+            .collect();
+        let query = vec![40.2f32, 40.2];
+        let nn = brute_force_knn(&query, data.iter().map(|(i, v)| (*i, v.as_slice())), 3);
+        assert_eq!(nn.len(), 3);
+        assert_eq!(nn[0].id, 40);
+        assert_eq!(nn[1].id, 41);
+        assert_eq!(nn[2].id, 39);
+        assert!(nn[0].squared_distance <= nn[1].squared_distance);
+    }
+
+    #[test]
+    fn brute_force_knn_with_k_larger_than_data() {
+        let data = vec![(0u64, vec![0.0f32]), (1u64, vec![1.0f32])];
+        let nn = brute_force_knn(&[0.4], data.iter().map(|(i, v)| (*i, v.as_slice())), 10);
+        assert_eq!(nn.len(), 2);
+        assert_eq!(nn[0].id, 0);
+    }
+
+    #[test]
+    fn neighbor_ordering_is_total() {
+        let a = Neighbor::new(1, 2.0);
+        let b = Neighbor::new(2, 2.0);
+        let c = Neighbor::new(3, 1.0);
+        let mut v = vec![a, b, c];
+        v.sort();
+        assert_eq!(v[0].id, 3);
+        assert_eq!(v[1].id, 1);
+        assert_eq!(v[2].id, 2);
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        #[test]
+        fn triangle_inequality(
+            a in proptest::collection::vec(-100.0f32..100.0, 16),
+            b in proptest::collection::vec(-100.0f32..100.0, 16),
+            c in proptest::collection::vec(-100.0f32..100.0, 16),
+        ) {
+            let ab = euclidean(&a, &b);
+            let bc = euclidean(&b, &c);
+            let ac = euclidean(&a, &c);
+            prop_assert!(ac <= ab + bc + 1e-6);
+        }
+
+        #[test]
+        fn symmetry(
+            a in proptest::collection::vec(-100.0f32..100.0, 32),
+            b in proptest::collection::vec(-100.0f32..100.0, 32),
+        ) {
+            prop_assert!((squared_euclidean(&a, &b) - squared_euclidean(&b, &a)).abs() < 1e-9);
+        }
+
+        #[test]
+        fn early_abandon_never_overestimates(
+            a in proptest::collection::vec(-10.0f32..10.0, 24),
+            b in proptest::collection::vec(-10.0f32..10.0, 24),
+        ) {
+            let full = squared_euclidean(&a, &b);
+            match euclidean_early_abandon(&a, &b, full) {
+                Some(d) => prop_assert!((d - full).abs() < 1e-9),
+                None => prop_assert!(full > 0.0),
+            }
+        }
+    }
+}

@@ -1,0 +1,480 @@
+//! Synthetic data series generators.
+//!
+//! The paper's demonstration scenarios operate on (1) a large static archive
+//! of astronomy series containing known patterns of interest (supernova,
+//! binary star, ...) and (2) a continuous stream of seismic measurements in
+//! which earthquake patterns must be found within temporal windows.  Neither
+//! dataset can be redistributed here, so this module provides synthetic
+//! generators with the same statistical structure:
+//!
+//! * [`RandomWalkGenerator`] — the standard benchmark workload used by the
+//!   original Coconut evaluation (each series is a cumulative sum of Gaussian
+//!   steps, then z-normalized).
+//! * [`AstronomyGenerator`] — random-walk background with *planted patterns*
+//!   (parameterized templates for "supernova"-like bursts and "binary
+//!   star"-like periodic dips), so that ground-truth matches exist.
+//! * [`SeismicStreamGenerator`] — background noise with occasional
+//!   high-energy "earthquake" bursts, produced in timestamped batches.
+//!
+//! All generators are deterministic given a seed so experiments are exactly
+//! reproducible.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::series::{Series, SeriesId, Timestamp, TimestampedSeries};
+use crate::znorm::znormalize_in_place;
+
+/// Common interface of all synthetic series generators.
+pub trait SeriesGenerator {
+    /// Length of every generated series.
+    fn series_len(&self) -> usize;
+
+    /// Generates the next series.
+    fn next_series(&mut self) -> Series;
+
+    /// Generates `count` series into a vector.
+    fn generate(&mut self, count: usize) -> Vec<Series> {
+        (0..count).map(|_| self.next_series()).collect()
+    }
+}
+
+/// Kinds of planted patterns produced by the [`AstronomyGenerator`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum PatternKind {
+    /// A sharp rise followed by an exponential decay (supernova light curve).
+    Supernova,
+    /// A periodic dip pattern (eclipsing binary star light curve).
+    BinaryStar,
+    /// A sudden level shift (generic anomaly).
+    StepChange,
+    /// Pure random walk with no planted structure.
+    Background,
+}
+
+impl PatternKind {
+    /// All pattern kinds that correspond to actual planted templates.
+    pub fn planted() -> [PatternKind; 3] {
+        [
+            PatternKind::Supernova,
+            PatternKind::BinaryStar,
+            PatternKind::StepChange,
+        ]
+    }
+}
+
+fn gaussian(rng: &mut StdRng) -> f64 {
+    // Box-Muller transform; avoids depending on rand_distr.
+    loop {
+        let u1: f64 = rng.gen::<f64>();
+        let u2: f64 = rng.gen::<f64>();
+        if u1 > f64::MIN_POSITIVE {
+            return (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos();
+        }
+    }
+}
+
+/// Generates z-normalized random-walk series.
+///
+/// This is the canonical synthetic workload of the data series indexing
+/// literature (and of the original Coconut evaluation): each value is the
+/// cumulative sum of i.i.d. standard Gaussian steps.
+#[derive(Debug)]
+pub struct RandomWalkGenerator {
+    series_len: usize,
+    next_id: SeriesId,
+    rng: StdRng,
+    znormalize: bool,
+}
+
+impl RandomWalkGenerator {
+    /// Creates a generator producing series of `series_len` points, seeded
+    /// deterministically with `seed`.
+    pub fn new(series_len: usize, seed: u64) -> Self {
+        assert!(series_len > 0, "series length must be positive");
+        RandomWalkGenerator {
+            series_len,
+            next_id: 0,
+            rng: StdRng::seed_from_u64(seed),
+            znormalize: true,
+        }
+    }
+
+    /// Disables the final z-normalization step (raw random walks).
+    pub fn without_znormalization(mut self) -> Self {
+        self.znormalize = false;
+        self
+    }
+}
+
+impl SeriesGenerator for RandomWalkGenerator {
+    fn series_len(&self) -> usize {
+        self.series_len
+    }
+
+    fn next_series(&mut self) -> Series {
+        let mut values = Vec::with_capacity(self.series_len);
+        let mut acc = 0.0f64;
+        for _ in 0..self.series_len {
+            acc += gaussian(&mut self.rng);
+            values.push(acc as f32);
+        }
+        if self.znormalize {
+            znormalize_in_place(&mut values);
+        }
+        let id = self.next_id;
+        self.next_id += 1;
+        Series::new(id, values)
+    }
+}
+
+/// Astronomy-like generator: random-walk background with planted patterns.
+///
+/// A fraction `pattern_fraction` of the generated series embed one of the
+/// planted templates ([`PatternKind`]), scaled and shifted randomly; the rest
+/// are pure background random walks.  The generator records which pattern was
+/// planted in each series so tests and demos can verify that queries using a
+/// pattern template retrieve series that actually contain it.
+#[derive(Debug)]
+pub struct AstronomyGenerator {
+    series_len: usize,
+    next_id: SeriesId,
+    rng: StdRng,
+    pattern_fraction: f64,
+    /// Pattern planted into each generated series, indexed by series id.
+    labels: Vec<PatternKind>,
+}
+
+impl AstronomyGenerator {
+    /// Creates a new astronomy-like generator.
+    ///
+    /// `pattern_fraction` is the probability that a generated series contains
+    /// a planted pattern (uniformly chosen among the planted kinds).
+    pub fn new(series_len: usize, seed: u64, pattern_fraction: f64) -> Self {
+        assert!(series_len >= 16, "astronomy series need at least 16 points");
+        assert!((0.0..=1.0).contains(&pattern_fraction));
+        AstronomyGenerator {
+            series_len,
+            next_id: 0,
+            rng: StdRng::seed_from_u64(seed),
+            pattern_fraction,
+            labels: Vec::new(),
+        }
+    }
+
+    /// Returns the pattern planted in series `id`, if that id was generated.
+    pub fn label(&self, id: SeriesId) -> Option<PatternKind> {
+        self.labels.get(id as usize).copied()
+    }
+
+    /// Returns the ids of all generated series labelled with `kind`.
+    pub fn ids_with_pattern(&self, kind: PatternKind) -> Vec<SeriesId> {
+        self.labels
+            .iter()
+            .enumerate()
+            .filter(|(_, &k)| k == kind)
+            .map(|(i, _)| i as SeriesId)
+            .collect()
+    }
+
+    /// Produces the canonical (noise-free) template for a pattern kind, at
+    /// this generator's series length.  Useful for constructing query targets
+    /// ("known patterns of interest" in Scenario 1).
+    pub fn template(&self, kind: PatternKind) -> Vec<f32> {
+        let mut v = pattern_template(kind, self.series_len);
+        znormalize_in_place(&mut v);
+        v
+    }
+
+    fn background(&mut self) -> Vec<f32> {
+        let mut values = Vec::with_capacity(self.series_len);
+        let mut acc = 0.0f64;
+        for _ in 0..self.series_len {
+            acc += gaussian(&mut self.rng) * 0.5;
+            values.push(acc as f32);
+        }
+        values
+    }
+}
+
+/// Builds the noise-free template of a planted pattern.
+pub fn pattern_template(kind: PatternKind, len: usize) -> Vec<f32> {
+    let mut v = vec![0.0f32; len];
+    match kind {
+        PatternKind::Supernova => {
+            // Sharp rise at 1/4 of the series, exponential decay afterwards.
+            let peak = len / 4;
+            for (i, val) in v.iter_mut().enumerate() {
+                if i < peak {
+                    *val = (i as f32 / peak as f32) * 0.2;
+                } else {
+                    let t = (i - peak) as f32 / (len as f32 * 0.15);
+                    *val = (1.0 + 4.0 * (-t).exp()).max(0.0);
+                }
+            }
+        }
+        PatternKind::BinaryStar => {
+            // Periodic dips: baseline with Gaussian-shaped eclipses.
+            let period = (len / 6).max(4);
+            for (i, val) in v.iter_mut().enumerate() {
+                let phase = (i % period) as f32 / period as f32;
+                let dip = (-((phase - 0.5) * 10.0).powi(2)).exp();
+                *val = 1.0 - 2.0 * dip;
+            }
+        }
+        PatternKind::StepChange => {
+            for (i, val) in v.iter_mut().enumerate() {
+                *val = if i < len / 2 { -1.0 } else { 1.0 };
+            }
+        }
+        PatternKind::Background => {}
+    }
+    v
+}
+
+impl SeriesGenerator for AstronomyGenerator {
+    fn series_len(&self) -> usize {
+        self.series_len
+    }
+
+    fn next_series(&mut self) -> Series {
+        let plant: bool = self.rng.gen::<f64>() < self.pattern_fraction;
+        let kind = if plant {
+            let kinds = PatternKind::planted();
+            kinds[self.rng.gen_range(0..kinds.len())]
+        } else {
+            PatternKind::Background
+        };
+        let mut values = self.background();
+        if kind != PatternKind::Background {
+            let template = pattern_template(kind, self.series_len);
+            let amplitude = 3.0 + self.rng.gen::<f32>() * 2.0;
+            for (v, t) in values.iter_mut().zip(template.iter()) {
+                *v = *v * 0.2 + t * amplitude;
+            }
+        }
+        znormalize_in_place(&mut values);
+        let id = self.next_id;
+        self.next_id += 1;
+        self.labels.push(kind);
+        Series::new(id, values)
+    }
+}
+
+/// Seismic-like batch stream generator (Scenario 2).
+///
+/// Produces batches of timestamped series.  Most series are low-amplitude
+/// background noise; with probability `quake_fraction` a series contains an
+/// "earthquake" burst (a high-frequency, high-amplitude oscillation with an
+/// exponentially decaying envelope).  Timestamps advance by one per series so
+/// windows can be expressed directly in number-of-arrivals.
+#[derive(Debug)]
+pub struct SeismicStreamGenerator {
+    series_len: usize,
+    next_id: SeriesId,
+    next_ts: Timestamp,
+    rng: StdRng,
+    quake_fraction: f64,
+    quake_ids: Vec<SeriesId>,
+}
+
+impl SeismicStreamGenerator {
+    /// Creates a new seismic stream generator.
+    pub fn new(series_len: usize, seed: u64, quake_fraction: f64) -> Self {
+        assert!(series_len >= 16);
+        assert!((0.0..=1.0).contains(&quake_fraction));
+        SeismicStreamGenerator {
+            series_len,
+            next_id: 0,
+            next_ts: 0,
+            rng: StdRng::seed_from_u64(seed),
+            quake_fraction,
+            quake_ids: Vec::new(),
+        }
+    }
+
+    /// The canonical z-normalized earthquake template used for queries.
+    pub fn quake_template(&self) -> Vec<f32> {
+        let mut v = quake_template(self.series_len);
+        znormalize_in_place(&mut v);
+        v
+    }
+
+    /// Ids of all generated series that contain an earthquake burst.
+    pub fn quake_ids(&self) -> &[SeriesId] {
+        &self.quake_ids
+    }
+
+    /// Generates the next batch of `batch_size` timestamped series.
+    pub fn next_batch(&mut self, batch_size: usize) -> Vec<TimestampedSeries> {
+        (0..batch_size).map(|_| self.next_arrival()).collect()
+    }
+
+    /// Generates a single timestamped arrival.
+    pub fn next_arrival(&mut self) -> TimestampedSeries {
+        let is_quake = self.rng.gen::<f64>() < self.quake_fraction;
+        let mut values: Vec<f32> = (0..self.series_len)
+            .map(|_| (gaussian(&mut self.rng) * 0.3) as f32)
+            .collect();
+        if is_quake {
+            let template = quake_template(self.series_len);
+            let amplitude = 4.0 + self.rng.gen::<f32>() * 3.0;
+            for (v, t) in values.iter_mut().zip(template.iter()) {
+                *v += t * amplitude;
+            }
+            self.quake_ids.push(self.next_id);
+        }
+        znormalize_in_place(&mut values);
+        let id = self.next_id;
+        self.next_id += 1;
+        let ts = self.next_ts;
+        self.next_ts += 1;
+        TimestampedSeries::new(Series::new(id, values), ts)
+    }
+}
+
+/// Noise-free earthquake template: decaying high-frequency oscillation that
+/// starts one third of the way into the series (P-wave onset).
+pub fn quake_template(len: usize) -> Vec<f32> {
+    let onset = len / 3;
+    (0..len)
+        .map(|i| {
+            if i < onset {
+                0.0
+            } else {
+                let t = (i - onset) as f32;
+                let envelope = (-t / (len as f32 * 0.2)).exp();
+                envelope * (t * 0.9).sin()
+            }
+        })
+        .collect()
+}
+
+impl SeriesGenerator for SeismicStreamGenerator {
+    fn series_len(&self) -> usize {
+        self.series_len
+    }
+
+    fn next_series(&mut self) -> Series {
+        self.next_arrival().series
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::znorm::mean_std;
+
+    #[test]
+    fn random_walk_is_deterministic_given_seed() {
+        let mut a = RandomWalkGenerator::new(64, 42);
+        let mut b = RandomWalkGenerator::new(64, 42);
+        assert_eq!(a.next_series(), b.next_series());
+        assert_eq!(a.next_series(), b.next_series());
+    }
+
+    #[test]
+    fn random_walk_different_seeds_differ() {
+        let mut a = RandomWalkGenerator::new(64, 1);
+        let mut b = RandomWalkGenerator::new(64, 2);
+        assert_ne!(a.next_series().values, b.next_series().values);
+    }
+
+    #[test]
+    fn random_walk_is_znormalized() {
+        let mut g = RandomWalkGenerator::new(256, 7);
+        let s = g.next_series();
+        let (mean, std) = mean_std(&s.values);
+        assert!(mean.abs() < 1e-4);
+        assert!((std - 1.0).abs() < 1e-3);
+    }
+
+    #[test]
+    fn random_walk_ids_are_dense() {
+        let mut g = RandomWalkGenerator::new(32, 0);
+        let batch = g.generate(10);
+        for (i, s) in batch.iter().enumerate() {
+            assert_eq!(s.id, i as u64);
+            assert_eq!(s.len(), 32);
+        }
+    }
+
+    #[test]
+    fn astronomy_generator_plants_patterns() {
+        let mut g = AstronomyGenerator::new(128, 3, 0.5);
+        let _ = g.generate(200);
+        let supernovae = g.ids_with_pattern(PatternKind::Supernova);
+        let binaries = g.ids_with_pattern(PatternKind::BinaryStar);
+        let background = g.ids_with_pattern(PatternKind::Background);
+        assert!(!supernovae.is_empty());
+        assert!(!binaries.is_empty());
+        assert!(!background.is_empty());
+        assert_eq!(g.label(supernovae[0]), Some(PatternKind::Supernova));
+    }
+
+    #[test]
+    fn planted_series_are_closer_to_template_than_background() {
+        let mut g = AstronomyGenerator::new(128, 11, 0.4);
+        let all = g.generate(300);
+        let template = g.template(PatternKind::Supernova);
+        let sn_ids: std::collections::HashSet<_> =
+            g.ids_with_pattern(PatternKind::Supernova).into_iter().collect();
+        let bg_ids: std::collections::HashSet<_> =
+            g.ids_with_pattern(PatternKind::Background).into_iter().collect();
+        let mean_dist = |ids: &std::collections::HashSet<u64>| {
+            let (sum, n) = all
+                .iter()
+                .filter(|s| ids.contains(&s.id))
+                .map(|s| crate::distance::euclidean(&template, &s.values))
+                .fold((0.0f64, 0usize), |(sum, n), d| (sum + d, n + 1));
+            sum / n as f64
+        };
+        assert!(mean_dist(&sn_ids) < mean_dist(&bg_ids));
+    }
+
+    #[test]
+    fn seismic_stream_batches_have_monotone_timestamps() {
+        let mut g = SeismicStreamGenerator::new(64, 5, 0.1);
+        let b1 = g.next_batch(10);
+        let b2 = g.next_batch(10);
+        assert_eq!(b1.len(), 10);
+        let last_b1 = b1.last().unwrap().timestamp;
+        let first_b2 = b2.first().unwrap().timestamp;
+        assert!(first_b2 > last_b1);
+        for w in b1.windows(2) {
+            assert!(w[0].timestamp < w[1].timestamp);
+        }
+    }
+
+    #[test]
+    fn seismic_quake_series_match_template_better() {
+        let mut g = SeismicStreamGenerator::new(96, 13, 0.2);
+        let arrivals = g.next_batch(300);
+        let template = g.quake_template();
+        let quake_ids: std::collections::HashSet<_> = g.quake_ids().iter().copied().collect();
+        assert!(!quake_ids.is_empty());
+        let mut quake_d = 0.0;
+        let mut quake_n = 0;
+        let mut other_d = 0.0;
+        let mut other_n = 0;
+        for a in &arrivals {
+            let d = crate::distance::euclidean(&template, &a.series.values);
+            if quake_ids.contains(&a.series.id) {
+                quake_d += d;
+                quake_n += 1;
+            } else {
+                other_d += d;
+                other_n += 1;
+            }
+        }
+        assert!(quake_d / (quake_n as f64) < other_d / (other_n as f64));
+    }
+
+    #[test]
+    fn templates_have_expected_length() {
+        for kind in PatternKind::planted() {
+            assert_eq!(pattern_template(kind, 77).len(), 77);
+        }
+        assert_eq!(quake_template(55).len(), 55);
+    }
+}

@@ -1,0 +1,140 @@
+//! Core series record types.
+
+use serde::{Deserialize, Serialize};
+
+/// Identifier of a data series within a dataset.
+///
+/// Ids are dense: the `i`-th series appended to a [`crate::Dataset`] gets id
+/// `i`.  Non-materialized indexes store only this id (plus the summarization)
+/// and use it to seek back into the raw data file when the full series is
+/// needed.
+pub type SeriesId = u64;
+
+/// Logical timestamp of a streaming arrival (monotonically non-decreasing).
+pub type Timestamp = u64;
+
+/// A single data series: an ordered, fixed-length sequence of `f32` values.
+///
+/// The values are stored as `f32` to match the storage format used by the
+/// original Coconut / ADS+ implementations (and most public data series
+/// benchmarks), halving the footprint compared to `f64` without affecting
+/// pruning behaviour.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Series {
+    /// Dense identifier of this series within its dataset.
+    pub id: SeriesId,
+    /// The raw values.
+    pub values: Vec<f32>,
+}
+
+impl Series {
+    /// Creates a new series from an id and its values.
+    pub fn new(id: SeriesId, values: Vec<f32>) -> Self {
+        Series { id, values }
+    }
+
+    /// Length (number of points) of the series.
+    pub fn len(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Returns `true` when the series holds no points.
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
+    }
+
+    /// Returns a z-normalized copy of this series.
+    pub fn znormalized(&self) -> Series {
+        Series {
+            id: self.id,
+            values: crate::znorm::znormalize(&self.values),
+        }
+    }
+
+    /// Squared Euclidean distance to another series of the same length.
+    ///
+    /// # Panics
+    /// Panics if the lengths differ.
+    pub fn squared_distance(&self, other: &Series) -> f64 {
+        crate::distance::squared_euclidean(&self.values, &other.values)
+    }
+}
+
+/// Metadata describing a collection of series.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SeriesMeta {
+    /// Number of points in every series of the collection.
+    pub series_len: usize,
+    /// Number of series in the collection.
+    pub count: u64,
+}
+
+/// A series together with the logical time at which it arrived.
+///
+/// Streaming scenarios (Section 3 of the paper) attach a timestamp to every
+/// arriving series; windowed queries then constrain the search to series
+/// whose timestamp falls inside `[window_start, window_end]`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TimestampedSeries {
+    /// The underlying series.
+    pub series: Series,
+    /// Arrival timestamp (logical, monotonically non-decreasing).
+    pub timestamp: Timestamp,
+}
+
+impl TimestampedSeries {
+    /// Creates a new timestamped series.
+    pub fn new(series: Series, timestamp: Timestamp) -> Self {
+        TimestampedSeries { series, timestamp }
+    }
+
+    /// Returns `true` if this arrival falls within the inclusive window.
+    pub fn in_window(&self, start: Timestamp, end: Timestamp) -> bool {
+        self.timestamp >= start && self.timestamp <= end
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn series_basic_accessors() {
+        let s = Series::new(7, vec![1.0, 2.0, 3.0]);
+        assert_eq!(s.id, 7);
+        assert_eq!(s.len(), 3);
+        assert!(!s.is_empty());
+    }
+
+    #[test]
+    fn empty_series_is_empty() {
+        let s = Series::new(0, vec![]);
+        assert!(s.is_empty());
+        assert_eq!(s.len(), 0);
+    }
+
+    #[test]
+    fn squared_distance_matches_manual_computation() {
+        let a = Series::new(0, vec![0.0, 0.0]);
+        let b = Series::new(1, vec![3.0, 4.0]);
+        assert!((a.squared_distance(&b) - 25.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn znormalized_copy_has_zero_mean() {
+        let s = Series::new(0, vec![1.0, 2.0, 3.0, 4.0]);
+        let z = s.znormalized();
+        let mean: f32 = z.values.iter().sum::<f32>() / z.values.len() as f32;
+        assert!(mean.abs() < 1e-6);
+        assert_eq!(z.id, s.id);
+    }
+
+    #[test]
+    fn timestamped_window_membership() {
+        let ts = TimestampedSeries::new(Series::new(0, vec![1.0]), 50);
+        assert!(ts.in_window(50, 50));
+        assert!(ts.in_window(0, 100));
+        assert!(!ts.in_window(51, 100));
+        assert!(!ts.in_window(0, 49));
+    }
+}

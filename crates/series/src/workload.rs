@@ -1,0 +1,193 @@
+//! Query workload construction.
+//!
+//! The demonstration scenarios issue nearest-neighbour queries against the
+//! indexed collection.  Queries come in three flavours:
+//!
+//! * **Noisy members** — a series from the dataset perturbed with Gaussian
+//!   noise.  These have a well-defined "intended" answer and are the standard
+//!   way the data series literature evaluates approximate search quality.
+//! * **Planted patterns** — the pattern templates from the generators (e.g.
+//!   the supernova light curve), matching Scenario 1's "known patterns of
+//!   interest".
+//! * **Random walks** — queries unrelated to the dataset, exercising the
+//!   worst case for pruning.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::series::Series;
+use crate::znorm::znormalize_in_place;
+
+/// The kind of queries a workload contains.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WorkloadKind {
+    /// Perturbed copies of dataset members (easy queries with known targets).
+    NoisyMembers {
+        /// Standard deviation of the additive Gaussian noise.
+        noise_millis: u32,
+    },
+    /// Fresh random walks unrelated to the dataset (hard queries).
+    RandomWalk,
+}
+
+/// A set of query series plus bookkeeping about how they were derived.
+#[derive(Debug, Clone)]
+pub struct QueryWorkload {
+    /// The query series (ids are indexes into this workload, not the dataset).
+    pub queries: Vec<Series>,
+    /// For noisy-member queries, the id of the dataset series each query was
+    /// derived from (aligned with `queries`); empty for other kinds.
+    pub source_ids: Vec<u64>,
+    /// How this workload was constructed.
+    pub kind: WorkloadKind,
+}
+
+impl QueryWorkload {
+    /// Builds a workload of `count` noisy-member queries derived from
+    /// `dataset` (in-memory series), with noise standard deviation
+    /// `noise` (on z-normalized values, so ~0.1 is mild, ~1.0 severe).
+    pub fn noisy_members(dataset: &[Series], count: usize, noise: f64, seed: u64) -> Self {
+        assert!(!dataset.is_empty(), "dataset must not be empty");
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut queries = Vec::with_capacity(count);
+        let mut source_ids = Vec::with_capacity(count);
+        for qid in 0..count {
+            let pick = rng.gen_range(0..dataset.len());
+            let src = &dataset[pick];
+            let mut values: Vec<f32> = src
+                .values
+                .iter()
+                .map(|&v| v + (gaussian(&mut rng) * noise) as f32)
+                .collect();
+            znormalize_in_place(&mut values);
+            queries.push(Series::new(qid as u64, values));
+            source_ids.push(src.id);
+        }
+        QueryWorkload {
+            queries,
+            source_ids,
+            kind: WorkloadKind::NoisyMembers {
+                noise_millis: (noise * 1000.0) as u32,
+            },
+        }
+    }
+
+    /// Builds a workload of `count` independent random-walk queries.
+    pub fn random_walks(series_len: usize, count: usize, seed: u64) -> Self {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut queries = Vec::with_capacity(count);
+        for qid in 0..count {
+            let mut acc = 0.0f64;
+            let mut values: Vec<f32> = (0..series_len)
+                .map(|_| {
+                    acc += gaussian(&mut rng);
+                    acc as f32
+                })
+                .collect();
+            znormalize_in_place(&mut values);
+            queries.push(Series::new(qid as u64, values));
+        }
+        QueryWorkload {
+            queries,
+            source_ids: Vec::new(),
+            kind: WorkloadKind::RandomWalk,
+        }
+    }
+
+    /// Builds a workload from explicit query templates (e.g. pattern shapes).
+    pub fn from_templates(templates: Vec<Vec<f32>>) -> Self {
+        let queries = templates
+            .into_iter()
+            .enumerate()
+            .map(|(i, mut values)| {
+                znormalize_in_place(&mut values);
+                Series::new(i as u64, values)
+            })
+            .collect();
+        QueryWorkload {
+            queries,
+            source_ids: Vec::new(),
+            kind: WorkloadKind::RandomWalk,
+        }
+    }
+
+    /// Number of queries in the workload.
+    pub fn len(&self) -> usize {
+        self.queries.len()
+    }
+
+    /// Returns `true` if the workload has no queries.
+    pub fn is_empty(&self) -> bool {
+        self.queries.is_empty()
+    }
+}
+
+fn gaussian(rng: &mut StdRng) -> f64 {
+    loop {
+        let u1: f64 = rng.gen::<f64>();
+        let u2: f64 = rng.gen::<f64>();
+        if u1 > f64::MIN_POSITIVE {
+            return (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::distance::brute_force_knn;
+    use crate::generator::{RandomWalkGenerator, SeriesGenerator};
+
+    #[test]
+    fn noisy_member_queries_find_their_source_with_mild_noise() {
+        let mut gen = RandomWalkGenerator::new(128, 21);
+        let data = gen.generate(200);
+        let wl = QueryWorkload::noisy_members(&data, 20, 0.05, 7);
+        assert_eq!(wl.len(), 20);
+        let mut hits = 0;
+        for (q, &src) in wl.queries.iter().zip(wl.source_ids.iter()) {
+            let nn = brute_force_knn(
+                &q.values,
+                data.iter().map(|s| (s.id, s.values.as_slice())),
+                1,
+            );
+            if nn[0].id == src {
+                hits += 1;
+            }
+        }
+        // With very mild noise, the vast majority of queries must still map
+        // back to their source series as nearest neighbour.
+        assert!(hits >= 18, "only {hits}/20 queries found their source");
+    }
+
+    #[test]
+    fn random_walk_workload_has_requested_shape() {
+        let wl = QueryWorkload::random_walks(64, 11, 3);
+        assert_eq!(wl.len(), 11);
+        assert!(wl.source_ids.is_empty());
+        assert!(wl.queries.iter().all(|q| q.len() == 64));
+    }
+
+    #[test]
+    fn workload_is_deterministic() {
+        let mut gen = RandomWalkGenerator::new(32, 1);
+        let data = gen.generate(10);
+        let a = QueryWorkload::noisy_members(&data, 5, 0.1, 42);
+        let b = QueryWorkload::noisy_members(&data, 5, 0.1, 42);
+        assert_eq!(a.queries, b.queries);
+        assert_eq!(a.source_ids, b.source_ids);
+    }
+
+    #[test]
+    fn from_templates_znormalizes() {
+        let wl = QueryWorkload::from_templates(vec![vec![10.0, 20.0, 30.0, 40.0]]);
+        let (mean, _) = crate::znorm::mean_std(&wl.queries[0].values);
+        assert!(mean.abs() < 1e-5);
+    }
+
+    #[test]
+    fn empty_template_list_gives_empty_workload() {
+        let wl = QueryWorkload::from_templates(vec![]);
+        assert!(wl.is_empty());
+    }
+}

@@ -1,0 +1,139 @@
+//! Z-normalization of data series.
+//!
+//! Similarity search over data series is almost always performed over
+//! z-normalized series (zero mean, unit standard deviation) so that queries
+//! match on *shape* rather than absolute offset or amplitude.  The SAX
+//! breakpoints used by the summarization layer also assume a standard normal
+//! value distribution, which z-normalization establishes approximately.
+
+/// Minimum standard deviation below which a series is considered constant.
+///
+/// Constant (or near-constant) series cannot be scaled to unit variance, so
+/// they are mapped to the all-zeros series instead, which is the convention
+/// used by the iSAX family of implementations.
+pub const MIN_STDDEV: f64 = 1e-8;
+
+/// Returns a z-normalized copy of `values`.
+pub fn znormalize(values: &[f32]) -> Vec<f32> {
+    let mut out = values.to_vec();
+    znormalize_in_place(&mut out);
+    out
+}
+
+/// Z-normalizes `values` in place (zero mean, unit standard deviation).
+///
+/// Near-constant inputs (standard deviation below [`MIN_STDDEV`]) are set to
+/// all zeros.
+pub fn znormalize_in_place(values: &mut [f32]) {
+    if values.is_empty() {
+        return;
+    }
+    let n = values.len() as f64;
+    let mean: f64 = values.iter().map(|&v| v as f64).sum::<f64>() / n;
+    let var: f64 = values
+        .iter()
+        .map(|&v| {
+            let d = v as f64 - mean;
+            d * d
+        })
+        .sum::<f64>()
+        / n;
+    let std = var.sqrt();
+    if std < MIN_STDDEV {
+        for v in values.iter_mut() {
+            *v = 0.0;
+        }
+        return;
+    }
+    for v in values.iter_mut() {
+        *v = ((*v as f64 - mean) / std) as f32;
+    }
+}
+
+/// Returns the mean and (population) standard deviation of `values`.
+pub fn mean_std(values: &[f32]) -> (f64, f64) {
+    if values.is_empty() {
+        return (0.0, 0.0);
+    }
+    let n = values.len() as f64;
+    let mean: f64 = values.iter().map(|&v| v as f64).sum::<f64>() / n;
+    let var: f64 = values
+        .iter()
+        .map(|&v| {
+            let d = v as f64 - mean;
+            d * d
+        })
+        .sum::<f64>()
+        / n;
+    (mean, var.sqrt())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn znorm_produces_zero_mean_unit_std() {
+        let vals: Vec<f32> = (0..128).map(|i| (i as f32) * 0.5 + 3.0).collect();
+        let z = znormalize(&vals);
+        let (mean, std) = mean_std(&z);
+        assert!(mean.abs() < 1e-5, "mean was {mean}");
+        assert!((std - 1.0).abs() < 1e-4, "std was {std}");
+    }
+
+    #[test]
+    fn constant_series_becomes_zeros() {
+        let vals = vec![5.0f32; 64];
+        let z = znormalize(&vals);
+        assert!(z.iter().all(|&v| v == 0.0));
+    }
+
+    #[test]
+    fn empty_series_is_noop() {
+        let mut vals: Vec<f32> = vec![];
+        znormalize_in_place(&mut vals);
+        assert!(vals.is_empty());
+    }
+
+    #[test]
+    fn znorm_is_idempotent_up_to_epsilon() {
+        let vals: Vec<f32> = (0..64).map(|i| ((i * 37) % 11) as f32 - 4.0).collect();
+        let once = znormalize(&vals);
+        let twice = znormalize(&once);
+        for (a, b) in once.iter().zip(twice.iter()) {
+            assert!((a - b).abs() < 1e-4);
+        }
+    }
+
+    #[test]
+    fn mean_std_of_empty_is_zero() {
+        assert_eq!(mean_std(&[]), (0.0, 0.0));
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        #[test]
+        fn znorm_always_zero_mean(vals in proptest::collection::vec(-1e3f32..1e3, 2..256)) {
+            let z = znormalize(&vals);
+            let (mean, std) = mean_std(&z);
+            // Either the series was (near-)constant and mapped to zeros,
+            // or it has zero mean and unit std.
+            if z.iter().all(|&v| v == 0.0) {
+                prop_assert!(std.abs() < 1e-6);
+            } else {
+                prop_assert!(mean.abs() < 1e-3);
+                prop_assert!((std - 1.0).abs() < 1e-2);
+            }
+        }
+
+        #[test]
+        fn znorm_preserves_length(vals in proptest::collection::vec(-1e3f32..1e3, 0..256)) {
+            prop_assert_eq!(znormalize(&vals).len(), vals.len());
+        }
+    }
+}

@@ -1,0 +1,109 @@
+//! Device-independent I/O cost model.
+//!
+//! Raw access counts are the primary metric reported by the benchmarks, but
+//! comparing configurations sometimes needs a single scalar.  The cost model
+//! assigns a relative cost to each access kind; the defaults approximate a
+//! spinning disk (random I/O ~20x more expensive than sequential I/O), and an
+//! SSD-like profile is provided as an alternative.
+
+use crate::iostats::IoStatsSnapshot;
+
+/// Relative costs of the four access kinds.
+#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct CostModel {
+    /// Cost of one sequential page read.
+    pub sequential_read: f64,
+    /// Cost of one random page read.
+    pub random_read: f64,
+    /// Cost of one sequential page write.
+    pub sequential_write: f64,
+    /// Cost of one random page write.
+    pub random_write: f64,
+}
+
+impl CostModel {
+    /// Spinning-disk-like profile: random accesses are ~20x sequential ones.
+    pub fn hdd() -> Self {
+        CostModel {
+            sequential_read: 1.0,
+            random_read: 20.0,
+            sequential_write: 1.0,
+            random_write: 20.0,
+        }
+    }
+
+    /// SSD-like profile: random accesses are ~4x sequential ones.
+    pub fn ssd() -> Self {
+        CostModel {
+            sequential_read: 1.0,
+            random_read: 4.0,
+            sequential_write: 1.2,
+            random_write: 4.5,
+        }
+    }
+
+    /// A cost model where every access costs the same (pure access count).
+    pub fn uniform() -> Self {
+        CostModel {
+            sequential_read: 1.0,
+            random_read: 1.0,
+            sequential_write: 1.0,
+            random_write: 1.0,
+        }
+    }
+
+    /// Computes the modeled cost of an I/O snapshot.
+    pub fn cost(&self, snap: &IoStatsSnapshot) -> f64 {
+        snap.sequential_reads as f64 * self.sequential_read
+            + snap.random_reads as f64 * self.random_read
+            + snap.sequential_writes as f64 * self.sequential_write
+            + snap.random_writes as f64 * self.random_write
+    }
+}
+
+impl Default for CostModel {
+    fn default() -> Self {
+        CostModel::hdd()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn snap(sr: u64, rr: u64, sw: u64, rw: u64) -> IoStatsSnapshot {
+        IoStatsSnapshot {
+            sequential_reads: sr,
+            random_reads: rr,
+            sequential_writes: sw,
+            random_writes: rw,
+            bytes_read: 0,
+            bytes_written: 0,
+        }
+    }
+
+    #[test]
+    fn hdd_penalizes_random_io() {
+        let model = CostModel::hdd();
+        let sequential = snap(100, 0, 0, 0);
+        let random = snap(0, 100, 0, 0);
+        assert!(model.cost(&random) > model.cost(&sequential) * 10.0);
+    }
+
+    #[test]
+    fn uniform_counts_accesses() {
+        let model = CostModel::uniform();
+        assert_eq!(model.cost(&snap(1, 2, 3, 4)), 10.0);
+    }
+
+    #[test]
+    fn empty_snapshot_costs_nothing() {
+        assert_eq!(CostModel::default().cost(&IoStatsSnapshot::default()), 0.0);
+    }
+
+    #[test]
+    fn ssd_cheaper_random_than_hdd() {
+        let random = snap(0, 50, 0, 50);
+        assert!(CostModel::ssd().cost(&random) < CostModel::hdd().cost(&random));
+    }
+}

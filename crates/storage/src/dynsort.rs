@@ -1,0 +1,596 @@
+//! Runtime-sized record runs and external sorting.
+//!
+//! [`crate::extsort`] handles records whose encoded size is known at compile
+//! time.  Index entries, however, have a size that depends on the runtime
+//! configuration (a *materialized* entry embeds the full series, whose length
+//! is chosen per dataset).  This module provides the same run-file /
+//! k-way-merge / two-pass-sort machinery for records described by a runtime
+//! [`RecordLayout`].
+//!
+//! CoconutTree bulk loading, CoconutLSM flushing/merging and the BTP
+//! streaming partitions are all built on these dynamic runs.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+use std::collections::VecDeque;
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
+
+use crate::file::PagedFile;
+use crate::iostats::SharedIoStats;
+use crate::page::DEFAULT_PAGE_SIZE;
+use crate::Result;
+
+/// Describes how to encode, decode and order records of a runtime-known
+/// fixed size.
+pub trait RecordLayout: Clone {
+    /// The in-memory record type.
+    type Record: Clone;
+    /// The sort key type.
+    type Key: Ord + Clone;
+
+    /// Encoded size of every record under this layout, in bytes.
+    fn record_size(&self) -> usize;
+
+    /// Encodes `record` into `buf` (exactly `record_size()` bytes).
+    fn encode(&self, record: &Self::Record, buf: &mut [u8]);
+
+    /// Decodes a record from `buf` (exactly `record_size()` bytes).
+    fn decode(&self, buf: &[u8]) -> Self::Record;
+
+    /// Returns the record's sort key.
+    fn key(&self, record: &Self::Record) -> Self::Key;
+}
+
+/// A file of records with a shared [`RecordLayout`].
+pub struct DynRunFile<L: RecordLayout> {
+    layout: L,
+    file: Arc<PagedFile>,
+    count: u64,
+}
+
+impl<L: RecordLayout> Clone for DynRunFile<L> {
+    fn clone(&self) -> Self {
+        DynRunFile {
+            layout: self.layout.clone(),
+            file: Arc::clone(&self.file),
+            count: self.count,
+        }
+    }
+}
+
+impl<L: RecordLayout> std::fmt::Debug for DynRunFile<L> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("DynRunFile")
+            .field("path", &self.file.path())
+            .field("count", &self.count)
+            .finish()
+    }
+}
+
+impl<L: RecordLayout> DynRunFile<L> {
+    /// Number of records in the run.
+    pub fn len(&self) -> u64 {
+        self.count
+    }
+
+    /// Returns `true` when the run holds no records.
+    pub fn is_empty(&self) -> bool {
+        self.count == 0
+    }
+
+    /// On-disk size in bytes.
+    pub fn byte_size(&self) -> u64 {
+        self.count * self.layout.record_size() as u64
+    }
+
+    /// Path of the backing file.
+    pub fn path(&self) -> &Path {
+        self.file.path()
+    }
+
+    /// The layout records are encoded with.
+    pub fn layout(&self) -> &L {
+        &self.layout
+    }
+
+    /// Reads the record at `index` (positioned read).
+    pub fn read_record(&self, index: u64) -> Result<L::Record> {
+        let size = self.layout.record_size();
+        let buf = self.file.read_at(index * size as u64, size)?;
+        Ok(self.layout.decode(&buf))
+    }
+
+    /// Reads up to `count` records starting at `index`.
+    pub fn read_range(&self, index: u64, count: usize) -> Result<Vec<L::Record>> {
+        let size = self.layout.record_size();
+        let count = count.min(self.count.saturating_sub(index) as usize);
+        if count == 0 {
+            return Ok(Vec::new());
+        }
+        let buf = self.file.read_at(index * size as u64, size * count)?;
+        Ok(buf.chunks_exact(size).map(|c| self.layout.decode(c)).collect())
+    }
+
+    /// Sequential reader with a buffer of `buffer_records` records.
+    pub fn reader(&self, buffer_records: usize) -> DynRunReader<L> {
+        DynRunReader {
+            run: self.clone(),
+            buffer: VecDeque::new(),
+            next_index: 0,
+            buffer_records: buffer_records.max(1),
+        }
+    }
+
+    /// Deletes the backing file.
+    pub fn delete(self) -> Result<()> {
+        let path = self.file.path().to_path_buf();
+        drop(self.file);
+        std::fs::remove_file(path)?;
+        Ok(())
+    }
+}
+
+/// Appends records to a new dynamic run file.
+pub struct DynRunWriter<L: RecordLayout> {
+    layout: L,
+    file: PagedFile,
+    buffer: Vec<u8>,
+    count: u64,
+    flush_bytes: usize,
+}
+
+impl<L: RecordLayout> DynRunWriter<L> {
+    /// Creates a new run at `path`.
+    pub fn create<P: AsRef<Path>>(
+        layout: L,
+        path: P,
+        stats: SharedIoStats,
+        page_size: usize,
+    ) -> Result<Self> {
+        let file = PagedFile::create_with_page_size(path, stats, page_size)?;
+        let flush_bytes = page_size.max(layout.record_size());
+        Ok(DynRunWriter {
+            layout,
+            file,
+            buffer: Vec::with_capacity(flush_bytes),
+            count: 0,
+            flush_bytes,
+        })
+    }
+
+    /// Appends one record.
+    pub fn push(&mut self, record: &L::Record) -> Result<()> {
+        let size = self.layout.record_size();
+        let start = self.buffer.len();
+        self.buffer.resize(start + size, 0);
+        self.layout.encode(record, &mut self.buffer[start..]);
+        self.count += 1;
+        if self.buffer.len() >= self.flush_bytes {
+            self.flush()?;
+        }
+        Ok(())
+    }
+
+    fn flush(&mut self) -> Result<()> {
+        if !self.buffer.is_empty() {
+            self.file.append(&self.buffer)?;
+            self.buffer.clear();
+        }
+        Ok(())
+    }
+
+    /// Number of records written so far.
+    pub fn len(&self) -> u64 {
+        self.count
+    }
+
+    /// Returns `true` if nothing was written yet.
+    pub fn is_empty(&self) -> bool {
+        self.count == 0
+    }
+
+    /// Finishes the run and returns its read handle.
+    pub fn finish(mut self) -> Result<DynRunFile<L>> {
+        self.flush()?;
+        self.file.sync()?;
+        Ok(DynRunFile {
+            layout: self.layout,
+            file: Arc::new(self.file),
+            count: self.count,
+        })
+    }
+}
+
+/// Buffered sequential reader over a [`DynRunFile`].
+pub struct DynRunReader<L: RecordLayout> {
+    run: DynRunFile<L>,
+    buffer: VecDeque<L::Record>,
+    next_index: u64,
+    buffer_records: usize,
+}
+
+impl<L: RecordLayout> DynRunReader<L> {
+    fn refill(&mut self) -> Result<()> {
+        if self.buffer.is_empty() && self.next_index < self.run.len() {
+            let batch = self.run.read_range(self.next_index, self.buffer_records)?;
+            self.next_index += batch.len() as u64;
+            self.buffer.extend(batch);
+        }
+        Ok(())
+    }
+
+    /// Returns the next record without consuming it.
+    pub fn peek(&mut self) -> Result<Option<L::Record>> {
+        self.refill()?;
+        Ok(self.buffer.front().cloned())
+    }
+
+    /// Returns and consumes the next record.
+    pub fn next_record(&mut self) -> Result<Option<L::Record>> {
+        self.refill()?;
+        Ok(self.buffer.pop_front())
+    }
+}
+
+impl<L: RecordLayout> Iterator for DynRunReader<L> {
+    type Item = Result<L::Record>;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        match self.next_record() {
+            Ok(Some(r)) => Some(Ok(r)),
+            Ok(None) => None,
+            Err(e) => Some(Err(e)),
+        }
+    }
+}
+
+struct HeapEntry<K: Ord> {
+    key: K,
+    run: usize,
+}
+
+impl<K: Ord> PartialEq for HeapEntry<K> {
+    fn eq(&self, other: &Self) -> bool {
+        self.key == other.key && self.run == other.run
+    }
+}
+impl<K: Ord> Eq for HeapEntry<K> {}
+impl<K: Ord> PartialOrd for HeapEntry<K> {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<K: Ord> Ord for HeapEntry<K> {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.key.cmp(&other.key).then(self.run.cmp(&other.run))
+    }
+}
+
+/// K-way merge over sorted dynamic runs.
+pub struct DynKWayMerge<L: RecordLayout> {
+    layout: L,
+    readers: Vec<DynRunReader<L>>,
+    heap: BinaryHeap<Reverse<HeapEntry<L::Key>>>,
+}
+
+impl<L: RecordLayout> DynKWayMerge<L> {
+    /// Builds a merge over sorted runs with a per-run read buffer of
+    /// `buffer_records` records.
+    pub fn new(layout: L, runs: &[DynRunFile<L>], buffer_records: usize) -> Result<Self> {
+        let mut readers: Vec<DynRunReader<L>> =
+            runs.iter().map(|r| r.reader(buffer_records)).collect();
+        let mut heap = BinaryHeap::new();
+        for (i, reader) in readers.iter_mut().enumerate() {
+            if let Some(rec) = reader.peek()? {
+                heap.push(Reverse(HeapEntry {
+                    key: layout.key(&rec),
+                    run: i,
+                }));
+            }
+        }
+        Ok(DynKWayMerge {
+            layout,
+            readers,
+            heap,
+        })
+    }
+}
+
+impl<L: RecordLayout> Iterator for DynKWayMerge<L> {
+    type Item = Result<L::Record>;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        let Reverse(entry) = self.heap.pop()?;
+        let reader = &mut self.readers[entry.run];
+        let record = match reader.next_record() {
+            Ok(Some(r)) => r,
+            Ok(None) => {
+                return Some(Err(crate::StorageError::Corrupt(
+                    "run reader exhausted while its key was still queued".into(),
+                )))
+            }
+            Err(e) => return Some(Err(e)),
+        };
+        match reader.peek() {
+            Ok(Some(next)) => self.heap.push(Reverse(HeapEntry {
+                key: self.layout.key(&next),
+                run: entry.run,
+            })),
+            Ok(None) => {}
+            Err(e) => return Some(Err(e)),
+        }
+        Some(Ok(record))
+    }
+}
+
+/// Outcome of a dynamic external sort.
+pub struct DynSortOutput<L: RecordLayout> {
+    in_memory: Option<std::vec::IntoIter<L::Record>>,
+    merge: Option<DynKWayMerge<L>>,
+    /// Number of spill runs generated (zero when fully in memory).
+    pub runs_generated: usize,
+    /// Total records sorted.
+    pub record_count: u64,
+}
+
+impl<L: RecordLayout> DynSortOutput<L> {
+    /// Returns `true` if the sort spilled to disk.
+    pub fn spilled(&self) -> bool {
+        self.runs_generated > 0
+    }
+}
+
+impl<L: RecordLayout> Iterator for DynSortOutput<L> {
+    type Item = Result<L::Record>;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        if let Some(iter) = &mut self.in_memory {
+            return iter.next().map(Ok);
+        }
+        if let Some(merge) = &mut self.merge {
+            return merge.next();
+        }
+        None
+    }
+}
+
+/// Two-pass bounded-memory external sorter for dynamic records.
+pub struct DynExternalSorter<L: RecordLayout> {
+    layout: L,
+    memory_budget_bytes: usize,
+    page_size: usize,
+    scratch_dir: PathBuf,
+    stats: SharedIoStats,
+    next_run_id: u64,
+}
+
+impl<L: RecordLayout> DynExternalSorter<L> {
+    /// Creates a sorter spilling into `scratch_dir` under `memory_budget_bytes`.
+    pub fn new<P: AsRef<Path>>(
+        layout: L,
+        memory_budget_bytes: usize,
+        scratch_dir: P,
+        stats: SharedIoStats,
+    ) -> Self {
+        DynExternalSorter {
+            layout,
+            memory_budget_bytes,
+            page_size: DEFAULT_PAGE_SIZE,
+            scratch_dir: scratch_dir.as_ref().to_path_buf(),
+            stats,
+            next_run_id: 0,
+        }
+    }
+
+    /// Overrides the page size used for spill runs.
+    pub fn with_page_size(mut self, page_size: usize) -> Self {
+        assert!(page_size > 0);
+        self.page_size = page_size;
+        self
+    }
+
+    fn records_per_chunk(&self) -> usize {
+        (self.memory_budget_bytes / self.layout.record_size()).max(2)
+    }
+
+    /// Sorts `input`, spilling when the memory budget is exceeded.
+    pub fn sort<I>(&mut self, input: I) -> Result<DynSortOutput<L>>
+    where
+        I: IntoIterator<Item = L::Record>,
+    {
+        let chunk_capacity = self.records_per_chunk();
+        let mut runs: Vec<DynRunFile<L>> = Vec::new();
+        let mut chunk: Vec<L::Record> = Vec::new();
+        let mut total = 0u64;
+        for record in input {
+            total += 1;
+            chunk.push(record);
+            if chunk.len() >= chunk_capacity {
+                runs.push(self.write_run(&mut chunk)?);
+            }
+        }
+        if runs.is_empty() {
+            let layout = self.layout.clone();
+            chunk.sort_by(|a, b| layout.key(a).cmp(&layout.key(b)));
+            return Ok(DynSortOutput {
+                in_memory: Some(chunk.into_iter()),
+                merge: None,
+                runs_generated: 0,
+                record_count: total,
+            });
+        }
+        if !chunk.is_empty() {
+            runs.push(self.write_run(&mut chunk)?);
+        }
+        let per_run_records = (self.memory_budget_bytes
+            / self.layout.record_size()
+            / runs.len().max(1))
+        .max(1);
+        let merge = DynKWayMerge::new(self.layout.clone(), &runs, per_run_records)?;
+        Ok(DynSortOutput {
+            in_memory: None,
+            merge: Some(merge),
+            runs_generated: runs.len(),
+            record_count: total,
+        })
+    }
+
+    fn write_run(&mut self, chunk: &mut Vec<L::Record>) -> Result<DynRunFile<L>> {
+        let layout = self.layout.clone();
+        chunk.sort_by(|a, b| layout.key(a).cmp(&layout.key(b)));
+        let path = self
+            .scratch_dir
+            .join(format!("dynsort-run-{:06}.run", self.next_run_id));
+        self.next_run_id += 1;
+        let mut writer = DynRunWriter::create(
+            self.layout.clone(),
+            path,
+            Arc::clone(&self.stats),
+            self.page_size,
+        )?;
+        for record in chunk.iter() {
+            writer.push(record)?;
+        }
+        chunk.clear();
+        writer.finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::iostats::IoStats;
+    use crate::tempdir::ScratchDir;
+
+    /// Layout for (u64 key, variable-length payload of fixed runtime size).
+    #[derive(Clone)]
+    struct PairLayout {
+        payload_len: usize,
+    }
+
+    impl RecordLayout for PairLayout {
+        type Record = (u64, Vec<u8>);
+        type Key = u64;
+
+        fn record_size(&self) -> usize {
+            8 + self.payload_len
+        }
+
+        fn encode(&self, record: &Self::Record, buf: &mut [u8]) {
+            buf[..8].copy_from_slice(&record.0.to_be_bytes());
+            buf[8..].copy_from_slice(&record.1);
+        }
+
+        fn decode(&self, buf: &[u8]) -> Self::Record {
+            let mut k = [0u8; 8];
+            k.copy_from_slice(&buf[..8]);
+            (u64::from_be_bytes(k), buf[8..].to_vec())
+        }
+
+        fn key(&self, record: &Self::Record) -> Self::Key {
+            record.0
+        }
+    }
+
+    fn make_records(n: usize, payload_len: usize) -> Vec<(u64, Vec<u8>)> {
+        (0..n as u64)
+            .map(|i| {
+                let key = (i * 2654435761) % 100_000;
+                (key, vec![(i % 251) as u8; payload_len])
+            })
+            .collect()
+    }
+
+    #[test]
+    fn dyn_run_roundtrip() {
+        let dir = ScratchDir::new("dynrun").unwrap();
+        let stats = IoStats::shared();
+        let layout = PairLayout { payload_len: 13 };
+        let mut w =
+            DynRunWriter::create(layout.clone(), dir.file("a.run"), stats, 512).unwrap();
+        let records = make_records(500, 13);
+        for r in &records {
+            w.push(r).unwrap();
+        }
+        let run = w.finish().unwrap();
+        assert_eq!(run.len(), 500);
+        assert_eq!(run.byte_size(), 500 * 21);
+        let back: Vec<_> = run.reader(64).map(|r| r.unwrap()).collect();
+        assert_eq!(back, records);
+        assert_eq!(run.read_record(123).unwrap(), records[123]);
+    }
+
+    #[test]
+    fn dyn_sort_matches_std_sort_with_spill() {
+        let dir = ScratchDir::new("dynsort").unwrap();
+        let stats = IoStats::shared();
+        let layout = PairLayout { payload_len: 32 };
+        let records = make_records(3000, 32);
+        let mut sorter = DynExternalSorter::new(
+            layout.clone(),
+            40 * 200, // ~200 records per run
+            dir.path(),
+            Arc::clone(&stats),
+        )
+        .with_page_size(1024);
+        let out = sorter.sort(records.clone()).unwrap();
+        assert!(out.spilled());
+        let sorted: Vec<_> = out.map(|r| r.unwrap()).collect();
+        let mut expected = records;
+        expected.sort_by_key(|r| r.0);
+        let got_keys: Vec<u64> = sorted.iter().map(|r| r.0).collect();
+        let expected_keys: Vec<u64> = expected.iter().map(|r| r.0).collect();
+        assert_eq!(got_keys, expected_keys);
+        assert!(stats.snapshot().random_fraction() < 0.25);
+    }
+
+    #[test]
+    fn dyn_sort_in_memory_when_budget_suffices() {
+        let dir = ScratchDir::new("dynsort-mem").unwrap();
+        let stats = IoStats::shared();
+        let layout = PairLayout { payload_len: 4 };
+        let records = make_records(100, 4);
+        let mut sorter =
+            DynExternalSorter::new(layout, 1 << 20, dir.path(), Arc::clone(&stats));
+        let out = sorter.sort(records).unwrap();
+        assert!(!out.spilled());
+        let sorted: Vec<_> = out.map(|r| r.unwrap()).collect();
+        assert_eq!(sorted.len(), 100);
+        assert_eq!(stats.snapshot().total_accesses(), 0);
+    }
+
+    #[test]
+    fn dyn_merge_of_sorted_runs() {
+        let dir = ScratchDir::new("dynmerge").unwrap();
+        let stats = IoStats::shared();
+        let layout = PairLayout { payload_len: 8 };
+        let mut runs = Vec::new();
+        let mut all = Vec::new();
+        for i in 0..3 {
+            let mut recs = make_records(200, 8);
+            recs.iter_mut().for_each(|r| r.0 = r.0.wrapping_add(i * 7));
+            recs.sort_by_key(|r| r.0);
+            let mut w = DynRunWriter::create(
+                layout.clone(),
+                dir.file(&format!("{i}.run")),
+                Arc::clone(&stats),
+                512,
+            )
+            .unwrap();
+            for r in &recs {
+                w.push(r).unwrap();
+            }
+            runs.push(w.finish().unwrap());
+            all.extend(recs);
+        }
+        let merged: Vec<_> = DynKWayMerge::new(layout, &runs, 32)
+            .unwrap()
+            .map(|r| r.unwrap())
+            .collect();
+        assert_eq!(merged.len(), all.len());
+        for w in merged.windows(2) {
+            assert!(w[0].0 <= w[1].0);
+        }
+    }
+}

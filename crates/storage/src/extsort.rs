@@ -1,0 +1,700 @@
+//! Bounded-memory two-pass external merge sort and sorted run files.
+//!
+//! Coconut's central mechanism is that sortable summarizations let index
+//! construction and maintenance be expressed as *sorting*, which can be done
+//! with sequential I/O only and with an arbitrarily small memory budget:
+//!
+//! 1. **Run generation** — the input is consumed in memory-budget-sized
+//!    chunks; each chunk is sorted in memory and written out sequentially as
+//!    a *run* file.
+//! 2. **Merge** — all runs are merged with a k-way merge, reading each run
+//!    sequentially through a small per-run buffer.
+//!
+//! When the whole input fits in the memory budget the sorter degenerates to
+//! a plain in-memory sort and performs no I/O, which mirrors how a real
+//! system would behave.
+//!
+//! The sorted [`RunFile`]s produced here are also used directly as the
+//! on-disk representation of CoconutLSM levels and of BTP partitions.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
+
+use crate::file::PagedFile;
+use crate::iostats::SharedIoStats;
+use crate::page::DEFAULT_PAGE_SIZE;
+use crate::record::{FixedRecord, KeyedRecord};
+use crate::Result;
+
+/// Configuration of an external sort.
+#[derive(Debug, Clone, Copy)]
+pub struct ExternalSortConfig {
+    /// Maximum number of bytes of record data buffered in memory at once
+    /// (applies both to run generation and to the merge read buffers).
+    pub memory_budget_bytes: usize,
+    /// Page size for the run files (accounting granularity).
+    pub page_size: usize,
+}
+
+impl Default for ExternalSortConfig {
+    fn default() -> Self {
+        ExternalSortConfig {
+            memory_budget_bytes: 64 * 1024 * 1024,
+            page_size: DEFAULT_PAGE_SIZE,
+        }
+    }
+}
+
+impl ExternalSortConfig {
+    /// Creates a configuration with the given memory budget (bytes).
+    pub fn with_budget(memory_budget_bytes: usize) -> Self {
+        ExternalSortConfig {
+            memory_budget_bytes,
+            ..Default::default()
+        }
+    }
+}
+
+/// A sorted (or to-be-sorted) sequence of fixed-size records in a file.
+#[derive(Debug)]
+pub struct RunFile<R: FixedRecord> {
+    file: Arc<PagedFile>,
+    count: u64,
+    _marker: std::marker::PhantomData<R>,
+}
+
+impl<R: FixedRecord> Clone for RunFile<R> {
+    fn clone(&self) -> Self {
+        RunFile {
+            file: Arc::clone(&self.file),
+            count: self.count,
+            _marker: std::marker::PhantomData,
+        }
+    }
+}
+
+impl<R: FixedRecord> RunFile<R> {
+    /// Number of records in the run.
+    pub fn len(&self) -> u64 {
+        self.count
+    }
+
+    /// Returns `true` when the run holds no records.
+    pub fn is_empty(&self) -> bool {
+        self.count == 0
+    }
+
+    /// Size of the run on disk in bytes.
+    pub fn byte_size(&self) -> u64 {
+        self.count * R::encoded_size() as u64
+    }
+
+    /// Path of the backing file.
+    pub fn path(&self) -> &Path {
+        self.file.path()
+    }
+
+    /// Returns a sequential reader over the run with the given record buffer
+    /// capacity (in records; clamped to at least one page worth).
+    pub fn reader(&self, buffer_records: usize) -> RunReader<R> {
+        RunReader::new(self.clone(), buffer_records)
+    }
+
+    /// Reads the record at `index` (a positioned, typically random, read).
+    pub fn read_record(&self, index: u64) -> Result<R> {
+        let size = R::encoded_size();
+        let buf = self.file.read_at(index * size as u64, size)?;
+        Ok(R::decode(&buf))
+    }
+
+    /// Reads `count` records starting at `index` in one positioned read.
+    pub fn read_range(&self, index: u64, count: usize) -> Result<Vec<R>> {
+        let size = R::encoded_size();
+        let count = count.min((self.count.saturating_sub(index)) as usize);
+        if count == 0 {
+            return Ok(Vec::new());
+        }
+        let buf = self.file.read_at(index * size as u64, size * count)?;
+        Ok(buf.chunks_exact(size).map(R::decode).collect())
+    }
+
+    /// Deletes the backing file (consumes the handle).
+    pub fn delete(self) -> Result<()> {
+        let path = self.file.path().to_path_buf();
+        drop(self.file);
+        std::fs::remove_file(path)?;
+        Ok(())
+    }
+}
+
+/// Writer that appends records to a new run file.
+pub struct RunWriter<R: FixedRecord> {
+    file: PagedFile,
+    buffer: Vec<u8>,
+    count: u64,
+    flush_bytes: usize,
+    _marker: std::marker::PhantomData<R>,
+}
+
+impl<R: FixedRecord> RunWriter<R> {
+    /// Creates a new run file at `path`.
+    pub fn create<P: AsRef<Path>>(
+        path: P,
+        stats: SharedIoStats,
+        page_size: usize,
+    ) -> Result<Self> {
+        let file = PagedFile::create_with_page_size(path, stats, page_size)?;
+        Ok(RunWriter {
+            file,
+            buffer: Vec::with_capacity(page_size.max(R::encoded_size())),
+            count: 0,
+            flush_bytes: page_size.max(R::encoded_size()),
+            _marker: std::marker::PhantomData,
+        })
+    }
+
+    /// Appends one record.
+    pub fn push(&mut self, record: &R) -> Result<()> {
+        let start = self.buffer.len();
+        self.buffer.resize(start + R::encoded_size(), 0);
+        record.encode(&mut self.buffer[start..]);
+        self.count += 1;
+        if self.buffer.len() >= self.flush_bytes {
+            self.flush()?;
+        }
+        Ok(())
+    }
+
+    fn flush(&mut self) -> Result<()> {
+        if !self.buffer.is_empty() {
+            self.file.append(&self.buffer)?;
+            self.buffer.clear();
+        }
+        Ok(())
+    }
+
+    /// Number of records written so far.
+    pub fn len(&self) -> u64 {
+        self.count
+    }
+
+    /// Returns `true` if nothing was written yet.
+    pub fn is_empty(&self) -> bool {
+        self.count == 0
+    }
+
+    /// Finishes the run and returns a read handle.
+    pub fn finish(mut self) -> Result<RunFile<R>> {
+        self.flush()?;
+        self.file.sync()?;
+        Ok(RunFile {
+            file: Arc::new(self.file),
+            count: self.count,
+            _marker: std::marker::PhantomData,
+        })
+    }
+}
+
+/// Buffered sequential reader over a [`RunFile`].
+pub struct RunReader<R: FixedRecord> {
+    run: RunFile<R>,
+    buffer: std::collections::VecDeque<R>,
+    next_index: u64,
+    buffer_records: usize,
+}
+
+impl<R: FixedRecord> RunReader<R> {
+    fn new(run: RunFile<R>, buffer_records: usize) -> Self {
+        RunReader {
+            run,
+            buffer: std::collections::VecDeque::new(),
+            next_index: 0,
+            buffer_records: buffer_records.max(1),
+        }
+    }
+
+    /// Number of records not yet returned.
+    pub fn remaining(&self) -> u64 {
+        self.run.len() - self.next_index + self.buffer.len() as u64
+    }
+
+    fn refill(&mut self) -> Result<()> {
+        if self.buffer.is_empty() && self.next_index < self.run.len() {
+            let batch = self.run.read_range(self.next_index, self.buffer_records)?;
+            self.next_index += batch.len() as u64;
+            self.buffer.extend(batch);
+        }
+        Ok(())
+    }
+
+    /// Returns the next record without consuming it.
+    pub fn peek(&mut self) -> Result<Option<R>> {
+        self.refill()?;
+        Ok(self.buffer.front().cloned())
+    }
+
+    /// Returns and consumes the next record.
+    pub fn next_record(&mut self) -> Result<Option<R>> {
+        self.refill()?;
+        Ok(self.buffer.pop_front())
+    }
+}
+
+impl<R: FixedRecord> Iterator for RunReader<R> {
+    type Item = Result<R>;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        match self.next_record() {
+            Ok(Some(r)) => Some(Ok(r)),
+            Ok(None) => None,
+            Err(e) => Some(Err(e)),
+        }
+    }
+}
+
+/// Outcome of an external sort.
+pub struct SortOutput<R: KeyedRecord> {
+    /// The sorted records when the input fit the memory budget.
+    in_memory: Option<std::vec::IntoIter<R>>,
+    /// The merge state when the input spilled to disk.
+    merge: Option<KWayMerge<R>>,
+    /// Number of runs that were generated (zero when fully in memory).
+    pub runs_generated: usize,
+    /// Total number of records sorted.
+    pub record_count: u64,
+}
+
+impl<R: KeyedRecord> SortOutput<R> {
+    /// Returns `true` if the sort spilled to disk.
+    pub fn spilled(&self) -> bool {
+        self.runs_generated > 0
+    }
+}
+
+impl<R: KeyedRecord> Iterator for SortOutput<R> {
+    type Item = Result<R>;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        if let Some(iter) = &mut self.in_memory {
+            return iter.next().map(Ok);
+        }
+        if let Some(merge) = &mut self.merge {
+            return merge.next();
+        }
+        None
+    }
+}
+
+struct HeapEntry<K: Ord> {
+    key: K,
+    run: usize,
+}
+
+impl<K: Ord> PartialEq for HeapEntry<K> {
+    fn eq(&self, other: &Self) -> bool {
+        self.key == other.key && self.run == other.run
+    }
+}
+impl<K: Ord> Eq for HeapEntry<K> {}
+impl<K: Ord> PartialOrd for HeapEntry<K> {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<K: Ord> Ord for HeapEntry<K> {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.key.cmp(&other.key).then(self.run.cmp(&other.run))
+    }
+}
+
+/// K-way merge over sorted runs.
+pub struct KWayMerge<R: KeyedRecord> {
+    readers: Vec<RunReader<R>>,
+    heap: BinaryHeap<Reverse<HeapEntry<R::Key>>>,
+}
+
+impl<R: KeyedRecord> KWayMerge<R> {
+    /// Builds a merge over already-sorted runs, giving each run a read
+    /// buffer of `buffer_records` records.
+    pub fn new(runs: &[RunFile<R>], buffer_records: usize) -> Result<Self> {
+        let mut readers: Vec<RunReader<R>> =
+            runs.iter().map(|r| r.reader(buffer_records)).collect();
+        let mut heap = BinaryHeap::new();
+        for (i, reader) in readers.iter_mut().enumerate() {
+            if let Some(rec) = reader.peek()? {
+                heap.push(Reverse(HeapEntry {
+                    key: rec.key(),
+                    run: i,
+                }));
+            }
+        }
+        Ok(KWayMerge { readers, heap })
+    }
+}
+
+impl<R: KeyedRecord> Iterator for KWayMerge<R> {
+    type Item = Result<R>;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        let Reverse(entry) = self.heap.pop()?;
+        let reader = &mut self.readers[entry.run];
+        let record = match reader.next_record() {
+            Ok(Some(r)) => r,
+            Ok(None) => return Some(Err(crate::StorageError::Corrupt(
+                "run reader exhausted while its key was still queued".into(),
+            ))),
+            Err(e) => return Some(Err(e)),
+        };
+        match reader.peek() {
+            Ok(Some(next)) => self.heap.push(Reverse(HeapEntry {
+                key: next.key(),
+                run: entry.run,
+            })),
+            Ok(None) => {}
+            Err(e) => return Some(Err(e)),
+        }
+        Some(Ok(record))
+    }
+}
+
+/// Two-pass bounded-memory external merge sorter.
+pub struct ExternalSorter<R: KeyedRecord> {
+    config: ExternalSortConfig,
+    scratch_dir: PathBuf,
+    stats: SharedIoStats,
+    next_run_id: u64,
+    _marker: std::marker::PhantomData<R>,
+}
+
+impl<R: KeyedRecord> ExternalSorter<R> {
+    /// Creates a sorter that spills runs into `scratch_dir`.
+    pub fn new<P: AsRef<Path>>(
+        config: ExternalSortConfig,
+        scratch_dir: P,
+        stats: SharedIoStats,
+    ) -> Self {
+        ExternalSorter {
+            config,
+            scratch_dir: scratch_dir.as_ref().to_path_buf(),
+            stats,
+            next_run_id: 0,
+            _marker: std::marker::PhantomData,
+        }
+    }
+
+    fn records_per_chunk(&self) -> usize {
+        (self.config.memory_budget_bytes / R::encoded_size()).max(2)
+    }
+
+    /// Sorts `input`, spilling to disk whenever the memory budget is
+    /// exceeded, and returns an iterator over the sorted records.
+    pub fn sort<I>(&mut self, input: I) -> Result<SortOutput<R>>
+    where
+        I: IntoIterator<Item = R>,
+    {
+        let chunk_capacity = self.records_per_chunk();
+        let mut runs: Vec<RunFile<R>> = Vec::new();
+        let mut chunk: Vec<R> = Vec::with_capacity(chunk_capacity.min(1 << 20));
+        let mut total: u64 = 0;
+
+        for record in input {
+            total += 1;
+            chunk.push(record);
+            if chunk.len() >= chunk_capacity {
+                runs.push(self.write_run(&mut chunk)?);
+            }
+        }
+
+        if runs.is_empty() {
+            // Everything fit in memory: sort in place, no I/O at all.
+            chunk.sort_by(|a, b| a.key().cmp(&b.key()));
+            return Ok(SortOutput {
+                in_memory: Some(chunk.into_iter()),
+                merge: None,
+                runs_generated: 0,
+                record_count: total,
+            });
+        }
+        if !chunk.is_empty() {
+            runs.push(self.write_run(&mut chunk)?);
+        }
+        // Give each run an equal share of the memory budget for its merge
+        // buffer (at least one record each).
+        let per_run_records =
+            (self.config.memory_budget_bytes / R::encoded_size() / runs.len().max(1)).max(1);
+        let merge = KWayMerge::new(&runs, per_run_records)?;
+        Ok(SortOutput {
+            in_memory: None,
+            merge: Some(merge),
+            runs_generated: runs.len(),
+            record_count: total,
+        })
+    }
+
+    /// Sorts `input` and writes the result into a single sorted run file at
+    /// `output_path`, returning its handle plus the number of intermediate
+    /// runs generated.
+    pub fn sort_to_run<I, P>(&mut self, input: I, output_path: P) -> Result<(RunFile<R>, usize)>
+    where
+        I: IntoIterator<Item = R>,
+        P: AsRef<Path>,
+    {
+        let output = self.sort(input)?;
+        let runs_generated = output.runs_generated;
+        let mut writer =
+            RunWriter::create(output_path, Arc::clone(&self.stats), self.config.page_size)?;
+        for record in output {
+            writer.push(&record?)?;
+        }
+        Ok((writer.finish()?, runs_generated))
+    }
+
+    fn write_run(&mut self, chunk: &mut Vec<R>) -> Result<RunFile<R>> {
+        chunk.sort_by(|a, b| a.key().cmp(&b.key()));
+        let path = self
+            .scratch_dir
+            .join(format!("extsort-run-{:06}.run", self.next_run_id));
+        self.next_run_id += 1;
+        let mut writer =
+            RunWriter::<R>::create(path, Arc::clone(&self.stats), self.config.page_size)?;
+        for record in chunk.iter() {
+            writer.push(record)?;
+        }
+        chunk.clear();
+        writer.finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::iostats::IoStats;
+    use crate::record::KeyPointerRecord;
+    use crate::tempdir::ScratchDir;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn random_records(n: usize, seed: u64) -> Vec<KeyPointerRecord> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        (0..n)
+            .map(|i| KeyPointerRecord {
+                key: rng.gen::<u128>() >> 16,
+                pointer: i as u64,
+            })
+            .collect()
+    }
+
+    fn assert_sorted(records: &[KeyPointerRecord]) {
+        for w in records.windows(2) {
+            assert!(w[0].key() <= w[1].key());
+        }
+    }
+
+    #[test]
+    fn in_memory_sort_when_budget_suffices() {
+        let dir = ScratchDir::new("extsort-mem").unwrap();
+        let stats = IoStats::shared();
+        let mut sorter = ExternalSorter::<KeyPointerRecord>::new(
+            ExternalSortConfig::with_budget(10 << 20),
+            dir.path(),
+            Arc::clone(&stats),
+        );
+        let input = random_records(10_000, 1);
+        let out = sorter.sort(input.clone()).unwrap();
+        assert!(!out.spilled());
+        assert_eq!(out.record_count, 10_000);
+        let sorted: Vec<_> = out.map(|r| r.unwrap()).collect();
+        assert_eq!(sorted.len(), input.len());
+        assert_sorted(&sorted);
+        assert_eq!(stats.snapshot().total_accesses(), 0, "no i/o expected");
+    }
+
+    #[test]
+    fn spilling_sort_produces_same_result_as_in_memory() {
+        let dir = ScratchDir::new("extsort-spill").unwrap();
+        let stats = IoStats::shared();
+        let input = random_records(20_000, 2);
+        // A tiny budget: forces many runs.
+        let mut sorter = ExternalSorter::<KeyPointerRecord>::new(
+            ExternalSortConfig {
+                memory_budget_bytes: 24 * 1000, // 1000 records per run
+                page_size: 4096,
+            },
+            dir.path(),
+            Arc::clone(&stats),
+        );
+        let out = sorter.sort(input.clone()).unwrap();
+        assert!(out.spilled());
+        assert!(out.runs_generated >= 20);
+        let sorted: Vec<_> = out.map(|r| r.unwrap()).collect();
+        assert_eq!(sorted.len(), input.len());
+        assert_sorted(&sorted);
+
+        let mut expected = input;
+        expected.sort_by_key(|r| (r.key, r.pointer));
+        let expected_keys: Vec<_> = expected.iter().map(|r| r.key).collect();
+        let got_keys: Vec<_> = sorted.iter().map(|r| r.key).collect();
+        assert_eq!(expected_keys, got_keys);
+
+        // The spill I/O must be overwhelmingly sequential.
+        let snap = stats.snapshot();
+        assert!(snap.total_accesses() > 0);
+        assert!(
+            snap.random_fraction() < 0.2,
+            "external sort should be mostly sequential, random fraction was {}",
+            snap.random_fraction()
+        );
+    }
+
+    #[test]
+    fn sort_to_run_roundtrip() {
+        let dir = ScratchDir::new("extsort-torun").unwrap();
+        let stats = IoStats::shared();
+        let mut sorter = ExternalSorter::<KeyPointerRecord>::new(
+            ExternalSortConfig {
+                memory_budget_bytes: 24 * 500,
+                page_size: 1024,
+            },
+            dir.path(),
+            Arc::clone(&stats),
+        );
+        let input = random_records(5_000, 3);
+        let (run, runs_generated) = sorter
+            .sort_to_run(input.clone(), dir.file("final.run"))
+            .unwrap();
+        assert!(runs_generated >= 10);
+        assert_eq!(run.len(), 5_000);
+        let records: Vec<_> = run.reader(256).map(|r| r.unwrap()).collect();
+        assert_eq!(records.len(), 5_000);
+        assert_sorted(&records);
+    }
+
+    #[test]
+    fn run_writer_reader_roundtrip_and_random_access() {
+        let dir = ScratchDir::new("runfile").unwrap();
+        let stats = IoStats::shared();
+        let mut writer =
+            RunWriter::<KeyPointerRecord>::create(dir.file("a.run"), Arc::clone(&stats), 4096)
+                .unwrap();
+        let records = random_records(1000, 4);
+        for r in &records {
+            writer.push(r).unwrap();
+        }
+        let run = writer.finish().unwrap();
+        assert_eq!(run.len(), 1000);
+        assert_eq!(run.byte_size(), 1000 * 24);
+        // Sequential read back.
+        let back: Vec<_> = run.reader(128).map(|r| r.unwrap()).collect();
+        assert_eq!(back, records);
+        // Random access.
+        assert_eq!(run.read_record(500).unwrap(), records[500]);
+        let range = run.read_range(990, 100).unwrap();
+        assert_eq!(range.len(), 10);
+        assert_eq!(range[0], records[990]);
+    }
+
+    #[test]
+    fn kway_merge_of_presorted_runs() {
+        let dir = ScratchDir::new("kway").unwrap();
+        let stats = IoStats::shared();
+        let mut all = Vec::new();
+        let mut runs = Vec::new();
+        for run_idx in 0..4u64 {
+            let mut recs = random_records(250, 10 + run_idx);
+            recs.sort_by_key(|r| (r.key, r.pointer));
+            let mut w = RunWriter::<KeyPointerRecord>::create(
+                dir.file(&format!("{run_idx}.run")),
+                Arc::clone(&stats),
+                2048,
+            )
+            .unwrap();
+            for r in &recs {
+                w.push(r).unwrap();
+            }
+            runs.push(w.finish().unwrap());
+            all.extend(recs);
+        }
+        let merged: Vec<_> = KWayMerge::new(&runs, 64).unwrap().map(|r| r.unwrap()).collect();
+        assert_eq!(merged.len(), all.len());
+        assert_sorted(&merged);
+    }
+
+    #[test]
+    fn empty_input_sorts_to_nothing() {
+        let dir = ScratchDir::new("extsort-empty").unwrap();
+        let stats = IoStats::shared();
+        let mut sorter = ExternalSorter::<KeyPointerRecord>::new(
+            ExternalSortConfig::default(),
+            dir.path(),
+            stats,
+        );
+        let out = sorter.sort(Vec::new()).unwrap();
+        assert_eq!(out.record_count, 0);
+        assert_eq!(out.count(), 0);
+    }
+
+    #[test]
+    fn duplicate_keys_are_all_preserved() {
+        let dir = ScratchDir::new("extsort-dup").unwrap();
+        let stats = IoStats::shared();
+        let mut sorter = ExternalSorter::<KeyPointerRecord>::new(
+            ExternalSortConfig {
+                memory_budget_bytes: 24 * 100,
+                page_size: 1024,
+            },
+            dir.path(),
+            stats,
+        );
+        let input: Vec<_> = (0..1000u64)
+            .map(|i| KeyPointerRecord {
+                key: (i % 10) as u128,
+                pointer: i,
+            })
+            .collect();
+        let sorted: Vec<_> = sorter.sort(input).unwrap().map(|r| r.unwrap()).collect();
+        assert_eq!(sorted.len(), 1000);
+        assert_sorted(&sorted);
+        let pointers: std::collections::HashSet<u64> = sorted.iter().map(|r| r.pointer).collect();
+        assert_eq!(pointers.len(), 1000);
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use crate::iostats::IoStats;
+    use crate::record::KeyPointerRecord;
+    use crate::tempdir::ScratchDir;
+    use proptest::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(16))]
+        #[test]
+        fn external_sort_equals_std_sort(
+            keys in proptest::collection::vec(0u64..1000, 0..500),
+            budget_records in 4usize..64,
+        ) {
+            let dir = ScratchDir::new("extsort-prop").unwrap();
+            let stats = IoStats::shared();
+            let input: Vec<KeyPointerRecord> = keys
+                .iter()
+                .enumerate()
+                .map(|(i, &k)| KeyPointerRecord { key: k as u128, pointer: i as u64 })
+                .collect();
+            let mut sorter = ExternalSorter::<KeyPointerRecord>::new(
+                ExternalSortConfig {
+                    memory_budget_bytes: 24 * budget_records,
+                    page_size: 512,
+                },
+                dir.path(),
+                stats,
+            );
+            let sorted: Vec<_> = sorter.sort(input.clone()).unwrap().map(|r| r.unwrap()).collect();
+            let mut expected = input;
+            expected.sort_by_key(|r| (r.key, r.pointer));
+            prop_assert_eq!(sorted, expected);
+        }
+    }
+}

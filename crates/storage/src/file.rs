@@ -1,0 +1,371 @@
+//! Paged files with access accounting.
+//!
+//! [`PagedFile`] is the only way indexes in this workspace touch disk.  It
+//! offers positioned byte-level reads and writes, but accounts every
+//! operation at page granularity and classifies each touched page as a
+//! sequential or random access relative to the previously touched page of
+//! the same file.  Appends are always sequential; a read that continues
+//! where the previous one left off is sequential; everything else is random.
+
+use std::fs::{File, OpenOptions};
+use std::io::{Read, Seek, SeekFrom, Write};
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+use crate::heatmap::HeatMap;
+use crate::iostats::{AccessKind, SharedIoStats};
+use crate::page::{page_of_offset, pages_for_bytes, PageId, DEFAULT_PAGE_SIZE};
+use crate::{Result, StorageError};
+
+/// A file accessed at page granularity with I/O accounting.
+pub struct PagedFile {
+    path: PathBuf,
+    file: Mutex<File>,
+    page_size: usize,
+    len: Mutex<u64>,
+    last_page: Mutex<Option<(PageId, bool)>>, // (page, was_read)
+    stats: SharedIoStats,
+    heatmap: Option<Arc<HeatMap>>,
+}
+
+impl std::fmt::Debug for PagedFile {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("PagedFile")
+            .field("path", &self.path)
+            .field("page_size", &self.page_size)
+            .field("len", &*self.len.lock())
+            .finish()
+    }
+}
+
+impl PagedFile {
+    /// Creates (truncating) a new paged file.
+    pub fn create<P: AsRef<Path>>(path: P, stats: SharedIoStats) -> Result<Self> {
+        Self::create_with_page_size(path, stats, DEFAULT_PAGE_SIZE)
+    }
+
+    /// Creates a new paged file with an explicit page size.
+    pub fn create_with_page_size<P: AsRef<Path>>(
+        path: P,
+        stats: SharedIoStats,
+        page_size: usize,
+    ) -> Result<Self> {
+        assert!(page_size > 0);
+        let file = OpenOptions::new()
+            .create(true)
+            .read(true)
+            .write(true)
+            .truncate(true)
+            .open(path.as_ref())?;
+        Ok(PagedFile {
+            path: path.as_ref().to_path_buf(),
+            file: Mutex::new(file),
+            page_size,
+            len: Mutex::new(0),
+            last_page: Mutex::new(None),
+            stats,
+            heatmap: None,
+        })
+    }
+
+    /// Opens an existing paged file for reading and writing.
+    pub fn open<P: AsRef<Path>>(path: P, stats: SharedIoStats) -> Result<Self> {
+        Self::open_with_page_size(path, stats, DEFAULT_PAGE_SIZE)
+    }
+
+    /// Opens an existing paged file with an explicit page size.
+    pub fn open_with_page_size<P: AsRef<Path>>(
+        path: P,
+        stats: SharedIoStats,
+        page_size: usize,
+    ) -> Result<Self> {
+        assert!(page_size > 0);
+        let file = OpenOptions::new().read(true).write(true).open(path.as_ref())?;
+        let len = file.metadata()?.len();
+        Ok(PagedFile {
+            path: path.as_ref().to_path_buf(),
+            file: Mutex::new(file),
+            page_size,
+            len: Mutex::new(len),
+            last_page: Mutex::new(None),
+            stats,
+            heatmap: None,
+        })
+    }
+
+    /// Attaches a heat-map recorder; every subsequent access is recorded.
+    pub fn with_heatmap(mut self, heatmap: Arc<HeatMap>) -> Self {
+        self.heatmap = Some(heatmap);
+        self
+    }
+
+    /// Path of the underlying file.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// Page size used for accounting.
+    pub fn page_size(&self) -> usize {
+        self.page_size
+    }
+
+    /// Current logical length in bytes.
+    pub fn len(&self) -> u64 {
+        *self.len.lock()
+    }
+
+    /// Returns `true` if the file is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Number of pages (rounded up) the file currently occupies.
+    pub fn num_pages(&self) -> u64 {
+        pages_for_bytes(self.len(), self.page_size)
+    }
+
+    /// The shared I/O statistics handle this file reports into.
+    pub fn stats(&self) -> &SharedIoStats {
+        &self.stats
+    }
+
+    fn account(&self, offset: u64, bytes: usize, is_read: bool) {
+        if bytes == 0 {
+            return;
+        }
+        let first = page_of_offset(offset, self.page_size);
+        let last = page_of_offset(offset + bytes as u64 - 1, self.page_size);
+        let mut last_page = self.last_page.lock();
+        for page in first..=last {
+            let sequential = match *last_page {
+                // The very first touched page after opening counts as random.
+                None => false,
+                Some((prev, _)) => page == prev || page == prev + 1,
+            };
+            let kind = match (is_read, sequential) {
+                (true, true) => AccessKind::SequentialRead,
+                (true, false) => AccessKind::RandomRead,
+                (false, true) => AccessKind::SequentialWrite,
+                (false, false) => AccessKind::RandomWrite,
+            };
+            // The byte volume is attributed page by page (full pages except
+            // possibly the edges; we simply charge the page size, which is
+            // what a real device transfers anyway).
+            self.stats.record(kind, self.page_size as u64);
+            if let Some(hm) = &self.heatmap {
+                hm.record(page, is_read);
+            }
+            *last_page = Some((page, is_read));
+        }
+    }
+
+    /// Appends `data` to the end of the file, returning the offset it was
+    /// written at.  Appends are accounted as sequential writes (after the
+    /// first page).
+    pub fn append(&self, data: &[u8]) -> Result<u64> {
+        let mut len = self.len.lock();
+        let offset = *len;
+        {
+            let mut file = self.file.lock();
+            file.seek(SeekFrom::Start(offset))?;
+            file.write_all(data)?;
+        }
+        *len += data.len() as u64;
+        drop(len);
+        self.account(offset, data.len(), false);
+        Ok(offset)
+    }
+
+    /// Writes `data` at `offset` (which may extend the file).
+    pub fn write_at(&self, offset: u64, data: &[u8]) -> Result<()> {
+        {
+            let mut file = self.file.lock();
+            file.seek(SeekFrom::Start(offset))?;
+            file.write_all(data)?;
+        }
+        let mut len = self.len.lock();
+        *len = (*len).max(offset + data.len() as u64);
+        drop(len);
+        self.account(offset, data.len(), false);
+        Ok(())
+    }
+
+    /// Reads `len` bytes starting at `offset`.
+    pub fn read_at(&self, offset: u64, len: usize) -> Result<Vec<u8>> {
+        let file_len = self.len();
+        if offset + len as u64 > file_len {
+            return Err(StorageError::PageOutOfBounds {
+                page: page_of_offset(offset + len as u64, self.page_size),
+                pages: pages_for_bytes(file_len, self.page_size),
+            });
+        }
+        let mut buf = vec![0u8; len];
+        {
+            let mut file = self.file.lock();
+            file.seek(SeekFrom::Start(offset))?;
+            file.read_exact(&mut buf)?;
+        }
+        self.account(offset, len, true);
+        Ok(buf)
+    }
+
+    /// Reads one whole page (the last page may be short).
+    pub fn read_page(&self, page: PageId) -> Result<Vec<u8>> {
+        let file_len = self.len();
+        let start = page * self.page_size as u64;
+        if start >= file_len {
+            return Err(StorageError::PageOutOfBounds {
+                page,
+                pages: self.num_pages(),
+            });
+        }
+        let len = ((file_len - start) as usize).min(self.page_size);
+        self.read_at(start, len)
+    }
+
+    /// Flushes buffered writes to the OS.
+    pub fn sync(&self) -> Result<()> {
+        self.file.lock().flush()?;
+        Ok(())
+    }
+
+    /// Resets the sequential/random classification state (e.g. between the
+    /// build phase and the query phase of an experiment).
+    pub fn reset_access_cursor(&self) {
+        *self.last_page.lock() = None;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::iostats::IoStats;
+    use crate::tempdir::ScratchDir;
+
+    fn setup(name: &str) -> (ScratchDir, SharedIoStats) {
+        (ScratchDir::new(name).unwrap(), IoStats::shared())
+    }
+
+    #[test]
+    fn append_then_read_roundtrip() {
+        let (dir, stats) = setup("pf-roundtrip");
+        let f = PagedFile::create(dir.file("a.bin"), stats).unwrap();
+        let off1 = f.append(b"hello").unwrap();
+        let off2 = f.append(b"world").unwrap();
+        assert_eq!(off1, 0);
+        assert_eq!(off2, 5);
+        assert_eq!(f.read_at(0, 5).unwrap(), b"hello");
+        assert_eq!(f.read_at(5, 5).unwrap(), b"world");
+        assert_eq!(f.len(), 10);
+        assert_eq!(f.num_pages(), 1);
+    }
+
+    #[test]
+    fn sequential_appends_are_sequential_after_first_page() {
+        let (dir, stats) = setup("pf-seq");
+        let f = PagedFile::create_with_page_size(dir.file("a.bin"), Arc::clone(&stats), 64).unwrap();
+        let chunk = vec![0u8; 64];
+        for _ in 0..10 {
+            f.append(&chunk).unwrap();
+        }
+        let snap = stats.snapshot();
+        assert_eq!(snap.total_writes(), 10);
+        assert_eq!(snap.random_writes, 1, "only the first page is random");
+        assert_eq!(snap.sequential_writes, 9);
+    }
+
+    #[test]
+    fn scattered_reads_are_random() {
+        let (dir, stats) = setup("pf-rand");
+        let f = PagedFile::create_with_page_size(dir.file("a.bin"), Arc::clone(&stats), 64).unwrap();
+        f.append(&vec![7u8; 64 * 20]).unwrap();
+        stats.reset();
+        // Read pages far apart: all should classify as random.
+        for page in [0u64, 10, 3, 17, 8] {
+            f.read_at(page * 64, 64).unwrap();
+        }
+        let snap = stats.snapshot();
+        assert_eq!(snap.total_reads(), 5);
+        assert_eq!(snap.random_reads, 5);
+    }
+
+    #[test]
+    fn sequential_scan_is_sequential() {
+        let (dir, stats) = setup("pf-scan");
+        let f = PagedFile::create_with_page_size(dir.file("a.bin"), Arc::clone(&stats), 64).unwrap();
+        f.append(&vec![1u8; 64 * 16]).unwrap();
+        stats.reset();
+        f.reset_access_cursor();
+        for page in 0..16u64 {
+            f.read_at(page * 64, 64).unwrap();
+        }
+        let snap = stats.snapshot();
+        assert_eq!(snap.total_reads(), 16);
+        assert_eq!(snap.random_reads, 1);
+        assert_eq!(snap.sequential_reads, 15);
+    }
+
+    #[test]
+    fn rereading_same_page_counts_sequential() {
+        let (dir, stats) = setup("pf-same");
+        let f = PagedFile::create_with_page_size(dir.file("a.bin"), Arc::clone(&stats), 64).unwrap();
+        f.append(&vec![1u8; 64]).unwrap();
+        stats.reset();
+        f.read_at(0, 16).unwrap();
+        f.read_at(16, 16).unwrap();
+        let snap = stats.snapshot();
+        // First read random (cursor reset by append is not reset: the append
+        // touched page 0, so the first read of page 0 is sequential).
+        assert_eq!(snap.sequential_reads, 2);
+    }
+
+    #[test]
+    fn out_of_bounds_read_is_error() {
+        let (dir, stats) = setup("pf-oob");
+        let f = PagedFile::create(dir.file("a.bin"), stats).unwrap();
+        f.append(b"abc").unwrap();
+        assert!(matches!(
+            f.read_at(0, 10),
+            Err(StorageError::PageOutOfBounds { .. })
+        ));
+        assert!(f.read_page(1).is_err());
+    }
+
+    #[test]
+    fn heatmap_records_page_accesses() {
+        let (dir, stats) = setup("pf-heat");
+        let hm = Arc::new(HeatMap::new(8, 16));
+        let f = PagedFile::create_with_page_size(dir.file("a.bin"), stats, 64)
+            .unwrap()
+            .with_heatmap(Arc::clone(&hm));
+        f.append(&vec![0u8; 64 * 16]).unwrap();
+        f.read_at(0, 64).unwrap();
+        assert!(hm.total_accesses() >= 17);
+        assert!(hm.touched_buckets() > 0);
+    }
+
+    #[test]
+    fn reopen_preserves_length_and_content() {
+        let (dir, stats) = setup("pf-reopen");
+        let path = dir.file("a.bin");
+        {
+            let f = PagedFile::create(&path, Arc::clone(&stats)).unwrap();
+            f.append(b"0123456789").unwrap();
+            f.sync().unwrap();
+        }
+        let f = PagedFile::open(&path, stats).unwrap();
+        assert_eq!(f.len(), 10);
+        assert_eq!(f.read_at(3, 4).unwrap(), b"3456");
+    }
+
+    #[test]
+    fn write_at_extends_file() {
+        let (dir, stats) = setup("pf-writeat");
+        let f = PagedFile::create(dir.file("a.bin"), stats).unwrap();
+        f.write_at(100, b"xy").unwrap();
+        assert_eq!(f.len(), 102);
+        assert_eq!(f.read_at(100, 2).unwrap(), b"xy");
+    }
+}

@@ -1,0 +1,188 @@
+//! Access-pattern heat maps.
+//!
+//! Coconut Palm's GUI shows a heat map of which parts of an index a query
+//! touched, which is how the demo attributes CTree's speedups to "more
+//! friendly I/O patterns".  The [`HeatMap`] recorder reproduces that: it
+//! divides a file into a fixed number of equal-size buckets and counts page
+//! accesses per bucket, optionally distinguishing reads from writes.
+//! Benchmarks render the result as an ASCII intensity row.
+
+use parking_lot::Mutex;
+
+/// Per-bucket access counts over a file's page range.
+#[derive(Debug)]
+pub struct HeatMap {
+    inner: Mutex<HeatMapInner>,
+}
+
+#[derive(Debug)]
+struct HeatMapInner {
+    buckets: Vec<u64>,
+    read_buckets: Vec<u64>,
+    write_buckets: Vec<u64>,
+    total_pages: u64,
+}
+
+impl HeatMap {
+    /// Creates a heat map with `buckets` buckets covering `total_pages`
+    /// pages.  The page span may be enlarged later with
+    /// [`HeatMap::ensure_pages`] as the file grows.
+    pub fn new(buckets: usize, total_pages: u64) -> Self {
+        assert!(buckets > 0, "heat map needs at least one bucket");
+        HeatMap {
+            inner: Mutex::new(HeatMapInner {
+                buckets: vec![0; buckets],
+                read_buckets: vec![0; buckets],
+                write_buckets: vec![0; buckets],
+                total_pages: total_pages.max(1),
+            }),
+        }
+    }
+
+    /// Grows the covered page span (bucket boundaries shift accordingly; the
+    /// existing histogram is kept as-is, which is adequate for the
+    /// visualization use case).
+    pub fn ensure_pages(&self, total_pages: u64) {
+        let mut inner = self.inner.lock();
+        if total_pages > inner.total_pages {
+            inner.total_pages = total_pages;
+        }
+    }
+
+    /// Records an access to `page` (`is_read` distinguishes reads/writes).
+    pub fn record(&self, page: u64, is_read: bool) {
+        let mut inner = self.inner.lock();
+        if page >= inner.total_pages {
+            inner.total_pages = page + 1;
+        }
+        let n = inner.buckets.len() as u64;
+        let bucket = ((page * n) / inner.total_pages).min(n - 1) as usize;
+        inner.buckets[bucket] += 1;
+        if is_read {
+            inner.read_buckets[bucket] += 1;
+        } else {
+            inner.write_buckets[bucket] += 1;
+        }
+    }
+
+    /// Total accesses per bucket.
+    pub fn buckets(&self) -> Vec<u64> {
+        self.inner.lock().buckets.clone()
+    }
+
+    /// Read accesses per bucket.
+    pub fn read_buckets(&self) -> Vec<u64> {
+        self.inner.lock().read_buckets.clone()
+    }
+
+    /// Write accesses per bucket.
+    pub fn write_buckets(&self) -> Vec<u64> {
+        self.inner.lock().write_buckets.clone()
+    }
+
+    /// Number of buckets that were touched at least once.
+    pub fn touched_buckets(&self) -> usize {
+        self.inner.lock().buckets.iter().filter(|&&c| c > 0).count()
+    }
+
+    /// Total recorded accesses.
+    pub fn total_accesses(&self) -> u64 {
+        self.inner.lock().buckets.iter().sum()
+    }
+
+    /// Clears all counters (keeps bucket count and page span).
+    pub fn reset(&self) {
+        let mut inner = self.inner.lock();
+        for b in inner.buckets.iter_mut() {
+            *b = 0;
+        }
+        for b in inner.read_buckets.iter_mut() {
+            *b = 0;
+        }
+        for b in inner.write_buckets.iter_mut() {
+            *b = 0;
+        }
+    }
+
+    /// Renders the heat map as an ASCII intensity string (one character per
+    /// bucket, from `' '` for untouched through `.:-=+*#%@` for increasingly
+    /// hot buckets, normalized to the hottest bucket).
+    pub fn render_ascii(&self) -> String {
+        const RAMP: &[u8] = b" .:-=+*#%@";
+        let buckets = self.buckets();
+        let max = buckets.iter().copied().max().unwrap_or(0);
+        if max == 0 {
+            return " ".repeat(buckets.len());
+        }
+        buckets
+            .iter()
+            .map(|&c| {
+                if c == 0 {
+                    ' '
+                } else {
+                    let idx = 1 + (c * (RAMP.len() as u64 - 2)) / max;
+                    RAMP[idx as usize] as char
+                }
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn records_into_correct_buckets() {
+        let hm = HeatMap::new(10, 100);
+        hm.record(0, true);
+        hm.record(99, false);
+        hm.record(55, true);
+        let b = hm.buckets();
+        assert_eq!(b[0], 1);
+        assert_eq!(b[9], 1);
+        assert_eq!(b[5], 1);
+        assert_eq!(hm.total_accesses(), 3);
+        assert_eq!(hm.touched_buckets(), 3);
+        assert_eq!(hm.read_buckets().iter().sum::<u64>(), 2);
+        assert_eq!(hm.write_buckets().iter().sum::<u64>(), 1);
+    }
+
+    #[test]
+    fn growing_page_span_keeps_recording() {
+        let hm = HeatMap::new(4, 10);
+        hm.record(50, true); // beyond the declared span: span grows
+        assert_eq!(hm.total_accesses(), 1);
+        assert_eq!(*hm.buckets().last().unwrap(), 1);
+    }
+
+    #[test]
+    fn ascii_render_reflects_intensity() {
+        let hm = HeatMap::new(5, 50);
+        for _ in 0..100 {
+            hm.record(15, true);
+        }
+        hm.record(45, true);
+        let art = hm.render_ascii();
+        assert_eq!(art.len(), 5);
+        let chars: Vec<char> = art.chars().collect();
+        assert_eq!(chars[1], '@');
+        assert_ne!(chars[4], ' ');
+        assert_eq!(chars[2], ' ');
+    }
+
+    #[test]
+    fn empty_render_is_blank() {
+        let hm = HeatMap::new(8, 10);
+        assert_eq!(hm.render_ascii(), "        ");
+    }
+
+    #[test]
+    fn reset_clears_counts() {
+        let hm = HeatMap::new(3, 9);
+        hm.record(1, true);
+        hm.reset();
+        assert_eq!(hm.total_accesses(), 0);
+        assert_eq!(hm.touched_buckets(), 0);
+    }
+}

@@ -1,0 +1,249 @@
+//! I/O access accounting.
+//!
+//! Every page access performed through a [`crate::PagedFile`] is classified
+//! as **sequential** (it touches the page immediately following the
+//! previously accessed page of the same file) or **random** (anything else,
+//! including the first access after opening).  The distinction is the basis
+//! of the paper's performance argument: Coconut's value is that it converts
+//! the random-I/O-heavy workflows of prior data series indexes into mostly
+//! sequential ones.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Classification of a single page access.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AccessKind {
+    /// Read of the page immediately following the last accessed page.
+    SequentialRead,
+    /// Read of any other page.
+    RandomRead,
+    /// Write of the page immediately following the last accessed page
+    /// (including appends).
+    SequentialWrite,
+    /// Write of any other page.
+    RandomWrite,
+}
+
+impl AccessKind {
+    /// Returns `true` for the two read kinds.
+    pub fn is_read(&self) -> bool {
+        matches!(self, AccessKind::SequentialRead | AccessKind::RandomRead)
+    }
+
+    /// Returns `true` for the two sequential kinds.
+    pub fn is_sequential(&self) -> bool {
+        matches!(
+            self,
+            AccessKind::SequentialRead | AccessKind::SequentialWrite
+        )
+    }
+}
+
+/// Mutable I/O counters (lock-free, shareable between files and threads).
+#[derive(Debug, Default)]
+pub struct IoStats {
+    sequential_reads: AtomicU64,
+    random_reads: AtomicU64,
+    sequential_writes: AtomicU64,
+    random_writes: AtomicU64,
+    bytes_read: AtomicU64,
+    bytes_written: AtomicU64,
+}
+
+/// A cheaply cloneable handle to shared [`IoStats`].
+pub type SharedIoStats = Arc<IoStats>;
+
+impl IoStats {
+    /// Creates a fresh set of counters wrapped for sharing.
+    pub fn shared() -> SharedIoStats {
+        Arc::new(IoStats::default())
+    }
+
+    /// Records one page access of the given kind and byte volume.
+    pub fn record(&self, kind: AccessKind, bytes: u64) {
+        match kind {
+            AccessKind::SequentialRead => {
+                self.sequential_reads.fetch_add(1, Ordering::Relaxed);
+                self.bytes_read.fetch_add(bytes, Ordering::Relaxed);
+            }
+            AccessKind::RandomRead => {
+                self.random_reads.fetch_add(1, Ordering::Relaxed);
+                self.bytes_read.fetch_add(bytes, Ordering::Relaxed);
+            }
+            AccessKind::SequentialWrite => {
+                self.sequential_writes.fetch_add(1, Ordering::Relaxed);
+                self.bytes_written.fetch_add(bytes, Ordering::Relaxed);
+            }
+            AccessKind::RandomWrite => {
+                self.random_writes.fetch_add(1, Ordering::Relaxed);
+                self.bytes_written.fetch_add(bytes, Ordering::Relaxed);
+            }
+        }
+    }
+
+    /// Takes an immutable snapshot of the counters.
+    pub fn snapshot(&self) -> IoStatsSnapshot {
+        IoStatsSnapshot {
+            sequential_reads: self.sequential_reads.load(Ordering::Relaxed),
+            random_reads: self.random_reads.load(Ordering::Relaxed),
+            sequential_writes: self.sequential_writes.load(Ordering::Relaxed),
+            random_writes: self.random_writes.load(Ordering::Relaxed),
+            bytes_read: self.bytes_read.load(Ordering::Relaxed),
+            bytes_written: self.bytes_written.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Resets all counters to zero.
+    pub fn reset(&self) {
+        self.sequential_reads.store(0, Ordering::Relaxed);
+        self.random_reads.store(0, Ordering::Relaxed);
+        self.sequential_writes.store(0, Ordering::Relaxed);
+        self.random_writes.store(0, Ordering::Relaxed);
+        self.bytes_read.store(0, Ordering::Relaxed);
+        self.bytes_written.store(0, Ordering::Relaxed);
+    }
+}
+
+/// Immutable snapshot of I/O counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub struct IoStatsSnapshot {
+    /// Number of sequential page reads.
+    pub sequential_reads: u64,
+    /// Number of random page reads.
+    pub random_reads: u64,
+    /// Number of sequential page writes.
+    pub sequential_writes: u64,
+    /// Number of random page writes.
+    pub random_writes: u64,
+    /// Total bytes read.
+    pub bytes_read: u64,
+    /// Total bytes written.
+    pub bytes_written: u64,
+}
+
+impl IoStatsSnapshot {
+    /// Total page reads of either kind.
+    pub fn total_reads(&self) -> u64 {
+        self.sequential_reads + self.random_reads
+    }
+
+    /// Total page writes of either kind.
+    pub fn total_writes(&self) -> u64 {
+        self.sequential_writes + self.random_writes
+    }
+
+    /// Total page accesses.
+    pub fn total_accesses(&self) -> u64 {
+        self.total_reads() + self.total_writes()
+    }
+
+    /// Total random accesses (reads + writes).
+    pub fn random_accesses(&self) -> u64 {
+        self.random_reads + self.random_writes
+    }
+
+    /// Total sequential accesses (reads + writes).
+    pub fn sequential_accesses(&self) -> u64 {
+        self.sequential_reads + self.sequential_writes
+    }
+
+    /// Fraction of accesses that were random (0.0 when there were none).
+    pub fn random_fraction(&self) -> f64 {
+        let total = self.total_accesses();
+        if total == 0 {
+            0.0
+        } else {
+            self.random_accesses() as f64 / total as f64
+        }
+    }
+
+    /// Element-wise difference (`self - earlier`), saturating at zero.
+    pub fn since(&self, earlier: &IoStatsSnapshot) -> IoStatsSnapshot {
+        IoStatsSnapshot {
+            sequential_reads: self.sequential_reads.saturating_sub(earlier.sequential_reads),
+            random_reads: self.random_reads.saturating_sub(earlier.random_reads),
+            sequential_writes: self
+                .sequential_writes
+                .saturating_sub(earlier.sequential_writes),
+            random_writes: self.random_writes.saturating_sub(earlier.random_writes),
+            bytes_read: self.bytes_read.saturating_sub(earlier.bytes_read),
+            bytes_written: self.bytes_written.saturating_sub(earlier.bytes_written),
+        }
+    }
+
+    /// Element-wise sum.
+    pub fn plus(&self, other: &IoStatsSnapshot) -> IoStatsSnapshot {
+        IoStatsSnapshot {
+            sequential_reads: self.sequential_reads + other.sequential_reads,
+            random_reads: self.random_reads + other.random_reads,
+            sequential_writes: self.sequential_writes + other.sequential_writes,
+            random_writes: self.random_writes + other.random_writes,
+            bytes_read: self.bytes_read + other.bytes_read,
+            bytes_written: self.bytes_written + other.bytes_written,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn record_and_snapshot() {
+        let stats = IoStats::default();
+        stats.record(AccessKind::SequentialRead, 4096);
+        stats.record(AccessKind::RandomRead, 4096);
+        stats.record(AccessKind::RandomRead, 4096);
+        stats.record(AccessKind::SequentialWrite, 4096);
+        let snap = stats.snapshot();
+        assert_eq!(snap.sequential_reads, 1);
+        assert_eq!(snap.random_reads, 2);
+        assert_eq!(snap.sequential_writes, 1);
+        assert_eq!(snap.random_writes, 0);
+        assert_eq!(snap.bytes_read, 3 * 4096);
+        assert_eq!(snap.bytes_written, 4096);
+        assert_eq!(snap.total_accesses(), 4);
+        assert!((snap.random_fraction() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn reset_zeroes_counters() {
+        let stats = IoStats::default();
+        stats.record(AccessKind::RandomWrite, 100);
+        stats.reset();
+        assert_eq!(stats.snapshot(), IoStatsSnapshot::default());
+        assert_eq!(stats.snapshot().random_fraction(), 0.0);
+    }
+
+    #[test]
+    fn since_and_plus_compose() {
+        let stats = IoStats::default();
+        stats.record(AccessKind::SequentialRead, 10);
+        let a = stats.snapshot();
+        stats.record(AccessKind::RandomRead, 20);
+        stats.record(AccessKind::RandomWrite, 30);
+        let b = stats.snapshot();
+        let delta = b.since(&a);
+        assert_eq!(delta.sequential_reads, 0);
+        assert_eq!(delta.random_reads, 1);
+        assert_eq!(delta.random_writes, 1);
+        assert_eq!(a.plus(&delta), b);
+    }
+
+    #[test]
+    fn access_kind_predicates() {
+        assert!(AccessKind::SequentialRead.is_read());
+        assert!(AccessKind::SequentialRead.is_sequential());
+        assert!(!AccessKind::RandomWrite.is_read());
+        assert!(!AccessKind::RandomWrite.is_sequential());
+    }
+
+    #[test]
+    fn shared_stats_are_shared() {
+        let shared = IoStats::shared();
+        let clone = Arc::clone(&shared);
+        clone.record(AccessKind::SequentialWrite, 1);
+        assert_eq!(shared.snapshot().sequential_writes, 1);
+    }
+}

@@ -1,0 +1,87 @@
+//! # coconut-storage
+//!
+//! Storage substrate for the Coconut Palm reproduction.
+//!
+//! The paper's central performance argument is about *I/O patterns*: existing
+//! data series indexes (ADS+-style top-down trees) issue many random I/Os to
+//! build and to query, whereas Coconut's sortable summarizations allow
+//! everything to be done with large sequential reads and writes (external
+//! sorting, log-structured merging, contiguous leaf scans).  To reproduce
+//! that argument without depending on the physical characteristics of the
+//! host machine's disk, every index in this workspace performs its I/O
+//! through this crate, which:
+//!
+//! * performs real file I/O at page granularity ([`PagedFile`]),
+//! * classifies each page access as *sequential* or *random* based on the
+//!   previously accessed page ([`IoStats`]),
+//! * exposes a configurable [`CostModel`] that converts access counts into a
+//!   device-independent cost figure (the benchmarks report both raw counts
+//!   and modeled cost),
+//! * records per-region access counts for the paper's heat-map visualization
+//!   ([`HeatMap`]),
+//! * and provides the bounded-memory two-pass **external merge sort**
+//!   ([`ExternalSorter`]) that CoconutTree bulk-loading and CoconutLSM / BTP
+//!   merging are built on.
+
+pub mod cost;
+pub mod dynsort;
+pub mod extsort;
+pub mod file;
+pub mod heatmap;
+pub mod iostats;
+pub mod page;
+pub mod record;
+pub mod tempdir;
+
+pub use cost::CostModel;
+pub use dynsort::{
+    DynExternalSorter, DynKWayMerge, DynRunFile, DynRunReader, DynRunWriter, RecordLayout,
+};
+pub use extsort::{ExternalSortConfig, ExternalSorter};
+pub use file::PagedFile;
+pub use heatmap::HeatMap;
+pub use iostats::{AccessKind, IoStats, IoStatsSnapshot, SharedIoStats};
+pub use page::{PageId, DEFAULT_PAGE_SIZE};
+pub use record::{FixedRecord, KeyedRecord};
+pub use tempdir::ScratchDir;
+
+/// Errors produced by the storage layer.
+#[derive(Debug)]
+pub enum StorageError {
+    /// Underlying I/O failure.
+    Io(std::io::Error),
+    /// A record could not be decoded from its on-disk representation.
+    Corrupt(String),
+    /// The requested page does not exist in the file.
+    PageOutOfBounds { page: u64, pages: u64 },
+}
+
+impl std::fmt::Display for StorageError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            StorageError::Io(e) => write!(f, "i/o error: {e}"),
+            StorageError::Corrupt(msg) => write!(f, "corrupt data: {msg}"),
+            StorageError::PageOutOfBounds { page, pages } => {
+                write!(f, "page {page} out of bounds (file has {pages} pages)")
+            }
+        }
+    }
+}
+
+impl std::error::Error for StorageError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            StorageError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for StorageError {
+    fn from(e: std::io::Error) -> Self {
+        StorageError::Io(e)
+    }
+}
+
+/// Convenience alias used throughout the crate.
+pub type Result<T> = std::result::Result<T, StorageError>;

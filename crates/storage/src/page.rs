@@ -1,0 +1,44 @@
+//! Page-level constants and identifiers.
+
+/// Default page size used by the storage layer (bytes).
+///
+/// 4 KiB matches the page size used by the original Coconut/ADS+ evaluation
+/// and by most OS page caches; all I/O statistics are counted at this
+/// granularity.
+pub const DEFAULT_PAGE_SIZE: usize = 4096;
+
+/// Identifier of a page within a [`crate::PagedFile`] (zero-based).
+pub type PageId = u64;
+
+/// Computes how many pages are needed to hold `bytes` bytes at `page_size`.
+pub fn pages_for_bytes(bytes: u64, page_size: usize) -> u64 {
+    assert!(page_size > 0);
+    bytes.div_ceil(page_size as u64)
+}
+
+/// Computes the page that contains byte `offset`.
+pub fn page_of_offset(offset: u64, page_size: usize) -> PageId {
+    assert!(page_size > 0);
+    offset / page_size as u64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pages_for_bytes_rounds_up() {
+        assert_eq!(pages_for_bytes(0, 4096), 0);
+        assert_eq!(pages_for_bytes(1, 4096), 1);
+        assert_eq!(pages_for_bytes(4096, 4096), 1);
+        assert_eq!(pages_for_bytes(4097, 4096), 2);
+    }
+
+    #[test]
+    fn page_of_offset_truncates() {
+        assert_eq!(page_of_offset(0, 4096), 0);
+        assert_eq!(page_of_offset(4095, 4096), 0);
+        assert_eq!(page_of_offset(4096, 4096), 1);
+        assert_eq!(page_of_offset(10_000_000, 4096), 10_000_000 / 4096);
+    }
+}

@@ -1,0 +1,139 @@
+//! Scratch directories for spill files, runs and index storage.
+//!
+//! The workspace intentionally avoids external temp-dir crates; this small
+//! helper creates a uniquely named directory under the system temp dir (or a
+//! caller-provided root) and removes it on drop.
+
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+static NEXT_ID: AtomicU64 = AtomicU64::new(0);
+
+/// A uniquely named scratch directory, deleted (best effort) on drop.
+#[derive(Debug)]
+pub struct ScratchDir {
+    path: PathBuf,
+    keep: bool,
+}
+
+impl ScratchDir {
+    /// Creates a scratch directory under the system temporary directory.
+    pub fn new(label: &str) -> std::io::Result<Self> {
+        Self::under(std::env::temp_dir(), label)
+    }
+
+    /// Creates a scratch directory under `root`.
+    pub fn under<P: AsRef<Path>>(root: P, label: &str) -> std::io::Result<Self> {
+        let id = NEXT_ID.fetch_add(1, Ordering::Relaxed);
+        let name = format!(
+            "coconut-{}-{}-{}-{}",
+            sanitize(label),
+            std::process::id(),
+            id,
+            // A coarse time component keeps names unique across repeated runs
+            // of the same process id.
+            std::time::SystemTime::now()
+                .duration_since(std::time::UNIX_EPOCH)
+                .map(|d| d.subsec_nanos())
+                .unwrap_or(0)
+        );
+        let path = root.as_ref().join(name);
+        std::fs::create_dir_all(&path)?;
+        Ok(ScratchDir { path, keep: false })
+    }
+
+    /// Path of the scratch directory.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// Builds a path for a file inside the scratch directory.
+    pub fn file(&self, name: &str) -> PathBuf {
+        self.path.join(name)
+    }
+
+    /// Disables deletion on drop (useful when debugging experiments).
+    pub fn keep(&mut self) {
+        self.keep = true;
+    }
+
+    /// Total size in bytes of all files currently in the directory.
+    pub fn total_size(&self) -> u64 {
+        fn walk(dir: &Path) -> u64 {
+            std::fs::read_dir(dir)
+                .map(|entries| {
+                    entries
+                        .filter_map(|e| e.ok())
+                        .map(|e| {
+                            let p = e.path();
+                            if p.is_dir() {
+                                walk(&p)
+                            } else {
+                                e.metadata().map(|m| m.len()).unwrap_or(0)
+                            }
+                        })
+                        .sum()
+                })
+                .unwrap_or(0)
+        }
+        walk(&self.path)
+    }
+}
+
+fn sanitize(label: &str) -> String {
+    label
+        .chars()
+        .map(|c| if c.is_ascii_alphanumeric() || c == '-' { c } else { '_' })
+        .collect()
+}
+
+impl Drop for ScratchDir {
+    fn drop(&mut self) {
+        if !self.keep {
+            let _ = std::fs::remove_dir_all(&self.path);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn creates_and_removes_directory() {
+        let path;
+        {
+            let dir = ScratchDir::new("unit").unwrap();
+            path = dir.path().to_path_buf();
+            assert!(path.exists());
+            std::fs::write(dir.file("x.bin"), b"hello").unwrap();
+            assert_eq!(dir.total_size(), 5);
+        }
+        assert!(!path.exists(), "scratch dir should be removed on drop");
+    }
+
+    #[test]
+    fn unique_names() {
+        let a = ScratchDir::new("dup").unwrap();
+        let b = ScratchDir::new("dup").unwrap();
+        assert_ne!(a.path(), b.path());
+    }
+
+    #[test]
+    fn keep_prevents_deletion() {
+        let path;
+        {
+            let mut dir = ScratchDir::new("keep").unwrap();
+            dir.keep();
+            path = dir.path().to_path_buf();
+        }
+        assert!(path.exists());
+        std::fs::remove_dir_all(&path).unwrap();
+    }
+
+    #[test]
+    fn sanitizes_labels() {
+        let dir = ScratchDir::new("we ird/label").unwrap();
+        assert!(dir.path().file_name().unwrap().to_string_lossy().contains("we_ird_label"));
+    }
+}

@@ -1,0 +1,76 @@
+//! Demonstration Scenario 2: dynamic streaming seismic-like data.
+//!
+//! Batches keep arriving; the goal is to find earthquake-like patterns inside
+//! variable-sized temporal windows while ingestion continues.  Compares the
+//! ADS+ baselines (PP, TP) against the recommender's choice, CLSM with BTP.
+//!
+//! ```bash
+//! cargo run --release -p coconut-core --example streaming_seismic
+//! ```
+
+use coconut_core::{
+    recommend, streaming_index, IoStats, Scenario, ScratchDir, StreamingConfig, VariantKind,
+    WindowScheme,
+};
+use coconut_series::generator::SeismicStreamGenerator;
+
+fn main() {
+    let dir = ScratchDir::new("scenario2").expect("scratch dir");
+    let series_len = 128;
+    let batch_size = 200;
+    let batches = 25;
+
+    // The recommender's advice for a streaming, small-window scenario.
+    let rec = recommend(&Scenario::streaming((batches * batch_size) as u64, series_len));
+    println!("recommender says:");
+    for line in &rec.rationale {
+        println!("  - {line}");
+    }
+
+    let variants = [
+        ("ADS+ PP ", StreamingConfig::new(VariantKind::Ads, WindowScheme::PostProcessing, series_len)),
+        ("ADS+ TP ", StreamingConfig::new(VariantKind::Ads, WindowScheme::TemporalPartitioning, series_len)),
+        ("CLSM BTP", StreamingConfig::new(VariantKind::Clsm, WindowScheme::BoundedTemporalPartitioning, series_len)),
+    ];
+
+    for (name, mut config) in variants {
+        config.buffer_capacity = batch_size;
+        let stats = IoStats::shared();
+        let mut index = streaming_index(config, &dir.file(&name.replace(' ', "-")), stats.clone())
+            .expect("streaming index");
+        let mut gen = SeismicStreamGenerator::new(series_len, 13, 0.05);
+        let query = gen.quake_template();
+        let mut ingest_ms = 0.0;
+        let mut hits = 0usize;
+        let mut query_ms = 0.0;
+        let mut queries = 0usize;
+        for b in 0..batches {
+            let batch = gen.next_batch(batch_size);
+            let t = std::time::Instant::now();
+            index.ingest_batch(&batch).expect("ingest");
+            ingest_ms += t.elapsed().as_secs_f64() * 1000.0;
+            if b % 5 == 4 {
+                // Query the last two batches' window for earthquake patterns.
+                let now = ((b + 1) * batch_size) as u64;
+                let window = Some((now - 2 * batch_size as u64, now));
+                let t = std::time::Instant::now();
+                let result = index.query_window(&query, 3, window, true).expect("query");
+                query_ms += t.elapsed().as_secs_f64() * 1000.0;
+                queries += 1;
+                hits += result
+                    .neighbors
+                    .iter()
+                    .filter(|n| gen.quake_ids().contains(&n.id))
+                    .count();
+            }
+        }
+        let io = stats.snapshot();
+        println!(
+            "{name}: ingest {ingest_ms:7.1} ms ({:.0}% random I/O), avg window query {:6.2} ms, \
+             {hits} quake hits in {queries} queries, {} partitions",
+            io.random_fraction() * 100.0,
+            query_ms / queries as f64,
+            index.num_partitions(),
+        );
+    }
+}
