@@ -277,8 +277,7 @@ impl AdsTree {
     /// On-disk footprint: every allocated leaf region, full or not — the
     /// sparse allocation the paper calls out as a storage bottleneck.
     pub fn footprint_bytes(&self) -> u64 {
-        self.next_region * self.config.leaf_capacity as u64
-            * self.entry_size() as u64
+        self.next_region * self.config.leaf_capacity as u64 * self.entry_size() as u64
     }
 
     fn entry_size(&self) -> usize {
@@ -300,7 +299,9 @@ impl AdsTree {
             &self.summarizer,
             self.config.materialized,
         );
-        let sax = self.summarizer.decode(InvSaxKey::from_raw(entry.key, self.config.sax.key_bits()));
+        let sax = self
+            .summarizer
+            .decode(InvSaxKey::from_raw(entry.key, self.config.sax.key_bits()));
         let leaf_id = Self::descend(&self.root, &sax);
         self.leaves[leaf_id].buffered.push(entry);
         self.buffered_total += 1;
@@ -356,9 +357,8 @@ impl AdsTree {
         // Load every entry of the leaf (disk + buffer).
         let mut entries = self.read_leaf_disk(leaf_id)?;
         entries.append(&mut self.leaves[leaf_id].buffered);
-        self.buffered_total -= entries.iter().filter(|_| false).count(); // buffered moved below
-        // Recompute buffered_total precisely: entries that were buffered were
-        // removed from the leaf buffer above; adjust by recomputing.
+        // The leaf's buffered entries moved into `entries` above; recompute
+        // the global buffered counter from the remaining leaf buffers.
         self.buffered_total = self.leaves.iter().map(|l| l.buffered.len()).sum();
 
         // Find the leaf node in the tree and split its word.
@@ -390,7 +390,11 @@ impl AdsTree {
             let sax = self
                 .summarizer
                 .decode(InvSaxKey::from_raw(entry.key, self.config.sax.key_bits()));
-            let target = if low_word.covers(&sax) { low_id } else { high_id };
+            let target = if low_word.covers(&sax) {
+                low_id
+            } else {
+                high_id
+            };
             self.leaves[target].buffered.push(entry);
         }
         self.buffered_total = self.leaves.iter().map(|l| l.buffered.len()).sum();
@@ -423,7 +427,7 @@ impl AdsTree {
     }
 
     fn find_leaf_word(&self, leaf_id: usize) -> &IsaxWord {
-        fn walk<'a>(node: &'a Node, leaf_id: usize) -> Option<&'a IsaxWord> {
+        fn walk(node: &Node, leaf_id: usize) -> Option<&IsaxWord> {
             match node {
                 Node::Leaf { word, leaf_id: id } => (*id == leaf_id).then_some(word),
                 Node::Internal { low, high, .. } => {
@@ -502,7 +506,10 @@ impl AdsTree {
         let buf = self
             .leaf_file
             .read_at(start, entry_size * leaf.on_disk as usize)?;
-        Ok(buf.chunks_exact(entry_size).map(|c| layout.decode(c)).collect())
+        Ok(buf
+            .chunks_exact(entry_size)
+            .map(|c| layout.decode(c))
+            .collect())
     }
 
     fn leaf_entries(&self, leaf_id: usize) -> Result<Vec<SeriesEntry>> {
@@ -750,14 +757,18 @@ mod tests {
         let mut gen = RandomWalkGenerator::new(32, 7);
         let series = gen.generate(100);
         let stats = IoStats::shared();
-        let config = AdsConfig::new(sax).materialized(true).with_leaf_capacity(16);
+        let config = AdsConfig::new(sax)
+            .materialized(true)
+            .with_leaf_capacity(16);
         let mut tree = AdsTree::new(config, dir.path(), stats).unwrap();
         for (i, s) in series.iter().enumerate() {
             tree.insert(s, (i as u64) * 10).unwrap();
         }
         tree.flush_buffers().unwrap();
         let q = gen.next_series();
-        let (got, _) = tree.exact_knn_window(&q.values, 50, Some((200, 500))).unwrap();
+        let (got, _) = tree
+            .exact_knn_window(&q.values, 50, Some((200, 500)))
+            .unwrap();
         assert!(!got.is_empty());
         for n in &got {
             assert!(n.id * 10 >= 200 && n.id * 10 <= 500);
@@ -769,9 +780,9 @@ mod tests {
         let dir = ScratchDir::new("ads-empty").unwrap();
         let config = AdsConfig::new(SaxConfig::new(32, 4, 8)).materialized(true);
         let tree = AdsTree::new(config, dir.path(), IoStats::shared()).unwrap();
-        let (got, _) = tree.exact_knn(&vec![0.0; 32], 3).unwrap();
+        let (got, _) = tree.exact_knn(&[0.0; 32], 3).unwrap();
         assert!(got.is_empty());
-        let (got, _) = tree.approximate_knn(&vec![0.0; 32], 3).unwrap();
+        let (got, _) = tree.approximate_knn(&[0.0; 32], 3).unwrap();
         assert!(got.is_empty());
     }
 

@@ -14,8 +14,18 @@ fn dbg_io_pattern() {
     let series = gen.generate(1500);
     let dataset = Dataset::create_from_series(dir.file("raw.bin"), &series).unwrap();
     let stats = IoStats::shared();
-    let config = AdsConfig::new(sax).materialized(true).with_leaf_capacity(32).with_buffer_capacity(256);
+    let config = AdsConfig::new(sax)
+        .materialized(true)
+        .with_leaf_capacity(32)
+        .with_buffer_capacity(256);
     let tree = AdsTree::build(&dataset, config, dir.path(), Arc::clone(&stats)).unwrap();
     let io = tree.build_stats().io;
-    eprintln!("io = {:?} random_frac={} leaves={} splits={} flushes={}", io, io.random_fraction(), tree.num_leaves(), tree.splits(), tree.build_stats().flushes);
+    eprintln!(
+        "io = {:?} random_frac={} leaves={} splits={} flushes={}",
+        io,
+        io.random_fraction(),
+        tree.num_leaves(),
+        tree.splits(),
+        tree.build_stats().flushes
+    );
 }

@@ -41,13 +41,22 @@ fn bench_mindist(c: &mut Criterion) {
     let mut gen = RandomWalkGenerator::new(256, 2);
     let q = gen.next_series();
     let q_paa = paa(&q.values, config.segments);
-    let words: Vec<_> = gen.generate(128).iter().map(|s| summarizer.sax(&s.values)).collect();
+    let words: Vec<_> = gen
+        .generate(128)
+        .iter()
+        .map(|s| summarizer.sax(&s.values))
+        .collect();
     c.bench_function("m2_mindist_paa_sax", |b| {
         let mut i = 0;
         b.iter(|| {
             let w = &words[i % words.len()];
             i += 1;
-            std::hint::black_box(mindist_paa_sax_sq(&q_paa, w, &config, summarizer.breakpoints()));
+            std::hint::black_box(mindist_paa_sax_sq(
+                &q_paa,
+                w,
+                &config,
+                summarizer.breakpoints(),
+            ));
         })
     });
 }
@@ -71,7 +80,7 @@ fn bench_external_sort(c: &mut Criterion) {
                     IoStats::shared(),
                 );
                 let out = sorter.sort(records).unwrap();
-                std::hint::black_box(out.map(|r| r.unwrap()).count());
+                std::hint::black_box(out.map(|r| r.unwrap()).fold(0u64, |n, _| n + 1));
             },
             BatchSize::LargeInput,
         )
@@ -83,8 +92,9 @@ fn bench_ctree_query(c: &mut Criterion) {
     let mut gen = RandomWalkGenerator::new(128, 3);
     let series = gen.generate(2000);
     let config = coconut_ctree::CTreeConfig::new(SaxConfig::paper_default(128)).materialized(true);
-    let tree = coconut_ctree::CTree::build_from_series(&series, config, dir.path(), IoStats::shared())
-        .unwrap();
+    let tree =
+        coconut_ctree::CTree::build_from_series(&series, config, dir.path(), IoStats::shared())
+            .unwrap();
     let queries = gen.generate(32);
     let _ = Arc::new(());
     c.bench_function("m4_ctree_exact_knn_2k", |b| {

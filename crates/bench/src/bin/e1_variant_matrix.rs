@@ -16,7 +16,9 @@ fn main() {
         for materialized in [false, true] {
             let config = IndexConfig::new(variant, len).materialized(materialized);
             let stats = wb.stats();
-            let dir = wb.dir.file(&format!("{}-{materialized}", config.display_name()));
+            let dir = wb
+                .dir
+                .file(&format!("{}-{materialized}", config.display_name()));
             let (index, report) =
                 StaticIndex::build(&wb.dataset, config, &dir, stats.clone()).expect("build");
             stats.reset();
@@ -51,7 +53,9 @@ fn main() {
         ],
         &rows,
     );
-    println!("\nExpected shape: Coconut variants (CTree/CLSM) build with a low random fraction and");
+    println!(
+        "\nExpected shape: Coconut variants (CTree/CLSM) build with a low random fraction and"
+    );
     println!("smaller footprints than ADS+; 'Full' variants are larger/slower to build but answer");
     println!("queries without touching the raw file.");
 }

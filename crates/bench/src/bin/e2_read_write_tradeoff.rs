@@ -4,7 +4,7 @@
 //! insert + query workload and reports the resulting ingest/query balance.
 
 use coconut_bench::{f2, print_table, scale, Workbench};
-use coconut_core::{ClsmConfig, ClsmTree, CTree, CTreeConfig, IoStats, SaxConfig};
+use coconut_core::{CTree, CTreeConfig, ClsmConfig, ClsmTree, IoStats, SaxConfig};
 use coconut_series::generator::{RandomWalkGenerator, SeriesGenerator};
 
 fn main() {
@@ -21,7 +21,9 @@ fn main() {
     let mut rows = Vec::new();
     for fill in [0.5, 0.7, 0.9, 1.0] {
         let stats = IoStats::shared();
-        let config = CTreeConfig::new(sax).materialized(true).with_fill_factor(fill);
+        let config = CTreeConfig::new(sax)
+            .materialized(true)
+            .with_fill_factor(fill);
         let dir = wb.dir.file(&format!("ctree-{fill}"));
         std::fs::create_dir_all(&dir).unwrap();
         let mut tree = CTree::build(&wb.dataset, config, &dir, stats.clone()).unwrap();
@@ -78,8 +80,17 @@ fn main() {
         ]);
     }
     print_table(
-        &format!("E2: read/write trade-off, {n} base series + {} updates", updates.len()),
-        &["config", "ingest_ms", "ingest_ios", "exact_q_ms", "q_page_reads"],
+        &format!(
+            "E2: read/write trade-off, {n} base series + {} updates",
+            updates.len()
+        ),
+        &[
+            "config",
+            "ingest_ms",
+            "ingest_ios",
+            "exact_q_ms",
+            "q_page_reads",
+        ],
         &rows,
     );
     println!("\nExpected shape: higher fill factor / smaller growth factor -> costlier ingestion,");

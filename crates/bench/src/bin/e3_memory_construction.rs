@@ -11,7 +11,12 @@ fn main() {
     let len = 128;
     let wb = Workbench::random_walk("e3", n, len, 5, 3);
     let raw_bytes = n * len * 4;
-    let budgets = [raw_bytes / 2, raw_bytes / 8, raw_bytes / 32, raw_bytes / 128];
+    let budgets = [
+        raw_bytes / 2,
+        raw_bytes / 8,
+        raw_bytes / 32,
+        raw_bytes / 128,
+    ];
     let mut rows = Vec::new();
     for &budget in &budgets {
         for variant in VariantKind::all() {
@@ -34,9 +39,18 @@ fn main() {
     }
     print_table(
         &format!("E3: construction cost vs memory budget, {n} series x {len}"),
-        &["variant", "budget_KiB", "build_ms", "total_ios", "random_ios", "rand_frac"],
+        &[
+            "variant",
+            "budget_KiB",
+            "build_ms",
+            "total_ios",
+            "random_ios",
+            "rand_frac",
+        ],
         &rows,
     );
-    println!("\nExpected shape: ADS+ random I/O grows sharply as the budget shrinks; the external-sort");
+    println!(
+        "\nExpected shape: ADS+ random I/O grows sharply as the budget shrinks; the external-sort"
+    );
     println!("variants stay sequential (two passes) at every budget.");
 }

@@ -53,15 +53,33 @@ fn main() {
             queries.to_string(),
             f2(non_total),
             f2(mat_total),
-            if mat_total < non_total { "materialized" } else { "non-materialized" }.into(),
-            if rec.materialized { "materialized" } else { "non-materialized" }.into(),
+            if mat_total < non_total {
+                "materialized"
+            } else {
+                "non-materialized"
+            }
+            .into(),
+            if rec.materialized {
+                "materialized"
+            } else {
+                "non-materialized"
+            }
+            .into(),
         ]);
     }
     print_table(
         "E4b: total cost (build + queries) and recommender choice vs query count",
-        &["queries", "nonmat_total_ms", "mat_total_ms", "cheaper", "recommender"],
+        &[
+            "queries",
+            "nonmat_total_ms",
+            "mat_total_ms",
+            "cheaper",
+            "recommender",
+        ],
         &rows,
     );
-    println!("\nExpected shape: non-materialized wins for few queries; materialized wins once enough");
+    println!(
+        "\nExpected shape: non-materialized wins for few queries; materialized wins once enough"
+    );
     println!("queries amortize its extra build cost — and the recommender flips accordingly.");
 }

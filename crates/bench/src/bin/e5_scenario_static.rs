@@ -59,9 +59,19 @@ fn main() {
     }
     print_table(
         &format!("E5: Scenario 1 (static astronomy-like), {n} series x {len}"),
-        &["variant", "build_ms", "build_rand_frac", "size_MiB", "exact_ms", "approx_ms", "exact_page_reads"],
+        &[
+            "variant",
+            "build_ms",
+            "build_rand_frac",
+            "size_MiB",
+            "exact_ms",
+            "approx_ms",
+            "exact_page_reads",
+        ],
         &rows,
     );
-    println!("\nExpected shape: CTree builds faster with sequential I/O, is more compact, and answers");
+    println!(
+        "\nExpected shape: CTree builds faster with sequential I/O, is more compact, and answers"
+    );
     println!("pattern queries with fewer page reads than ADS+ (friendlier access pattern).");
 }

@@ -16,16 +16,33 @@ fn main() {
     let len = 128;
     let dir = ScratchDir::new("e6").unwrap();
     let configs = [
-        ("ADS+ PP", StreamingConfig::new(VariantKind::Ads, WindowScheme::PostProcessing, len)),
-        ("ADS+ TP", StreamingConfig::new(VariantKind::Ads, WindowScheme::TemporalPartitioning, len)),
-        ("CTree TP", StreamingConfig::new(VariantKind::CTree, WindowScheme::TemporalPartitioning, len)),
-        ("CLSM BTP", StreamingConfig::new(VariantKind::Clsm, WindowScheme::BoundedTemporalPartitioning, len)),
+        (
+            "ADS+ PP",
+            StreamingConfig::new(VariantKind::Ads, WindowScheme::PostProcessing, len),
+        ),
+        (
+            "ADS+ TP",
+            StreamingConfig::new(VariantKind::Ads, WindowScheme::TemporalPartitioning, len),
+        ),
+        (
+            "CTree TP",
+            StreamingConfig::new(VariantKind::CTree, WindowScheme::TemporalPartitioning, len),
+        ),
+        (
+            "CLSM BTP",
+            StreamingConfig::new(
+                VariantKind::Clsm,
+                WindowScheme::BoundedTemporalPartitioning,
+                len,
+            ),
+        ),
     ];
     let mut rows = Vec::new();
     for (name, mut config) in configs {
         config.buffer_capacity = batch_size;
         let stats = IoStats::shared();
-        let mut index = streaming_index(config, &dir.file(&name.replace(" ", "-")), stats.clone()).unwrap();
+        let mut index =
+            streaming_index(config, &dir.file(&name.replace(" ", "-")), stats.clone()).unwrap();
         let mut gen = SeismicStreamGenerator::new(len, 6, 0.05);
         let query = gen.quake_template();
         let mut ingest_ms = 0.0;
@@ -58,7 +75,14 @@ fn main() {
     }
     print_table(
         &format!("E6: Scenario 2 (streaming seismic-like), {batches} batches x {batch_size}"),
-        &["variant", "ingest_ms", "ingest_rand_frac", "window_q_ms", "parts_accessed", "parts_total"],
+        &[
+            "variant",
+            "ingest_ms",
+            "ingest_rand_frac",
+            "window_q_ms",
+            "parts_accessed",
+            "parts_total",
+        ],
         &rows,
     );
     println!("\nExpected shape: CLSM BTP ingests with sequential I/O, keeps the partition count bounded,");

@@ -17,7 +17,11 @@ fn main() {
     let schemes = [
         ("PP (CLSM)", VariantKind::Clsm, WindowScheme::PostProcessing),
         ("TP", VariantKind::CTree, WindowScheme::TemporalPartitioning),
-        ("BTP", VariantKind::Clsm, WindowScheme::BoundedTemporalPartitioning),
+        (
+            "BTP",
+            VariantKind::Clsm,
+            WindowScheme::BoundedTemporalPartitioning,
+        ),
     ];
     let total = (batches * batch_size) as u64;
     let mut rows = Vec::new();
@@ -25,8 +29,12 @@ fn main() {
         let mut config = StreamingConfig::new(variant, scheme, len);
         config.buffer_capacity = batch_size;
         let stats = IoStats::shared();
-        let mut index =
-            streaming_index(config, &dir.file(&name.replace([' ', '(', ')'], "-")), stats).unwrap();
+        let mut index = streaming_index(
+            config,
+            &dir.file(&name.replace([' ', '(', ')'], "-")),
+            stats,
+        )
+        .unwrap();
         let mut gen = SeismicStreamGenerator::new(len, 9, 0.05);
         for _ in 0..batches {
             index.ingest_batch(&gen.next_batch(batch_size)).unwrap();
@@ -49,9 +57,18 @@ fn main() {
     }
     print_table(
         &format!("E7: window schemes, {batches} batches x {batch_size}"),
-        &["scheme", "window", "parts_accessed", "parts_total", "entries_examined", "q_ms"],
+        &[
+            "scheme",
+            "window",
+            "parts_accessed",
+            "parts_total",
+            "entries_examined",
+            "q_ms",
+        ],
         &rows,
     );
     println!("\nExpected shape: TP/BTP skip partitions for small windows (PP cannot); BTP keeps the total");
-    println!("partition count bounded so large-window and approximate queries touch few partitions.");
+    println!(
+        "partition count bounded so large-window and approximate queries touch few partitions."
+    );
 }

@@ -18,7 +18,9 @@ fn main() {
         for materialized in [false, true] {
             let config = IndexConfig::new(variant, len).materialized(materialized);
             let stats = wb.stats();
-            let dir = wb.dir.file(&format!("e8-{}-{materialized}", config.display_name()));
+            let dir = wb
+                .dir
+                .file(&format!("e8-{}-{materialized}", config.display_name()));
             let (index, report) = StaticIndex::build(&wb.dataset, config, &dir, stats).unwrap();
             let t = std::time::Instant::now();
             for q in &wb.queries.queries {
@@ -59,9 +61,18 @@ fn main() {
     }
     print_table(
         &format!("E8: recommender regret, {n} series x {len}"),
-        &["exp_queries", "recommended", "best_measured", "rec_cost_ms", "best_cost_ms", "regret_%"],
+        &[
+            "exp_queries",
+            "recommended",
+            "best_measured",
+            "rec_cost_ms",
+            "best_cost_ms",
+            "regret_%",
+        ],
         &rows,
     );
-    println!("\nExpected shape: the recommended variant tracks the measured-best variant (low regret),");
+    println!(
+        "\nExpected shape: the recommended variant tracks the measured-best variant (low regret),"
+    );
     println!("flipping from non-materialized to materialized as the expected query count grows.");
 }

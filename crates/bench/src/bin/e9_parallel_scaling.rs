@@ -1,0 +1,171 @@
+//! E9 — Multi-core bulk-load and query pipeline scaling.
+//!
+//! Builds the same CoconutTree (and a CoconutLSM) at `parallelism = 1` and
+//! `parallelism = N` (`N` from `COCONUT_THREADS`, default: all cores), then:
+//!
+//! * verifies the two CTree leaf files are **byte-identical** — the parallel
+//!   pipeline must be a pure speedup, never a different index;
+//! * verifies every exact kNN answer matches between the two builds;
+//! * reports build throughput (series/s) and mean exact-query latency;
+//! * writes the machine-readable report to `BENCH_parallel.json`.
+//!
+//! On a single-core machine the two configurations degenerate to the same
+//! sequential code path, so the speedup column reads ~1.0 by construction.
+
+use std::sync::Arc;
+use std::time::Instant;
+
+use coconut_bench::{f2, print_table, scale, threads, Workbench};
+use coconut_core::{IndexConfig, StaticIndex, VariantKind};
+use coconut_json::{Json, ToJson};
+
+struct BuildOutcome {
+    parallelism: usize,
+    build_ms: f64,
+    throughput: f64,
+    query_ms: f64,
+    answers: Vec<Vec<(u64, f64)>>,
+    leaf_bytes: Option<Vec<u8>>,
+}
+
+fn run_variant(
+    wb: &Workbench,
+    variant: VariantKind,
+    parallelism: usize,
+    n: usize,
+    len: usize,
+    k: usize,
+) -> BuildOutcome {
+    let config = IndexConfig::new(variant, len)
+        .materialized(true)
+        .with_memory_budget(8 << 20)
+        .with_parallelism(parallelism);
+    let stats = wb.stats();
+    let dir = wb
+        .dir
+        .file(&format!("{}-p{parallelism}", config.display_name()));
+    let start = Instant::now();
+    let (index, _report) =
+        StaticIndex::build(&wb.dataset, config, &dir, Arc::clone(&stats)).expect("build");
+    let build_ms = start.elapsed().as_secs_f64() * 1000.0;
+
+    let mut answers = Vec::new();
+    let qstart = Instant::now();
+    for q in &wb.queries.queries {
+        let (nn, _) = index.exact_knn(&q.values, k).expect("query");
+        answers.push(
+            nn.iter()
+                .map(|n| (n.id, n.squared_distance))
+                .collect::<Vec<_>>(),
+        );
+    }
+    let query_ms = qstart.elapsed().as_secs_f64() * 1000.0 / wb.queries.queries.len() as f64;
+
+    // The CTree leaf level lives in one contiguous file; snapshot it for the
+    // byte-identity check.
+    let leaf_bytes = match variant {
+        VariantKind::CTree => std::fs::read(dir.join("ctree-leaves.run")).ok(),
+        _ => None,
+    };
+
+    BuildOutcome {
+        parallelism,
+        build_ms,
+        throughput: n as f64 / (build_ms / 1000.0),
+        query_ms,
+        answers,
+        leaf_bytes,
+    }
+}
+
+fn main() {
+    let n = 20_000 * scale();
+    let len = 128;
+    let q = 20;
+    let k = 5;
+    let n_threads = threads();
+    let wb = Workbench::random_walk("e9", n, len, q, 9);
+
+    let mut rows = Vec::new();
+    let mut report_builds = Vec::new();
+    let mut identical_files = true;
+    let mut identical_answers = true;
+    let mut speedups = Vec::new();
+
+    for variant in [VariantKind::CTree, VariantKind::Clsm] {
+        let base = run_variant(&wb, variant, 1, n, len, k);
+        let parallel = run_variant(&wb, variant, n_threads, n, len, k);
+
+        if variant == VariantKind::CTree {
+            match (&base.leaf_bytes, &parallel.leaf_bytes) {
+                (Some(a), Some(b)) => identical_files &= a == b,
+                _ => identical_files = false,
+            }
+        }
+        identical_answers &= base.answers == parallel.answers;
+        let speedup = base.build_ms / parallel.build_ms;
+        speedups.push(speedup);
+
+        for outcome in [&base, &parallel] {
+            rows.push(vec![
+                format!("{}Full", variant.name()),
+                outcome.parallelism.to_string(),
+                f2(outcome.build_ms),
+                f2(outcome.throughput),
+                f2(outcome.query_ms),
+            ]);
+            report_builds.push(Json::obj(vec![
+                ("variant", variant.name().to_json()),
+                ("parallelism", outcome.parallelism.to_json()),
+                ("build_ms", outcome.build_ms.to_json()),
+                ("series_per_sec", outcome.throughput.to_json()),
+                ("mean_exact_query_ms", outcome.query_ms.to_json()),
+            ]));
+        }
+        rows.push(vec![
+            format!("{}Full", variant.name()),
+            format!("x{}", f2(speedup)),
+            String::new(),
+            String::new(),
+            String::new(),
+        ]);
+    }
+
+    print_table(
+        &format!("E9: bulk-load scaling, {n} series x {len}, 1 vs {n_threads} threads"),
+        &["variant", "threads", "build_ms", "series/s", "query_ms"],
+        &rows,
+    );
+    println!(
+        "\nCTree leaf files byte-identical across thread counts: {identical_files}\n\
+         exact kNN answers identical across thread counts:     {identical_answers}"
+    );
+    if n_threads == 1 {
+        println!("note: only one core available; both configurations ran the sequential path.");
+    }
+
+    let report = Json::obj(vec![
+        ("experiment", "e9_parallel_scaling".to_json()),
+        ("series", n.to_json()),
+        ("series_len", len.to_json()),
+        ("queries", q.to_json()),
+        ("k", k.to_json()),
+        ("threads", n_threads.to_json()),
+        ("builds", Json::Arr(report_builds)),
+        (
+            "ctree_speedup",
+            speedups.first().copied().unwrap_or(1.0).to_json(),
+        ),
+        (
+            "clsm_speedup",
+            speedups.get(1).copied().unwrap_or(1.0).to_json(),
+        ),
+        ("identical_index_files", identical_files.to_json()),
+        ("identical_query_answers", identical_answers.to_json()),
+    ]);
+    std::fs::write("BENCH_parallel.json", report.to_string_pretty()).expect("write report");
+    println!("\nwrote BENCH_parallel.json");
+
+    assert!(identical_files, "parallel build must be byte-identical");
+    assert!(identical_answers, "parallel build must answer identically");
+}

@@ -25,6 +25,21 @@ pub fn scale() -> usize {
         .max(1)
 }
 
+/// Worker-thread count read from `COCONUT_THREADS`.
+///
+/// `0` (or unset) resolves to one worker per available core; any other value
+/// is used as-is.  Experiments pass this through the `parallelism` knobs of
+/// the index configurations, so `COCONUT_THREADS=1` reproduces the
+/// single-core pipeline exactly (the on-disk indexes are byte-identical at
+/// every setting).
+pub fn threads() -> usize {
+    let requested = std::env::var("COCONUT_THREADS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(0);
+    coconut_parallel::effective_parallelism(requested)
+}
+
 /// A generated dataset on disk plus its in-memory copy and query workload.
 pub struct Workbench {
     /// Scratch directory holding the raw file and all index files.
@@ -81,7 +96,10 @@ pub fn print_table(title: &str, header: &[&str], rows: &[Vec<String>]) {
     };
     let header_owned: Vec<String> = header.iter().map(|s| s.to_string()).collect();
     println!("{}", fmt_row(&header_owned));
-    println!("{}", "-".repeat(widths.iter().sum::<usize>() + 2 * widths.len()));
+    println!(
+        "{}",
+        "-".repeat(widths.iter().sum::<usize>() + 2 * widths.len())
+    );
     for row in rows {
         println!("{}", fmt_row(row));
     }

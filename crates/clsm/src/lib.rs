@@ -45,6 +45,10 @@ pub struct ClsmConfig {
     pub entries_per_block: usize,
     /// Page size used for I/O accounting.
     pub page_size: usize,
+    /// Worker threads for batch summarization and flush sorting (`1` =
+    /// sequential, `0` = one per available core).  Runs are byte-identical
+    /// at every setting.
+    pub parallelism: usize,
 }
 
 impl ClsmConfig {
@@ -57,6 +61,7 @@ impl ClsmConfig {
             growth_factor: 4,
             entries_per_block: 64,
             page_size: coconut_storage::DEFAULT_PAGE_SIZE,
+            parallelism: 1,
         }
     }
 
@@ -76,6 +81,12 @@ impl ClsmConfig {
     pub fn with_growth_factor(mut self, t: usize) -> Self {
         assert!(t >= 2, "growth factor must be at least 2");
         self.growth_factor = t;
+        self
+    }
+
+    /// Sets the ingest parallelism (`1` = sequential, `0` = all cores).
+    pub fn with_parallelism(mut self, workers: usize) -> Self {
+        self.parallelism = workers;
         self
     }
 
@@ -174,8 +185,21 @@ impl ClsmTree {
             )));
         }
         let mut tree = ClsmTree::new(config, dir, stats)?;
+        // Ingest in buffer-capacity batches so summarization runs on the
+        // worker pool while the scan stays streaming.  The staging batch is
+        // bounded by the same buffer_capacity that sizes the in-memory
+        // buffer, so it transiently at most doubles the configured buffer.
+        let batch_size = config.buffer_capacity.clamp(256, 1 << 16);
+        let mut batch: Vec<Series> = Vec::with_capacity(batch_size);
         for series in dataset.iter()? {
-            tree.insert(&series?, 0)?;
+            batch.push(series?);
+            if batch.len() >= batch_size {
+                tree.insert_batch(&batch, 0)?;
+                batch.clear();
+            }
+        }
+        if !batch.is_empty() {
+            tree.insert_batch(&batch, 0)?;
         }
         tree.flush()?;
         if !config.materialized {
@@ -257,9 +281,33 @@ impl ClsmTree {
     }
 
     /// Inserts a batch of series sharing one timestamp.
+    ///
+    /// The whole batch is summarized with the configured worker pool before
+    /// any entry enters the buffer, so bulk ingestion scales with cores
+    /// while remaining equivalent to repeated [`ClsmTree::insert`] calls.
     pub fn insert_batch(&mut self, series: &[Series], timestamp: Timestamp) -> Result<()> {
         for s in series {
-            self.insert(s, timestamp)?;
+            if s.len() != self.config.sax.series_len {
+                return Err(IndexError::Config(format!(
+                    "inserted series length {} does not match index ({})",
+                    s.len(),
+                    self.config.sax.series_len
+                )));
+            }
+        }
+        let entries = SeriesEntry::from_series_batch(
+            series,
+            timestamp,
+            &self.summarizer,
+            self.config.materialized,
+            self.config.parallelism,
+        );
+        for entry in entries {
+            self.buffer.push(entry);
+            self.lsm_stats.entries_ingested += 1;
+            if self.buffer.len() >= self.config.buffer_capacity {
+                self.flush()?;
+            }
         }
         Ok(())
     }
@@ -283,12 +331,16 @@ impl ClsmTree {
         Ok(())
     }
 
-    fn write_sorted_run(&mut self, entries: Vec<SeriesEntry>, level: usize) -> Result<SortedSeriesFile> {
+    fn write_sorted_run(
+        &mut self,
+        entries: Vec<SeriesEntry>,
+        level: usize,
+    ) -> Result<SortedSeriesFile> {
         let path = self
             .dir
             .join(format!("clsm-L{level}-{:06}.run", self.next_run_id));
         self.next_run_id += 1;
-        SortedSeriesFile::build_from_entries(
+        SortedSeriesFile::build_from_entries_parallel(
             path,
             self.config.layout(),
             self.config.sax,
@@ -296,6 +348,7 @@ impl ClsmTree {
             self.config.entries_per_block,
             Arc::clone(&self.stats),
             self.config.page_size,
+            self.config.parallelism,
         )
     }
 
@@ -322,7 +375,11 @@ impl ClsmTree {
         Ok(())
     }
 
-    fn merge_runs(&mut self, runs: &[SortedSeriesFile], target_level: usize) -> Result<SortedSeriesFile> {
+    fn merge_runs(
+        &mut self,
+        runs: &[SortedSeriesFile],
+        target_level: usize,
+    ) -> Result<SortedSeriesFile> {
         let layout = self.config.layout();
         let dyn_runs: Vec<_> = runs.iter().map(|r| r.run().clone()).collect();
         let merge = coconut_storage::DynKWayMerge::new(layout, &dyn_runs, 256)?;
@@ -511,7 +568,9 @@ mod tests {
     fn buffered_entries_are_visible_before_flush() {
         let dir = ScratchDir::new("clsm-buf").unwrap();
         let sax = SaxConfig::new(64, 8, 8);
-        let config = ClsmConfig::new(sax).materialized(true).with_buffer_capacity(1000);
+        let config = ClsmConfig::new(sax)
+            .materialized(true)
+            .with_buffer_capacity(1000);
         let mut tree = ClsmTree::new(config, &dir.file("lsm"), IoStats::shared()).unwrap();
         let mut gen = RandomWalkGenerator::new(64, 4);
         let series = gen.generate(50);
@@ -553,7 +612,9 @@ mod tests {
     fn window_queries_respect_window() {
         let dir = ScratchDir::new("clsm-window").unwrap();
         let sax = SaxConfig::new(32, 4, 8);
-        let config = ClsmConfig::new(sax).materialized(true).with_buffer_capacity(32);
+        let config = ClsmConfig::new(sax)
+            .materialized(true)
+            .with_buffer_capacity(32);
         let mut tree = ClsmTree::new(config, &dir.file("lsm"), IoStats::shared()).unwrap();
         let mut gen = RandomWalkGenerator::new(32, 7);
         for batch in 0..10u64 {
@@ -562,11 +623,17 @@ mod tests {
         }
         tree.flush().unwrap();
         let q = gen.next_series();
-        let (got, _) = tree.exact_knn_window(&q.values, 200, Some((300, 600))).unwrap();
+        let (got, _) = tree
+            .exact_knn_window(&q.values, 200, Some((300, 600)))
+            .unwrap();
         assert!(!got.is_empty());
         // Every returned id must belong to batches 3..=6 (ids 60..140).
         for n in &got {
-            assert!(n.id >= 60 && n.id < 140, "id {} outside window batches", n.id);
+            assert!(
+                n.id >= 60 && n.id < 140,
+                "id {} outside window batches",
+                n.id
+            );
         }
     }
 
@@ -575,7 +642,7 @@ mod tests {
         let dir = ScratchDir::new("clsm-empty").unwrap();
         let config = ClsmConfig::new(SaxConfig::new(32, 4, 8)).materialized(true);
         let tree = ClsmTree::new(config, &dir.file("lsm"), IoStats::shared()).unwrap();
-        let (got, _) = tree.exact_knn(&vec![0.0; 32], 3).unwrap();
+        let (got, _) = tree.exact_knn(&[0.0; 32], 3).unwrap();
         assert!(got.is_empty());
     }
 

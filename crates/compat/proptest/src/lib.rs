@@ -1,0 +1,357 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! The build environment has no access to crates.io, so this crate
+//! re-implements the subset of the proptest 1.x surface this workspace uses:
+//!
+//! * the [`proptest!`] macro with `arg in strategy` bindings and an optional
+//!   `#![proptest_config(ProptestConfig::with_cases(n))]` inner attribute,
+//! * range strategies (`0u64..1000`, `0u8..=255`, `-10.0f64..10.0`, ...),
+//! * [`collection::vec`] with either a fixed length or a length range,
+//! * `prop_assert!`, `prop_assert_eq!` and `prop_assert_ne!`.
+//!
+//! Unlike real proptest there is **no shrinking**: a failing case panics with
+//! the generated inputs left to the test's own assertion message.  Cases are
+//! generated deterministically from the test's name, so failures reproduce
+//! across runs.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+pub use rand::Rng as __Rng;
+
+/// Number of cases each property runs by default (real proptest's default).
+pub const DEFAULT_CASES: u32 = 256;
+
+/// Configuration of a property run.
+#[derive(Debug, Clone, Copy)]
+pub struct ProptestConfig {
+    /// Number of random cases to execute.
+    pub cases: u32,
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig {
+            cases: DEFAULT_CASES,
+        }
+    }
+}
+
+impl ProptestConfig {
+    /// A configuration running `cases` cases.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+/// Error type carried by `prop_assert!` failures.
+#[derive(Debug)]
+pub struct TestCaseError(pub String);
+
+impl std::fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+/// Drives the cases of one property test.
+pub struct TestRunner {
+    config: ProptestConfig,
+    rng: StdRng,
+}
+
+impl TestRunner {
+    /// Creates a runner for the property named `name`, seeding the generator
+    /// deterministically from that name.
+    pub fn new(config: ProptestConfig, name: &str) -> Self {
+        // FNV-1a over the test name: stable across runs and platforms.
+        let mut seed = 0xcbf2_9ce4_8422_2325u64;
+        for b in name.bytes() {
+            seed ^= b as u64;
+            seed = seed.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+        TestRunner {
+            config,
+            rng: StdRng::seed_from_u64(seed),
+        }
+    }
+
+    /// Number of cases to run.
+    pub fn cases(&self) -> u32 {
+        self.config.cases
+    }
+
+    /// The runner's generator.
+    pub fn rng(&mut self) -> &mut StdRng {
+        &mut self.rng
+    }
+}
+
+/// A generator of random values for one property argument.
+pub trait Strategy {
+    /// The type of generated values.
+    type Value;
+
+    /// Generates one value.
+    fn generate(&self, rng: &mut StdRng) -> Self::Value;
+}
+
+macro_rules! impl_int_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for std::ops::Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut StdRng) -> $t {
+                rand::Rng::gen_range(rng, self.start..self.end)
+            }
+        }
+        impl Strategy for std::ops::RangeInclusive<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut StdRng) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                if hi < <$t>::MAX {
+                    rand::Rng::gen_range(rng, lo..hi + 1)
+                } else if lo > <$t>::MIN {
+                    // Shift down one so the half-open range stays in bounds.
+                    rand::Rng::gen_range(rng, lo - 1..hi) + 1
+                } else {
+                    // Full domain: draw raw bits.
+                    rand::RngCore::next_u64(rng) as $t
+                }
+            }
+        }
+    )*};
+}
+
+impl_int_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+macro_rules! impl_float_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for std::ops::Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut StdRng) -> $t {
+                rand::Rng::gen_range(rng, self.start..self.end)
+            }
+        }
+    )*};
+}
+
+impl_float_range_strategy!(f32, f64);
+
+/// Collection strategies (`proptest::collection`).
+pub mod collection {
+    use super::Strategy;
+    use rand::rngs::StdRng;
+
+    /// Lengths a generated vector may take: fixed or uniformly drawn from a
+    /// half-open range.
+    #[derive(Debug, Clone, Copy)]
+    pub enum SizeRange {
+        /// Always exactly this many elements.
+        Fixed(usize),
+        /// Uniform in `[start, end)`.
+        Range(usize, usize),
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> Self {
+            SizeRange::Fixed(n)
+        }
+    }
+
+    impl From<std::ops::Range<usize>> for SizeRange {
+        fn from(r: std::ops::Range<usize>) -> Self {
+            SizeRange::Range(r.start, r.end)
+        }
+    }
+
+    /// Strategy producing vectors whose elements come from `element`.
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    /// Builds a vector strategy (`proptest::collection::vec`).
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn generate(&self, rng: &mut StdRng) -> Vec<S::Value> {
+            let len = match self.size {
+                SizeRange::Fixed(n) => n,
+                SizeRange::Range(lo, hi) => {
+                    if lo + 1 >= hi {
+                        lo
+                    } else {
+                        rand::Rng::gen_range(rng, lo..hi)
+                    }
+                }
+            };
+            (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+/// Everything a property test module needs (`use proptest::prelude::*`).
+pub mod prelude {
+    pub use crate::collection;
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assert_ne, proptest, ProptestConfig, Strategy,
+        TestCaseError,
+    };
+}
+
+/// Asserts a condition inside a property, failing the current case.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        if !$cond {
+            return Err($crate::TestCaseError(format!(
+                "assertion failed: {} at {}:{}",
+                stringify!($cond), file!(), line!()
+            )));
+        }
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !$cond {
+            return Err($crate::TestCaseError(format!(
+                "assertion failed: {} at {}:{}",
+                format!($($fmt)*), file!(), line!()
+            )));
+        }
+    };
+}
+
+/// Asserts equality inside a property.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr) => {{
+        let (lhs, rhs) = (&$a, &$b);
+        if !(lhs == rhs) {
+            return Err($crate::TestCaseError(format!(
+                "assertion failed: {} == {} (left: {:?}, right: {:?}) at {}:{}",
+                stringify!($a),
+                stringify!($b),
+                lhs,
+                rhs,
+                file!(),
+                line!()
+            )));
+        }
+    }};
+}
+
+/// Asserts inequality inside a property.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($a:expr, $b:expr) => {{
+        let (lhs, rhs) = (&$a, &$b);
+        if lhs == rhs {
+            return Err($crate::TestCaseError(format!(
+                "assertion failed: {} != {} (both: {:?}) at {}:{}",
+                stringify!($a),
+                stringify!($b),
+                lhs,
+                file!(),
+                line!()
+            )));
+        }
+    }};
+}
+
+/// Declares property tests.  See the crate docs for the supported subset.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_fns!{ @cfg($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_fns!{ @cfg($crate::ProptestConfig::default()) $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_fns {
+    (@cfg($cfg:expr)) => {};
+    (@cfg($cfg:expr)
+     $(#[$attr:meta])*
+     fn $name:ident( $($arg:ident in $strat:expr),* $(,)? ) $body:block
+     $($rest:tt)*
+    ) => {
+        $(#[$attr])*
+        fn $name() {
+            let mut runner = $crate::TestRunner::new($cfg, concat!(module_path!(), "::", stringify!($name)));
+            for case in 0..runner.cases() {
+                $(let $arg = $crate::Strategy::generate(&($strat), runner.rng());)*
+                let outcome: ::std::result::Result<(), $crate::TestCaseError> = (|| {
+                    $body
+                    Ok(())
+                })();
+                if let Err(e) = outcome {
+                    panic!("property {} failed at case {}: {}", stringify!($name), case, e);
+                }
+            }
+        }
+        $crate::__proptest_fns!{ @cfg($cfg) $($rest)* }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+    use rand::SeedableRng;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+        #[test]
+        fn ranges_stay_in_bounds(
+            a in 0u64..100,
+            b in -5i32..=5,
+            f in -2.0f32..2.0,
+        ) {
+            prop_assert!(a < 100);
+            prop_assert!((-5..=5).contains(&b));
+            prop_assert!((-2.0..2.0).contains(&f));
+        }
+
+        #[test]
+        fn vec_lengths_respect_size(
+            fixed in collection::vec(0u8..=255, 7),
+            ranged in collection::vec(0.0f64..1.0, 2..9),
+        ) {
+            prop_assert_eq!(fixed.len(), 7);
+            prop_assert!((2..9).contains(&ranged.len()));
+            prop_assert_ne!(ranged.len(), 0);
+        }
+    }
+
+    #[test]
+    fn prop_assert_fails_the_case() {
+        let outcome: Result<(), TestCaseError> = (|| {
+            prop_assert!(1 + 1 == 3, "arithmetic is broken");
+            Ok(())
+        })();
+        let err = outcome.expect_err("assertion should fail the case");
+        assert!(err.to_string().contains("arithmetic is broken"));
+    }
+
+    #[test]
+    fn full_u8_domain_inclusive_range() {
+        use crate::Strategy;
+        let mut rng = rand::rngs::StdRng::seed_from_u64(9);
+        let mut seen_high = false;
+        for _ in 0..10_000 {
+            let v = (0u8..=255).generate(&mut rng);
+            if v > 200 {
+                seen_high = true;
+            }
+        }
+        assert!(seen_high);
+    }
+}

@@ -19,7 +19,7 @@ use std::path::Path;
 use std::sync::Arc;
 use std::time::Instant;
 
-use serde::{Deserialize, Serialize};
+use coconut_json::{member, FromJson, Json, JsonError, ToJson};
 
 pub use coconut_ads::{AdsConfig, AdsTree};
 pub use coconut_clsm::{ClsmConfig, ClsmTree};
@@ -35,7 +35,7 @@ pub use coconut_stream::{
 };
 
 /// The three index structure families of the Figure 1 matrix.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum VariantKind {
     /// ADS+-style baseline.
     Ads,
@@ -76,6 +76,10 @@ pub struct IndexConfig {
     pub growth_factor: usize,
     /// Memory budget in bytes (external sort / buffers).
     pub memory_budget_bytes: usize,
+    /// Worker threads used by the build pipeline (`1` = sequential, `0` =
+    /// one per available core).  Results are identical at every setting;
+    /// see DESIGN.md ("Threading model").
+    pub parallelism: usize,
 }
 
 impl IndexConfig {
@@ -88,6 +92,7 @@ impl IndexConfig {
             fill_factor: 1.0,
             growth_factor: 4,
             memory_budget_bytes: 32 << 20,
+            parallelism: 1,
         }
     }
 
@@ -100,6 +105,12 @@ impl IndexConfig {
     /// Sets the memory budget.
     pub fn with_memory_budget(mut self, bytes: usize) -> Self {
         self.memory_budget_bytes = bytes;
+        self
+    }
+
+    /// Sets the build parallelism (`1` = sequential, `0` = all cores).
+    pub fn with_parallelism(mut self, workers: usize) -> Self {
+        self.parallelism = workers;
         self
     }
 
@@ -126,12 +137,36 @@ impl IndexConfig {
             fill_factor: rec.fill_factor,
             growth_factor: rec.growth_factor.max(2),
             memory_budget_bytes: 32 << 20,
+            parallelism: 1,
+        }
+    }
+}
+
+impl ToJson for VariantKind {
+    fn to_json(&self) -> Json {
+        let name = match self {
+            VariantKind::Ads => "Ads",
+            VariantKind::CTree => "CTree",
+            VariantKind::Clsm => "Clsm",
+        };
+        Json::Str(name.to_string())
+    }
+}
+
+impl FromJson for VariantKind {
+    fn from_json(json: &Json) -> coconut_json::Result<VariantKind> {
+        match json.as_str() {
+            Some("Ads") => Ok(VariantKind::Ads),
+            Some("CTree") => Ok(VariantKind::CTree),
+            Some("Clsm") => Ok(VariantKind::Clsm),
+            Some(other) => Err(JsonError::new(format!("unknown variant '{other}'"))),
+            None => Err(JsonError::new("expected a string for the index variant")),
         }
     }
 }
 
 /// Metrics reported after building an index.
-#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy)]
 pub struct BuildReport {
     /// Wall-clock build time in milliseconds.
     pub elapsed_ms: f64,
@@ -141,6 +176,31 @@ pub struct BuildReport {
     pub footprint_bytes: u64,
     /// Number of entries indexed.
     pub entries: u64,
+}
+
+impl ToJson for BuildReport {
+    fn to_json(&self) -> Json {
+        Json::obj(vec![
+            ("elapsed_ms", self.elapsed_ms.to_json()),
+            ("io", self.io.to_json()),
+            ("footprint_bytes", self.footprint_bytes.to_json()),
+            ("entries", self.entries.to_json()),
+        ])
+    }
+}
+
+impl FromJson for BuildReport {
+    fn from_json(json: &Json) -> coconut_json::Result<BuildReport> {
+        let io = json
+            .get("io")
+            .ok_or_else(|| JsonError::new("missing field 'io'"))?;
+        Ok(BuildReport {
+            elapsed_ms: member(json, "elapsed_ms")?,
+            io: IoStatsSnapshot::from_json(io)?,
+            footprint_bytes: member(json, "footprint_bytes")?,
+            entries: member(json, "entries")?,
+        })
+    }
 }
 
 /// A built static index of any variant.
@@ -170,29 +230,42 @@ impl StaticIndex {
                 let ads_config = AdsConfig::new(config.sax)
                     .materialized(config.materialized)
                     .with_buffer_capacity(
-                        (config.memory_budget_bytes
-                            / (config.sax.series_len * 4 + 32))
-                            .max(64),
+                        (config.memory_budget_bytes / (config.sax.series_len * 4 + 32)).max(64),
                     );
-                StaticIndex::Ads(AdsTree::build(dataset, ads_config, dir, Arc::clone(&stats))?)
+                StaticIndex::Ads(AdsTree::build(
+                    dataset,
+                    ads_config,
+                    dir,
+                    Arc::clone(&stats),
+                )?)
             }
             VariantKind::CTree => {
                 let ctree_config = CTreeConfig::new(config.sax)
                     .materialized(config.materialized)
                     .with_fill_factor(config.fill_factor)
-                    .with_memory_budget(config.memory_budget_bytes);
-                StaticIndex::CTree(CTree::build(dataset, ctree_config, dir, Arc::clone(&stats))?)
+                    .with_memory_budget(config.memory_budget_bytes)
+                    .with_parallelism(config.parallelism);
+                StaticIndex::CTree(CTree::build(
+                    dataset,
+                    ctree_config,
+                    dir,
+                    Arc::clone(&stats),
+                )?)
             }
             VariantKind::Clsm => {
                 let clsm_config = ClsmConfig::new(config.sax)
                     .materialized(config.materialized)
                     .with_growth_factor(config.growth_factor)
+                    .with_parallelism(config.parallelism)
                     .with_buffer_capacity(
-                        (config.memory_budget_bytes
-                            / (config.sax.series_len * 4 + 32))
-                            .max(64),
+                        (config.memory_budget_bytes / (config.sax.series_len * 4 + 32)).max(64),
                     );
-                StaticIndex::Clsm(ClsmTree::build(dataset, clsm_config, dir, Arc::clone(&stats))?)
+                StaticIndex::Clsm(ClsmTree::build(
+                    dataset,
+                    clsm_config,
+                    dir,
+                    Arc::clone(&stats),
+                )?)
             }
         };
         let report = BuildReport {
@@ -269,6 +342,8 @@ pub struct StreamingConfig {
     pub buffer_capacity: usize,
     /// Growth factor for CLSM / BTP merging.
     pub growth_factor: usize,
+    /// Worker threads used when summarizing and flushing batches.
+    pub parallelism: usize,
 }
 
 impl StreamingConfig {
@@ -280,7 +355,14 @@ impl StreamingConfig {
             sax: SaxConfig::paper_default(series_len),
             buffer_capacity: 1024,
             growth_factor: 3,
+            parallelism: 1,
         }
+    }
+
+    /// Sets the ingest parallelism (`1` = sequential, `0` = all cores).
+    pub fn with_parallelism(mut self, workers: usize) -> Self {
+        self.parallelism = workers;
+        self
     }
 
     /// Display name like "ADS+ PP", "CLSM BTP".
@@ -299,11 +381,7 @@ pub fn streaming_index(
     match config.scheme {
         WindowScheme::PostProcessing => match config.variant {
             VariantKind::Ads => {
-                let ads = AdsTree::new(
-                    AdsConfig::new(config.sax).materialized(true),
-                    dir,
-                    stats,
-                )?;
+                let ads = AdsTree::new(AdsConfig::new(config.sax).materialized(true), dir, stats)?;
                 Ok(Box::new(PpStream::over_ads(ads)))
             }
             _ => {
@@ -311,7 +389,8 @@ pub fn streaming_index(
                     ClsmConfig::new(config.sax)
                         .materialized(true)
                         .with_buffer_capacity(config.buffer_capacity)
-                        .with_growth_factor(config.growth_factor),
+                        .with_growth_factor(config.growth_factor)
+                        .with_parallelism(config.parallelism),
                     dir,
                     stats,
                 )?;
@@ -326,7 +405,8 @@ pub fn streaming_index(
             };
             let cfg = PartitionedConfig::new(config.sax)
                 .with_buffer_capacity(config.buffer_capacity)
-                .with_partition_kind(kind);
+                .with_partition_kind(kind)
+                .with_parallelism(config.parallelism);
             Ok(Box::new(PartitionedStream::temporal_partitioning(
                 cfg, dir, stats,
             )?))
@@ -334,7 +414,8 @@ pub fn streaming_index(
         WindowScheme::BoundedTemporalPartitioning => {
             let cfg = PartitionedConfig::new(config.sax)
                 .with_buffer_capacity(config.buffer_capacity)
-                .with_growth_factor(config.growth_factor);
+                .with_growth_factor(config.growth_factor)
+                .with_parallelism(config.parallelism);
             Ok(Box::new(PartitionedStream::bounded_temporal_partitioning(
                 cfg, dir, stats,
             )?))
@@ -382,12 +463,21 @@ mod tests {
 
     #[test]
     fn display_names_follow_figure_1() {
-        assert_eq!(IndexConfig::new(VariantKind::CTree, 64).display_name(), "CTree");
         assert_eq!(
-            IndexConfig::new(VariantKind::Ads, 64).materialized(true).display_name(),
+            IndexConfig::new(VariantKind::CTree, 64).display_name(),
+            "CTree"
+        );
+        assert_eq!(
+            IndexConfig::new(VariantKind::Ads, 64)
+                .materialized(true)
+                .display_name(),
             "ADS+Full"
         );
-        let sc = StreamingConfig::new(VariantKind::Clsm, WindowScheme::BoundedTemporalPartitioning, 64);
+        let sc = StreamingConfig::new(
+            VariantKind::Clsm,
+            WindowScheme::BoundedTemporalPartitioning,
+            64,
+        );
         assert_eq!(sc.display_name(), "CLSM BTP");
     }
 
@@ -411,7 +501,11 @@ mod tests {
             StreamingConfig::new(VariantKind::Ads, WindowScheme::PostProcessing, 64),
             StreamingConfig::new(VariantKind::Clsm, WindowScheme::PostProcessing, 64),
             StreamingConfig::new(VariantKind::CTree, WindowScheme::TemporalPartitioning, 64),
-            StreamingConfig::new(VariantKind::Clsm, WindowScheme::BoundedTemporalPartitioning, 64),
+            StreamingConfig::new(
+                VariantKind::Clsm,
+                WindowScheme::BoundedTemporalPartitioning,
+                64,
+            ),
         ];
         let mut results = Vec::new();
         for (i, cfg) in configs.iter().enumerate() {
@@ -423,7 +517,9 @@ mod tests {
                 index.ingest_batch(b).unwrap();
             }
             assert_eq!(index.len(), 240);
-            let r = index.query_window(&query, 1, Some((100, 200)), true).unwrap();
+            let r = index
+                .query_window(&query, 1, Some((100, 200)), true)
+                .unwrap();
             assert_eq!(r.neighbors.len(), 1);
             results.push(r.neighbors[0].squared_distance);
         }

@@ -14,7 +14,7 @@ use std::path::PathBuf;
 use std::sync::Arc;
 use std::time::Instant;
 
-use serde::{Deserialize, Serialize};
+use coconut_json::{member, member_or, FromJson, Json, JsonError, ToJson};
 
 use crate::{
     recommend, BuildReport, Dataset, IndexConfig, IoStats, Scenario, StaticIndex, VariantKind,
@@ -22,8 +22,7 @@ use crate::{
 use coconut_storage::SharedIoStats;
 
 /// A request to the algorithms server.
-#[derive(Debug, Clone, Serialize, Deserialize)]
-#[serde(tag = "type", rename_all = "snake_case")]
+#[derive(Debug, Clone)]
 pub enum PalmRequest {
     /// Build an index over a dataset file.
     BuildIndex {
@@ -37,6 +36,9 @@ pub enum PalmRequest {
         materialized: bool,
         /// Memory budget in bytes.
         memory_budget_bytes: usize,
+        /// Worker threads for the build (`1` = sequential, `0` = all cores).
+        /// Optional in the JSON protocol; defaults to `1`.
+        parallelism: usize,
     },
     /// Run a query against a registered index.
     Query {
@@ -64,8 +66,7 @@ pub enum PalmRequest {
 }
 
 /// A response from the algorithms server.
-#[derive(Debug, Clone, Serialize, Deserialize)]
-#[serde(tag = "type", rename_all = "snake_case")]
+#[derive(Debug, Clone)]
 pub enum PalmResponse {
     /// Result of a build request.
     Built {
@@ -116,7 +117,7 @@ pub enum PalmResponse {
 }
 
 /// JSON-friendly projection of [`coconut_ctree::query::QueryCost`].
-#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy)]
 pub struct QueryCostJson {
     /// Entries whose summarization was examined.
     pub entries_examined: u64,
@@ -138,6 +139,157 @@ impl From<coconut_ctree::query::QueryCost> for QueryCostJson {
             raw_fetches: c.raw_fetches,
             blocks_read: c.blocks_read,
             blocks_skipped: c.blocks_skipped,
+        }
+    }
+}
+
+impl ToJson for QueryCostJson {
+    fn to_json(&self) -> Json {
+        Json::obj(vec![
+            ("entries_examined", self.entries_examined.to_json()),
+            ("entries_refined", self.entries_refined.to_json()),
+            ("raw_fetches", self.raw_fetches.to_json()),
+            ("blocks_read", self.blocks_read.to_json()),
+            ("blocks_skipped", self.blocks_skipped.to_json()),
+        ])
+    }
+}
+
+impl FromJson for QueryCostJson {
+    fn from_json(json: &Json) -> coconut_json::Result<QueryCostJson> {
+        Ok(QueryCostJson {
+            entries_examined: member(json, "entries_examined")?,
+            entries_refined: member(json, "entries_refined")?,
+            raw_fetches: member(json, "raw_fetches")?,
+            blocks_read: member(json, "blocks_read")?,
+            blocks_skipped: member(json, "blocks_skipped")?,
+        })
+    }
+}
+
+impl ToJson for PalmRequest {
+    fn to_json(&self) -> Json {
+        match self {
+            PalmRequest::BuildIndex {
+                name,
+                dataset_path,
+                variant,
+                materialized,
+                memory_budget_bytes,
+                parallelism,
+            } => Json::obj(vec![
+                ("type", Json::Str("build_index".into())),
+                ("name", name.to_json()),
+                ("dataset_path", dataset_path.to_json()),
+                ("variant", variant.to_json()),
+                ("materialized", materialized.to_json()),
+                ("memory_budget_bytes", memory_budget_bytes.to_json()),
+                ("parallelism", parallelism.to_json()),
+            ]),
+            PalmRequest::Query {
+                name,
+                query,
+                k,
+                exact,
+            } => Json::obj(vec![
+                ("type", Json::Str("query".into())),
+                ("name", name.to_json()),
+                ("query", query.to_json()),
+                ("k", k.to_json()),
+                ("exact", exact.to_json()),
+            ]),
+            PalmRequest::Metrics { name } => Json::obj(vec![
+                ("type", Json::Str("metrics".into())),
+                ("name", name.to_json()),
+            ]),
+            PalmRequest::Recommend { scenario } => Json::obj(vec![
+                ("type", Json::Str("recommend".into())),
+                ("scenario", scenario.to_json()),
+            ]),
+            PalmRequest::ListIndexes => Json::obj(vec![("type", Json::Str("list_indexes".into()))]),
+        }
+    }
+}
+
+impl FromJson for PalmRequest {
+    fn from_json(json: &Json) -> coconut_json::Result<PalmRequest> {
+        let kind: String = member(json, "type")?;
+        match kind.as_str() {
+            "build_index" => Ok(PalmRequest::BuildIndex {
+                name: member(json, "name")?,
+                dataset_path: member(json, "dataset_path")?,
+                variant: member(json, "variant")?,
+                materialized: member(json, "materialized")?,
+                memory_budget_bytes: member(json, "memory_budget_bytes")?,
+                parallelism: member_or(json, "parallelism", 1)?,
+            }),
+            "query" => Ok(PalmRequest::Query {
+                name: member(json, "name")?,
+                query: member(json, "query")?,
+                k: member(json, "k")?,
+                exact: member(json, "exact")?,
+            }),
+            "metrics" => Ok(PalmRequest::Metrics {
+                name: member(json, "name")?,
+            }),
+            "recommend" => Ok(PalmRequest::Recommend {
+                scenario: member(json, "scenario")?,
+            }),
+            "list_indexes" => Ok(PalmRequest::ListIndexes),
+            other => Err(JsonError::new(format!("unknown request type '{other}'"))),
+        }
+    }
+}
+
+impl ToJson for PalmResponse {
+    fn to_json(&self) -> Json {
+        match self {
+            PalmResponse::Built {
+                name,
+                variant,
+                report,
+            } => Json::obj(vec![
+                ("type", Json::Str("built".into())),
+                ("name", name.to_json()),
+                ("variant", variant.to_json()),
+                ("report", report.to_json()),
+            ]),
+            PalmResponse::QueryResult {
+                name,
+                ids,
+                distances,
+                elapsed_ms,
+                cost,
+            } => Json::obj(vec![
+                ("type", Json::Str("query_result".into())),
+                ("name", name.to_json()),
+                ("ids", ids.to_json()),
+                ("distances", distances.to_json()),
+                ("elapsed_ms", elapsed_ms.to_json()),
+                ("cost", cost.to_json()),
+            ]),
+            PalmResponse::Metrics {
+                name,
+                report,
+                footprint_bytes,
+            } => Json::obj(vec![
+                ("type", Json::Str("metrics".into())),
+                ("name", name.to_json()),
+                ("report", report.to_json()),
+                ("footprint_bytes", footprint_bytes.to_json()),
+            ]),
+            PalmResponse::Recommendation { recommendation } => Json::obj(vec![
+                ("type", Json::Str("recommendation".into())),
+                ("recommendation", recommendation.to_json()),
+            ]),
+            PalmResponse::Indexes { names } => Json::obj(vec![
+                ("type", Json::Str("indexes".into())),
+                ("names", names.to_json()),
+            ]),
+            PalmResponse::Error { message } => Json::obj(vec![
+                ("type", Json::Str("error".into())),
+                ("message", message.to_json()),
+            ]),
         }
     }
 }
@@ -177,15 +329,14 @@ impl PalmServer {
     /// Handles a request given as a JSON string, returning a JSON response
     /// (the exact shape the GUI client would exchange over REST).
     pub fn handle_json(&mut self, request_json: &str) -> String {
-        let response = match serde_json::from_str::<PalmRequest>(request_json) {
+        let parsed = Json::parse(request_json).and_then(|json| PalmRequest::from_json(&json));
+        let response = match parsed {
             Ok(req) => self.handle(req),
             Err(e) => PalmResponse::Error {
                 message: format!("malformed request: {e}"),
             },
         };
-        serde_json::to_string(&response).unwrap_or_else(|e| {
-            format!("{{\"type\":\"error\",\"message\":\"serialization failure: {e}\"}}")
-        })
+        response.to_json().to_string()
     }
 
     fn try_handle(&mut self, request: PalmRequest) -> crate::Result<PalmResponse> {
@@ -196,14 +347,17 @@ impl PalmServer {
                 variant,
                 materialized,
                 memory_budget_bytes,
+                parallelism,
             } => {
                 let dataset = Dataset::open(&dataset_path)?;
                 let config = IndexConfig::new(variant, dataset.series_len())
                     .materialized(materialized)
-                    .with_memory_budget(memory_budget_bytes.max(1 << 20));
+                    .with_memory_budget(memory_budget_bytes.max(1 << 20))
+                    .with_parallelism(parallelism);
                 let stats = IoStats::shared();
                 let dir = self.work_dir.join(&name);
-                let (index, report) = StaticIndex::build(&dataset, config, &dir, Arc::clone(&stats))?;
+                let (index, report) =
+                    StaticIndex::build(&dataset, config, &dir, Arc::clone(&stats))?;
                 let variant_name = config.display_name();
                 self.indexes.insert(
                     name.clone(),
@@ -295,9 +449,12 @@ mod tests {
             variant: VariantKind::CTree,
             materialized: true,
             memory_budget_bytes: 8 << 20,
+            parallelism: 1,
         });
         match &built {
-            PalmResponse::Built { variant, report, .. } => {
+            PalmResponse::Built {
+                variant, report, ..
+            } => {
                 assert_eq!(variant, "CTreeFull");
                 assert_eq!(report.entries, 200);
             }
@@ -318,8 +475,12 @@ mod tests {
             }
             other => panic!("unexpected response {other:?}"),
         }
-        match server.handle(PalmRequest::Metrics { name: "ctree".into() }) {
-            PalmResponse::Metrics { footprint_bytes, .. } => assert!(footprint_bytes > 0),
+        match server.handle(PalmRequest::Metrics {
+            name: "ctree".into(),
+        }) {
+            PalmResponse::Metrics {
+                footprint_bytes, ..
+            } => assert!(footprint_bytes > 0),
             other => panic!("unexpected response {other:?}"),
         }
         match server.handle(PalmRequest::ListIndexes) {
@@ -334,7 +495,7 @@ mod tests {
         let mut server = PalmServer::new(dir.file("work"));
         let request = format!(
             r#"{{"type":"build_index","name":"a","dataset_path":{},"variant":"CTree","materialized":false,"memory_budget_bytes":1048576}}"#,
-            serde_json::to_string(&dataset_path).unwrap()
+            Json::Str(dataset_path.clone()).to_string()
         );
         let response = server.handle_json(&request);
         assert!(response.contains("\"built\""), "response was {response}");

@@ -27,7 +27,8 @@ fn all_static_variants_match_brute_force_on_many_queries() {
                 .with_memory_budget(1 << 20);
             let stats = IoStats::shared();
             let sub = dir.file(&format!("{}-{materialized}", config.display_name()));
-            let (index, _) = StaticIndex::build(&dataset, config, &sub, Arc::clone(&stats)).unwrap();
+            let (index, _) =
+                StaticIndex::build(&dataset, config, &sub, Arc::clone(&stats)).unwrap();
             for q in &queries {
                 let expected = brute_force_knn(
                     &q.values,
@@ -70,7 +71,11 @@ fn approximate_answers_are_reasonable_across_variants() {
                 ok += 1;
             }
         }
-        assert!(ok >= 6, "{}: only {ok}/8 approximate probes found the target", config.display_name());
+        assert!(
+            ok >= 6,
+            "{}: only {ok}/8 approximate probes found the target",
+            config.display_name()
+        );
     }
 }
 
@@ -88,13 +93,21 @@ fn streaming_schemes_agree_on_windowed_exact_queries() {
         StreamingConfig::new(VariantKind::Ads, WindowScheme::PostProcessing, len),
         StreamingConfig::new(VariantKind::CTree, WindowScheme::TemporalPartitioning, len),
         StreamingConfig::new(VariantKind::Ads, WindowScheme::TemporalPartitioning, len),
-        StreamingConfig::new(VariantKind::Clsm, WindowScheme::BoundedTemporalPartitioning, len),
+        StreamingConfig::new(
+            VariantKind::Clsm,
+            WindowScheme::BoundedTemporalPartitioning,
+            len,
+        ),
     ];
     for window in [None, Some((120u64, 380u64)), Some((480u64, 499u64))] {
         let expected = brute_force_knn(
             &query,
             all.iter()
-                .filter(|a| window.map(|(s, e)| a.timestamp >= s && a.timestamp <= e).unwrap_or(true))
+                .filter(|a| {
+                    window
+                        .map(|(s, e)| a.timestamp >= s && a.timestamp <= e)
+                        .unwrap_or(true)
+                })
                 .map(|a| (a.series.id, a.series.values.as_slice())),
             2,
         );

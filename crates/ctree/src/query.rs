@@ -46,7 +46,10 @@ impl KnnHeap {
         if self.heap.len() < self.k {
             f64::INFINITY
         } else {
-            self.heap.peek().map(|n| n.squared_distance).unwrap_or(f64::INFINITY)
+            self.heap
+                .peek()
+                .map(|n| n.squared_distance)
+                .unwrap_or(f64::INFINITY)
         }
     }
 

@@ -146,12 +146,39 @@ impl SortedSeriesFile {
         path: P,
         layout: EntryLayout,
         sax: SaxConfig,
-        mut entries: Vec<SeriesEntry>,
+        entries: Vec<SeriesEntry>,
         entries_per_block: usize,
         stats: SharedIoStats,
         page_size: usize,
     ) -> Result<Self> {
-        entries.sort_by_key(|e| (e.key, e.id));
+        Self::build_from_entries_parallel(
+            path,
+            layout,
+            sax,
+            entries,
+            entries_per_block,
+            stats,
+            page_size,
+            1,
+        )
+    }
+
+    /// Like [`SortedSeriesFile::build_from_entries`], sorting the buffer with
+    /// up to `parallelism` worker threads (`1` = sequential, `0` = one per
+    /// available core).  The partition is byte-identical at every setting.
+    #[allow(clippy::too_many_arguments)]
+    pub fn build_from_entries_parallel<P: AsRef<Path>>(
+        path: P,
+        layout: EntryLayout,
+        sax: SaxConfig,
+        mut entries: Vec<SeriesEntry>,
+        entries_per_block: usize,
+        stats: SharedIoStats,
+        page_size: usize,
+        parallelism: usize,
+    ) -> Result<Self> {
+        let workers = coconut_parallel::effective_parallelism(parallelism);
+        coconut_parallel::parallel_sort_by_key(&mut entries, workers, |e| (e.key, e.id));
         Self::build_from_sorted(
             path,
             layout,
@@ -282,6 +309,7 @@ impl SortedSeriesFile {
         Ok(())
     }
 
+    #[allow(clippy::too_many_arguments)]
     fn scan_block(
         &self,
         block: &BlockMeta,
@@ -460,7 +488,7 @@ mod tests {
         let (_, entries) = make_entries(500, sax, true, 1);
         let file = build(&dir, sax, entries, true, 64);
         assert_eq!(file.len(), 500);
-        assert_eq!(file.blocks().len(), (500 + 63) / 64);
+        assert_eq!(file.blocks().len(), 500_usize.div_ceil(64));
         let mut prev_max = 0u128;
         for (i, b) in file.blocks().iter().enumerate() {
             assert!(b.min_key <= b.max_key);
@@ -506,7 +534,8 @@ mod tests {
             );
             let mut heap = KnnHeap::new(5);
             let mut ctx = QueryContext::materialized();
-            file.search_exact(&q.values, &mut heap, &mut ctx, None).unwrap();
+            file.search_exact(&q.values, &mut heap, &mut ctx, None)
+                .unwrap();
             let got = heap.into_sorted();
             assert_eq!(got.len(), 5);
             for (g, e) in got.iter().zip(expected.iter()) {
@@ -533,7 +562,8 @@ mod tests {
             );
             let mut heap = KnnHeap::new(3);
             let mut ctx = QueryContext::non_materialized(&dataset, std::sync::Arc::clone(&stats));
-            file.search_exact(&q.values, &mut heap, &mut ctx, None).unwrap();
+            file.search_exact(&q.values, &mut heap, &mut ctx, None)
+                .unwrap();
             let got = heap.into_sorted();
             assert_eq!(got[0].id, expected[0].id);
             assert!((got[0].squared_distance - expected[0].squared_distance).abs() < 1e-6);
@@ -554,7 +584,8 @@ mod tests {
         let query: Vec<f32> = target.values.iter().map(|v| v + 0.001).collect();
         let mut heap = KnnHeap::new(1);
         let mut ctx = QueryContext::materialized();
-        file.search_approximate(&query, &mut heap, &mut ctx, None).unwrap();
+        file.search_approximate(&query, &mut heap, &mut ctx, None)
+            .unwrap();
         let got = heap.into_sorted();
         assert_eq!(got.len(), 1);
         assert!(got[0].squared_distance < 1.0);
@@ -577,7 +608,8 @@ mod tests {
         let q = gen.next_series();
         let mut heap = KnnHeap::new(100);
         let mut ctx = QueryContext::materialized();
-        file.search_exact(&q.values, &mut heap, &mut ctx, Some((200, 400))).unwrap();
+        file.search_exact(&q.values, &mut heap, &mut ctx, Some((200, 400)))
+            .unwrap();
         let got = heap.into_sorted();
         assert!(!got.is_empty());
         for n in &got {
@@ -595,7 +627,8 @@ mod tests {
         let query: Vec<f32> = target.values.iter().map(|v| v + 0.01).collect();
         let mut heap = KnnHeap::new(1);
         let mut ctx = QueryContext::materialized();
-        file.search_exact(&query, &mut heap, &mut ctx, None).unwrap();
+        file.search_exact(&query, &mut heap, &mut ctx, None)
+            .unwrap();
         assert!(
             ctx.cost.blocks_skipped > 0,
             "a near-duplicate query must allow block pruning (read {} skipped {})",
@@ -614,7 +647,8 @@ mod tests {
         let mut ctx = QueryContext::materialized();
         let q = vec![0.5f32; 32];
         file.search_exact(&q, &mut heap, &mut ctx, None).unwrap();
-        file.search_approximate(&q, &mut heap, &mut ctx, None).unwrap();
+        file.search_approximate(&q, &mut heap, &mut ctx, None)
+            .unwrap();
         assert!(heap.is_empty());
     }
 }

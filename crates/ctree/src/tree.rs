@@ -4,6 +4,7 @@ use std::path::{Path, PathBuf};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
+use coconut_parallel::effective_parallelism;
 use coconut_sax::{SaxConfig, SortableSummarizer};
 use coconut_series::dataset::Dataset;
 use coconut_series::distance::{euclidean_early_abandon, Neighbor};
@@ -35,6 +36,10 @@ pub struct CTreeConfig {
     pub memory_budget_bytes: usize,
     /// Page size used for I/O accounting.
     pub page_size: usize,
+    /// Worker threads for summarization and run-generation sorting during
+    /// bulk load (`1` = sequential, `0` = one per available core).  The
+    /// produced index is byte-identical at every setting.
+    pub parallelism: usize,
 }
 
 impl CTreeConfig {
@@ -47,6 +52,7 @@ impl CTreeConfig {
             leaf_block_bytes: 16 * 1024,
             memory_budget_bytes: 32 << 20,
             page_size: DEFAULT_PAGE_SIZE,
+            parallelism: 1,
         }
     }
 
@@ -66,6 +72,12 @@ impl CTreeConfig {
     /// Sets the external-sort memory budget in bytes.
     pub fn with_memory_budget(mut self, bytes: usize) -> Self {
         self.memory_budget_bytes = bytes.max(1024);
+        self
+    }
+
+    /// Sets the bulk-load parallelism (`1` = sequential, `0` = all cores).
+    pub fn with_parallelism(mut self, workers: usize) -> Self {
+        self.parallelism = workers;
         self
     }
 
@@ -151,29 +163,33 @@ impl CTree {
         let summarizer = SortableSummarizer::new(config.sax);
         let layout = config.layout();
 
-        // Pass 1: sequential scan of the raw data file, summarizing each
-        // series into an entry (timestamp 0 for static datasets).
+        // Pass 1: sequential scan of the raw data file, summarizing series
+        // into entries in parallel batches (timestamp 0 for static
+        // datasets).  The staging batch is capped at an eighth of the sort
+        // budget (series + entries are alive together during a refill, so
+        // the stage contributes at most ~a quarter of the budget on top of
+        // the sorter's own half-budget chunk).
         let materialized = config.materialized;
-        let entries = dataset.iter()?.map(|res| {
-            let series = res.map_err(IndexError::from)?;
-            Ok(SeriesEntry::from_series(&series, 0, &summarizer, materialized))
-        });
+        let batch_records = (config.memory_budget_bytes
+            / 8
+            / coconut_storage::RecordLayout::record_size(&layout).max(1))
+        .clamp(256, 1 << 16);
+        let mut entries = BatchedEntryIter::new(
+            dataset.iter()?,
+            &summarizer,
+            materialized,
+            config.parallelism,
+            batch_records,
+        );
 
-        // Pass 2: bounded-memory external sort by interleaved key.
-        let mut sorter = DynExternalSorter::new(
-            layout,
-            config.memory_budget_bytes,
-            dir,
-            Arc::clone(&stats),
-        )
-        .with_page_size(config.page_size);
-        let unwrapped = UnwrapIter {
-            inner: entries,
-            error: None,
-        };
-        let mut unwrapped = unwrapped;
-        let sorted = sorter.sort(&mut unwrapped)?;
-        if let Some(err) = unwrapped.error.take() {
+        // Pass 2: bounded-memory external sort by interleaved key, with
+        // run-generation chunks sorted by the same worker pool.
+        let mut sorter =
+            DynExternalSorter::new(layout, config.memory_budget_bytes, dir, Arc::clone(&stats))
+                .with_page_size(config.page_size)
+                .with_parallelism(config.parallelism);
+        let sorted = sorter.sort(&mut entries)?;
+        if let Some(err) = entries.error.take() {
             return Err(err);
         }
         let sort_runs = sorted.runs_generated;
@@ -203,7 +219,11 @@ impl CTree {
             config,
             summarizer,
             file,
-            dataset: if materialized { None } else { Some(dataset.reopen()?) },
+            dataset: if materialized {
+                None
+            } else {
+                Some(dataset.reopen()?)
+            },
             stats,
             dir: dir.to_path_buf(),
             build_stats,
@@ -274,7 +294,12 @@ impl CTree {
         }
     }
 
-    fn search_delta(&self, query: &[f32], heap: &mut KnnHeap, window: Option<(Timestamp, Timestamp)>) {
+    fn search_delta(
+        &self,
+        query: &[f32],
+        heap: &mut KnnHeap,
+        window: Option<(Timestamp, Timestamp)>,
+    ) {
         for entry in &self.delta {
             if let Some((start, end)) = window {
                 if entry.timestamp < start || entry.timestamp > end {
@@ -303,7 +328,8 @@ impl CTree {
     ) -> Result<(Vec<Neighbor>, QueryCost)> {
         let mut heap = KnnHeap::new(k);
         let mut ctx = self.query_context();
-        self.file.search_approximate(query, &mut heap, &mut ctx, window)?;
+        self.file
+            .search_approximate(query, &mut heap, &mut ctx, window)?;
         self.search_delta(query, &mut heap, window);
         let cost = ctx.cost;
         Ok((heap.into_sorted(), cost))
@@ -349,15 +375,16 @@ impl CTree {
                     self.config.sax.series_len
                 )));
             }
-            self.delta.push(SeriesEntry::from_series(
-                s,
-                timestamp,
-                &self.summarizer,
-                // Delta entries are always materialized in memory so that
-                // queries can refine them without the raw file.
-                true,
-            ));
         }
+        // Delta entries are always materialized in memory so that queries
+        // can refine them without the raw file.
+        self.delta.extend(SeriesEntry::from_series_batch(
+            series,
+            timestamp,
+            &self.summarizer,
+            true,
+            self.config.parallelism,
+        ));
         if self.delta.len() > self.delta_capacity {
             self.merge_delta()?;
         }
@@ -384,7 +411,9 @@ impl CTree {
             .map(|r| r.map_err(IndexError::from))
             .peekable();
         self.generation += 1;
-        let path = self.dir.join(format!("ctree-leaves-{}.run", self.generation));
+        let path = self
+            .dir
+            .join(format!("ctree-leaves-{}.run", self.generation));
         let layout = self.config.layout();
         let sax = self.config.sax;
         let merged = std::iter::from_fn(move || -> Option<Result<SeriesEntry>> {
@@ -423,31 +452,82 @@ impl CTree {
     }
 }
 
-/// Adapter that unwraps `Result` items for the sorter while remembering the
-/// first error (the sorter itself only understands plain records).
-struct UnwrapIter<I> {
+/// Streaming adapter feeding the external sorter: pulls series from the
+/// dataset scan in batches, summarizes each batch with the worker pool, and
+/// yields plain entries (remembering the first error, since the sorter only
+/// understands plain records).
+struct BatchedEntryIter<'a, I> {
     inner: I,
+    summarizer: &'a SortableSummarizer,
+    materialized: bool,
+    parallelism: usize,
+    batch_size: usize,
+    pending: std::collections::VecDeque<SeriesEntry>,
     error: Option<IndexError>,
 }
 
-impl<I, T> Iterator for UnwrapIter<I>
+impl<'a, I> BatchedEntryIter<'a, I>
 where
-    I: Iterator<Item = Result<T>>,
+    I: Iterator<Item = coconut_series::Result<Series>>,
 {
-    type Item = T;
+    fn new(
+        inner: I,
+        summarizer: &'a SortableSummarizer,
+        materialized: bool,
+        parallelism: usize,
+        max_batch_records: usize,
+    ) -> Self {
+        // Enough work per refill to amortize a fork/join across the pool,
+        // but capped by the caller's memory bound so staging never rivals
+        // the external sorter's budget.
+        let batch_size =
+            (effective_parallelism(parallelism) * 1024).clamp(256, max_batch_records.max(256));
+        BatchedEntryIter {
+            inner,
+            summarizer,
+            materialized,
+            parallelism,
+            batch_size,
+            pending: std::collections::VecDeque::new(),
+            error: None,
+        }
+    }
 
-    fn next(&mut self) -> Option<T> {
-        if self.error.is_some() {
-            return None;
-        }
-        match self.inner.next() {
-            Some(Ok(v)) => Some(v),
-            Some(Err(e)) => {
-                self.error = Some(e);
-                None
+    fn refill(&mut self) {
+        let mut batch: Vec<Series> = Vec::with_capacity(self.batch_size);
+        while batch.len() < self.batch_size {
+            match self.inner.next() {
+                Some(Ok(series)) => batch.push(series),
+                Some(Err(e)) => {
+                    self.error = Some(IndexError::from(e));
+                    break;
+                }
+                None => break,
             }
-            None => None,
         }
+        if !batch.is_empty() {
+            self.pending.extend(SeriesEntry::from_series_batch(
+                &batch,
+                0,
+                self.summarizer,
+                self.materialized,
+                self.parallelism,
+            ));
+        }
+    }
+}
+
+impl<'a, I> Iterator for BatchedEntryIter<'a, I>
+where
+    I: Iterator<Item = coconut_series::Result<Series>>,
+{
+    type Item = SeriesEntry;
+
+    fn next(&mut self) -> Option<SeriesEntry> {
+        if self.pending.is_empty() && self.error.is_none() {
+            self.refill();
+        }
+        self.pending.pop_front()
     }
 }
 
@@ -576,7 +656,9 @@ mod tests {
         let mut gen = RandomWalkGenerator::new(64, 10);
         let base = gen.generate(200);
         let stats = IoStats::shared();
-        let config = CTreeConfig::new(sax).materialized(true).with_fill_factor(0.7);
+        let config = CTreeConfig::new(sax)
+            .materialized(true)
+            .with_fill_factor(0.7);
         let mut tree =
             CTree::build_from_series(&base, config, dir.path(), Arc::clone(&stats)).unwrap();
 
@@ -609,15 +691,22 @@ mod tests {
         let sax = SaxConfig::new(64, 8, 8);
         let mut gen = RandomWalkGenerator::new(64, 11);
         let series = gen.generate(400);
-        let dense_cfg = CTreeConfig::new(sax).materialized(true).with_fill_factor(1.0);
-        let sparse_cfg = CTreeConfig::new(sax).materialized(true).with_fill_factor(0.5);
+        let dense_cfg = CTreeConfig::new(sax)
+            .materialized(true)
+            .with_fill_factor(1.0);
+        let sparse_cfg = CTreeConfig::new(sax)
+            .materialized(true)
+            .with_fill_factor(0.5);
         let dense =
             CTree::build_from_series(&series, dense_cfg, &dir.file("dense"), IoStats::shared());
         std::fs::create_dir_all(dir.file("dense")).unwrap();
         std::fs::create_dir_all(dir.file("sparse")).unwrap();
         let dense = match dense {
             Ok(t) => t,
-            Err(_) => CTree::build_from_series(&series, dense_cfg, &dir.file("dense"), IoStats::shared()).unwrap(),
+            Err(_) => {
+                CTree::build_from_series(&series, dense_cfg, &dir.file("dense"), IoStats::shared())
+                    .unwrap()
+            }
         };
         let sparse =
             CTree::build_from_series(&series, sparse_cfg, &dir.file("sparse"), IoStats::shared())

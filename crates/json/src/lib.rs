@@ -1,0 +1,732 @@
+//! # coconut-json
+//!
+//! A small dependency-free JSON layer.  The algorithms-server protocol
+//! ([Section 4 of the paper]: the GUI client exchanges JSON with the back
+//! end), the recommender output and the benchmark reports all serialize
+//! through this crate; the build environment has no crates.io access, so
+//! serde is not available.
+//!
+//! The surface is deliberately tiny: a [`Json`] value enum, a recursive
+//! descent [`Json::parse`], compact and pretty writers, and the
+//! [`ToJson`] / [`FromJson`] conversion traits plus helpers for mapping
+//! struct-like objects.
+//!
+//! Object members preserve insertion order so emitted documents are stable
+//! across runs (important for byte-comparing benchmark reports).
+
+use std::fmt::Write as _;
+
+/// A parsed or constructed JSON value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Json {
+    /// `null`
+    Null,
+    /// `true` / `false`
+    Bool(bool),
+    /// Any JSON number (stored as `f64`; integral values are written without
+    /// a decimal point).
+    Num(f64),
+    /// A string.
+    Str(String),
+    /// An array.
+    Arr(Vec<Json>),
+    /// An object; members keep insertion order.
+    Obj(Vec<(String, Json)>),
+}
+
+/// Error produced when parsing or converting JSON.
+#[derive(Debug, Clone, PartialEq)]
+pub struct JsonError {
+    /// Human-readable description of what went wrong.
+    pub message: String,
+}
+
+impl JsonError {
+    /// Creates an error with the given message.
+    pub fn new(message: impl Into<String>) -> Self {
+        JsonError {
+            message: message.into(),
+        }
+    }
+}
+
+impl std::fmt::Display for JsonError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.message)
+    }
+}
+
+impl std::error::Error for JsonError {}
+
+/// Convenience alias for JSON results.
+pub type Result<T> = std::result::Result<T, JsonError>;
+
+impl Json {
+    /// Parses a JSON document.
+    pub fn parse(input: &str) -> Result<Json> {
+        let mut p = Parser {
+            bytes: input.as_bytes(),
+            pos: 0,
+        };
+        p.skip_ws();
+        let value = p.value()?;
+        p.skip_ws();
+        if p.pos != p.bytes.len() {
+            return Err(JsonError::new(format!(
+                "trailing characters at offset {}",
+                p.pos
+            )));
+        }
+        Ok(value)
+    }
+
+    /// Builds an object from `(key, value)` pairs.
+    pub fn obj(members: Vec<(&str, Json)>) -> Json {
+        Json::Obj(
+            members
+                .into_iter()
+                .map(|(k, v)| (k.to_string(), v))
+                .collect(),
+        )
+    }
+
+    /// Looks up a member of an object.
+    pub fn get(&self, key: &str) -> Option<&Json> {
+        match self {
+            Json::Obj(members) => members.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// The string payload, if this is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Json::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The numeric payload, if this is a number.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Json::Num(n) => Some(*n),
+            _ => None,
+        }
+    }
+
+    /// The boolean payload, if this is a boolean.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Json::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// The element list, if this is an array.
+    pub fn as_arr(&self) -> Option<&[Json]> {
+        match self {
+            Json::Arr(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    /// Serializes compactly (no whitespace).
+    #[allow(clippy::inherent_to_string)]
+    pub fn to_string(&self) -> String {
+        let mut out = String::new();
+        self.write(&mut out, None, 0);
+        out
+    }
+
+    /// Serializes with two-space indentation.
+    pub fn to_string_pretty(&self) -> String {
+        let mut out = String::new();
+        self.write(&mut out, Some(2), 0);
+        out
+    }
+
+    fn write(&self, out: &mut String, indent: Option<usize>, depth: usize) {
+        match self {
+            Json::Null => out.push_str("null"),
+            Json::Bool(true) => out.push_str("true"),
+            Json::Bool(false) => out.push_str("false"),
+            Json::Num(n) => write_number(out, *n),
+            Json::Str(s) => write_escaped(out, s),
+            Json::Arr(items) => {
+                write_seq(out, indent, depth, '[', ']', items.len(), |out, i, d| {
+                    items[i].write(out, indent, d)
+                })
+            }
+            Json::Obj(members) => {
+                write_seq(out, indent, depth, '{', '}', members.len(), |out, i, d| {
+                    write_escaped(out, &members[i].0);
+                    out.push(':');
+                    if indent.is_some() {
+                        out.push(' ');
+                    }
+                    members[i].1.write(out, indent, d);
+                })
+            }
+        }
+    }
+}
+
+fn write_seq(
+    out: &mut String,
+    indent: Option<usize>,
+    depth: usize,
+    open: char,
+    close: char,
+    len: usize,
+    mut item: impl FnMut(&mut String, usize, usize),
+) {
+    out.push(open);
+    if len == 0 {
+        out.push(close);
+        return;
+    }
+    for i in 0..len {
+        if i > 0 {
+            out.push(',');
+        }
+        if let Some(step) = indent {
+            out.push('\n');
+            for _ in 0..(depth + 1) * step {
+                out.push(' ');
+            }
+        }
+        item(out, i, depth + 1);
+    }
+    if let Some(step) = indent {
+        out.push('\n');
+        for _ in 0..depth * step {
+            out.push(' ');
+        }
+    }
+    out.push(close);
+}
+
+fn write_number(out: &mut String, n: f64) {
+    if !n.is_finite() {
+        // JSON has no NaN/Inf; emit null like serde_json's lossy mode.
+        out.push_str("null");
+    } else if n == n.trunc() && n.abs() < 9_007_199_254_740_992.0 {
+        let _ = write!(out, "{}", n as i64);
+    } else {
+        let _ = write!(out, "{n}");
+    }
+}
+
+fn write_escaped(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn skip_ws(&mut self) {
+        while let Some(&b) = self.bytes.get(self.pos) {
+            if b == b' ' || b == b'\t' || b == b'\n' || b == b'\r' {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn expect(&mut self, b: u8) -> Result<()> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(JsonError::new(format!(
+                "expected '{}' at offset {}",
+                b as char, self.pos
+            )))
+        }
+    }
+
+    fn literal(&mut self, word: &str, value: Json) -> Result<Json> {
+        if self.bytes[self.pos..].starts_with(word.as_bytes()) {
+            self.pos += word.len();
+            Ok(value)
+        } else {
+            Err(JsonError::new(format!(
+                "invalid literal at offset {}",
+                self.pos
+            )))
+        }
+    }
+
+    fn value(&mut self) -> Result<Json> {
+        match self.peek() {
+            Some(b'n') => self.literal("null", Json::Null),
+            Some(b't') => self.literal("true", Json::Bool(true)),
+            Some(b'f') => self.literal("false", Json::Bool(false)),
+            Some(b'"') => Ok(Json::Str(self.string()?)),
+            Some(b'[') => self.array(),
+            Some(b'{') => self.object(),
+            Some(b) if b == b'-' || b.is_ascii_digit() => self.number(),
+            _ => Err(JsonError::new(format!(
+                "unexpected character at offset {}",
+                self.pos
+            ))),
+        }
+    }
+
+    fn array(&mut self) -> Result<Json> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Json::Arr(items));
+        }
+        loop {
+            self.skip_ws();
+            items.push(self.value()?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Json::Arr(items));
+                }
+                _ => return Err(JsonError::new(format!("bad array at offset {}", self.pos))),
+            }
+        }
+    }
+
+    fn object(&mut self) -> Result<Json> {
+        self.expect(b'{')?;
+        let mut members = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Json::Obj(members));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.skip_ws();
+            self.expect(b':')?;
+            self.skip_ws();
+            let value = self.value()?;
+            members.push((key, value));
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Json::Obj(members));
+                }
+                _ => return Err(JsonError::new(format!("bad object at offset {}", self.pos))),
+            }
+        }
+    }
+
+    fn string(&mut self) -> Result<String> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            let b = self
+                .peek()
+                .ok_or_else(|| JsonError::new("unterminated string"))?;
+            self.pos += 1;
+            match b {
+                b'"' => return Ok(out),
+                b'\\' => {
+                    let esc = self
+                        .peek()
+                        .ok_or_else(|| JsonError::new("unterminated escape"))?;
+                    self.pos += 1;
+                    match esc {
+                        b'"' => out.push('"'),
+                        b'\\' => out.push('\\'),
+                        b'/' => out.push('/'),
+                        b'n' => out.push('\n'),
+                        b'r' => out.push('\r'),
+                        b't' => out.push('\t'),
+                        b'b' => out.push('\u{8}'),
+                        b'f' => out.push('\u{c}'),
+                        b'u' => {
+                            let code = self.hex4()?;
+                            let c = if (0xD800..0xDC00).contains(&code) {
+                                // Surrogate pair: require a \uXXXX low half.
+                                if self.peek() == Some(b'\\') {
+                                    self.pos += 1;
+                                    self.expect(b'u')?;
+                                    let low = self.hex4()?;
+                                    if !(0xDC00..0xE000).contains(&low) {
+                                        return Err(JsonError::new(
+                                            "high surrogate not followed by a low surrogate",
+                                        ));
+                                    }
+                                    let combined =
+                                        0x10000 + ((code - 0xD800) << 10) + (low - 0xDC00);
+                                    char::from_u32(combined)
+                                } else {
+                                    None
+                                }
+                            } else {
+                                char::from_u32(code)
+                            };
+                            out.push(c.ok_or_else(|| JsonError::new("invalid \\u escape"))?);
+                        }
+                        _ => return Err(JsonError::new("unknown escape")),
+                    }
+                }
+                b if b < 0x80 => out.push(b as char),
+                _ => {
+                    // Multi-byte UTF-8: copy the full sequence.
+                    let start = self.pos - 1;
+                    let len = utf8_len(b);
+                    let end = start + len;
+                    let slice = self
+                        .bytes
+                        .get(start..end)
+                        .ok_or_else(|| JsonError::new("truncated utf-8"))?;
+                    let s = std::str::from_utf8(slice)
+                        .map_err(|_| JsonError::new("invalid utf-8 in string"))?;
+                    out.push_str(s);
+                    self.pos = end;
+                }
+            }
+        }
+    }
+
+    fn hex4(&mut self) -> Result<u32> {
+        let slice = self
+            .bytes
+            .get(self.pos..self.pos + 4)
+            .ok_or_else(|| JsonError::new("truncated \\u escape"))?;
+        let s = std::str::from_utf8(slice).map_err(|_| JsonError::new("bad \\u escape"))?;
+        let code = u32::from_str_radix(s, 16).map_err(|_| JsonError::new("bad \\u escape"))?;
+        self.pos += 4;
+        Ok(code)
+    }
+
+    fn number(&mut self) -> Result<Json> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        while matches!(self.peek(), Some(b) if b.is_ascii_digit()) {
+            self.pos += 1;
+        }
+        if self.peek() == Some(b'.') {
+            self.pos += 1;
+            while matches!(self.peek(), Some(b) if b.is_ascii_digit()) {
+                self.pos += 1;
+            }
+        }
+        if matches!(self.peek(), Some(b'e') | Some(b'E')) {
+            self.pos += 1;
+            if matches!(self.peek(), Some(b'+') | Some(b'-')) {
+                self.pos += 1;
+            }
+            while matches!(self.peek(), Some(b) if b.is_ascii_digit()) {
+                self.pos += 1;
+            }
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos]).unwrap();
+        text.parse::<f64>()
+            .map(Json::Num)
+            .map_err(|_| JsonError::new(format!("invalid number at offset {start}")))
+    }
+}
+
+fn utf8_len(first: u8) -> usize {
+    match first {
+        0xC0..=0xDF => 2,
+        0xE0..=0xEF => 3,
+        _ => 4,
+    }
+}
+
+/// Conversion of a value into its JSON representation.
+pub trait ToJson {
+    /// Builds the JSON representation.
+    fn to_json(&self) -> Json;
+}
+
+/// Reconstruction of a value from JSON.
+pub trait FromJson: Sized {
+    /// Parses the value from JSON.
+    fn from_json(json: &Json) -> Result<Self>;
+}
+
+impl ToJson for Json {
+    fn to_json(&self) -> Json {
+        self.clone()
+    }
+}
+
+impl ToJson for bool {
+    fn to_json(&self) -> Json {
+        Json::Bool(*self)
+    }
+}
+
+impl FromJson for bool {
+    fn from_json(json: &Json) -> Result<bool> {
+        json.as_bool()
+            .ok_or_else(|| JsonError::new("expected a boolean"))
+    }
+}
+
+impl ToJson for String {
+    fn to_json(&self) -> Json {
+        Json::Str(self.clone())
+    }
+}
+
+impl ToJson for str {
+    fn to_json(&self) -> Json {
+        Json::Str(self.to_string())
+    }
+}
+
+impl FromJson for String {
+    fn from_json(json: &Json) -> Result<String> {
+        json.as_str()
+            .map(str::to_string)
+            .ok_or_else(|| JsonError::new("expected a string"))
+    }
+}
+
+/// Largest integer exactly representable in an `f64` (2^53); integers are
+/// carried through JSON as `f64`, so anything beyond this cannot round-trip
+/// and is rejected rather than silently rounded.
+pub const MAX_SAFE_INTEGER: f64 = 9_007_199_254_740_992.0;
+
+macro_rules! impl_json_int {
+    ($($t:ty),*) => {$(
+        impl ToJson for $t {
+            fn to_json(&self) -> Json {
+                let n = *self as f64;
+                debug_assert!(
+                    n.abs() <= MAX_SAFE_INTEGER,
+                    "integer exceeds exact f64 range"
+                );
+                Json::Num(n)
+            }
+        }
+        impl FromJson for $t {
+            fn from_json(json: &Json) -> Result<$t> {
+                let n = json
+                    .as_f64()
+                    .ok_or_else(|| JsonError::new("expected a number"))?;
+                if !n.is_finite() || n.fract() != 0.0 {
+                    return Err(JsonError::new(format!("expected an integer, got {n}")));
+                }
+                if n.abs() > MAX_SAFE_INTEGER {
+                    return Err(JsonError::new(format!(
+                        "integer {n} exceeds the exactly representable range"
+                    )));
+                }
+                let min = <$t>::MIN as f64;
+                let max = <$t>::MAX as f64;
+                if n < min || n > max {
+                    return Err(JsonError::new(format!(
+                        "{n} out of range for {}",
+                        stringify!($t)
+                    )));
+                }
+                Ok(n as $t)
+            }
+        }
+    )*};
+}
+
+impl_json_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+macro_rules! impl_json_float {
+    ($($t:ty),*) => {$(
+        impl ToJson for $t {
+            fn to_json(&self) -> Json {
+                Json::Num(*self as f64)
+            }
+        }
+        impl FromJson for $t {
+            fn from_json(json: &Json) -> Result<$t> {
+                json.as_f64()
+                    .map(|n| n as $t)
+                    .ok_or_else(|| JsonError::new("expected a number"))
+            }
+        }
+    )*};
+}
+
+impl_json_float!(f32, f64);
+
+impl<T: ToJson> ToJson for Vec<T> {
+    fn to_json(&self) -> Json {
+        Json::Arr(self.iter().map(ToJson::to_json).collect())
+    }
+}
+
+impl<T: FromJson> FromJson for Vec<T> {
+    fn from_json(json: &Json) -> Result<Vec<T>> {
+        json.as_arr()
+            .ok_or_else(|| JsonError::new("expected an array"))?
+            .iter()
+            .map(T::from_json)
+            .collect()
+    }
+}
+
+/// Fetches a required member from a JSON object and converts it.
+pub fn member<T: FromJson>(json: &Json, key: &str) -> Result<T> {
+    let value = json
+        .get(key)
+        .ok_or_else(|| JsonError::new(format!("missing field '{key}'")))?;
+    T::from_json(value).map_err(|e| JsonError::new(format!("field '{key}': {e}")))
+}
+
+/// Fetches an optional member from a JSON object, returning `default` when
+/// the member is absent or null.
+pub fn member_or<T: FromJson>(json: &Json, key: &str, default: T) -> Result<T> {
+    match json.get(key) {
+        None | Some(Json::Null) => Ok(default),
+        Some(value) => {
+            T::from_json(value).map_err(|e| JsonError::new(format!("field '{key}': {e}")))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_scalars() {
+        for doc in ["null", "true", "false", "42", "-3.5", "\"hi\"", "1e3"] {
+            let v = Json::parse(doc).unwrap();
+            let back = Json::parse(&v.to_string()).unwrap();
+            assert_eq!(v, back);
+        }
+    }
+
+    #[test]
+    fn integral_numbers_have_no_decimal_point() {
+        assert_eq!(Json::Num(42.0).to_string(), "42");
+        assert_eq!(Json::Num(-1.0).to_string(), "-1");
+        assert_eq!(Json::Num(2.5).to_string(), "2.5");
+    }
+
+    #[test]
+    fn object_roundtrip_preserves_order() {
+        let doc = r#"{"b":1,"a":[true,null,{"x":"y"}],"c":{"nested":-2.25}}"#;
+        let v = Json::parse(doc).unwrap();
+        assert_eq!(v.to_string(), doc);
+        assert_eq!(v.get("b"), Some(&Json::Num(1.0)));
+        assert_eq!(v.get("missing"), None);
+    }
+
+    #[test]
+    fn string_escapes_roundtrip() {
+        let original = "line\nbreak \"quoted\" back\\slash tab\t unicode \u{1F600} café";
+        let encoded = Json::Str(original.to_string()).to_string();
+        let back = Json::parse(&encoded).unwrap();
+        assert_eq!(back.as_str(), Some(original));
+    }
+
+    #[test]
+    fn unicode_escape_parses() {
+        // Plain BMP escape plus a surrogate pair.
+        assert_eq!(
+            Json::parse("\"\\u00e9 \\ud83d\\ude00\"").unwrap().as_str(),
+            Some("\u{e9} \u{1F600}")
+        );
+    }
+
+    #[test]
+    fn malformed_documents_error() {
+        for doc in [
+            "",
+            "{",
+            "[1,",
+            "\"open",
+            "tru",
+            "{\"a\" 1}",
+            "1 2",
+            "{'a':1}",
+        ] {
+            assert!(Json::parse(doc).is_err(), "{doc:?} should fail");
+        }
+    }
+
+    #[test]
+    fn pretty_output_is_indented_and_reparses() {
+        let v = Json::obj(vec![
+            ("name", Json::Str("coconut".into())),
+            ("sizes", Json::Arr(vec![Json::Num(1.0), Json::Num(2.0)])),
+        ]);
+        let pretty = v.to_string_pretty();
+        assert!(pretty.contains("\n  \"name\""));
+        assert_eq!(Json::parse(&pretty).unwrap(), v);
+    }
+
+    #[test]
+    fn member_helpers() {
+        let v = Json::parse(r#"{"k":5,"s":"x"}"#).unwrap();
+        assert_eq!(member::<u64>(&v, "k").unwrap(), 5);
+        assert_eq!(member_or::<u64>(&v, "absent", 9).unwrap(), 9);
+        assert!(member::<u64>(&v, "s").is_err());
+        assert!(member::<u64>(&v, "absent").is_err());
+    }
+
+    #[test]
+    fn integer_conversion_rejects_lossy_values() {
+        // Negative, fractional and beyond-2^53 inputs must error rather than
+        // silently saturate or round.
+        assert!(u64::from_json(&Json::Num(-1.0)).is_err());
+        assert!(usize::from_json(&Json::Num(1.5)).is_err());
+        assert!(u64::from_json(&Json::Num(1e19)).is_err());
+        assert!(u8::from_json(&Json::Num(256.0)).is_err());
+        assert!(i8::from_json(&Json::Num(-129.0)).is_err());
+        assert_eq!(u64::from_json(&Json::Num(42.0)).unwrap(), 42);
+        assert_eq!(i64::from_json(&Json::Num(-42.0)).unwrap(), -42);
+        // Floats stay permissive.
+        assert_eq!(f64::from_json(&Json::Num(1.5)).unwrap(), 1.5);
+    }
+
+    #[test]
+    fn malformed_surrogate_pairs_are_rejected() {
+        // High surrogate followed by a non-surrogate escape.
+        assert!(Json::parse("\"\\ud801\\u0061\"").is_err());
+        // Lone high surrogate (no second escape at all).
+        assert!(Json::parse("\"\\ud801x\"").is_err());
+        // Lone low surrogate.
+        assert!(Json::parse("\"\\udc01\"").is_err());
+    }
+
+    #[test]
+    fn vec_conversions() {
+        let v = vec![1.5f64, 2.0, -3.0];
+        let j = v.to_json();
+        assert_eq!(Vec::<f64>::from_json(&j).unwrap(), v);
+    }
+}

@@ -21,10 +21,10 @@
 //! * heavy in-place update rates on static data lower the CTree fill factor
 //!   or switch to CLSM.
 
-use serde::{Deserialize, Serialize};
+use coconut_json::{member, FromJson, Json, JsonError, ToJson};
 
 /// Whether the data arrives as a fixed archive or as a stream.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum DataArrival {
     /// The whole collection exists up front (Scenario 1).
     Static,
@@ -33,7 +33,7 @@ pub enum DataArrival {
 }
 
 /// Description of the target application scenario.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Scenario {
     /// How data arrives.
     pub arrival: DataArrival,
@@ -91,7 +91,7 @@ impl Scenario {
 }
 
 /// Index structure families available in the Coconut Palm matrix (Figure 1).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum StructureKind {
     /// ADS+-style adaptive iSAX tree (the baseline).
     Ads,
@@ -102,7 +102,7 @@ pub enum StructureKind {
 }
 
 /// Streaming window scheme choices.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum SchemeKind {
     /// No windowing (static data).
     None,
@@ -115,7 +115,7 @@ pub enum SchemeKind {
 }
 
 /// The recommender's output: a configuration plus the rationale path.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Recommendation {
     /// Recommended structure family.
     pub structure: StructureKind,
@@ -129,6 +129,99 @@ pub struct Recommendation {
     pub growth_factor: usize,
     /// Human-readable decision path, one line per decision taken.
     pub rationale: Vec<String>,
+}
+
+macro_rules! impl_unit_enum_json {
+    ($ty:ident { $($variant:ident),+ $(,)? }) => {
+        impl ToJson for $ty {
+            fn to_json(&self) -> Json {
+                let name = match self {
+                    $($ty::$variant => stringify!($variant),)+
+                };
+                Json::Str(name.to_string())
+            }
+        }
+        impl FromJson for $ty {
+            fn from_json(json: &Json) -> coconut_json::Result<$ty> {
+                match json.as_str() {
+                    $(Some(stringify!($variant)) => Ok($ty::$variant),)+
+                    Some(other) => Err(JsonError::new(format!(
+                        "unknown {} variant '{other}'",
+                        stringify!($ty)
+                    ))),
+                    None => Err(JsonError::new(concat!(
+                        "expected a string for ",
+                        stringify!($ty)
+                    ))),
+                }
+            }
+        }
+    };
+}
+
+impl_unit_enum_json!(DataArrival { Static, Streaming });
+impl_unit_enum_json!(StructureKind { Ads, CTree, Clsm });
+impl_unit_enum_json!(SchemeKind {
+    None,
+    PostProcessing,
+    TemporalPartitioning,
+    BoundedTemporalPartitioning,
+});
+
+impl ToJson for Scenario {
+    fn to_json(&self) -> Json {
+        Json::obj(vec![
+            ("arrival", self.arrival.to_json()),
+            ("collection_size", self.collection_size.to_json()),
+            ("series_len", self.series_len.to_json()),
+            ("memory_budget_bytes", self.memory_budget_bytes.to_json()),
+            ("storage_budget_bytes", self.storage_budget_bytes.to_json()),
+            ("expected_queries", self.expected_queries.to_json()),
+            ("expected_updates", self.expected_updates.to_json()),
+            ("small_windows", self.small_windows.to_json()),
+        ])
+    }
+}
+
+impl FromJson for Scenario {
+    fn from_json(json: &Json) -> coconut_json::Result<Scenario> {
+        Ok(Scenario {
+            arrival: member(json, "arrival")?,
+            collection_size: member(json, "collection_size")?,
+            series_len: member(json, "series_len")?,
+            memory_budget_bytes: member(json, "memory_budget_bytes")?,
+            storage_budget_bytes: member(json, "storage_budget_bytes")?,
+            expected_queries: member(json, "expected_queries")?,
+            expected_updates: member(json, "expected_updates")?,
+            small_windows: member(json, "small_windows")?,
+        })
+    }
+}
+
+impl ToJson for Recommendation {
+    fn to_json(&self) -> Json {
+        Json::obj(vec![
+            ("structure", self.structure.to_json()),
+            ("materialized", self.materialized.to_json()),
+            ("scheme", self.scheme.to_json()),
+            ("fill_factor", self.fill_factor.to_json()),
+            ("growth_factor", self.growth_factor.to_json()),
+            ("rationale", self.rationale.to_json()),
+        ])
+    }
+}
+
+impl FromJson for Recommendation {
+    fn from_json(json: &Json) -> coconut_json::Result<Recommendation> {
+        Ok(Recommendation {
+            structure: member(json, "structure")?,
+            materialized: member(json, "materialized")?,
+            scheme: member(json, "scheme")?,
+            fill_factor: member(json, "fill_factor")?,
+            growth_factor: member(json, "growth_factor")?,
+            rationale: member(json, "rationale")?,
+        })
+    }
 }
 
 /// Walks the decision tree for `scenario` and returns the recommendation.
@@ -184,7 +277,8 @@ pub fn recommend(scenario: &Scenario) -> Recommendation {
             // Growth factor: favour reads when queries dominate updates.
             let growth_factor = if scenario.expected_queries > scenario.expected_updates {
                 rationale.push(
-                    "query-heavy stream: small growth factor merges eagerly to keep few runs".into(),
+                    "query-heavy stream: small growth factor merges eagerly to keep few runs"
+                        .into(),
                 );
                 2
             } else {
@@ -353,9 +447,17 @@ mod tests {
     #[test]
     fn recommendation_serializes_to_json() {
         let rec = recommend(&Scenario::streaming(1000, 64));
-        let json = serde_json::to_string(&rec).unwrap();
+        let json = rec.to_json().to_string();
         assert!(json.contains("Clsm"));
-        let back: Recommendation = serde_json::from_str(&json).unwrap();
+        let back = Recommendation::from_json(&Json::parse(&json).unwrap()).unwrap();
         assert_eq!(back, rec);
+    }
+
+    #[test]
+    fn scenario_roundtrips_through_json() {
+        let scenario = Scenario::streaming(123_456, 96);
+        let json = scenario.to_json().to_string();
+        let back = Scenario::from_json(&Json::parse(&json).unwrap()).unwrap();
+        assert_eq!(back, scenario);
     }
 }

@@ -26,7 +26,7 @@ pub fn inverse_normal_cdf(p: f64) -> f64 {
         -3.969683028665376e+01,
         2.209460984245205e+02,
         -2.759285104469687e+02,
-        1.383577518672690e+02,
+        1.383_577_518_672_69e2,
         -3.066479806614716e+01,
         2.506628277459239e+00,
     ];
@@ -186,13 +186,15 @@ impl BreakpointTable {
     /// [`crate::MAX_BITS_PER_SEGMENT`].
     pub fn new() -> Self {
         BreakpointTable {
-            tables: (1..=crate::MAX_BITS_PER_SEGMENT).map(Breakpoints::new).collect(),
+            tables: (1..=crate::MAX_BITS_PER_SEGMENT)
+                .map(Breakpoints::new)
+                .collect(),
         }
     }
 
     /// Returns the table for `bits` bits.
     pub fn for_bits(&self, bits: u8) -> &Breakpoints {
-        assert!(bits >= 1 && bits <= crate::MAX_BITS_PER_SEGMENT);
+        assert!((1..=crate::MAX_BITS_PER_SEGMENT).contains(&bits));
         &self.tables[(bits - 1) as usize]
     }
 }

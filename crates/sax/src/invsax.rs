@@ -23,7 +23,9 @@ use crate::breakpoints::Breakpoints;
 use crate::isax::{IsaxSymbol, IsaxWord};
 use crate::sax::SaxWord;
 use crate::SaxConfig;
+use coconut_parallel::{effective_parallelism, parallel_map_slice};
 use coconut_series::paa::paa;
+use coconut_series::Series;
 
 /// A sortable interleaved SAX key.
 ///
@@ -100,6 +102,7 @@ impl InvSaxKey {
         let bits_per_segment = config.bits_per_segment;
         let mut symbols = vec![0u8; segments];
         for level in 0..bits_per_segment {
+            #[allow(clippy::needless_range_loop)] // `seg` feeds the bit-position arithmetic
             for seg in 0..segments {
                 // Position of this bit counted from the most significant end
                 // of the key.
@@ -186,6 +189,38 @@ impl SortableSummarizer {
     pub fn decode(&self, key: InvSaxKey) -> SaxWord {
         key.to_sax(&self.config)
     }
+
+    /// Summarizes many series into their sortable keys in one call, using up
+    /// to `parallelism` worker threads (`1` = sequential, `0` = one per
+    /// available core).
+    ///
+    /// The whole per-series pipeline — PAA, symbol quantization and bit
+    /// interleaving — runs inside the workers, so the bulk-load loops of
+    /// CTree / CLSM / the streaming partitions pay one fork/join per batch
+    /// instead of one virtual call per series.  The output is index-aligned
+    /// with `series` and identical to mapping [`SortableSummarizer::key`]
+    /// sequentially, regardless of the worker count.
+    pub fn keys_batch(&self, series: &[Series], parallelism: usize) -> Vec<InvSaxKey> {
+        let workers = effective_parallelism(parallelism);
+        parallel_map_slice(series, workers, |s| self.key(&s.values))
+    }
+
+    /// Like [`SortableSummarizer::keys_batch`] but over raw value slices.
+    pub fn keys_batch_values(&self, values: &[&[f32]], parallelism: usize) -> Vec<InvSaxKey> {
+        let workers = effective_parallelism(parallelism);
+        parallel_map_slice(values, workers, |v| self.key(v))
+    }
+}
+
+/// Batched summarization entry point named by the bulk-load pipeline: maps
+/// every series to its sortable interleaved key with up to `parallelism`
+/// workers.  See [`SortableSummarizer::keys_batch`].
+pub fn invsax_keys_batch(
+    summarizer: &SortableSummarizer,
+    series: &[Series],
+    parallelism: usize,
+) -> Vec<InvSaxKey> {
+    summarizer.keys_batch(series, parallelism)
 }
 
 #[cfg(test)]
@@ -231,7 +266,9 @@ mod tests {
         let config = cfg();
         let summarizer = SortableSummarizer::new(config);
         let mut gen = RandomWalkGenerator::new(config.series_len, 23);
-        let mut keys: Vec<InvSaxKey> = (0..100).map(|_| summarizer.key(&gen.next_series().values)).collect();
+        let mut keys: Vec<InvSaxKey> = (0..100)
+            .map(|_| summarizer.key(&gen.next_series().values))
+            .collect();
         keys.sort();
         let bytes: Vec<Vec<u8>> = keys.iter().map(|k| k.to_be_bytes()).collect();
         let mut sorted_bytes = bytes.clone();
@@ -330,11 +367,36 @@ mod tests {
     fn from_raw_validates_width() {
         InvSaxKey::from_raw(16, 4);
     }
+
+    #[test]
+    fn batched_keys_match_per_series_keys_at_any_parallelism() {
+        let config = cfg();
+        let summarizer = SortableSummarizer::new(config);
+        let mut gen = RandomWalkGenerator::new(config.series_len, 61);
+        // Large enough to clear the fork/join gate so worker threads really
+        // run at parallelism > 1.
+        let series = gen.generate(1500);
+        let expected: Vec<InvSaxKey> = series.iter().map(|s| summarizer.key(&s.values)).collect();
+        for parallelism in [1usize, 2, 8] {
+            assert_eq!(
+                summarizer.keys_batch(&series, parallelism),
+                expected,
+                "parallelism={parallelism}"
+            );
+            assert_eq!(
+                invsax_keys_batch(&summarizer, &series, parallelism),
+                expected
+            );
+        }
+        let values: Vec<&[f32]> = series.iter().map(|s| s.values.as_slice()).collect();
+        assert_eq!(summarizer.keys_batch_values(&values, 8), expected);
+    }
 }
 
 #[cfg(test)]
 mod proptests {
     use super::*;
+    use coconut_series::generator::SeriesGenerator;
     use proptest::prelude::*;
 
     proptest! {
@@ -356,6 +418,46 @@ mod proptests {
             let key = InvSaxKey::from_sax(&word);
             let bytes = key.to_be_bytes();
             prop_assert_eq!(InvSaxKey::from_be_bytes(&bytes, key.width()), key);
+        }
+
+        /// The defining property of the sortable summarization: integer key
+        /// order equals lexicographic order of the interleaved bit strings
+        /// (most significant bit of every segment first, level by level).
+        /// The batched API must satisfy it identically, since it must return
+        /// the same keys as the per-series path.
+        #[test]
+        fn key_order_equals_interleaved_bit_order(
+            a in proptest::collection::vec(0u8..=255, 4),
+            b in proptest::collection::vec(0u8..=255, 4),
+        ) {
+            fn interleaved_bits(symbols: &[u8], bits: u8) -> Vec<u8> {
+                let mut out = Vec::with_capacity(symbols.len() * bits as usize);
+                for level in 0..bits {
+                    for &symbol in symbols {
+                        out.push((symbol >> (bits - 1 - level)) & 1);
+                    }
+                }
+                out
+            }
+            let ka = InvSaxKey::from_sax(&SaxWord::from_symbols(a.clone(), 8));
+            let kb = InvSaxKey::from_sax(&SaxWord::from_symbols(b.clone(), 8));
+            let bits_a = interleaved_bits(&a, 8);
+            let bits_b = interleaved_bits(&b, 8);
+            prop_assert_eq!(ka.cmp(&kb), bits_a.cmp(&bits_b));
+            // Batched keying of raw series must agree with per-series keying,
+            // so it inherits the ordering property verbatim.
+            let summarizer = SortableSummarizer::new(SaxConfig::new(32, 8, 4));
+            let mut gen = coconut_series::generator::RandomWalkGenerator::new(32, a[0] as u64);
+            let series = gen.generate(16);
+            let batched = summarizer.keys_batch(&series, 4);
+            for (s, key) in series.iter().zip(&batched) {
+                prop_assert_eq!(summarizer.key(&s.values), *key);
+            }
+            let mut sorted_by_key = batched.clone();
+            sorted_by_key.sort();
+            let mut sorted_by_bytes = batched;
+            sorted_by_bytes.sort_by_key(|x| x.to_be_bytes());
+            prop_assert_eq!(sorted_by_key, sorted_by_bytes);
         }
 
         #[test]

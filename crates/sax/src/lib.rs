@@ -34,7 +34,7 @@ pub mod mindist;
 pub mod sax;
 
 pub use breakpoints::Breakpoints;
-pub use invsax::{InvSaxKey, SortableSummarizer};
+pub use invsax::{invsax_keys_batch, InvSaxKey, SortableSummarizer};
 pub use isax::{IsaxSymbol, IsaxWord};
 pub use mindist::{mindist_paa_isax_sq, mindist_paa_sax_sq};
 pub use sax::SaxWord;
@@ -49,7 +49,7 @@ pub const MAX_BITS_PER_SEGMENT: u8 = 8;
 pub const MAX_KEY_BITS: u32 = 128;
 
 /// Configuration of a SAX-family summarization.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct SaxConfig {
     /// Number of points in each summarized series.
     pub series_len: usize,

@@ -128,7 +128,10 @@ mod tests {
             for levels in (0..=8u8).rev() {
                 let word = key.to_isax_prefix(&config, levels);
                 let lb = mindist_paa_isax_sq(&q_paa, &word, &config, &table);
-                assert!(lb <= true_d + 1e-6, "lb {lb} > true {true_d} at {levels} levels");
+                assert!(
+                    lb <= true_d + 1e-6,
+                    "lb {lb} > true {true_d} at {levels} levels"
+                );
                 // Coarser words must give looser (not larger) bounds.
                 assert!(lb <= prev + 1e-9);
                 prev = lb;
@@ -180,8 +183,8 @@ mod proptests {
     use super::*;
     use crate::invsax::SortableSummarizer;
     use coconut_series::distance::squared_euclidean;
-    use coconut_series::znorm::znormalize;
     use coconut_series::paa::paa;
+    use coconut_series::znorm::znormalize;
     use proptest::prelude::*;
 
     proptest! {

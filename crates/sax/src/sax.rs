@@ -53,7 +53,7 @@ impl SaxWord {
 
     /// Constructs a SAX word directly from symbols (used by decoders/tests).
     pub fn from_symbols(symbols: Vec<u8>, bits: u8) -> Self {
-        assert!(bits >= 1 && bits <= crate::MAX_BITS_PER_SEGMENT);
+        assert!((1..=crate::MAX_BITS_PER_SEGMENT).contains(&bits));
         let card = 1u16 << bits;
         assert!(
             symbols.iter().all(|&s| (s as u16) < card),

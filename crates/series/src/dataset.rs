@@ -93,7 +93,10 @@ impl DatasetWriter {
     /// returns a [`Dataset`] handle for reading it back.
     pub fn finish(mut self) -> Result<Dataset> {
         self.writer.flush()?;
-        let mut file = self.writer.into_inner().map_err(|e| SeriesError::Io(e.into_error()))?;
+        let mut file = self
+            .writer
+            .into_inner()
+            .map_err(|e| SeriesError::Io(e.into_error()))?;
         file.seek(SeekFrom::Start(8 + 4))?;
         file.write_all(&self.count.to_le_bytes())?;
         file.sync_all()?;
@@ -285,7 +288,11 @@ mod tests {
 
     fn temp_path(name: &str) -> PathBuf {
         let mut p = std::env::temp_dir();
-        p.push(format!("coconut-series-test-{}-{}", std::process::id(), name));
+        p.push(format!(
+            "coconut-series-test-{}-{}",
+            std::process::id(),
+            name
+        ));
         p
     }
 
@@ -338,7 +345,10 @@ mod tests {
         assert!(w.append(&[0.0; 8]).is_ok());
         assert!(matches!(
             w.append(&[0.0; 9]),
-            Err(SeriesError::LengthMismatch { expected: 8, actual: 9 })
+            Err(SeriesError::LengthMismatch {
+                expected: 8,
+                actual: 9
+            })
         ));
         drop(w);
         std::fs::remove_file(&path).unwrap();
@@ -348,7 +358,10 @@ mod tests {
     fn bad_magic_rejected() {
         let path = temp_path("badmagic.bin");
         std::fs::write(&path, b"NOTRIGHTxxxxxxxxxxxxxxxx").unwrap();
-        assert!(matches!(Dataset::open(&path), Err(SeriesError::BadHeader(_))));
+        assert!(matches!(
+            Dataset::open(&path),
+            Err(SeriesError::BadHeader(_))
+        ));
         std::fs::remove_file(&path).unwrap();
     }
 

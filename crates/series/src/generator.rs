@@ -417,10 +417,14 @@ mod tests {
         let mut g = AstronomyGenerator::new(128, 11, 0.4);
         let all = g.generate(300);
         let template = g.template(PatternKind::Supernova);
-        let sn_ids: std::collections::HashSet<_> =
-            g.ids_with_pattern(PatternKind::Supernova).into_iter().collect();
-        let bg_ids: std::collections::HashSet<_> =
-            g.ids_with_pattern(PatternKind::Background).into_iter().collect();
+        let sn_ids: std::collections::HashSet<_> = g
+            .ids_with_pattern(PatternKind::Supernova)
+            .into_iter()
+            .collect();
+        let bg_ids: std::collections::HashSet<_> = g
+            .ids_with_pattern(PatternKind::Background)
+            .into_iter()
+            .collect();
         let mean_dist = |ids: &std::collections::HashSet<u64>| {
             let (sum, n) = all
                 .iter()

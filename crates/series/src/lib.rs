@@ -65,7 +65,10 @@ impl std::fmt::Display for SeriesError {
             SeriesError::Io(e) => write!(f, "i/o error: {e}"),
             SeriesError::BadHeader(msg) => write!(f, "bad dataset header: {msg}"),
             SeriesError::LengthMismatch { expected, actual } => {
-                write!(f, "series length mismatch: expected {expected}, got {actual}")
+                write!(
+                    f,
+                    "series length mismatch: expected {expected}, got {actual}"
+                )
             }
             SeriesError::UnknownSeries(id) => write!(f, "unknown series id {id}"),
         }

@@ -23,7 +23,7 @@ pub fn paa(values: &[f32], segments: usize) -> Vec<f64> {
         values.len()
     );
     let n = values.len();
-    if n % segments == 0 {
+    if n.is_multiple_of(segments) {
         // Fast path: equal-width integer segments.
         let width = n / segments;
         return values
@@ -41,6 +41,7 @@ pub fn paa(values: &[f32], segments: usize) -> Vec<f64> {
         let end = (i + 1) as f64;
         let first_seg = (start / seg_width).floor() as usize;
         let last_seg = (((end) / seg_width).ceil() as usize).min(segments);
+        #[allow(clippy::needless_range_loop)] // index math beats iterator gymnastics here
         for seg in first_seg..last_seg {
             let seg_start = seg as f64 * seg_width;
             let seg_end = seg_start + seg_width;

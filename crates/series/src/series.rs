@@ -1,7 +1,5 @@
 //! Core series record types.
 
-use serde::{Deserialize, Serialize};
-
 /// Identifier of a data series within a dataset.
 ///
 /// Ids are dense: the `i`-th series appended to a [`crate::Dataset`] gets id
@@ -19,7 +17,7 @@ pub type Timestamp = u64;
 /// original Coconut / ADS+ implementations (and most public data series
 /// benchmarks), halving the footprint compared to `f64` without affecting
 /// pruning behaviour.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Series {
     /// Dense identifier of this series within its dataset.
     pub id: SeriesId,
@@ -61,7 +59,7 @@ impl Series {
 }
 
 /// Metadata describing a collection of series.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct SeriesMeta {
     /// Number of points in every series of the collection.
     pub series_len: usize,
@@ -74,7 +72,7 @@ pub struct SeriesMeta {
 /// Streaming scenarios (Section 3 of the paper) attach a timestamp to every
 /// arriving series; windowed queries then constrain the search to series
 /// whose timestamp falls inside `[window_start, window_end]`.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct TimestampedSeries {
     /// The underlying series.
     pub series: Series,

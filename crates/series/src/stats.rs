@@ -65,7 +65,9 @@ pub fn percentile_sorted(sorted: &[f64], p: f64) -> f64 {
 
 /// Computes mean of an iterator of f64; returns 0.0 for an empty iterator.
 pub fn mean<I: IntoIterator<Item = f64>>(iter: I) -> f64 {
-    let (sum, n) = iter.into_iter().fold((0.0, 0usize), |(s, n), v| (s + v, n + 1));
+    let (sum, n) = iter
+        .into_iter()
+        .fold((0.0, 0usize), |(s, n), v| (s + v, n + 1));
     if n == 0 {
         0.0
     } else {

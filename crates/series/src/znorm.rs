@@ -20,6 +20,32 @@ pub fn znormalize(values: &[f32]) -> Vec<f32> {
     out
 }
 
+/// Accumulator width shared with the distance kernels: 8 independent `f64`
+/// lanes over 8-wide chunks, an auto-vectorizable shape.
+const LANES: usize = 8;
+
+#[inline]
+fn lane_sum(acc: [f64; LANES]) -> f64 {
+    ((acc[0] + acc[4]) + (acc[2] + acc[6])) + ((acc[1] + acc[5]) + (acc[3] + acc[7]))
+}
+
+/// Sum of `f(v)` over `values`, accumulated in 8 independent lanes.
+#[inline]
+fn chunked_sum(values: &[f32], f: impl Fn(f64) -> f64) -> f64 {
+    let mut acc = [0.0f64; LANES];
+    let chunks = values.len() / LANES;
+    for chunk in values.chunks_exact(LANES).take(chunks) {
+        for lane in 0..LANES {
+            acc[lane] += f(chunk[lane] as f64);
+        }
+    }
+    let mut tail = 0.0f64;
+    for &v in &values[chunks * LANES..] {
+        tail += f(v as f64);
+    }
+    lane_sum(acc) + tail
+}
+
 /// Z-normalizes `values` in place (zero mean, unit standard deviation).
 ///
 /// Near-constant inputs (standard deviation below [`MIN_STDDEV`]) are set to
@@ -29,15 +55,11 @@ pub fn znormalize_in_place(values: &mut [f32]) {
         return;
     }
     let n = values.len() as f64;
-    let mean: f64 = values.iter().map(|&v| v as f64).sum::<f64>() / n;
-    let var: f64 = values
-        .iter()
-        .map(|&v| {
-            let d = v as f64 - mean;
-            d * d
-        })
-        .sum::<f64>()
-        / n;
+    let mean = chunked_sum(values, |v| v) / n;
+    let var = chunked_sum(values, |v| {
+        let d = v - mean;
+        d * d
+    }) / n;
     let std = var.sqrt();
     if std < MIN_STDDEV {
         for v in values.iter_mut() {
@@ -45,8 +67,9 @@ pub fn znormalize_in_place(values: &mut [f32]) {
         }
         return;
     }
+    let inv = 1.0 / std;
     for v in values.iter_mut() {
-        *v = ((*v as f64 - mean) / std) as f32;
+        *v = ((*v as f64 - mean) * inv) as f32;
     }
 }
 
@@ -56,15 +79,11 @@ pub fn mean_std(values: &[f32]) -> (f64, f64) {
         return (0.0, 0.0);
     }
     let n = values.len() as f64;
-    let mean: f64 = values.iter().map(|&v| v as f64).sum::<f64>() / n;
-    let var: f64 = values
-        .iter()
-        .map(|&v| {
-            let d = v as f64 - mean;
-            d * d
-        })
-        .sum::<f64>()
-        / n;
+    let mean = chunked_sum(values, |v| v) / n;
+    let var = chunked_sum(values, |v| {
+        let d = v - mean;
+        d * d
+    }) / n;
     (mean, var.sqrt())
 }
 

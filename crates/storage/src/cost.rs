@@ -9,7 +9,7 @@
 use crate::iostats::IoStatsSnapshot;
 
 /// Relative costs of the four access kinds.
-#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct CostModel {
     /// Cost of one sequential page read.
     pub sequential_read: f64,

@@ -16,6 +16,8 @@ use std::collections::VecDeque;
 use std::path::{Path, PathBuf};
 use std::sync::Arc;
 
+use coconut_parallel::{effective_parallelism, parallel_sort_by_key};
+
 use crate::file::PagedFile;
 use crate::iostats::SharedIoStats;
 use crate::page::DEFAULT_PAGE_SIZE;
@@ -23,9 +25,12 @@ use crate::Result;
 
 /// Describes how to encode, decode and order records of a runtime-known
 /// fixed size.
-pub trait RecordLayout: Clone {
+///
+/// Layouts and records must be shareable with / movable to worker threads
+/// (`Sync` / `Send`) so run-generation chunks can be sorted in parallel.
+pub trait RecordLayout: Clone + Send + Sync {
     /// The in-memory record type.
-    type Record: Clone;
+    type Record: Clone + Send;
     /// The sort key type.
     type Key: Ord + Clone;
 
@@ -109,7 +114,10 @@ impl<L: RecordLayout> DynRunFile<L> {
             return Ok(Vec::new());
         }
         let buf = self.file.read_at(index * size as u64, size * count)?;
-        Ok(buf.chunks_exact(size).map(|c| self.layout.decode(c)).collect())
+        Ok(buf
+            .chunks_exact(size)
+            .map(|c| self.layout.decode(c))
+            .collect())
     }
 
     /// Sequential reader with a buffer of `buffer_records` records.
@@ -360,6 +368,7 @@ pub struct DynExternalSorter<L: RecordLayout> {
     layout: L,
     memory_budget_bytes: usize,
     page_size: usize,
+    parallelism: usize,
     scratch_dir: PathBuf,
     stats: SharedIoStats,
     next_run_id: u64,
@@ -377,6 +386,7 @@ impl<L: RecordLayout> DynExternalSorter<L> {
             layout,
             memory_budget_bytes,
             page_size: DEFAULT_PAGE_SIZE,
+            parallelism: 1,
             scratch_dir: scratch_dir.as_ref().to_path_buf(),
             stats,
             next_run_id: 0,
@@ -390,8 +400,19 @@ impl<L: RecordLayout> DynExternalSorter<L> {
         self
     }
 
+    /// Sets the chunk-sort parallelism (`1` = sequential, `0` = all cores).
+    /// Every setting produces byte-identical runs; see
+    /// [`crate::extsort::ExternalSortConfig::parallelism`].
+    pub fn with_parallelism(mut self, workers: usize) -> Self {
+        self.parallelism = workers;
+        self
+    }
+
     fn records_per_chunk(&self) -> usize {
-        (self.memory_budget_bytes / self.layout.record_size()).max(2)
+        // Half of the budget per chunk; see
+        // [`crate::extsort::ExternalSortConfig::memory_budget_bytes`] for the
+        // split between run generation and merge read buffers.
+        (self.memory_budget_bytes / 2 / self.layout.record_size()).max(2)
     }
 
     /// Sorts `input`, spilling when the memory budget is exceeded.
@@ -412,7 +433,8 @@ impl<L: RecordLayout> DynExternalSorter<L> {
         }
         if runs.is_empty() {
             let layout = self.layout.clone();
-            chunk.sort_by(|a, b| layout.key(a).cmp(&layout.key(b)));
+            let workers = effective_parallelism(self.parallelism);
+            parallel_sort_by_key(&mut chunk, workers, |r| layout.key(r));
             return Ok(DynSortOutput {
                 in_memory: Some(chunk.into_iter()),
                 merge: None,
@@ -423,10 +445,11 @@ impl<L: RecordLayout> DynExternalSorter<L> {
         if !chunk.is_empty() {
             runs.push(self.write_run(&mut chunk)?);
         }
-        let per_run_records = (self.memory_budget_bytes
-            / self.layout.record_size()
-            / runs.len().max(1))
-        .max(1);
+        // Release the chunk's capacity before the merge readers allocate
+        // their buffers; the readers share a quarter of the budget.
+        drop(chunk);
+        let per_run_records =
+            (self.memory_budget_bytes / 4 / self.layout.record_size() / runs.len().max(1)).max(1);
         let merge = DynKWayMerge::new(self.layout.clone(), &runs, per_run_records)?;
         Ok(DynSortOutput {
             in_memory: None,
@@ -438,7 +461,8 @@ impl<L: RecordLayout> DynExternalSorter<L> {
 
     fn write_run(&mut self, chunk: &mut Vec<L::Record>) -> Result<DynRunFile<L>> {
         let layout = self.layout.clone();
-        chunk.sort_by(|a, b| layout.key(a).cmp(&layout.key(b)));
+        let workers = effective_parallelism(self.parallelism);
+        parallel_sort_by_key(chunk, workers, |r| layout.key(r));
         let path = self
             .scratch_dir
             .join(format!("dynsort-run-{:06}.run", self.next_run_id));
@@ -507,8 +531,7 @@ mod tests {
         let dir = ScratchDir::new("dynrun").unwrap();
         let stats = IoStats::shared();
         let layout = PairLayout { payload_len: 13 };
-        let mut w =
-            DynRunWriter::create(layout.clone(), dir.file("a.run"), stats, 512).unwrap();
+        let mut w = DynRunWriter::create(layout.clone(), dir.file("a.run"), stats, 512).unwrap();
         let records = make_records(500, 13);
         for r in &records {
             w.push(r).unwrap();
@@ -551,8 +574,7 @@ mod tests {
         let stats = IoStats::shared();
         let layout = PairLayout { payload_len: 4 };
         let records = make_records(100, 4);
-        let mut sorter =
-            DynExternalSorter::new(layout, 1 << 20, dir.path(), Arc::clone(&stats));
+        let mut sorter = DynExternalSorter::new(layout, 1 << 20, dir.path(), Arc::clone(&stats));
         let out = sorter.sort(records).unwrap();
         assert!(!out.spilled());
         let sorted: Vec<_> = out.map(|r| r.unwrap()).collect();

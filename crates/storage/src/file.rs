@@ -82,7 +82,10 @@ impl PagedFile {
         page_size: usize,
     ) -> Result<Self> {
         assert!(page_size > 0);
-        let file = OpenOptions::new().read(true).write(true).open(path.as_ref())?;
+        let file = OpenOptions::new()
+            .read(true)
+            .write(true)
+            .open(path.as_ref())?;
         let len = file.metadata()?.len();
         Ok(PagedFile {
             path: path.as_ref().to_path_buf(),
@@ -265,7 +268,8 @@ mod tests {
     #[test]
     fn sequential_appends_are_sequential_after_first_page() {
         let (dir, stats) = setup("pf-seq");
-        let f = PagedFile::create_with_page_size(dir.file("a.bin"), Arc::clone(&stats), 64).unwrap();
+        let f =
+            PagedFile::create_with_page_size(dir.file("a.bin"), Arc::clone(&stats), 64).unwrap();
         let chunk = vec![0u8; 64];
         for _ in 0..10 {
             f.append(&chunk).unwrap();
@@ -279,7 +283,8 @@ mod tests {
     #[test]
     fn scattered_reads_are_random() {
         let (dir, stats) = setup("pf-rand");
-        let f = PagedFile::create_with_page_size(dir.file("a.bin"), Arc::clone(&stats), 64).unwrap();
+        let f =
+            PagedFile::create_with_page_size(dir.file("a.bin"), Arc::clone(&stats), 64).unwrap();
         f.append(&vec![7u8; 64 * 20]).unwrap();
         stats.reset();
         // Read pages far apart: all should classify as random.
@@ -294,7 +299,8 @@ mod tests {
     #[test]
     fn sequential_scan_is_sequential() {
         let (dir, stats) = setup("pf-scan");
-        let f = PagedFile::create_with_page_size(dir.file("a.bin"), Arc::clone(&stats), 64).unwrap();
+        let f =
+            PagedFile::create_with_page_size(dir.file("a.bin"), Arc::clone(&stats), 64).unwrap();
         f.append(&vec![1u8; 64 * 16]).unwrap();
         stats.reset();
         f.reset_access_cursor();
@@ -310,8 +316,9 @@ mod tests {
     #[test]
     fn rereading_same_page_counts_sequential() {
         let (dir, stats) = setup("pf-same");
-        let f = PagedFile::create_with_page_size(dir.file("a.bin"), Arc::clone(&stats), 64).unwrap();
-        f.append(&vec![1u8; 64]).unwrap();
+        let f =
+            PagedFile::create_with_page_size(dir.file("a.bin"), Arc::clone(&stats), 64).unwrap();
+        f.append(&[1u8; 64]).unwrap();
         stats.reset();
         f.read_at(0, 16).unwrap();
         f.read_at(16, 16).unwrap();

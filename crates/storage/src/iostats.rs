@@ -106,7 +106,7 @@ impl IoStats {
 }
 
 /// Immutable snapshot of I/O counters.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct IoStatsSnapshot {
     /// Number of sequential page reads.
     pub sequential_reads: u64,
@@ -161,7 +161,9 @@ impl IoStatsSnapshot {
     /// Element-wise difference (`self - earlier`), saturating at zero.
     pub fn since(&self, earlier: &IoStatsSnapshot) -> IoStatsSnapshot {
         IoStatsSnapshot {
-            sequential_reads: self.sequential_reads.saturating_sub(earlier.sequential_reads),
+            sequential_reads: self
+                .sequential_reads
+                .saturating_sub(earlier.sequential_reads),
             random_reads: self.random_reads.saturating_sub(earlier.random_reads),
             sequential_writes: self
                 .sequential_writes
@@ -170,6 +172,48 @@ impl IoStatsSnapshot {
             bytes_read: self.bytes_read.saturating_sub(earlier.bytes_read),
             bytes_written: self.bytes_written.saturating_sub(earlier.bytes_written),
         }
+    }
+
+    /// Builds the JSON object used by the palm protocol and bench reports.
+    pub fn to_json(&self) -> coconut_json::Json {
+        coconut_json::Json::obj(vec![
+            (
+                "sequential_reads",
+                coconut_json::ToJson::to_json(&self.sequential_reads),
+            ),
+            (
+                "random_reads",
+                coconut_json::ToJson::to_json(&self.random_reads),
+            ),
+            (
+                "sequential_writes",
+                coconut_json::ToJson::to_json(&self.sequential_writes),
+            ),
+            (
+                "random_writes",
+                coconut_json::ToJson::to_json(&self.random_writes),
+            ),
+            (
+                "bytes_read",
+                coconut_json::ToJson::to_json(&self.bytes_read),
+            ),
+            (
+                "bytes_written",
+                coconut_json::ToJson::to_json(&self.bytes_written),
+            ),
+        ])
+    }
+
+    /// Parses the JSON object produced by [`IoStatsSnapshot::to_json`].
+    pub fn from_json(json: &coconut_json::Json) -> coconut_json::Result<IoStatsSnapshot> {
+        Ok(IoStatsSnapshot {
+            sequential_reads: coconut_json::member(json, "sequential_reads")?,
+            random_reads: coconut_json::member(json, "random_reads")?,
+            sequential_writes: coconut_json::member(json, "sequential_writes")?,
+            random_writes: coconut_json::member(json, "random_writes")?,
+            bytes_read: coconut_json::member(json, "bytes_read")?,
+            bytes_written: coconut_json::member(json, "bytes_written")?,
+        })
     }
 
     /// Element-wise sum.

@@ -6,7 +6,10 @@
 //! [`KeyedRecord`] adds the sort key.
 
 /// A record with a fixed on-disk size.
-pub trait FixedRecord: Sized + Clone {
+///
+/// Records must be `Send` so run-generation chunks can be sorted by worker
+/// threads.
+pub trait FixedRecord: Sized + Clone + Send {
     /// Encoded size in bytes.  Must be the same for every value of the type.
     fn encoded_size() -> usize;
 

@@ -83,7 +83,13 @@ impl ScratchDir {
 fn sanitize(label: &str) -> String {
     label
         .chars()
-        .map(|c| if c.is_ascii_alphanumeric() || c == '-' { c } else { '_' })
+        .map(|c| {
+            if c.is_ascii_alphanumeric() || c == '-' {
+                c
+            } else {
+                '_'
+            }
+        })
         .collect()
 }
 
@@ -134,6 +140,11 @@ mod tests {
     #[test]
     fn sanitizes_labels() {
         let dir = ScratchDir::new("we ird/label").unwrap();
-        assert!(dir.path().file_name().unwrap().to_string_lossy().contains("we_ird_label"));
+        assert!(dir
+            .path()
+            .file_name()
+            .unwrap()
+            .to_string_lossy()
+            .contains("we_ird_label"));
     }
 }

@@ -39,7 +39,7 @@ use coconut_series::{Timestamp, TimestampedSeries};
 use coconut_storage::SharedIoStats;
 
 /// Which windowing scheme a streaming index uses.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum WindowScheme {
     /// Post-processing: one index, timestamps filtered during the scan.
     PostProcessing,
@@ -267,6 +267,9 @@ pub struct PartitionedConfig {
     pub partition_kind: PartitionKind,
     /// Page size used for I/O accounting.
     pub page_size: usize,
+    /// Worker threads for batch summarization and partition sorting (`1` =
+    /// sequential, `0` = one per available core).
+    pub parallelism: usize,
 }
 
 impl PartitionedConfig {
@@ -279,6 +282,7 @@ impl PartitionedConfig {
             growth_factor: 3,
             partition_kind: PartitionKind::Sorted,
             page_size: coconut_storage::DEFAULT_PAGE_SIZE,
+            parallelism: 1,
         }
     }
 
@@ -298,6 +302,12 @@ impl PartitionedConfig {
     /// Sets the partition kind.
     pub fn with_partition_kind(mut self, kind: PartitionKind) -> Self {
         self.partition_kind = kind;
+        self
+    }
+
+    /// Sets the ingest parallelism (`1` = sequential, `0` = all cores).
+    pub fn with_parallelism(mut self, workers: usize) -> Self {
+        self.parallelism = workers;
         self
     }
 
@@ -349,7 +359,12 @@ impl PartitionedStream {
                     .into(),
             ));
         }
-        Self::new(config, WindowScheme::BoundedTemporalPartitioning, dir, stats)
+        Self::new(
+            config,
+            WindowScheme::BoundedTemporalPartitioning,
+            dir,
+            stats,
+        )
     }
 
     fn new(
@@ -393,7 +408,7 @@ impl PartitionedStream {
             PartitionKind::Sorted => {
                 let path = self.dir.join(format!("tp-part-{:06}.run", self.next_id));
                 self.next_id += 1;
-                let file = SortedSeriesFile::build_from_entries(
+                let file = SortedSeriesFile::build_from_entries_parallel(
                     path,
                     self.config.layout(),
                     self.config.sax,
@@ -401,8 +416,13 @@ impl PartitionedStream {
                     self.config.entries_per_block,
                     Arc::clone(&self.stats),
                     self.config.page_size,
+                    self.config.parallelism,
                 )?;
-                Partition::Sorted { file, min_ts, max_ts }
+                Partition::Sorted {
+                    file,
+                    min_ts,
+                    max_ts,
+                }
             }
             PartitionKind::Ads => {
                 let subdir = self.dir.join(format!("tp-ads-{:06}", self.next_id));
@@ -456,7 +476,11 @@ impl PartitionedStream {
             // Remove from the back so indexes stay valid.
             for &idx in to_merge.iter().rev() {
                 match self.partitions.remove(idx) {
-                    Partition::Sorted { file, min_ts: a, max_ts: b } => {
+                    Partition::Sorted {
+                        file,
+                        min_ts: a,
+                        max_ts: b,
+                    } => {
                         min_ts = min_ts.min(a);
                         max_ts = max_ts.max(b);
                         files.push(file);
@@ -540,10 +564,18 @@ impl StreamingIndex for PartitionedStream {
                     self.config.sax.series_len
                 )));
             }
-            self.buffer.push(SeriesEntry::from_series(
+        }
+        // Summarize the whole batch on the worker pool, then apply arrivals
+        // in order (each carries its own timestamp).
+        let values: Vec<&[f32]> = batch.iter().map(|a| a.series.values.as_slice()).collect();
+        let keys = self
+            .summarizer
+            .keys_batch_values(&values, self.config.parallelism);
+        for (arrival, key) in batch.iter().zip(keys) {
+            self.buffer.push(SeriesEntry::from_keyed(
+                key,
                 &arrival.series,
                 arrival.timestamp,
-                &self.summarizer,
                 true,
             ));
             self.buffer_min_ts = self.buffer_min_ts.min(arrival.timestamp);
@@ -647,7 +679,8 @@ mod tests {
         let dir = ScratchDir::new("tp").unwrap();
         let config = PartitionedConfig::new(sax()).with_buffer_capacity(50);
         let mut tp =
-            PartitionedStream::temporal_partitioning(config, dir.path(), IoStats::shared()).unwrap();
+            PartitionedStream::temporal_partitioning(config, dir.path(), IoStats::shared())
+                .unwrap();
         for batch in stream_batches(10, 50, 1) {
             tp.ingest_batch(&batch).unwrap();
         }
@@ -694,11 +727,12 @@ mod tests {
         let reference = all_series(&batches);
         let config = PartitionedConfig::new(sax()).with_buffer_capacity(40);
         let mut tp =
-            PartitionedStream::temporal_partitioning(config, dir.path(), IoStats::shared()).unwrap();
+            PartitionedStream::temporal_partitioning(config, dir.path(), IoStats::shared())
+                .unwrap();
         for batch in &batches {
             tp.ingest_batch(batch).unwrap();
         }
-        let mut gen = SeismicStreamGenerator::new(64, 99, 0.5);
+        let gen = SeismicStreamGenerator::new(64, 99, 0.5);
         let query = gen.quake_template();
         let window = (100u64, 250u64);
         let expected = brute_force_knn(
@@ -726,12 +760,9 @@ mod tests {
         let btp_config = PartitionedConfig::new(sax())
             .with_buffer_capacity(40)
             .with_growth_factor(3);
-        let mut tp = PartitionedStream::temporal_partitioning(
-            tp_config,
-            &dir.file("tp"),
-            IoStats::shared(),
-        )
-        .unwrap();
+        let mut tp =
+            PartitionedStream::temporal_partitioning(tp_config, &dir.file("tp"), IoStats::shared())
+                .unwrap();
         let mut btp = PartitionedStream::bounded_temporal_partitioning(
             btp_config,
             &dir.file("btp"),
@@ -792,7 +823,9 @@ mod tests {
     #[test]
     fn pp_over_ads_ingests_and_queries() {
         let dir = ScratchDir::new("pp-ads").unwrap();
-        let ads_config = AdsConfig::new(sax()).materialized(true).with_leaf_capacity(32);
+        let ads_config = AdsConfig::new(sax())
+            .materialized(true)
+            .with_leaf_capacity(32);
         let ads = AdsTree::new(ads_config, dir.path(), IoStats::shared()).unwrap();
         let mut pp = PpStream::over_ads(ads);
         let batches = stream_batches(4, 30, 8);
@@ -810,7 +843,8 @@ mod tests {
         let dir = ScratchDir::new("tp-window-skip").unwrap();
         let config = PartitionedConfig::new(sax()).with_buffer_capacity(40);
         let mut tp =
-            PartitionedStream::temporal_partitioning(config, dir.path(), IoStats::shared()).unwrap();
+            PartitionedStream::temporal_partitioning(config, dir.path(), IoStats::shared())
+                .unwrap();
         for batch in stream_batches(15, 40, 9) {
             tp.ingest_batch(&batch).unwrap();
         }

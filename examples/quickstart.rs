@@ -17,14 +17,19 @@ fn main() {
     let mut gen = RandomWalkGenerator::new(256, 42);
     let series = gen.generate(10_000);
     let dataset = Dataset::create_from_series(dir.file("data.bin"), &series).expect("dataset");
-    println!("dataset: {} series x {} points", dataset.len(), dataset.series_len());
+    println!(
+        "dataset: {} series x {} points",
+        dataset.len(),
+        dataset.series_len()
+    );
 
     // 2. Build a non-materialized CoconutTree: summarize -> external sort ->
     //    pack contiguous leaves.  All I/O is charged to `stats`.
     let stats = IoStats::shared();
     let config = IndexConfig::new(VariantKind::CTree, 256);
     let (index, report) =
-        StaticIndex::build(&dataset, config, &dir.file("index"), Arc::clone(&stats)).expect("build");
+        StaticIndex::build(&dataset, config, &dir.file("index"), Arc::clone(&stats))
+            .expect("build");
     println!(
         "built {} in {:.1} ms: {} page I/Os ({:.0}% random), {:.2} MiB on disk",
         config.display_name(),
@@ -39,8 +44,16 @@ fn main() {
     let query: Vec<f32> = series[1234].values.iter().map(|v| v + 0.01).collect();
     let (approx, _) = index.approximate_knn(&query, 5).expect("approximate query");
     let (exact, cost) = index.exact_knn(&query, 5).expect("exact query");
-    println!("approximate top hit: id {} (distance {:.4})", approx[0].id, approx[0].distance());
-    println!("exact       top hit: id {} (distance {:.4})", exact[0].id, exact[0].distance());
+    println!(
+        "approximate top hit: id {} (distance {:.4})",
+        approx[0].id,
+        approx[0].distance()
+    );
+    println!(
+        "exact       top hit: id {} (distance {:.4})",
+        exact[0].id,
+        exact[0].distance()
+    );
     println!(
         "exact query examined {} summaries, refined {} series, skipped {} blocks",
         cost.entries_examined, cost.entries_refined, cost.blocks_skipped

@@ -5,7 +5,8 @@
 //! ```
 
 use coconut_core::palm::{PalmRequest, PalmServer};
-use coconut_core::{Dataset, ScratchDir, Scenario, VariantKind};
+use coconut_core::{Dataset, Scenario, ScratchDir, VariantKind};
+use coconut_json::ToJson;
 use coconut_series::generator::{RandomWalkGenerator, SeriesGenerator};
 
 fn main() {
@@ -19,11 +20,14 @@ fn main() {
 
     // 1. Ask the recommender about two very different scenarios.
     for scenario in [
-        Scenario { expected_queries: 10, ..Scenario::static_archive(2_000, 128) },
+        Scenario {
+            expected_queries: 10,
+            ..Scenario::static_archive(2_000, 128)
+        },
         Scenario::streaming(2_000, 128),
     ] {
         let response = server.handle(PalmRequest::Recommend { scenario });
-        println!("{}\n", serde_json::to_string_pretty(&response).unwrap());
+        println!("{}\n", response.to_json().to_string_pretty());
     }
 
     // 2. Build an index through the JSON protocol, exactly as the GUI would.
@@ -33,8 +37,9 @@ fn main() {
         variant: VariantKind::CTree,
         materialized: true,
         memory_budget_bytes: 16 << 20,
+        parallelism: 0,
     };
-    let response = server.handle_json(&serde_json::to_string(&build).unwrap());
+    let response = server.handle_json(&build.to_json().to_string());
     println!("{response}\n");
 
     // 3. Draw a query (here: a perturbed member) and issue it.
@@ -45,5 +50,5 @@ fn main() {
         k: 3,
         exact: true,
     });
-    println!("{}", serde_json::to_string_pretty(&response).unwrap());
+    println!("{}", response.to_json().to_string_pretty());
 }

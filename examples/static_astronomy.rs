@@ -21,7 +21,11 @@ fn main() {
     let mut gen = AstronomyGenerator::new(series_len, 7, 0.25);
     let series = gen.generate(8_000);
     let dataset = Dataset::create_from_series(dir.file("astronomy.bin"), &series).expect("dataset");
-    println!("astronomy-like archive: {} series x {} points", dataset.len(), series_len);
+    println!(
+        "astronomy-like archive: {} series x {} points",
+        dataset.len(),
+        series_len
+    );
 
     // Known patterns of interest (supernova, binary star).
     let patterns = [

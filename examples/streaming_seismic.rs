@@ -21,16 +21,36 @@ fn main() {
     let batches = 25;
 
     // The recommender's advice for a streaming, small-window scenario.
-    let rec = recommend(&Scenario::streaming((batches * batch_size) as u64, series_len));
+    let rec = recommend(&Scenario::streaming(
+        (batches * batch_size) as u64,
+        series_len,
+    ));
     println!("recommender says:");
     for line in &rec.rationale {
         println!("  - {line}");
     }
 
     let variants = [
-        ("ADS+ PP ", StreamingConfig::new(VariantKind::Ads, WindowScheme::PostProcessing, series_len)),
-        ("ADS+ TP ", StreamingConfig::new(VariantKind::Ads, WindowScheme::TemporalPartitioning, series_len)),
-        ("CLSM BTP", StreamingConfig::new(VariantKind::Clsm, WindowScheme::BoundedTemporalPartitioning, series_len)),
+        (
+            "ADS+ PP ",
+            StreamingConfig::new(VariantKind::Ads, WindowScheme::PostProcessing, series_len),
+        ),
+        (
+            "ADS+ TP ",
+            StreamingConfig::new(
+                VariantKind::Ads,
+                WindowScheme::TemporalPartitioning,
+                series_len,
+            ),
+        ),
+        (
+            "CLSM BTP",
+            StreamingConfig::new(
+                VariantKind::Clsm,
+                WindowScheme::BoundedTemporalPartitioning,
+                series_len,
+            ),
+        ),
     ];
 
     for (name, mut config) in variants {
