@@ -115,6 +115,10 @@ struct LeafState {
     buffered: Vec<SeriesEntry>,
     /// First entry slot of this leaf's disk region.
     region_start: u64,
+    /// Entry slots allocated to this leaf's region.  Normally one region
+    /// (`leaf_capacity`); overflowed leaves that reached maximum iSAX
+    /// cardinality get relocated to geometrically larger spans.
+    region_slots: u64,
 }
 
 /// Statistics collected while building an ADS+ index.
@@ -183,6 +187,7 @@ impl AdsTree {
             on_disk: 0,
             buffered: Vec::new(),
             region_start: 0,
+            region_slots: config.leaf_capacity as u64,
         });
         Ok(AdsTree {
             config,
@@ -365,6 +370,11 @@ impl AdsTree {
         let word = self.find_leaf_word(leaf_id).clone();
         let Some(split_segment) = word.next_split_segment() else {
             // Cannot refine further; allow the leaf to overflow its capacity.
+            // Every entry (disk + buffer) now lives in `entries`, so the
+            // disk region is logically empty — without resetting `on_disk`
+            // the stale disk copies would be re-read on the next split and
+            // re-written on the next flush, doubling the leaf every round.
+            self.leaves[leaf_id].on_disk = 0;
             self.leaves[leaf_id].buffered = entries;
             self.buffered_total = self.leaves.iter().map(|l| l.buffered.len()).sum();
             return Ok(());
@@ -380,6 +390,7 @@ impl AdsTree {
             on_disk: 0,
             buffered: Vec::new(),
             region_start: self.next_region * self.config.leaf_capacity as u64,
+            region_slots: self.config.leaf_capacity as u64,
         });
         self.next_region += 1;
         self.splits += 1;
@@ -467,10 +478,28 @@ impl AdsTree {
     fn flush_leaf(&mut self, leaf_id: usize) -> Result<()> {
         let entry_size = self.entry_size();
         let layout = self.config.layout();
-        let leaf = &mut self.leaves[leaf_id];
-        if leaf.buffered.is_empty() {
+        if self.leaves[leaf_id].buffered.is_empty() {
             return Ok(());
         }
+        let total =
+            self.leaves[leaf_id].on_disk as u64 + self.leaves[leaf_id].buffered.len() as u64;
+        if total > self.leaves[leaf_id].region_slots {
+            // The leaf overflowed its allocated span (it reached maximum
+            // iSAX cardinality and can no longer split).  Relocate it to a
+            // fresh span with geometric slack — writing past the span end
+            // would corrupt the neighbouring leaf's region, and relocating
+            // on every flush would make N flushes cost O(N^2) writes.
+            let mut all = self.read_leaf_disk(leaf_id)?;
+            let regions = (total * 2).div_ceil(self.config.leaf_capacity as u64);
+            let leaf = &mut self.leaves[leaf_id];
+            all.append(&mut leaf.buffered);
+            leaf.region_start = self.next_region * self.config.leaf_capacity as u64;
+            leaf.region_slots = regions * self.config.leaf_capacity as u64;
+            leaf.on_disk = 0;
+            leaf.buffered = all;
+            self.next_region += regions;
+        }
+        let leaf = &mut self.leaves[leaf_id];
         let offset = (leaf.region_start + leaf.on_disk as u64) * entry_size as u64;
         let drained = leaf.buffered.len();
         let mut buf = vec![0u8; entry_size * drained];
@@ -553,12 +582,12 @@ impl AdsTree {
             ctx.cost.entries_refined += 1;
             if entry.is_materialized() {
                 if let Some(d) = euclidean_early_abandon(query, &entry.values, heap.bound()) {
-                    heap.offer(entry.id, d);
+                    heap.offer_at(entry.id, entry.timestamp, d);
                 }
             } else {
                 let values = ctx.fetch(entry.id)?;
                 if let Some(d) = euclidean_early_abandon(query, &values, heap.bound()) {
-                    heap.offer(entry.id, d);
+                    heap.offer_at(entry.id, entry.timestamp, d);
                 }
             }
         }

@@ -12,8 +12,15 @@
 //! query time, more write amplification); larger factors favour ingestion —
 //! exactly the read/write knob Section 2 of the paper describes.
 //!
-//! Queries probe the buffer plus every run, newest first, sharing one
-//! best-so-far bound so that older, larger runs are pruned effectively.
+//! Queries probe the buffer plus every run concurrently (the
+//! `query_parallelism` knob), sharing one atomic best-so-far bound so that
+//! older, larger runs are pruned effectively; see `coconut_ctree::engine`
+//! for the deterministic fan-out protocol.
+//!
+//! With `shard_count > 1` every compaction is **sharded by key range**: the
+//! level merge runs as independent per-shard k-way merges producing a
+//! key-partitioned set of run files, so merges of different shards run on
+//! different cores and queries fan out per shard as well.
 
 use std::path::{Path, PathBuf};
 use std::sync::Arc;
@@ -45,10 +52,21 @@ pub struct ClsmConfig {
     pub entries_per_block: usize,
     /// Page size used for I/O accounting.
     pub page_size: usize,
-    /// Worker threads for batch summarization and flush sorting (`1` =
-    /// sequential, `0` = one per available core).  Runs are byte-identical
-    /// at every setting.
+    /// Worker threads for batch summarization, flush sorting and per-shard
+    /// compaction merges (`1` = sequential, `0` = one per available core).
+    /// Runs are byte-identical at every setting.
     pub parallelism: usize,
+    /// Worker threads for query fan-out over runs and shards (`1` =
+    /// sequential, `0` = one per available core).  Answers and cost
+    /// counters are identical at every setting; see `coconut_ctree::engine`.
+    pub query_parallelism: usize,
+    /// Number of key-range shards each compaction produces.  `1` keeps the
+    /// classic single-run merge; larger values split every level merge into
+    /// independent per-shard merges (parallel compaction) and give queries
+    /// a finer fan-out.  The shard layout is derived deterministically from
+    /// the input runs' block fences, so the on-disk index is identical at
+    /// every `parallelism` setting.
+    pub shard_count: usize,
 }
 
 impl ClsmConfig {
@@ -62,6 +80,8 @@ impl ClsmConfig {
             entries_per_block: 64,
             page_size: coconut_storage::DEFAULT_PAGE_SIZE,
             parallelism: 1,
+            query_parallelism: 1,
+            shard_count: 1,
         }
     }
 
@@ -90,6 +110,20 @@ impl ClsmConfig {
         self
     }
 
+    /// Sets the query fan-out parallelism (`1` = sequential, `0` = all
+    /// cores).  A pure performance knob.
+    pub fn with_query_parallelism(mut self, workers: usize) -> Self {
+        self.query_parallelism = workers;
+        self
+    }
+
+    /// Sets the number of key-range shards per compaction (`>= 1`).
+    pub fn with_shard_count(mut self, shards: usize) -> Self {
+        assert!(shards >= 1, "shard count must be at least 1");
+        self.shard_count = shards;
+        self
+    }
+
     fn layout(&self) -> EntryLayout {
         if self.materialized {
             EntryLayout::materialized(self.sax.key_bits(), self.sax.series_len)
@@ -100,7 +134,7 @@ impl ClsmConfig {
 }
 
 /// Cumulative ingestion statistics.
-#[derive(Debug, Clone, Copy, Default)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct ClsmStats {
     /// Number of buffer flushes (level-0 run creations).
     pub flushes: u64,
@@ -124,13 +158,56 @@ impl ClsmStats {
     }
 }
 
+/// One logical sorted run of a CLSM level: a key-partitioned set of
+/// [`SortedSeriesFile`] shards.  Shards are disjoint and ordered by key
+/// range, so their concatenation is one globally sorted sequence; buffer
+/// flushes produce single-shard runs, sharded compactions produce
+/// `shard_count`-way runs.
+pub struct RunSet {
+    shards: Vec<SortedSeriesFile>,
+}
+
+impl RunSet {
+    fn single(file: SortedSeriesFile) -> Self {
+        RunSet { shards: vec![file] }
+    }
+
+    /// The key-ordered shards of this run.
+    pub fn shards(&self) -> &[SortedSeriesFile] {
+        &self.shards
+    }
+
+    /// Total entries across all shards.
+    pub fn len(&self) -> u64 {
+        self.shards.iter().map(|s| s.len()).sum()
+    }
+
+    /// Returns `true` when the run holds no entries.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Total on-disk size across all shards.
+    pub fn byte_size(&self) -> u64 {
+        self.shards.iter().map(|s| s.byte_size()).sum()
+    }
+
+    fn delete(self) -> Result<()> {
+        for shard in self.shards {
+            shard.delete()?;
+        }
+        Ok(())
+    }
+}
+
 /// The CoconutLSM index.
 pub struct ClsmTree {
     config: ClsmConfig,
     summarizer: SortableSummarizer,
     buffer: Vec<SeriesEntry>,
-    /// `levels[i]` holds the runs of level `i`, oldest first.
-    levels: Vec<Vec<SortedSeriesFile>>,
+    /// `levels[i]` holds the runs of level `i`, oldest first; each run is a
+    /// key-partitioned [`RunSet`].
+    levels: Vec<Vec<RunSet>>,
     dir: PathBuf,
     stats: SharedIoStats,
     dataset: Option<Dataset>,
@@ -229,9 +306,18 @@ impl ClsmTree {
         self.len() == 0
     }
 
-    /// Number of on-disk runs across all levels.
+    /// Number of logical runs ([`RunSet`]s) across all levels.
     pub fn num_runs(&self) -> usize {
         self.levels.iter().map(|l| l.len()).sum()
+    }
+
+    /// Number of on-disk run files (shards) across all levels.
+    pub fn num_shards(&self) -> usize {
+        self.levels
+            .iter()
+            .flat_map(|l| l.iter())
+            .map(|r| r.shards.len())
+            .sum()
     }
 
     /// Number of levels currently in use.
@@ -324,7 +410,7 @@ impl ClsmTree {
         if self.levels.is_empty() {
             self.levels.push(Vec::new());
         }
-        self.levels[0].push(run);
+        self.levels[0].push(RunSet::single(run));
         self.lsm_stats.flushes += 1;
         self.lsm_stats.entries_written += count;
         self.compact()?;
@@ -375,27 +461,96 @@ impl ClsmTree {
         Ok(())
     }
 
-    fn merge_runs(
-        &mut self,
-        runs: &[SortedSeriesFile],
-        target_level: usize,
-    ) -> Result<SortedSeriesFile> {
+    /// Picks `shard_count - 1` key boundaries that split the merged output
+    /// of `inputs` into near-equal shards.  Boundaries are block fence keys
+    /// of the inputs, chosen by walking the fences in key order and cutting
+    /// at entry-count quantiles — a deterministic function of the input
+    /// runs, independent of any worker count.
+    fn shard_boundaries(inputs: &[&SortedSeriesFile], shard_count: usize) -> Vec<u128> {
+        if shard_count <= 1 {
+            return Vec::new();
+        }
+        let total: u64 = inputs.iter().map(|f| f.len()).sum();
+        if total == 0 {
+            return Vec::new();
+        }
+        let mut fences: Vec<(u128, u64)> = inputs
+            .iter()
+            .flat_map(|f| f.blocks().iter().map(|b| (b.min_key, b.count as u64)))
+            .collect();
+        fences.sort_unstable();
+        let per_shard = total.div_ceil(shard_count as u64).max(1);
+        let mut boundaries = Vec::with_capacity(shard_count - 1);
+        let mut seen = 0u64;
+        for (key, count) in fences {
+            if boundaries.len() + 1 >= shard_count {
+                break;
+            }
+            if seen >= (boundaries.len() as u64 + 1) * per_shard
+                && boundaries.last().is_none_or(|&b| key > b)
+                && key > 0
+            {
+                boundaries.push(key);
+            }
+            seen += count;
+        }
+        boundaries
+    }
+
+    fn merge_runs(&mut self, runs: &[RunSet], target_level: usize) -> Result<RunSet> {
         let layout = self.config.layout();
-        let dyn_runs: Vec<_> = runs.iter().map(|r| r.run().clone()).collect();
-        let merge = coconut_storage::DynKWayMerge::new(layout, &dyn_runs, 256)?;
-        let path = self
-            .dir
-            .join(format!("clsm-L{target_level}-{:06}.run", self.next_run_id));
+        // Flatten in (run, shard) order: shards of one run are key-disjoint,
+        // so any equal (key, id) pair across *runs* keeps the same relative
+        // order as the unsharded merge would produce.
+        let inputs: Vec<&SortedSeriesFile> = runs.iter().flat_map(|r| r.shards.iter()).collect();
+        let boundaries = Self::shard_boundaries(&inputs, self.config.shard_count);
+        let run_id = self.next_run_id;
         self.next_run_id += 1;
-        SortedSeriesFile::build_from_sorted(
-            path,
-            layout,
-            self.config.sax,
-            merge.map(|r| r.map_err(IndexError::from)),
-            self.config.entries_per_block,
-            Arc::clone(&self.stats),
-            self.config.page_size,
-        )
+
+        // Shard ranges: [0, b1), [b1, b2), ..., [b_last, +inf).
+        let mut ranges: Vec<(u128, Option<u128>)> = Vec::with_capacity(boundaries.len() + 1);
+        let mut lo = 0u128;
+        for &b in &boundaries {
+            ranges.push((lo, Some(b)));
+            lo = b;
+        }
+        ranges.push((lo, None));
+
+        // Every shard is an independent k-way merge over the inputs' key
+        // slices, writing its own file: the fan-out below is a pure speedup.
+        let workers = coconut_parallel::effective_parallelism(self.config.parallelism);
+        let shard_results = coconut_parallel::parallel_map_tasks(
+            &ranges,
+            workers.min(ranges.len()),
+            |shard_idx, &(lo, hi)| -> Result<SortedSeriesFile> {
+                let readers: Vec<_> = inputs.iter().map(|f| f.range_reader(lo, hi)).collect();
+                let merge = coconut_storage::DynIterMerge::new(layout, readers)?;
+                let path = self.dir.join(format!(
+                    "clsm-L{target_level}-{run_id:06}-s{shard_idx:03}.run"
+                ));
+                SortedSeriesFile::build_from_sorted(
+                    path,
+                    layout,
+                    self.config.sax,
+                    merge,
+                    self.config.entries_per_block,
+                    Arc::clone(&self.stats),
+                    self.config.page_size,
+                )
+            },
+        );
+        let mut shards = Vec::with_capacity(ranges.len());
+        for result in shard_results {
+            let shard = result?;
+            // Quantile boundaries can leave a shard empty on tiny inputs;
+            // drop its (empty) file rather than carrying a zero-entry shard.
+            if shard.is_empty() {
+                shard.delete()?;
+            } else {
+                shards.push(shard);
+            }
+        }
+        Ok(RunSet { shards })
     }
 
     fn query_context(&self) -> QueryContext<'_> {
@@ -421,30 +576,52 @@ impl ClsmTree {
             ctx.cost.entries_examined += 1;
             if entry.is_materialized() {
                 if let Some(d) = euclidean_early_abandon(query, &entry.values, heap.bound()) {
-                    heap.offer(entry.id, d);
+                    heap.offer_at(entry.id, entry.timestamp, d);
                 }
             } else {
                 let values = ctx.fetch(entry.id)?;
                 if let Some(d) = euclidean_early_abandon(query, &values, heap.bound()) {
-                    heap.offer(entry.id, d);
+                    heap.offer_at(entry.id, entry.timestamp, d);
                 }
             }
         }
         Ok(())
     }
 
-    fn runs_newest_first(&self) -> Vec<&SortedSeriesFile> {
-        // Level 0 holds the newest data; within a level, later runs are newer.
-        let mut out = Vec::with_capacity(self.num_runs());
+    /// Search units in newest-first order: the buffer, then level 0's runs
+    /// (newest flush first), then deeper levels, with every shard of a
+    /// sharded run as its own unit so queries fan out per shard.
+    fn query_units<'a>(
+        &'a self,
+        query: &'a [f32],
+        window: Option<(Timestamp, Timestamp)>,
+    ) -> Vec<ClsmUnit<'a>> {
+        let mut units = Vec::with_capacity(self.num_shards() + 1);
+        if !self.buffer.is_empty() {
+            units.push(ClsmUnit {
+                tree: self,
+                query,
+                window,
+                part: ClsmPart::Buffer,
+            });
+        }
         for level in &self.levels {
             for run in level.iter().rev() {
-                out.push(run);
+                for shard in &run.shards {
+                    units.push(ClsmUnit {
+                        tree: self,
+                        query,
+                        window,
+                        part: ClsmPart::Shard(shard),
+                    });
+                }
             }
         }
-        out
+        units
     }
 
-    /// Approximate kNN over the buffer plus every run.
+    /// Approximate kNN over the buffer plus every run, fanned out over
+    /// `query_parallelism` workers.
     pub fn approximate_knn(&self, query: &[f32], k: usize) -> Result<(Vec<Neighbor>, QueryCost)> {
         self.approximate_knn_window(query, k, None)
     }
@@ -456,17 +633,12 @@ impl ClsmTree {
         k: usize,
         window: Option<(Timestamp, Timestamp)>,
     ) -> Result<(Vec<Neighbor>, QueryCost)> {
-        let mut heap = KnnHeap::new(k);
-        let mut ctx = self.query_context();
-        self.search_buffer(query, &mut heap, &mut ctx, window)?;
-        for run in self.runs_newest_first() {
-            run.search_approximate(query, &mut heap, &mut ctx, window)?;
-        }
-        let cost = ctx.cost;
-        Ok((heap.into_sorted(), cost))
+        let units = self.query_units(query, window);
+        coconut_ctree::engine::parallel_knn(&units, k, self.config.query_parallelism, false)
     }
 
-    /// Exact kNN over the buffer plus every run.
+    /// Exact kNN over the buffer plus every run, fanned out over
+    /// `query_parallelism` workers around a shared best-so-far bound.
     pub fn exact_knn(&self, query: &[f32], k: usize) -> Result<(Vec<Neighbor>, QueryCost)> {
         self.exact_knn_window(query, k, None)
     }
@@ -478,14 +650,47 @@ impl ClsmTree {
         k: usize,
         window: Option<(Timestamp, Timestamp)>,
     ) -> Result<(Vec<Neighbor>, QueryCost)> {
-        let mut heap = KnnHeap::new(k);
-        let mut ctx = self.query_context();
-        self.search_buffer(query, &mut heap, &mut ctx, window)?;
-        for run in self.runs_newest_first() {
-            run.search_exact(query, &mut heap, &mut ctx, window)?;
+        let units = self.query_units(query, window);
+        coconut_ctree::engine::parallel_knn(&units, k, self.config.query_parallelism, true)
+    }
+}
+
+#[derive(Clone, Copy)]
+enum ClsmPart<'a> {
+    /// The in-memory write buffer.
+    Buffer,
+    /// One on-disk shard of a run.
+    Shard(&'a SortedSeriesFile),
+}
+
+/// One independently searchable piece of a CLSM tree for the concurrent
+/// query engine.
+struct ClsmUnit<'a> {
+    tree: &'a ClsmTree,
+    query: &'a [f32],
+    window: Option<(Timestamp, Timestamp)>,
+    part: ClsmPart<'a>,
+}
+
+impl coconut_ctree::engine::SearchUnit for ClsmUnit<'_> {
+    fn context(&self) -> QueryContext<'_> {
+        self.tree.query_context()
+    }
+
+    fn search_approximate(&self, heap: &mut KnnHeap, ctx: &mut QueryContext<'_>) -> Result<()> {
+        match self.part {
+            // The buffer is in memory: its "approximate" probe is the full
+            // scan, which both seeds the shared bound and is exact.
+            ClsmPart::Buffer => self.tree.search_buffer(self.query, heap, ctx, self.window),
+            ClsmPart::Shard(file) => file.search_approximate(self.query, heap, ctx, self.window),
         }
-        let cost = ctx.cost;
-        Ok((heap.into_sorted(), cost))
+    }
+
+    fn search_exact(&self, heap: &mut KnnHeap, ctx: &mut QueryContext<'_>) -> Result<()> {
+        match self.part {
+            ClsmPart::Buffer => self.tree.search_buffer(self.query, heap, ctx, self.window),
+            ClsmPart::Shard(file) => file.search_exact(self.query, heap, ctx, self.window),
+        }
     }
 }
 
@@ -606,6 +811,119 @@ mod tests {
             aggressive.stats().write_amplification(),
             lazy.stats().write_amplification()
         );
+    }
+
+    fn build_sharded_clsm(
+        n: usize,
+        shards: usize,
+        parallelism: usize,
+        seed: u64,
+    ) -> (ScratchDir, Vec<Series>, ClsmTree) {
+        let dir = ScratchDir::new("clsm-shard").unwrap();
+        let sax = SaxConfig::new(64, 8, 8);
+        let mut gen = RandomWalkGenerator::new(64, seed);
+        let series = gen.generate(n);
+        let dataset = Dataset::create_from_series(dir.file("raw.bin"), &series).unwrap();
+        let config = ClsmConfig::new(sax)
+            .materialized(true)
+            .with_buffer_capacity(100)
+            .with_growth_factor(3)
+            .with_shard_count(shards)
+            .with_parallelism(parallelism);
+        let tree = ClsmTree::build(&dataset, config, &dir.file("lsm"), IoStats::shared()).unwrap();
+        (dir, series, tree)
+    }
+
+    #[test]
+    fn sharded_compaction_splits_runs_by_key_range() {
+        let (_dir, series, tree) = build_sharded_clsm(1200, 4, 1, 21);
+        assert!(tree.stats().merges > 0, "compactions must have happened");
+        assert!(
+            tree.num_shards() > tree.num_runs(),
+            "merged levels must hold multi-shard runs ({} shards over {} runs)",
+            tree.num_shards(),
+            tree.num_runs()
+        );
+        assert_eq!(tree.len(), series.len() as u64);
+        // Shards of every run must be key-disjoint and ordered.
+        for level in &tree.levels {
+            for run in level {
+                for pair in run.shards().windows(2) {
+                    let left_max = pair[0].blocks().last().unwrap().max_key;
+                    let right_min = pair[1].blocks().first().unwrap().min_key;
+                    assert!(left_max <= right_min, "shards must be key-ordered");
+                }
+            }
+        }
+        // A sharded tree must answer exactly like brute force.
+        let mut gen = RandomWalkGenerator::new(64, 77);
+        for _ in 0..5 {
+            let q = gen.next_series();
+            let expected = brute_force_knn(
+                &q.values,
+                series.iter().map(|s| (s.id, s.values.as_slice())),
+                4,
+            );
+            let (got, _) = tree.exact_knn(&q.values, 4).unwrap();
+            assert_eq!(got.len(), 4);
+            for (g, e) in got.iter().zip(expected.iter()) {
+                assert_eq!(g.id, e.id);
+                assert!((g.squared_distance - e.squared_distance).abs() < 1e-6);
+            }
+        }
+    }
+
+    #[test]
+    fn sharded_compaction_is_byte_identical_at_any_parallelism() {
+        let (dir_a, _series, a) = build_sharded_clsm(900, 3, 1, 33);
+        let (dir_b, _series, b) = build_sharded_clsm(900, 3, 8, 33);
+        assert_eq!(a.stats(), b.stats(), "ClsmStats must not depend on workers");
+        let read_dir = |d: &ScratchDir| -> Vec<(String, Vec<u8>)> {
+            let mut files: Vec<(String, Vec<u8>)> = std::fs::read_dir(d.file("lsm"))
+                .unwrap()
+                .map(|e| {
+                    let p = e.unwrap().path();
+                    (
+                        p.file_name().unwrap().to_string_lossy().into_owned(),
+                        std::fs::read(&p).unwrap(),
+                    )
+                })
+                .collect();
+            files.sort();
+            files
+        };
+        let fa = read_dir(&dir_a);
+        let fb = read_dir(&dir_b);
+        assert_eq!(
+            fa.iter().map(|(n, _)| n).collect::<Vec<_>>(),
+            fb.iter().map(|(n, _)| n).collect::<Vec<_>>(),
+            "same shard file set at every parallelism"
+        );
+        for ((name, bytes_a), (_, bytes_b)) in fa.iter().zip(fb.iter()) {
+            assert_eq!(bytes_a, bytes_b, "file {name} differs");
+        }
+    }
+
+    #[test]
+    fn sharded_and_unsharded_trees_agree_with_identical_write_amplification() {
+        let (_d1, series, sharded) = build_sharded_clsm(1000, 4, 1, 55);
+        let dir = ScratchDir::new("clsm-unsharded").unwrap();
+        let sax = SaxConfig::new(64, 8, 8);
+        let dataset = Dataset::create_from_series(dir.file("raw.bin"), &series).unwrap();
+        let config = ClsmConfig::new(sax)
+            .materialized(true)
+            .with_buffer_capacity(100)
+            .with_growth_factor(3);
+        let plain = ClsmTree::build(&dataset, config, &dir.file("lsm"), IoStats::shared()).unwrap();
+        // Sharding changes the file layout, not the merge schedule.
+        assert_eq!(sharded.stats(), plain.stats());
+        let mut gen = RandomWalkGenerator::new(64, 11);
+        for _ in 0..5 {
+            let q = gen.next_series();
+            let (a, _) = sharded.exact_knn(&q.values, 3).unwrap();
+            let (b, _) = plain.exact_knn(&q.values, 3).unwrap();
+            assert_eq!(a, b, "sharded and unsharded answers must agree");
+        }
     }
 
     #[test]

@@ -244,6 +244,19 @@ macro_rules! prop_assert_eq {
             )));
         }
     }};
+    ($a:expr, $b:expr, $($fmt:tt)*) => {{
+        let (lhs, rhs) = (&$a, &$b);
+        if !(lhs == rhs) {
+            return Err($crate::TestCaseError(format!(
+                "assertion failed: {} (left: {:?}, right: {:?}) at {}:{}",
+                format!($($fmt)*),
+                lhs,
+                rhs,
+                file!(),
+                line!()
+            )));
+        }
+    }};
 }
 
 /// Asserts inequality inside a property.

@@ -80,6 +80,14 @@ pub struct IndexConfig {
     /// one per available core).  Results are identical at every setting;
     /// see DESIGN.md ("Threading model").
     pub parallelism: usize,
+    /// Worker threads used by the query fan-out (`1` = sequential, `0` =
+    /// one per available core).  Neighbours, distances, tie-breaking order
+    /// and cost counters are identical at every setting; see DESIGN.md
+    /// ("Query threading model").
+    pub query_parallelism: usize,
+    /// Key-range shards per CLSM compaction (`1` = classic single-run
+    /// merges).  Ignored by the other variants.
+    pub shard_count: usize,
 }
 
 impl IndexConfig {
@@ -93,6 +101,8 @@ impl IndexConfig {
             growth_factor: 4,
             memory_budget_bytes: 32 << 20,
             parallelism: 1,
+            query_parallelism: 1,
+            shard_count: 1,
         }
     }
 
@@ -111,6 +121,19 @@ impl IndexConfig {
     /// Sets the build parallelism (`1` = sequential, `0` = all cores).
     pub fn with_parallelism(mut self, workers: usize) -> Self {
         self.parallelism = workers;
+        self
+    }
+
+    /// Sets the query fan-out parallelism (`1` = sequential, `0` = all
+    /// cores).  A pure performance knob.
+    pub fn with_query_parallelism(mut self, workers: usize) -> Self {
+        self.query_parallelism = workers;
+        self
+    }
+
+    /// Sets the number of key-range shards per CLSM compaction.
+    pub fn with_shard_count(mut self, shards: usize) -> Self {
+        self.shard_count = shards.max(1);
         self
     }
 
@@ -138,6 +161,8 @@ impl IndexConfig {
             growth_factor: rec.growth_factor.max(2),
             memory_budget_bytes: 32 << 20,
             parallelism: 1,
+            query_parallelism: 1,
+            shard_count: 1,
         }
     }
 }
@@ -244,7 +269,8 @@ impl StaticIndex {
                     .materialized(config.materialized)
                     .with_fill_factor(config.fill_factor)
                     .with_memory_budget(config.memory_budget_bytes)
-                    .with_parallelism(config.parallelism);
+                    .with_parallelism(config.parallelism)
+                    .with_query_parallelism(config.query_parallelism);
                 StaticIndex::CTree(CTree::build(
                     dataset,
                     ctree_config,
@@ -257,6 +283,8 @@ impl StaticIndex {
                     .materialized(config.materialized)
                     .with_growth_factor(config.growth_factor)
                     .with_parallelism(config.parallelism)
+                    .with_query_parallelism(config.query_parallelism)
+                    .with_shard_count(config.shard_count)
                     .with_buffer_capacity(
                         (config.memory_budget_bytes / (config.sax.series_len * 4 + 32)).max(64),
                     );
@@ -344,6 +372,9 @@ pub struct StreamingConfig {
     pub growth_factor: usize,
     /// Worker threads used when summarizing and flushing batches.
     pub parallelism: usize,
+    /// Worker threads used by the query fan-out over partitions (`1` =
+    /// sequential, `0` = one per available core).  A pure performance knob.
+    pub query_parallelism: usize,
 }
 
 impl StreamingConfig {
@@ -356,12 +387,20 @@ impl StreamingConfig {
             buffer_capacity: 1024,
             growth_factor: 3,
             parallelism: 1,
+            query_parallelism: 1,
         }
     }
 
     /// Sets the ingest parallelism (`1` = sequential, `0` = all cores).
     pub fn with_parallelism(mut self, workers: usize) -> Self {
         self.parallelism = workers;
+        self
+    }
+
+    /// Sets the query fan-out parallelism (`1` = sequential, `0` = all
+    /// cores).  A pure performance knob.
+    pub fn with_query_parallelism(mut self, workers: usize) -> Self {
+        self.query_parallelism = workers;
         self
     }
 
@@ -390,7 +429,8 @@ pub fn streaming_index(
                         .materialized(true)
                         .with_buffer_capacity(config.buffer_capacity)
                         .with_growth_factor(config.growth_factor)
-                        .with_parallelism(config.parallelism),
+                        .with_parallelism(config.parallelism)
+                        .with_query_parallelism(config.query_parallelism),
                     dir,
                     stats,
                 )?;
@@ -406,7 +446,8 @@ pub fn streaming_index(
             let cfg = PartitionedConfig::new(config.sax)
                 .with_buffer_capacity(config.buffer_capacity)
                 .with_partition_kind(kind)
-                .with_parallelism(config.parallelism);
+                .with_parallelism(config.parallelism)
+                .with_query_parallelism(config.query_parallelism);
             Ok(Box::new(PartitionedStream::temporal_partitioning(
                 cfg, dir, stats,
             )?))
@@ -415,7 +456,8 @@ pub fn streaming_index(
             let cfg = PartitionedConfig::new(config.sax)
                 .with_buffer_capacity(config.buffer_capacity)
                 .with_growth_factor(config.growth_factor)
-                .with_parallelism(config.parallelism);
+                .with_parallelism(config.parallelism)
+                .with_query_parallelism(config.query_parallelism);
             Ok(Box::new(PartitionedStream::bounded_temporal_partitioning(
                 cfg, dir, stats,
             )?))

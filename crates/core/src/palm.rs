@@ -39,6 +39,14 @@ pub enum PalmRequest {
         /// Worker threads for the build (`1` = sequential, `0` = all cores).
         /// Optional in the JSON protocol; defaults to `1`.
         parallelism: usize,
+        /// Worker threads for the query fan-out (`1` = sequential, `0` =
+        /// all cores).  Optional in the JSON protocol; defaults to `1`.
+        /// A pure performance knob: query results are identical at every
+        /// setting.
+        query_parallelism: usize,
+        /// Key-range shards per CLSM compaction.  Optional in the JSON
+        /// protocol; defaults to `1` (ignored by non-CLSM variants).
+        shard_count: usize,
     },
     /// Run a query against a registered index.
     Query {
@@ -177,6 +185,8 @@ impl ToJson for PalmRequest {
                 materialized,
                 memory_budget_bytes,
                 parallelism,
+                query_parallelism,
+                shard_count,
             } => Json::obj(vec![
                 ("type", Json::Str("build_index".into())),
                 ("name", name.to_json()),
@@ -185,6 +195,8 @@ impl ToJson for PalmRequest {
                 ("materialized", materialized.to_json()),
                 ("memory_budget_bytes", memory_budget_bytes.to_json()),
                 ("parallelism", parallelism.to_json()),
+                ("query_parallelism", query_parallelism.to_json()),
+                ("shard_count", shard_count.to_json()),
             ]),
             PalmRequest::Query {
                 name,
@@ -222,6 +234,8 @@ impl FromJson for PalmRequest {
                 materialized: member(json, "materialized")?,
                 memory_budget_bytes: member(json, "memory_budget_bytes")?,
                 parallelism: member_or(json, "parallelism", 1)?,
+                query_parallelism: member_or(json, "query_parallelism", 1)?,
+                shard_count: member_or(json, "shard_count", 1)?,
             }),
             "query" => Ok(PalmRequest::Query {
                 name: member(json, "name")?,
@@ -348,12 +362,16 @@ impl PalmServer {
                 materialized,
                 memory_budget_bytes,
                 parallelism,
+                query_parallelism,
+                shard_count,
             } => {
                 let dataset = Dataset::open(&dataset_path)?;
                 let config = IndexConfig::new(variant, dataset.series_len())
                     .materialized(materialized)
                     .with_memory_budget(memory_budget_bytes.max(1 << 20))
-                    .with_parallelism(parallelism);
+                    .with_parallelism(parallelism)
+                    .with_query_parallelism(query_parallelism)
+                    .with_shard_count(shard_count);
                 let stats = IoStats::shared();
                 let dir = self.work_dir.join(&name);
                 let (index, report) =
@@ -450,6 +468,8 @@ mod tests {
             materialized: true,
             memory_budget_bytes: 8 << 20,
             parallelism: 1,
+            query_parallelism: 1,
+            shard_count: 1,
         });
         match &built {
             PalmResponse::Built {

@@ -1,0 +1,242 @@
+//! The concurrent query engine: parallel fan-out over search units with a
+//! shared, CAS-tightened best-so-far bound.
+//!
+//! Every Coconut index is queried as a collection of **search units** — the
+//! in-memory buffer, each sorted run (or shard) of a CLSM level, each
+//! temporal partition of a stream.  The engine probes units concurrently
+//! with per-worker local heaps and merges the results deterministically, so
+//! `query_parallelism` is a pure performance knob: neighbours, distances,
+//! tie-breaking order *and* cost counters are bit-identical at every worker
+//! count.
+//!
+//! # Protocol
+//!
+//! Exact queries over more than one unit run in two phases around one
+//! [`SharedBound`]:
+//!
+//! 1. **Seed** — every unit is probed *approximately* (its target block
+//!    only) with an independent local heap.  Workers publish their local
+//!    k-th-best distances into the shared bound via CAS; after the join the
+//!    engine merges the seed candidates and publishes the k-th best of the
+//!    union, which is at least as tight as any per-unit bound.
+//! 2. **Refine** — the shared bound is frozen into `b0` and every unit runs
+//!    its exact search with a local heap whose pruning bound is
+//!    `min(b0, local k-th best)`.  Workers keep CAS-publishing their final
+//!    local bounds (so the shared bound ends at the true k-th-best
+//!    distance), but **decisions never read the bound mid-phase**: a
+//!    mid-scan read would make block pruning depend on worker timing,
+//!    breaking cost determinism.  `b0` already carries the cross-unit
+//!    pruning power the Coconut line derives from one bound shared across
+//!    all sorted runs.
+//!
+//! Approximate queries are a single phase of independent unit probes.
+//!
+//! # Why the merged result is exact
+//!
+//! The frozen bound `b0` is the k-th best distance of *actual* candidates,
+//! so `b0 >= d_k`, the true k-th best.  Pruning and early abandoning are
+//! strict (`> bound`), so every neighbour of the true top-k (ordered by
+//! `(distance, id, timestamp)`) survives its unit's search and lands in that
+//! unit's local top-k; the deterministic merge (concatenate in unit order,
+//! stable sort, truncate to `k`) therefore returns exactly the global top-k.
+
+use coconut_parallel::{effective_parallelism, parallel_map_tasks};
+use coconut_series::distance::Neighbor;
+
+use crate::query::{KnnHeap, QueryContext, QueryCost, SharedBound};
+use crate::Result;
+
+/// One independently searchable piece of an index.
+///
+/// Implementations are searched from worker threads (`Self: Sync`) with a
+/// per-worker heap and cost context; both search methods must be
+/// deterministic functions of the unit and the heap's starting ceiling.
+pub trait SearchUnit: Sync {
+    /// Fresh cost/fetch context for one phase over this unit.
+    fn context(&self) -> QueryContext<'_>;
+
+    /// Approximate probe: refine only the most promising region of the
+    /// unit.  Used both as the seed phase of exact queries and as the whole
+    /// of approximate queries.
+    fn search_approximate(&self, heap: &mut KnnHeap, ctx: &mut QueryContext<'_>) -> Result<()>;
+
+    /// Exact contribution: refine every candidate of the unit that the
+    /// heap's pruning bound cannot exclude.
+    fn search_exact(&self, heap: &mut KnnHeap, ctx: &mut QueryContext<'_>) -> Result<()>;
+}
+
+fn run_phase<U: SearchUnit>(
+    units: &[U],
+    k: usize,
+    workers: usize,
+    ceiling: f64,
+    exact: bool,
+    shared: &SharedBound,
+) -> Result<(Vec<Neighbor>, QueryCost)> {
+    let outcomes = parallel_map_tasks(units, workers, |_, unit| {
+        let mut heap = KnnHeap::with_ceiling(k, ceiling);
+        let mut ctx = unit.context();
+        let searched = if exact {
+            unit.search_exact(&mut heap, &mut ctx)
+        } else {
+            unit.search_approximate(&mut heap, &mut ctx)
+        };
+        searched.map(|()| {
+            shared.tighten(heap.bound());
+            (heap.into_sorted(), ctx.cost)
+        })
+    });
+    let mut neighbors = Vec::new();
+    let mut cost = QueryCost::default();
+    for outcome in outcomes {
+        let (unit_neighbors, unit_cost) = outcome?;
+        neighbors.extend(unit_neighbors);
+        cost = cost.plus(&unit_cost);
+    }
+    // Stable sort: equal `(distance, id, timestamp)` neighbours keep unit
+    // order, so the merge is deterministic.
+    neighbors.sort();
+    Ok((neighbors, cost))
+}
+
+/// Runs a kNN query over `units` with up to `parallelism` workers
+/// (`1` = sequential, `0` = one per available core) and returns the merged
+/// top-`k` plus the exact summed cost.
+///
+/// Results and cost are identical at every `parallelism` setting; see the
+/// module docs for the protocol and the determinism argument.
+pub fn parallel_knn<U: SearchUnit>(
+    units: &[U],
+    k: usize,
+    parallelism: usize,
+    exact: bool,
+) -> Result<(Vec<Neighbor>, QueryCost)> {
+    if units.is_empty() {
+        return Ok((Vec::new(), QueryCost::default()));
+    }
+    let workers = effective_parallelism(parallelism).min(units.len());
+    let shared = SharedBound::new();
+    let mut total_cost = QueryCost::default();
+    if exact && units.len() > 1 {
+        // Seed phase: cheap approximate probes establish the frozen
+        // cross-unit bound before any unit is searched exactly.
+        let (seeds, seed_cost) = run_phase(units, k, workers, f64::INFINITY, false, &shared)?;
+        total_cost = total_cost.plus(&seed_cost);
+        if seeds.len() >= k {
+            shared.tighten(seeds[k - 1].squared_distance);
+        }
+    }
+    let frozen = shared.get();
+    let (mut neighbors, main_cost) = run_phase(units, k, workers, frozen, exact, &shared)?;
+    total_cost = total_cost.plus(&main_cost);
+    neighbors.truncate(k);
+    Ok((neighbors, total_cost))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::query::QueryContext;
+
+    /// A purely in-memory unit over `(id, timestamp, distance)` candidates.
+    struct VecUnit {
+        candidates: Vec<(u64, u64, f64)>,
+    }
+
+    impl SearchUnit for VecUnit {
+        fn context(&self) -> QueryContext<'_> {
+            QueryContext::materialized()
+        }
+
+        fn search_approximate(&self, heap: &mut KnnHeap, ctx: &mut QueryContext<'_>) -> Result<()> {
+            // Probe only the first candidate (the unit's "target block").
+            if let Some(&(id, ts, d)) = self.candidates.first() {
+                ctx.cost.entries_examined += 1;
+                heap.offer_at(id, ts, d);
+            }
+            Ok(())
+        }
+
+        fn search_exact(&self, heap: &mut KnnHeap, ctx: &mut QueryContext<'_>) -> Result<()> {
+            for &(id, ts, d) in &self.candidates {
+                ctx.cost.entries_examined += 1;
+                if d > heap.bound() {
+                    continue;
+                }
+                ctx.cost.entries_refined += 1;
+                heap.offer_at(id, ts, d);
+            }
+            Ok(())
+        }
+    }
+
+    fn units(seed: u64) -> Vec<VecUnit> {
+        // Deterministic pseudo-random candidates spread over 5 units.
+        let mut state = seed;
+        let mut next = move || {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            state >> 33
+        };
+        (0..5)
+            .map(|u| VecUnit {
+                candidates: (0..40)
+                    .map(|i| {
+                        let id = u * 1000 + i;
+                        let ts = next() % 7;
+                        let d = (next() % 10_000) as f64 / 10.0;
+                        (id, ts, d)
+                    })
+                    .collect(),
+            })
+            .collect()
+    }
+
+    #[test]
+    fn parallel_matches_sequential_results_and_cost() {
+        let units = units(42);
+        let (seq, seq_cost) = parallel_knn(&units, 7, 1, true).unwrap();
+        for workers in [2, 4, 8] {
+            let (par, par_cost) = parallel_knn(&units, 7, workers, true).unwrap();
+            assert_eq!(seq, par, "workers={workers}");
+            assert_eq!(seq_cost, par_cost, "workers={workers}");
+        }
+        assert_eq!(seq.len(), 7);
+        for w in seq.windows(2) {
+            assert!(w[0] <= w[1], "results must be sorted");
+        }
+    }
+
+    #[test]
+    fn approximate_mode_merges_unit_probes() {
+        let units = units(7);
+        let (seq, _) = parallel_knn(&units, 3, 1, false).unwrap();
+        let (par, _) = parallel_knn(&units, 3, 8, false).unwrap();
+        assert_eq!(seq, par);
+        // Approximate mode probes one candidate per unit: 5 candidates total.
+        assert_eq!(seq.len(), 3);
+    }
+
+    #[test]
+    fn exact_answer_is_the_true_top_k() {
+        let units = units(99);
+        let mut all: Vec<Neighbor> = units
+            .iter()
+            .flat_map(|u| u.candidates.iter())
+            .map(|&(id, ts, d)| Neighbor::new_at(id, ts, d))
+            .collect();
+        all.sort();
+        all.truncate(9);
+        let (got, _) = parallel_knn(&units, 9, 4, true).unwrap();
+        assert_eq!(got, all);
+    }
+
+    #[test]
+    fn empty_unit_list_is_empty_answer() {
+        let none: Vec<VecUnit> = Vec::new();
+        let (nn, cost) = parallel_knn(&none, 3, 4, true).unwrap();
+        assert!(nn.is_empty());
+        assert_eq!(cost, QueryCost::default());
+    }
+}

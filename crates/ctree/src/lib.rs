@@ -14,21 +14,28 @@
 //! This crate also provides the building blocks shared with CoconutLSM and
 //! the streaming partitions:
 //!
-//! * [`entry`] — the on-disk index entry and its [`storage::RecordLayout`].
+//! * [`entry`] — the on-disk index entry and its
+//!   [`coconut_storage::RecordLayout`].
 //! * [`sorted_file`] — a sorted, block-indexed partition with approximate and
 //!   exact kNN search (skip-sequential scan with MINDIST pruning).
-//! * [`query`] — query-side helpers: the kNN result heap and the raw-dataset
-//!   refinement context used by non-materialized indexes.
+//! * [`query`] — query-side helpers: the kNN result heap, the shared atomic
+//!   best-so-far bound and the raw-dataset refinement context used by
+//!   non-materialized indexes.
+//! * [`engine`] — the concurrent query engine: deterministic parallel
+//!   fan-out over search units (runs, shards, partitions) with per-worker
+//!   heaps merged around a [`query::SharedBound`].
 //! * [`tree`] — the [`CTree`] itself: bulk build, optional delta inserts with
 //!   fill-factor-driven merge, and query entry points.
 
+pub mod engine;
 pub mod entry;
 pub mod query;
 pub mod sorted_file;
 pub mod tree;
 
+pub use engine::{parallel_knn, SearchUnit};
 pub use entry::{EntryLayout, SeriesEntry};
-pub use query::{KnnHeap, QueryContext, QueryCost};
+pub use query::{KnnHeap, QueryContext, QueryCost, SharedBound};
 pub use sorted_file::{BlockMeta, SortedSeriesFile};
 pub use tree::{BuildStats, CTree, CTreeConfig};
 

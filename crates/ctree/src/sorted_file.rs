@@ -225,6 +225,25 @@ impl SortedSeriesFile {
         self.run.reader(buffer_records)
     }
 
+    /// Returns a sequential reader over the entries whose key lies in
+    /// `[lo, hi)` (`hi = None` means unbounded above).  The block index is
+    /// used to seek straight to the first candidate block; only the two
+    /// boundary blocks are filtered entry-by-entry, everything in between
+    /// streams through untouched.  Used by sharded compactions to feed one
+    /// key shard of a level merge.
+    pub fn range_reader(&self, lo: u128, hi: Option<u128>) -> RangeReader<'_> {
+        // First block that can contain a key >= lo.
+        let block = self.blocks.partition_point(|b| b.max_key < lo);
+        RangeReader {
+            file: self,
+            next_block: block,
+            pending: std::collections::VecDeque::new(),
+            lo,
+            hi,
+            done: false,
+        }
+    }
+
     /// The underlying run file (for merge plumbing).
     pub fn run(&self) -> &coconut_storage::DynRunFile<EntryLayout> {
         &self.run
@@ -298,12 +317,12 @@ impl SortedSeriesFile {
         let bound = heap.bound();
         if entry.is_materialized() {
             if let Some(d) = euclidean_early_abandon(query, &entry.values, bound) {
-                heap.offer(entry.id, d);
+                heap.offer_at(entry.id, entry.timestamp, d);
             }
         } else {
             let values = ctx.fetch(entry.id)?;
             if let Some(d) = euclidean_early_abandon(query, &values, bound) {
-                heap.offer(entry.id, d);
+                heap.offer_at(entry.id, entry.timestamp, d);
             }
         }
         Ok(())
@@ -428,6 +447,60 @@ impl SortedSeriesFile {
             self.scan_block(&block, query, &query_paa, heap, ctx, window, true)?;
         }
         Ok(())
+    }
+}
+
+/// Buffered iterator over the entries of one key range of a
+/// [`SortedSeriesFile`]; see [`SortedSeriesFile::range_reader`].
+pub struct RangeReader<'a> {
+    file: &'a SortedSeriesFile,
+    next_block: usize,
+    pending: std::collections::VecDeque<SeriesEntry>,
+    lo: u128,
+    hi: Option<u128>,
+    done: bool,
+}
+
+impl RangeReader<'_> {
+    fn refill(&mut self) -> Result<()> {
+        while self.pending.is_empty() && !self.done {
+            let Some(block) = self.file.blocks.get(self.next_block) else {
+                self.done = true;
+                return Ok(());
+            };
+            if self.hi.is_some_and(|hi| block.min_key >= hi) {
+                self.done = true;
+                return Ok(());
+            }
+            self.next_block += 1;
+            let entries = self
+                .file
+                .run
+                .read_range(block.start, block.count as usize)?;
+            for entry in entries {
+                if entry.key < self.lo {
+                    continue;
+                }
+                if self.hi.is_some_and(|hi| entry.key >= hi) {
+                    self.done = true;
+                    break;
+                }
+                self.pending.push_back(entry);
+            }
+        }
+        Ok(())
+    }
+}
+
+impl Iterator for RangeReader<'_> {
+    type Item = Result<SeriesEntry>;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        if let Err(e) = self.refill() {
+            self.done = true;
+            return Some(Err(e));
+        }
+        self.pending.pop_front().map(Ok)
     }
 }
 
@@ -635,6 +708,35 @@ mod tests {
             ctx.cost.blocks_read,
             ctx.cost.blocks_skipped
         );
+    }
+
+    #[test]
+    fn range_reader_covers_partition_without_overlap() {
+        let dir = ScratchDir::new("ssf-range").unwrap();
+        let sax = SaxConfig::new(64, 8, 8);
+        let (_, entries) = make_entries(700, sax, false, 8);
+        let file = build(&dir, sax, entries, false, 32);
+        let all: Vec<SeriesEntry> = file.reader(64).map(|r| r.unwrap()).collect();
+
+        // Split the key domain at arbitrary block fences; concatenating the
+        // range readers must reproduce the full sorted sequence exactly.
+        let b1 = file.blocks()[5].min_key;
+        let b2 = file.blocks()[13].min_key;
+        let mut glued: Vec<SeriesEntry> = Vec::new();
+        for (lo, hi) in [(0u128, Some(b1)), (b1, Some(b2)), (b2, None)] {
+            let part: Vec<SeriesEntry> = file.range_reader(lo, hi).map(|r| r.unwrap()).collect();
+            for e in &part {
+                assert!(e.key >= lo);
+                if let Some(hi) = hi {
+                    assert!(e.key < hi);
+                }
+            }
+            glued.extend(part);
+        }
+        assert_eq!(glued, all);
+
+        // An empty range yields nothing.
+        assert_eq!(file.range_reader(b1, Some(b1)).count(), 0);
     }
 
     #[test]

@@ -40,6 +40,10 @@ pub struct CTreeConfig {
     /// bulk load (`1` = sequential, `0` = one per available core).  The
     /// produced index is byte-identical at every setting.
     pub parallelism: usize,
+    /// Worker threads for query fan-out (`1` = sequential, `0` = one per
+    /// available core).  Results and cost counters are identical at every
+    /// setting; see `crate::engine`.
+    pub query_parallelism: usize,
 }
 
 impl CTreeConfig {
@@ -53,6 +57,7 @@ impl CTreeConfig {
             memory_budget_bytes: 32 << 20,
             page_size: DEFAULT_PAGE_SIZE,
             parallelism: 1,
+            query_parallelism: 1,
         }
     }
 
@@ -78,6 +83,14 @@ impl CTreeConfig {
     /// Sets the bulk-load parallelism (`1` = sequential, `0` = all cores).
     pub fn with_parallelism(mut self, workers: usize) -> Self {
         self.parallelism = workers;
+        self
+    }
+
+    /// Sets the query fan-out parallelism (`1` = sequential, `0` = all
+    /// cores).  A pure performance knob: answers and cost are identical at
+    /// every setting.
+    pub fn with_query_parallelism(mut self, workers: usize) -> Self {
+        self.query_parallelism = workers;
         self
     }
 
@@ -294,6 +307,28 @@ impl CTree {
         }
     }
 
+    fn query_units<'a>(
+        &'a self,
+        query: &'a [f32],
+        window: Option<(Timestamp, Timestamp)>,
+    ) -> Vec<CTreeUnit<'a>> {
+        let mut units = vec![CTreeUnit {
+            tree: self,
+            query,
+            window,
+            part: CTreePart::Leaves,
+        }];
+        if !self.delta.is_empty() {
+            units.push(CTreeUnit {
+                tree: self,
+                query,
+                window,
+                part: CTreePart::Delta,
+            });
+        }
+        units
+    }
+
     fn search_delta(
         &self,
         query: &[f32],
@@ -308,7 +343,7 @@ impl CTree {
             }
             if entry.is_materialized() {
                 if let Some(d) = euclidean_early_abandon(query, &entry.values, heap.bound()) {
-                    heap.offer(entry.id, d);
+                    heap.offer_at(entry.id, entry.timestamp, d);
                 }
             }
         }
@@ -326,13 +361,8 @@ impl CTree {
         k: usize,
         window: Option<(Timestamp, Timestamp)>,
     ) -> Result<(Vec<Neighbor>, QueryCost)> {
-        let mut heap = KnnHeap::new(k);
-        let mut ctx = self.query_context();
-        self.file
-            .search_approximate(query, &mut heap, &mut ctx, window)?;
-        self.search_delta(query, &mut heap, window);
-        let cost = ctx.cost;
-        Ok((heap.into_sorted(), cost))
+        let units = self.query_units(query, window);
+        crate::engine::parallel_knn(&units, k, self.config.query_parallelism, false)
     }
 
     /// Exact kNN search.
@@ -347,16 +377,8 @@ impl CTree {
         k: usize,
         window: Option<(Timestamp, Timestamp)>,
     ) -> Result<(Vec<Neighbor>, QueryCost)> {
-        let mut heap = KnnHeap::new(k);
-        let mut ctx = self.query_context();
-        // The exact pass visits blocks in ascending lower-bound order, so the
-        // first block it refines is the same one the approximate query would
-        // probe — no separate seeding pass is needed (and it would double-count
-        // the entries of that block).
-        self.file.search_exact(query, &mut heap, &mut ctx, window)?;
-        self.search_delta(query, &mut heap, window);
-        let cost = ctx.cost;
-        Ok((heap.into_sorted(), cost))
+        let units = self.query_units(query, window);
+        crate::engine::parallel_knn(&units, k, self.config.query_parallelism, true)
     }
 
     /// Inserts a batch of new series (delta inserts).  Materialized trees
@@ -449,6 +471,58 @@ impl CTree {
     /// Number of delta entries not yet merged.
     pub fn pending_delta(&self) -> usize {
         self.delta.len()
+    }
+}
+
+#[derive(Clone, Copy)]
+enum CTreePart {
+    /// The contiguous leaf level.
+    Leaves,
+    /// The in-memory delta (always materialized).
+    Delta,
+}
+
+/// One independently searchable piece of a CTree for the concurrent query
+/// engine: the contiguous leaf level or the in-memory delta.
+struct CTreeUnit<'a> {
+    tree: &'a CTree,
+    query: &'a [f32],
+    window: Option<(Timestamp, Timestamp)>,
+    part: CTreePart,
+}
+
+impl crate::engine::SearchUnit for CTreeUnit<'_> {
+    fn context(&self) -> QueryContext<'_> {
+        self.tree.query_context()
+    }
+
+    fn search_approximate(&self, heap: &mut KnnHeap, ctx: &mut QueryContext<'_>) -> Result<()> {
+        match self.part {
+            CTreePart::Leaves => {
+                self.tree
+                    .file
+                    .search_approximate(self.query, heap, ctx, self.window)
+            }
+            CTreePart::Delta => {
+                // The delta is in memory: its "approximate" probe is the
+                // full scan, which both seeds the bound and is exact.
+                self.tree.search_delta(self.query, heap, self.window);
+                Ok(())
+            }
+        }
+    }
+
+    fn search_exact(&self, heap: &mut KnnHeap, ctx: &mut QueryContext<'_>) -> Result<()> {
+        match self.part {
+            CTreePart::Leaves => self
+                .tree
+                .file
+                .search_exact(self.query, heap, ctx, self.window),
+            CTreePart::Delta => {
+                self.tree.search_delta(self.query, heap, self.window);
+                Ok(())
+            }
+        }
     }
 }
 

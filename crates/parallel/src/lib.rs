@@ -127,6 +127,61 @@ where
     chunks
 }
 
+/// Order-preserving map over *coarse* tasks, one claim at a time.
+///
+/// Unlike [`parallel_map_slice`], which chunks fine-grained items and only
+/// fans out above a size threshold, this helper treats every item as a
+/// substantial unit of work (an index run to probe, a shard to merge) and
+/// schedules them dynamically: up to `workers` scoped threads repeatedly
+/// claim the next unclaimed index from a shared atomic counter.  Dynamic
+/// claiming balances skewed task sizes (one large run next to many small
+/// ones) without any static partitioning.
+///
+/// `f` receives `(item_index, &item)`.  The output vector is in item order
+/// regardless of which worker ran which task, so callers observe a
+/// deterministic result shape; `f` itself must be deterministic per item for
+/// the *values* to be scheduling-independent.
+pub fn parallel_map_tasks<T, R, F>(items: &[T], workers: usize, f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(usize, &T) -> R + Sync,
+{
+    let workers = workers.max(1).min(items.len().max(1));
+    if workers == 1 || items.len() < 2 {
+        return items.iter().enumerate().map(|(i, t)| f(i, t)).collect();
+    }
+    let next = std::sync::atomic::AtomicUsize::new(0);
+    let mut slots: Vec<Option<R>> = std::iter::repeat_with(|| None).take(items.len()).collect();
+    std::thread::scope(|scope| {
+        let mut handles = Vec::with_capacity(workers);
+        for _ in 0..workers {
+            let next = &next;
+            let f = &f;
+            handles.push(scope.spawn(move || {
+                let mut done: Vec<(usize, R)> = Vec::new();
+                loop {
+                    let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                    if i >= items.len() {
+                        break;
+                    }
+                    done.push((i, f(i, &items[i])));
+                }
+                done
+            }));
+        }
+        for handle in handles {
+            for (i, r) in handle.join().expect("parallel worker panicked") {
+                slots[i] = Some(r);
+            }
+        }
+    });
+    slots
+        .into_iter()
+        .map(|s| s.expect("every task index was claimed exactly once"))
+        .collect()
+}
+
 /// Stable sort of `items` by `key`, using up to `workers` threads.
 ///
 /// The result is **identical** to `items.sort_by(|a, b| key(a).cmp(&key(b)))`
@@ -267,6 +322,21 @@ mod tests {
         items.clear();
         parallel_sort_by_key(&mut items, 4, |t: &(u32, usize)| t.0);
         assert!(items.is_empty());
+    }
+
+    #[test]
+    fn map_tasks_preserves_order_at_any_worker_count() {
+        let items: Vec<u64> = (0..37).collect();
+        let expected: Vec<u64> = items.iter().map(|x| x * x).collect();
+        for workers in [1, 2, 3, 16, 64] {
+            let got = parallel_map_tasks(&items, workers, |i, x| {
+                assert_eq!(items[i], *x);
+                x * x
+            });
+            assert_eq!(got, expected, "workers={workers}");
+        }
+        let empty: Vec<u64> = Vec::new();
+        assert!(parallel_map_tasks(&empty, 4, |_, x| *x).is_empty());
     }
 
     #[test]

@@ -104,20 +104,34 @@ pub fn euclidean_early_abandon(a: &[f32], b: &[f32], threshold: f64) -> Option<f
     }
 }
 
-/// Result of a nearest-neighbour computation: the series id and its distance.
+/// Result of a nearest-neighbour computation: the series id, the arrival
+/// timestamp of the matched entry (zero for static data) and its distance.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Neighbor {
     /// Identifier of the neighbouring series.
     pub id: u64,
+    /// Arrival timestamp of the matched index entry (zero for static data
+    /// and for brute-force candidates without temporal information).
+    pub timestamp: u64,
     /// Squared Euclidean distance from the query to this neighbour.
     pub squared_distance: f64,
 }
 
 impl Neighbor {
-    /// Creates a new neighbour record.
+    /// Creates a new neighbour record with timestamp zero (static data).
     pub fn new(id: u64, squared_distance: f64) -> Self {
         Neighbor {
             id,
+            timestamp: 0,
+            squared_distance,
+        }
+    }
+
+    /// Creates a new neighbour record carrying an arrival timestamp.
+    pub fn new_at(id: u64, timestamp: u64, squared_distance: f64) -> Self {
+        Neighbor {
+            id,
+            timestamp,
             squared_distance,
         }
     }
@@ -138,12 +152,16 @@ impl PartialOrd for Neighbor {
 
 impl Ord for Neighbor {
     fn cmp(&self, other: &Self) -> std::cmp::Ordering {
-        // Order primarily by distance, break ties by id so that the ordering
-        // is total and deterministic (required for use in BinaryHeap / sort).
+        // Order by (distance, id, timestamp): the ordering is total and
+        // deterministic, so every index variant — brute force, CTree, CLSM,
+        // the streaming schemes — resolves equal-distance ties identically,
+        // and parallel and sequential query results are comparable
+        // byte-for-byte.
         self.squared_distance
             .partial_cmp(&other.squared_distance)
             .unwrap_or(std::cmp::Ordering::Equal)
             .then_with(|| self.id.cmp(&other.id))
+            .then_with(|| self.timestamp.cmp(&other.timestamp))
     }
 }
 
@@ -253,6 +271,20 @@ mod tests {
         assert_eq!(v[0].id, 3);
         assert_eq!(v[1].id, 1);
         assert_eq!(v[2].id, 2);
+    }
+
+    #[test]
+    fn neighbor_ties_resolve_by_id_then_timestamp() {
+        let mut v = [
+            Neighbor::new_at(5, 9, 1.0),
+            Neighbor::new_at(5, 2, 1.0),
+            Neighbor::new_at(4, 100, 1.0),
+            Neighbor::new_at(4, 100, 0.5),
+        ];
+        v.sort();
+        let order: Vec<(u64, u64)> = v.iter().map(|n| (n.id, n.timestamp)).collect();
+        assert_eq!(order, vec![(4, 100), (4, 100), (5, 2), (5, 9)]);
+        assert_eq!(v[0].squared_distance, 0.5);
     }
 }
 

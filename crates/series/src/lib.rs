@@ -13,7 +13,7 @@
 //!   similarity search.
 //! * [`distance`] — Euclidean distance, squared distance and the
 //!   early-abandoning variant used by exact search.
-//! * [`paa`] — Piecewise Aggregate Approximation, the dimensionality
+//! * [`mod@paa`] — Piecewise Aggregate Approximation, the dimensionality
 //!   reduction on top of which SAX/iSAX summarizations are defined.
 //! * [`generator`] — synthetic dataset generators: pure random walks, an
 //!   "astronomy-like" generator with planted patterns (Scenario 1 of the

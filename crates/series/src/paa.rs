@@ -3,7 +3,7 @@
 //! PAA splits a series of length `n` into `w` equal-width segments and
 //! represents each segment by its mean value.  It is the dimensionality
 //! reduction underlying SAX / iSAX: the per-segment means are subsequently
-//! quantized into symbols by the summarization layer ([`coconut-sax`]).
+//! quantized into symbols by the summarization layer (`coconut-sax`).
 //!
 //! The implementation supports lengths that are not a multiple of the number
 //! of segments by letting a boundary point contribute fractionally to the two

@@ -332,6 +332,89 @@ impl<L: RecordLayout> Iterator for DynKWayMerge<L> {
     }
 }
 
+/// K-way merge over arbitrary sorted record iterators sharing a layout.
+///
+/// The comparison semantics match [`DynKWayMerge`] exactly — records are
+/// ordered by their layout key, ties broken toward the lower input index —
+/// but the inputs are plain iterators instead of whole run files, so callers
+/// can merge *slices* of runs (e.g. one key shard of every input run during
+/// a sharded compaction).  The error type is generic so higher layers can
+/// merge iterators yielding their own error enums, as long as storage
+/// corruption is convertible into them.
+pub struct DynIterMerge<L, I, E>
+where
+    L: RecordLayout,
+    I: Iterator<Item = std::result::Result<L::Record, E>>,
+    E: From<crate::StorageError>,
+{
+    layout: L,
+    inputs: Vec<I>,
+    heads: Vec<Option<L::Record>>,
+    heap: BinaryHeap<Reverse<HeapEntry<L::Key>>>,
+}
+
+impl<L, I, E> DynIterMerge<L, I, E>
+where
+    L: RecordLayout,
+    I: Iterator<Item = std::result::Result<L::Record, E>>,
+    E: From<crate::StorageError>,
+{
+    /// Builds a merge over already-sorted record iterators.
+    pub fn new(layout: L, mut inputs: Vec<I>) -> std::result::Result<Self, E> {
+        let mut heads: Vec<Option<L::Record>> = Vec::with_capacity(inputs.len());
+        let mut heap = BinaryHeap::new();
+        for (i, input) in inputs.iter_mut().enumerate() {
+            let head = input.next().transpose()?;
+            if let Some(record) = &head {
+                heap.push(Reverse(HeapEntry {
+                    key: layout.key(record),
+                    run: i,
+                }));
+            }
+            heads.push(head);
+        }
+        Ok(DynIterMerge {
+            layout,
+            inputs,
+            heads,
+            heap,
+        })
+    }
+}
+
+impl<L, I, E> Iterator for DynIterMerge<L, I, E>
+where
+    L: RecordLayout,
+    I: Iterator<Item = std::result::Result<L::Record, E>>,
+    E: From<crate::StorageError>,
+{
+    type Item = std::result::Result<L::Record, E>;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        let Reverse(entry) = self.heap.pop()?;
+        let record = match self.heads[entry.run].take() {
+            Some(r) => r,
+            None => {
+                return Some(Err(E::from(crate::StorageError::Corrupt(
+                    "merge input exhausted while its key was still queued".into(),
+                ))))
+            }
+        };
+        match self.inputs[entry.run].next().transpose() {
+            Ok(Some(next)) => {
+                self.heap.push(Reverse(HeapEntry {
+                    key: self.layout.key(&next),
+                    run: entry.run,
+                }));
+                self.heads[entry.run] = Some(next);
+            }
+            Ok(None) => {}
+            Err(e) => return Some(Err(e)),
+        }
+        Some(Ok(record))
+    }
+}
+
 /// Outcome of a dynamic external sort.
 pub struct DynSortOutput<L: RecordLayout> {
     in_memory: Option<std::vec::IntoIter<L::Record>>,
@@ -580,6 +663,40 @@ mod tests {
         let sorted: Vec<_> = out.map(|r| r.unwrap()).collect();
         assert_eq!(sorted.len(), 100);
         assert_eq!(stats.snapshot().total_accesses(), 0);
+    }
+
+    #[test]
+    fn iter_merge_matches_run_merge() {
+        let dir = ScratchDir::new("dyniter").unwrap();
+        let stats = IoStats::shared();
+        let layout = PairLayout { payload_len: 6 };
+        let mut runs = Vec::new();
+        for i in 0..4u64 {
+            let mut recs = make_records(150, 6);
+            recs.iter_mut().for_each(|r| r.0 = r.0.wrapping_mul(i + 1));
+            recs.sort_by_key(|r| r.0);
+            let mut w = DynRunWriter::create(
+                layout.clone(),
+                dir.file(&format!("{i}.run")),
+                Arc::clone(&stats),
+                512,
+            )
+            .unwrap();
+            for r in &recs {
+                w.push(r).unwrap();
+            }
+            runs.push(w.finish().unwrap());
+        }
+        let expected: Vec<_> = DynKWayMerge::new(layout.clone(), &runs, 32)
+            .unwrap()
+            .map(|r| r.unwrap())
+            .collect();
+        let iters: Vec<_> = runs.iter().map(|r| r.reader(32)).collect();
+        let got: Vec<_> = DynIterMerge::new(layout, iters)
+            .unwrap()
+            .map(|r| r.unwrap())
+            .collect();
+        assert_eq!(got, expected, "iterator merge must match the run merge");
     }
 
     #[test]

@@ -35,7 +35,8 @@ pub mod tempdir;
 
 pub use cost::CostModel;
 pub use dynsort::{
-    DynExternalSorter, DynKWayMerge, DynRunFile, DynRunReader, DynRunWriter, RecordLayout,
+    DynExternalSorter, DynIterMerge, DynKWayMerge, DynRunFile, DynRunReader, DynRunWriter,
+    RecordLayout,
 };
 pub use extsort::{ExternalSortConfig, ExternalSorter};
 pub use file::PagedFile;

@@ -270,6 +270,10 @@ pub struct PartitionedConfig {
     /// Worker threads for batch summarization and partition sorting (`1` =
     /// sequential, `0` = one per available core).
     pub parallelism: usize,
+    /// Worker threads for query fan-out over partitions (`1` = sequential,
+    /// `0` = one per available core).  Answers and cost counters are
+    /// identical at every setting; see `coconut_ctree::engine`.
+    pub query_parallelism: usize,
 }
 
 impl PartitionedConfig {
@@ -283,6 +287,7 @@ impl PartitionedConfig {
             partition_kind: PartitionKind::Sorted,
             page_size: coconut_storage::DEFAULT_PAGE_SIZE,
             parallelism: 1,
+            query_parallelism: 1,
         }
     }
 
@@ -308,6 +313,13 @@ impl PartitionedConfig {
     /// Sets the ingest parallelism (`1` = sequential, `0` = all cores).
     pub fn with_parallelism(mut self, workers: usize) -> Self {
         self.parallelism = workers;
+        self
+    }
+
+    /// Sets the query fan-out parallelism (`1` = sequential, `0` = all
+    /// cores).  A pure performance knob.
+    pub fn with_query_parallelism(mut self, workers: usize) -> Self {
+        self.query_parallelism = workers;
         self
     }
 
@@ -537,8 +549,84 @@ impl PartitionedStream {
                 &entry.values,
                 heap.bound(),
             ) {
-                heap.offer(entry.id, d);
+                heap.offer_at(entry.id, entry.timestamp, d);
             }
+        }
+    }
+}
+
+#[derive(Clone, Copy)]
+enum StreamPart<'a> {
+    /// The in-memory arrival buffer.
+    Buffer,
+    /// A sorted (Coconut-style) temporal partition.
+    Sorted(&'a SortedSeriesFile),
+    /// An ADS+-style temporal partition.
+    Ads(&'a AdsTree),
+}
+
+/// One independently searchable piece of a partitioned stream for the
+/// concurrent query engine.
+struct StreamUnit<'a> {
+    stream: &'a PartitionedStream,
+    query: &'a [f32],
+    k: usize,
+    window: Option<(Timestamp, Timestamp)>,
+    part: StreamPart<'a>,
+}
+
+impl StreamUnit<'_> {
+    fn search_ads(
+        &self,
+        tree: &AdsTree,
+        exact: bool,
+        heap: &mut KnnHeap,
+        ctx: &mut QueryContext<'_>,
+    ) -> Result<()> {
+        // ADS partitions run their own traversal; fold their neighbours and
+        // cost into this worker's heap and counters.
+        let (neighbors, cost) = if exact {
+            tree.exact_knn_window(self.query, self.k, self.window)?
+        } else {
+            tree.approximate_knn_window(self.query, self.k, self.window)?
+        };
+        ctx.cost = ctx.cost.plus(&cost);
+        for n in neighbors {
+            heap.offer_at(n.id, n.timestamp, n.squared_distance);
+        }
+        Ok(())
+    }
+}
+
+impl coconut_ctree::engine::SearchUnit for StreamUnit<'_> {
+    fn context(&self) -> QueryContext<'_> {
+        // Streaming partitions always materialize their entries.
+        QueryContext::materialized()
+    }
+
+    fn search_approximate(&self, heap: &mut KnnHeap, ctx: &mut QueryContext<'_>) -> Result<()> {
+        match self.part {
+            // The buffer is in memory: its "approximate" probe is the full
+            // scan, which both seeds the shared bound and is exact.
+            StreamPart::Buffer => {
+                self.stream
+                    .search_buffer(self.query, heap, ctx, self.window);
+                Ok(())
+            }
+            StreamPart::Sorted(file) => file.search_approximate(self.query, heap, ctx, self.window),
+            StreamPart::Ads(tree) => self.search_ads(tree, false, heap, ctx),
+        }
+    }
+
+    fn search_exact(&self, heap: &mut KnnHeap, ctx: &mut QueryContext<'_>) -> Result<()> {
+        match self.part {
+            StreamPart::Buffer => {
+                self.stream
+                    .search_buffer(self.query, heap, ctx, self.window);
+                Ok(())
+            }
+            StreamPart::Sorted(file) => file.search_exact(self.query, heap, ctx, self.window),
+            StreamPart::Ads(tree) => self.search_ads(tree, true, heap, ctx),
         }
     }
 }
@@ -595,41 +683,41 @@ impl StreamingIndex for PartitionedStream {
         window: Option<(Timestamp, Timestamp)>,
         exact: bool,
     ) -> Result<StreamQueryResult> {
-        let mut heap = KnnHeap::new(k);
-        let mut ctx = QueryContext::materialized();
-        self.search_buffer(query, &mut heap, &mut ctx, window);
+        // Search units in newest-first order: the buffer, then every
+        // partition whose time range intersects the window.  The engine
+        // probes them concurrently around a shared best-so-far bound.
+        let mut units = Vec::with_capacity(self.partitions.len() + 1);
+        if !self.buffer.is_empty() {
+            units.push(StreamUnit {
+                stream: self,
+                query,
+                k,
+                window,
+                part: StreamPart::Buffer,
+            });
+        }
         let mut accessed = 0;
-        // Newest partitions first: they are most likely to contain the
-        // window, tightening the bound before older data is considered.
         for partition in self.partitions.iter().rev() {
             if !partition.intersects(window) {
                 continue;
             }
             accessed += 1;
-            match partition {
-                Partition::Sorted { file, .. } => {
-                    if exact {
-                        file.search_exact(query, &mut heap, &mut ctx, window)?;
-                    } else {
-                        file.search_approximate(query, &mut heap, &mut ctx, window)?;
-                    }
-                }
-                Partition::Ads { tree, .. } => {
-                    let (neighbors, cost) = if exact {
-                        tree.exact_knn_window(query, k, window)?
-                    } else {
-                        tree.approximate_knn_window(query, k, window)?
-                    };
-                    ctx.cost = ctx.cost.plus(&cost);
-                    for n in neighbors {
-                        heap.offer(n.id, n.squared_distance);
-                    }
-                }
-            }
+            let part = match partition {
+                Partition::Sorted { file, .. } => StreamPart::Sorted(file),
+                Partition::Ads { tree, .. } => StreamPart::Ads(tree),
+            };
+            units.push(StreamUnit {
+                stream: self,
+                query,
+                k,
+                window,
+                part,
+            });
         }
-        let cost = ctx.cost;
+        let (neighbors, cost) =
+            coconut_ctree::engine::parallel_knn(&units, k, self.config.query_parallelism, exact)?;
         Ok(StreamQueryResult {
-            neighbors: heap.into_sorted(),
+            neighbors,
             cost,
             partitions_accessed: accessed,
             partitions_total: self.partitions.len(),

@@ -38,6 +38,8 @@ fn main() {
         materialized: true,
         memory_budget_bytes: 16 << 20,
         parallelism: 0,
+        query_parallelism: 0,
+        shard_count: 1,
     };
     let response = server.handle_json(&build.to_json().to_string());
     println!("{response}\n");
