@@ -1,0 +1,234 @@
+//! E11 — Overlapped-I/O build pipeline.
+//!
+//! Builds the same spilling CoconutTree (and a CoconutLSM) with `io_overlap`
+//! off (the historical strictly alternating sort-then-write pipeline) and on
+//! (double-buffered run generation through a dedicated writer worker, plus
+//! prefetching merge readers), then:
+//!
+//! * verifies the index files are **byte-identical** — overlap must be a
+//!   pure speedup, never a different index;
+//! * verifies the build-time `IoStats` totals are identical — overlap moves
+//!   I/O in time, it never adds or removes I/O;
+//! * verifies every exact kNN answer matches between the two builds;
+//! * reports build wall-clock and throughput for both modes;
+//! * writes the machine-readable report to `BENCH_io_overlap.json`.
+//!
+//! The memory budget is deliberately small so the external sort spills and
+//! the disk has real work to overlap with; `COCONUT_SCALE` scales the
+//! dataset, `COCONUT_THREADS` sets the chunk-sort worker count.
+
+use std::sync::Arc;
+use std::time::Instant;
+
+use coconut_bench::{f2, print_table, scale, threads, Workbench};
+use coconut_core::{IndexConfig, IoStatsSnapshot, StaticIndex, VariantKind};
+use coconut_json::{Json, ToJson};
+
+struct BuildOutcome {
+    io_overlap: bool,
+    build_ms: f64,
+    throughput: f64,
+    sort_spilled: bool,
+    io: IoStatsSnapshot,
+    answers: Vec<Vec<(u64, f64)>>,
+    leaf_bytes: Option<Vec<u8>>,
+}
+
+/// One timed build into a fresh directory; returns the index, its directory
+/// and the I/O snapshot alongside the wall-clock milliseconds.
+fn timed_build(
+    wb: &Workbench,
+    config: IndexConfig,
+    io_overlap: bool,
+    rep: usize,
+) -> (StaticIndex, std::path::PathBuf, IoStatsSnapshot, f64) {
+    let stats = wb.stats();
+    let dir = wb.dir.file(&format!(
+        "{}-ov{}-r{rep}",
+        config.display_name(),
+        io_overlap
+    ));
+    let start = Instant::now();
+    let (index, _report) =
+        StaticIndex::build(&wb.dataset, config, &dir, Arc::clone(&stats)).expect("build");
+    let ms = start.elapsed().as_secs_f64() * 1000.0;
+    (index, dir, stats.snapshot(), ms)
+}
+
+/// Builds the variant with io_overlap off and on, interleaved per
+/// repetition (off, on, off, on, ...) so ambient load and page-cache drift
+/// hit both modes alike; the reported wall clock is each mode's best.
+fn run_pair(
+    wb: &Workbench,
+    variant: VariantKind,
+    parallelism: usize,
+    budget: usize,
+    n: usize,
+    k: usize,
+    repetitions: usize,
+) -> [BuildOutcome; 2] {
+    let configs = [false, true].map(|io_overlap| {
+        IndexConfig::new(variant, wb.series[0].values.len())
+            .materialized(true)
+            .with_memory_budget(budget)
+            .with_parallelism(parallelism)
+            .with_io_overlap(io_overlap)
+    });
+    // Throwaway warm-up so cold page cache and allocator state don't land on
+    // the first measured build.
+    let _ = timed_build(wb, configs[0], false, usize::MAX);
+    let mut best_ms = [f64::INFINITY; 2];
+    let mut kept: [Option<(StaticIndex, std::path::PathBuf, IoStatsSnapshot)>; 2] = [None, None];
+    for rep in 0..repetitions.max(1) {
+        for (mode, config) in configs.iter().enumerate() {
+            let (index, dir, io, ms) = timed_build(wb, *config, mode == 1, rep);
+            best_ms[mode] = best_ms[mode].min(ms);
+            kept[mode] = Some((index, dir, io));
+        }
+    }
+    let outcomes = kept.map(|k| k.expect("at least one repetition"));
+    let mut result = Vec::new();
+    for (mode, (index, dir, io)) in outcomes.into_iter().enumerate() {
+        let mut answers = Vec::new();
+        for q in &wb.queries.queries {
+            let (nn, _) = index.exact_knn(&q.values, k).expect("query");
+            answers.push(
+                nn.iter()
+                    .map(|n| (n.id, n.squared_distance))
+                    .collect::<Vec<_>>(),
+            );
+        }
+        let leaf_bytes = match variant {
+            VariantKind::CTree => std::fs::read(dir.join("ctree-leaves.run")).ok(),
+            _ => None,
+        };
+        let sort_spilled = match &index {
+            StaticIndex::CTree(t) => t.build_stats().sort_runs > 0,
+            // CLSM never uses the external sorter; its "spill" is the
+            // run/level structure itself.
+            _ => true,
+        };
+        result.push(BuildOutcome {
+            io_overlap: mode == 1,
+            build_ms: best_ms[mode],
+            throughput: n as f64 / (best_ms[mode] / 1000.0),
+            sort_spilled,
+            io,
+            answers,
+            leaf_bytes,
+        });
+    }
+    let [base, overlapped] =
+        <[BuildOutcome; 2]>::try_from(result).unwrap_or_else(|_| unreachable!("exactly two modes"));
+    [base, overlapped]
+}
+
+fn main() {
+    let n = 12_000 * scale();
+    let len = 128;
+    let q = 15;
+    let k = 5;
+    // Small enough that CTree run generation spills (~6x the chunk budget
+    // for the materialized entries), large enough to stay laptop-friendly.
+    let ctree_budget = 2 << 20;
+    // CLSM's budget sizes its in-memory buffer; a small one forces many
+    // flushes and several compactions, which is where its read-ahead lives.
+    let clsm_budget = 256 << 10;
+    let n_threads = threads();
+    let repetitions = 5;
+    let wb = Workbench::random_walk("e11", n, len, q, 11);
+
+    let mut rows = Vec::new();
+    let mut report_builds = Vec::new();
+    let mut identical_files = true;
+    let mut identical_io = true;
+    let mut identical_answers = true;
+    let mut speedups = Vec::new();
+
+    for variant in [VariantKind::CTree, VariantKind::Clsm] {
+        let budget = match variant {
+            VariantKind::CTree => ctree_budget,
+            _ => clsm_budget,
+        };
+        let [base, overlapped] = run_pair(&wb, variant, n_threads, budget, n, k, repetitions);
+
+        if variant == VariantKind::CTree {
+            assert!(
+                base.sort_spilled && overlapped.sort_spilled,
+                "the workload must spill for the overlap to be exercised"
+            );
+            match (&base.leaf_bytes, &overlapped.leaf_bytes) {
+                (Some(a), Some(b)) => identical_files &= a == b,
+                _ => identical_files = false,
+            }
+        }
+        identical_io &= base.io == overlapped.io;
+        identical_answers &= base.answers == overlapped.answers;
+        let speedup = base.build_ms / overlapped.build_ms;
+        speedups.push(speedup);
+
+        for outcome in [&base, &overlapped] {
+            rows.push(vec![
+                format!("{}Full", variant.name()),
+                if outcome.io_overlap { "on" } else { "off" }.to_string(),
+                f2(outcome.build_ms),
+                f2(outcome.throughput),
+            ]);
+            report_builds.push(Json::obj(vec![
+                ("variant", variant.name().to_json()),
+                ("io_overlap", outcome.io_overlap.to_json()),
+                ("build_ms", outcome.build_ms.to_json()),
+                ("series_per_sec", outcome.throughput.to_json()),
+            ]));
+        }
+        rows.push(vec![
+            format!("{}Full", variant.name()),
+            format!("x{}", f2(speedup)),
+            String::new(),
+            String::new(),
+        ]);
+    }
+
+    print_table(
+        &format!("E11: overlapped I/O, {n} series x {len}, {n_threads} sort threads"),
+        &["variant", "overlap", "build_ms", "series/s"],
+        &rows,
+    );
+    println!(
+        "\nindex files byte-identical with io_overlap on vs off: {identical_files}\n\
+         IoStats totals identical with io_overlap on vs off:    {identical_io}\n\
+         exact kNN answers identical with io_overlap on vs off: {identical_answers}"
+    );
+
+    let report = Json::obj(vec![
+        ("experiment", "e11_io_overlap".to_json()),
+        ("series", n.to_json()),
+        ("series_len", len.to_json()),
+        ("ctree_budget_bytes", ctree_budget.to_json()),
+        ("clsm_budget_bytes", clsm_budget.to_json()),
+        ("queries", q.to_json()),
+        ("k", k.to_json()),
+        ("threads", n_threads.to_json()),
+        ("builds", Json::Arr(report_builds)),
+        (
+            "ctree_speedup",
+            speedups.first().copied().unwrap_or(1.0).to_json(),
+        ),
+        (
+            "clsm_speedup",
+            speedups.get(1).copied().unwrap_or(1.0).to_json(),
+        ),
+        ("identical_index_files", identical_files.to_json()),
+        ("identical_iostats", identical_io.to_json()),
+        ("identical_query_answers", identical_answers.to_json()),
+    ]);
+    std::fs::write("BENCH_io_overlap.json", report.to_string_pretty()).expect("write report");
+    println!("\nwrote BENCH_io_overlap.json");
+
+    assert!(identical_files, "overlapped build must be byte-identical");
+    assert!(identical_io, "overlapped build must do identical I/O");
+    assert!(
+        identical_answers,
+        "overlapped build must answer identically"
+    );
+}

@@ -1,4 +1,4 @@
-//! Shared harness used by the experiment binaries (`e1_*` .. `e8_*`).
+//! Shared harness used by the experiment binaries (`e1_*` .. `e11_*`).
 //!
 //! Each binary reproduces one experiment from the paper (see DESIGN.md for
 //! the experiment index and EXPERIMENTS.md for paper-vs-measured notes) and

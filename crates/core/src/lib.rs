@@ -88,6 +88,12 @@ pub struct IndexConfig {
     /// Key-range shards per CLSM compaction (`1` = classic single-run
     /// merges).  Ignored by the other variants.
     pub shard_count: usize,
+    /// Overlap computation with I/O in the build pipeline (default `true`;
+    /// `false` restores the strictly alternating sort-then-write pipeline).
+    /// A pure performance knob: index files, query answers and `IoStats`
+    /// totals are identical at either setting; see DESIGN.md ("I/O
+    /// overlap").
+    pub io_overlap: bool,
 }
 
 impl IndexConfig {
@@ -103,6 +109,7 @@ impl IndexConfig {
             parallelism: 1,
             query_parallelism: 1,
             shard_count: 1,
+            io_overlap: true,
         }
     }
 
@@ -137,6 +144,13 @@ impl IndexConfig {
         self
     }
 
+    /// Enables or disables overlapped build I/O (default on).  A pure
+    /// performance knob; see DESIGN.md ("I/O overlap").
+    pub fn with_io_overlap(mut self, overlap: bool) -> Self {
+        self.io_overlap = overlap;
+        self
+    }
+
     /// Display name like "CTreeFull" / "CTree" following Figure 1.
     pub fn display_name(&self) -> String {
         if self.materialized {
@@ -163,6 +177,7 @@ impl IndexConfig {
             parallelism: 1,
             query_parallelism: 1,
             shard_count: 1,
+            io_overlap: true,
         }
     }
 }
@@ -270,7 +285,8 @@ impl StaticIndex {
                     .with_fill_factor(config.fill_factor)
                     .with_memory_budget(config.memory_budget_bytes)
                     .with_parallelism(config.parallelism)
-                    .with_query_parallelism(config.query_parallelism);
+                    .with_query_parallelism(config.query_parallelism)
+                    .with_io_overlap(config.io_overlap);
                 StaticIndex::CTree(CTree::build(
                     dataset,
                     ctree_config,
@@ -285,6 +301,7 @@ impl StaticIndex {
                     .with_parallelism(config.parallelism)
                     .with_query_parallelism(config.query_parallelism)
                     .with_shard_count(config.shard_count)
+                    .with_io_overlap(config.io_overlap)
                     .with_buffer_capacity(
                         (config.memory_budget_bytes / (config.sax.series_len * 4 + 32)).max(64),
                     );
@@ -375,6 +392,10 @@ pub struct StreamingConfig {
     /// Worker threads used by the query fan-out over partitions (`1` =
     /// sequential, `0` = one per available core).  A pure performance knob.
     pub query_parallelism: usize,
+    /// Overlap computation with I/O during CLSM compactions and BTP
+    /// partition merges (default `true`).  A pure performance knob; see
+    /// DESIGN.md ("I/O overlap").
+    pub io_overlap: bool,
 }
 
 impl StreamingConfig {
@@ -388,6 +409,7 @@ impl StreamingConfig {
             growth_factor: 3,
             parallelism: 1,
             query_parallelism: 1,
+            io_overlap: true,
         }
     }
 
@@ -401,6 +423,13 @@ impl StreamingConfig {
     /// cores).  A pure performance knob.
     pub fn with_query_parallelism(mut self, workers: usize) -> Self {
         self.query_parallelism = workers;
+        self
+    }
+
+    /// Enables or disables overlapped merge I/O (default on).  A pure
+    /// performance knob; see DESIGN.md ("I/O overlap").
+    pub fn with_io_overlap(mut self, overlap: bool) -> Self {
+        self.io_overlap = overlap;
         self
     }
 
@@ -430,7 +459,8 @@ pub fn streaming_index(
                         .with_buffer_capacity(config.buffer_capacity)
                         .with_growth_factor(config.growth_factor)
                         .with_parallelism(config.parallelism)
-                        .with_query_parallelism(config.query_parallelism),
+                        .with_query_parallelism(config.query_parallelism)
+                        .with_io_overlap(config.io_overlap),
                     dir,
                     stats,
                 )?;
@@ -447,7 +477,8 @@ pub fn streaming_index(
                 .with_buffer_capacity(config.buffer_capacity)
                 .with_partition_kind(kind)
                 .with_parallelism(config.parallelism)
-                .with_query_parallelism(config.query_parallelism);
+                .with_query_parallelism(config.query_parallelism)
+                .with_io_overlap(config.io_overlap);
             Ok(Box::new(PartitionedStream::temporal_partitioning(
                 cfg, dir, stats,
             )?))
@@ -457,7 +488,8 @@ pub fn streaming_index(
                 .with_buffer_capacity(config.buffer_capacity)
                 .with_growth_factor(config.growth_factor)
                 .with_parallelism(config.parallelism)
-                .with_query_parallelism(config.query_parallelism);
+                .with_query_parallelism(config.query_parallelism)
+                .with_io_overlap(config.io_overlap);
             Ok(Box::new(PartitionedStream::bounded_temporal_partitioning(
                 cfg, dir, stats,
             )?))

@@ -47,6 +47,10 @@ pub enum PalmRequest {
         /// Key-range shards per CLSM compaction.  Optional in the JSON
         /// protocol; defaults to `1` (ignored by non-CLSM variants).
         shard_count: usize,
+        /// Overlap computation with I/O during the build.  Optional in the
+        /// JSON protocol; defaults to `true`.  A pure performance knob:
+        /// index files, answers and I/O totals are identical either way.
+        io_overlap: bool,
     },
     /// Run a query against a registered index.
     Query {
@@ -187,6 +191,7 @@ impl ToJson for PalmRequest {
                 parallelism,
                 query_parallelism,
                 shard_count,
+                io_overlap,
             } => Json::obj(vec![
                 ("type", Json::Str("build_index".into())),
                 ("name", name.to_json()),
@@ -197,6 +202,7 @@ impl ToJson for PalmRequest {
                 ("parallelism", parallelism.to_json()),
                 ("query_parallelism", query_parallelism.to_json()),
                 ("shard_count", shard_count.to_json()),
+                ("io_overlap", io_overlap.to_json()),
             ]),
             PalmRequest::Query {
                 name,
@@ -236,6 +242,7 @@ impl FromJson for PalmRequest {
                 parallelism: member_or(json, "parallelism", 1)?,
                 query_parallelism: member_or(json, "query_parallelism", 1)?,
                 shard_count: member_or(json, "shard_count", 1)?,
+                io_overlap: member_or(json, "io_overlap", true)?,
             }),
             "query" => Ok(PalmRequest::Query {
                 name: member(json, "name")?,
@@ -364,6 +371,7 @@ impl PalmServer {
                 parallelism,
                 query_parallelism,
                 shard_count,
+                io_overlap,
             } => {
                 let dataset = Dataset::open(&dataset_path)?;
                 let config = IndexConfig::new(variant, dataset.series_len())
@@ -371,7 +379,8 @@ impl PalmServer {
                     .with_memory_budget(memory_budget_bytes.max(1 << 20))
                     .with_parallelism(parallelism)
                     .with_query_parallelism(query_parallelism)
-                    .with_shard_count(shard_count);
+                    .with_shard_count(shard_count)
+                    .with_io_overlap(io_overlap);
                 let stats = IoStats::shared();
                 let dir = self.work_dir.join(&name);
                 let (index, report) =
@@ -470,6 +479,7 @@ mod tests {
             parallelism: 1,
             query_parallelism: 1,
             shard_count: 1,
+            io_overlap: true,
         });
         match &built {
             PalmResponse::Built {

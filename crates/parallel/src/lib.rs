@@ -12,7 +12,11 @@
 //! * [`parallel_map_slice`] — order-preserving map over a slice, processed in
 //!   contiguous chunks by scoped threads;
 //! * [`parallel_process_chunks`] — in-place processing of disjoint contiguous
-//!   sub-slices (used to sort sub-chunks concurrently).
+//!   sub-slices (used to sort sub-chunks concurrently);
+//! * [`pipeline`] — a blocking bounded channel and a background
+//!   [`Prefetcher`], the plumbing of the overlapped-I/O build pipeline
+//!   (sort one chunk while the previous run is written; read ahead while a
+//!   merge drains its current buffer).
 //!
 //! Everything is built on [`std::thread::scope`], so borrowed inputs work
 //! without `'static` bounds and there is no pool to manage or shut down.
@@ -20,6 +24,10 @@
 //! enough to amortize spawn cost; otherwise the closure runs inline, which
 //! keeps the `parallelism = 1` path byte-for-byte identical to a build
 //! without this crate.
+
+pub mod pipeline;
+
+pub use pipeline::{bounded, BoundedReceiver, BoundedSender, Prefetcher, SendError};
 
 /// Smallest number of items per worker below which spawning threads is not
 /// worth the overhead; inputs smaller than this are processed inline.

@@ -1,0 +1,261 @@
+//! Bounded producer/consumer plumbing for overlapped I/O.
+//!
+//! The overlapped bulk-load pipeline needs two tiny primitives that the
+//! fork/join helpers in the crate root do not cover:
+//!
+//! * [`bounded`] — a blocking bounded channel connecting exactly one producer
+//!   to one consumer.  The external sorter feeds sorted chunks through a
+//!   two-slot instance to a dedicated run-writer worker, so sorting chunk
+//!   `i + 1` overlaps writing run `i` while at most `capacity` chunks are
+//!   ever queued (back-pressure keeps memory bounded).
+//! * [`Prefetcher`] — a background thread that pulls items from a producer
+//!   closure into a bounded channel ahead of consumption.  Run readers use it
+//!   to issue the next sequential read while the k-way merge drains the
+//!   current buffer.
+//!
+//! Both are built on [`std::sync::Mutex`] + [`std::sync::Condvar`] only, so
+//! the crate stays dependency-free.  Disconnect semantics are the usual ones:
+//! dropping the receiver makes further sends fail (the producer side winds
+//! down), dropping the sender makes `recv` drain the queue and then return
+//! `None`.
+
+use std::collections::VecDeque;
+use std::sync::{Arc, Condvar, Mutex};
+
+struct State<T> {
+    queue: VecDeque<T>,
+    capacity: usize,
+    sender_alive: bool,
+    receiver_alive: bool,
+}
+
+struct Shared<T> {
+    state: Mutex<State<T>>,
+    not_full: Condvar,
+    not_empty: Condvar,
+}
+
+/// Error returned by [`BoundedSender::send`] when the receiver was dropped;
+/// carries the unsent value back to the caller.
+#[derive(Debug)]
+pub struct SendError<T>(pub T);
+
+/// Sending half of a [`bounded`] channel.
+pub struct BoundedSender<T>(Arc<Shared<T>>);
+
+/// Receiving half of a [`bounded`] channel.
+pub struct BoundedReceiver<T>(Arc<Shared<T>>);
+
+/// Creates a blocking bounded channel with room for `capacity` queued items
+/// (at least one).
+///
+/// [`BoundedSender::send`] blocks while the queue is full;
+/// [`BoundedReceiver::recv`] blocks while it is empty.  Exactly one value is
+/// ever handed over per send, in FIFO order.
+pub fn bounded<T>(capacity: usize) -> (BoundedSender<T>, BoundedReceiver<T>) {
+    let shared = Arc::new(Shared {
+        state: Mutex::new(State {
+            queue: VecDeque::with_capacity(capacity.max(1)),
+            capacity: capacity.max(1),
+            sender_alive: true,
+            receiver_alive: true,
+        }),
+        not_full: Condvar::new(),
+        not_empty: Condvar::new(),
+    });
+    (BoundedSender(Arc::clone(&shared)), BoundedReceiver(shared))
+}
+
+impl<T> BoundedSender<T> {
+    /// Enqueues `value`, blocking while the channel is full.  Fails (giving
+    /// the value back) once the receiver has been dropped.
+    pub fn send(&self, value: T) -> Result<(), SendError<T>> {
+        let mut state = self.0.state.lock().unwrap_or_else(|e| e.into_inner());
+        loop {
+            if !state.receiver_alive {
+                return Err(SendError(value));
+            }
+            if state.queue.len() < state.capacity {
+                state.queue.push_back(value);
+                self.0.not_empty.notify_one();
+                return Ok(());
+            }
+            state = self
+                .0
+                .not_full
+                .wait(state)
+                .unwrap_or_else(|e| e.into_inner());
+        }
+    }
+}
+
+impl<T> Drop for BoundedSender<T> {
+    fn drop(&mut self) {
+        let mut state = self.0.state.lock().unwrap_or_else(|e| e.into_inner());
+        state.sender_alive = false;
+        drop(state);
+        self.0.not_empty.notify_all();
+    }
+}
+
+impl<T> BoundedReceiver<T> {
+    /// Dequeues the next value, blocking while the channel is empty.
+    /// Returns `None` once the sender is gone and the queue is drained.
+    pub fn recv(&self) -> Option<T> {
+        let mut state = self.0.state.lock().unwrap_or_else(|e| e.into_inner());
+        loop {
+            if let Some(value) = state.queue.pop_front() {
+                self.0.not_full.notify_one();
+                return Some(value);
+            }
+            if !state.sender_alive {
+                return None;
+            }
+            state = self
+                .0
+                .not_empty
+                .wait(state)
+                .unwrap_or_else(|e| e.into_inner());
+        }
+    }
+}
+
+impl<T> Drop for BoundedReceiver<T> {
+    fn drop(&mut self) {
+        let mut state = self.0.state.lock().unwrap_or_else(|e| e.into_inner());
+        state.receiver_alive = false;
+        drop(state);
+        self.0.not_full.notify_all();
+    }
+}
+
+/// A background producer feeding a bounded channel ahead of consumption.
+///
+/// `produce` is called repeatedly on a dedicated thread until it returns
+/// `None` (end of stream) or the `Prefetcher` is dropped; at most `slots`
+/// produced items are buffered, so the producer stays only a bounded amount
+/// of work ahead.  [`Prefetcher::recv`] hands the items over in production
+/// order.
+///
+/// Dropping the `Prefetcher` disconnects the channel (waking a blocked
+/// producer) and joins the thread, so the producer closure never outlives
+/// the consumer's borrow-free resources (the closure must be `'static`;
+/// share file handles via `Arc`).
+pub struct Prefetcher<T: Send + 'static> {
+    receiver: Option<BoundedReceiver<T>>,
+    handle: Option<std::thread::JoinHandle<()>>,
+}
+
+impl<T: Send + 'static> Prefetcher<T> {
+    /// Spawns the producer thread with `slots` buffer slots.
+    pub fn spawn<F>(slots: usize, mut produce: F) -> Self
+    where
+        F: FnMut() -> Option<T> + Send + 'static,
+    {
+        let (tx, rx) = bounded(slots);
+        let handle = std::thread::Builder::new()
+            .name("coconut-prefetch".into())
+            .spawn(move || {
+                while let Some(item) = produce() {
+                    if tx.send(item).is_err() {
+                        break;
+                    }
+                }
+            })
+            .expect("failed to spawn prefetch thread");
+        Prefetcher {
+            receiver: Some(rx),
+            handle: Some(handle),
+        }
+    }
+
+    /// Returns the next produced item, blocking until one is available;
+    /// `None` once the producer finished and the buffer is drained.
+    pub fn recv(&mut self) -> Option<T> {
+        self.receiver.as_ref().and_then(|rx| rx.recv())
+    }
+}
+
+impl<T: Send + 'static> Drop for Prefetcher<T> {
+    fn drop(&mut self) {
+        // Disconnect first so a producer blocked on a full channel wakes up
+        // and exits, then join so no thread outlives the consumer.
+        drop(self.receiver.take());
+        if let Some(handle) = self.handle.take() {
+            let _ = handle.join();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bounded_channel_is_fifo() {
+        let (tx, rx) = bounded(4);
+        for i in 0..4 {
+            tx.send(i).unwrap();
+        }
+        drop(tx);
+        assert_eq!(rx.recv(), Some(0));
+        assert_eq!(rx.recv(), Some(1));
+        assert_eq!(rx.recv(), Some(2));
+        assert_eq!(rx.recv(), Some(3));
+        assert_eq!(rx.recv(), None);
+    }
+
+    #[test]
+    fn send_blocks_until_consumer_drains() {
+        let (tx, rx) = bounded(1);
+        let producer = std::thread::spawn(move || {
+            for i in 0..100 {
+                tx.send(i).unwrap();
+            }
+        });
+        let mut got = Vec::new();
+        while let Some(v) = rx.recv() {
+            got.push(v);
+        }
+        producer.join().unwrap();
+        assert_eq!(got, (0..100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn send_fails_after_receiver_dropped() {
+        let (tx, rx) = bounded(1);
+        drop(rx);
+        assert!(matches!(tx.send(7), Err(SendError(7))));
+    }
+
+    #[test]
+    fn prefetcher_yields_all_items_in_order() {
+        let mut next = 0u32;
+        let mut p = Prefetcher::spawn(2, move || {
+            if next < 50 {
+                next += 1;
+                Some(next - 1)
+            } else {
+                None
+            }
+        });
+        let mut got = Vec::new();
+        while let Some(v) = p.recv() {
+            got.push(v);
+        }
+        assert_eq!(got, (0..50).collect::<Vec<_>>());
+        assert_eq!(p.recv(), None, "exhausted prefetcher stays exhausted");
+    }
+
+    #[test]
+    fn dropping_prefetcher_mid_stream_unblocks_producer() {
+        let mut next = 0u64;
+        let mut p = Prefetcher::spawn(1, move || {
+            next += 1;
+            Some(next) // endless producer: would block forever on a full
+                       // channel without the disconnect-on-drop
+        });
+        assert_eq!(p.recv(), Some(1));
+        drop(p); // must not hang
+    }
+}

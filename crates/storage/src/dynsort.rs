@@ -18,10 +18,10 @@ use std::sync::Arc;
 
 use coconut_parallel::{effective_parallelism, parallel_sort_by_key};
 
-use crate::file::PagedFile;
+use crate::file::{read_ahead, PagedFile, ReadAheadBuffers};
 use crate::iostats::SharedIoStats;
 use crate::page::DEFAULT_PAGE_SIZE;
-use crate::Result;
+use crate::{record_offset, record_range, Result};
 
 /// Describes how to encode, decode and order records of a runtime-known
 /// fixed size.
@@ -102,7 +102,8 @@ impl<L: RecordLayout> DynRunFile<L> {
     /// Reads the record at `index` (positioned read).
     pub fn read_record(&self, index: u64) -> Result<L::Record> {
         let size = self.layout.record_size();
-        let buf = self.file.read_at(index * size as u64, size)?;
+        let offset = record_offset(index, size)?;
+        let buf = self.file.read_at(offset, size)?;
         Ok(self.layout.decode(&buf))
     }
 
@@ -113,21 +114,61 @@ impl<L: RecordLayout> DynRunFile<L> {
         if count == 0 {
             return Ok(Vec::new());
         }
-        let buf = self.file.read_at(index * size as u64, size * count)?;
+        let (offset, bytes) = record_range(index, count, size)?;
+        let buf = self.file.read_at(offset, bytes)?;
         Ok(buf
             .chunks_exact(size)
             .map(|c| self.layout.decode(c))
             .collect())
     }
 
+    /// Reads up to `count` records starting at `index` as raw encoded bytes
+    /// in one positioned read, for callers that decode lazily (e.g. after a
+    /// prefetched read of the same range).
+    pub fn read_raw(&self, index: u64, count: usize) -> Result<Vec<u8>> {
+        let size = self.layout.record_size();
+        let count = count.min(self.count.saturating_sub(index) as usize);
+        if count == 0 {
+            return Ok(Vec::new());
+        }
+        let (offset, bytes) = record_range(index, count, size)?;
+        self.file.read_at(offset, bytes)
+    }
+
     /// Sequential reader with a buffer of `buffer_records` records.
     pub fn reader(&self, buffer_records: usize) -> DynRunReader<L> {
+        self.reader_with_prefetch(buffer_records, false)
+    }
+
+    /// Like [`DynRunFile::reader`], optionally reading each next buffer
+    /// ahead on a background thread while the caller consumes the current
+    /// one.  Prefetching issues exactly the same reads in the same order, so
+    /// the I/O accounting is unchanged.
+    pub fn reader_with_prefetch(&self, buffer_records: usize, prefetch: bool) -> DynRunReader<L> {
         DynRunReader {
             run: self.clone(),
             buffer: VecDeque::new(),
             next_index: 0,
             buffer_records: buffer_records.max(1),
+            prefetch,
+            prefetcher: None,
         }
+    }
+
+    /// Spawns a background reader over the record ranges given as
+    /// `(start_record, record_count)` pairs, delivering each range's raw
+    /// bytes in order while staying at most two buffers ahead.  Callers
+    /// decode with [`DynRunFile::layout`]; higher layers (e.g. the sharded
+    /// CLSM compaction) use this to prefetch block reads whose boundaries
+    /// they derive from their own index structures.
+    pub fn range_prefetcher(&self, ranges: Vec<(u64, u32)>) -> ReadAheadBuffers {
+        let size = self.layout.record_size();
+        let ranges = ranges.into_iter().filter_map(move |(start, count)| {
+            record_range(start, count as usize, size)
+                .ok()
+                .filter(|&(_, bytes)| bytes > 0)
+        });
+        read_ahead(Arc::clone(&self.file), ranges)
     }
 
     /// Deletes the backing file.
@@ -198,7 +239,8 @@ impl<L: RecordLayout> DynRunWriter<L> {
         self.count == 0
     }
 
-    /// Finishes the run and returns its read handle.
+    /// Finishes the run and returns its read handle.  The data is synced to
+    /// the device (`sync_data`), so the run survives a crash.
     pub fn finish(mut self) -> Result<DynRunFile<L>> {
         self.flush()?;
         self.file.sync()?;
@@ -210,21 +252,69 @@ impl<L: RecordLayout> DynRunWriter<L> {
     }
 }
 
-/// Buffered sequential reader over a [`DynRunFile`].
+/// Buffered sequential reader over a [`DynRunFile`], optionally reading
+/// ahead on a background thread (see [`DynRunFile::reader_with_prefetch`]).
 pub struct DynRunReader<L: RecordLayout> {
     run: DynRunFile<L>,
     buffer: VecDeque<L::Record>,
     next_index: u64,
     buffer_records: usize,
+    prefetch: bool,
+    prefetcher: Option<ReadAheadBuffers>,
 }
 
 impl<L: RecordLayout> DynRunReader<L> {
     fn refill(&mut self) -> Result<()> {
-        if self.buffer.is_empty() && self.next_index < self.run.len() {
-            let batch = self.run.read_range(self.next_index, self.buffer_records)?;
-            self.next_index += batch.len() as u64;
-            self.buffer.extend(batch);
+        if !self.buffer.is_empty() || self.next_index >= self.run.len() {
+            return Ok(());
         }
+        // Spawn the read-ahead worker lazily, and only when enough data is
+        // left that reads may actually block (see
+        // [`crate::PREFETCH_MIN_BYTES`]).
+        let remaining = self.run.len() - self.next_index;
+        if self.prefetch
+            && self.prefetcher.is_none()
+            && remaining > self.buffer_records as u64
+            && remaining.saturating_mul(self.run.layout.record_size() as u64)
+                >= crate::PREFETCH_MIN_BYTES as u64
+        {
+            let size = self.run.layout.record_size();
+            let total = self.run.len();
+            let batch = self.buffer_records;
+            let mut index = self.next_index;
+            // A lazy range stream (not a materialized Vec): huge runs with
+            // tiny merge buffers would otherwise allocate O(records) range
+            // descriptors up front.
+            let ranges = std::iter::from_fn(move || {
+                if index >= total {
+                    return None;
+                }
+                let count = batch.min((total - index) as usize);
+                let range = record_range(index, count, size);
+                index += count as u64;
+                // Offsets derived from a valid run can't overflow; treat
+                // the impossible case as end-of-stream.
+                range.ok()
+            });
+            self.prefetcher = Some(read_ahead(Arc::clone(&self.run.file), ranges));
+        }
+        let batch: Vec<L::Record> = match &mut self.prefetcher {
+            Some(p) => {
+                let bytes = p.next_buffer().ok_or_else(|| {
+                    crate::StorageError::Corrupt(
+                        "read-ahead worker ended before its run was drained".into(),
+                    )
+                })??;
+                let size = self.run.layout.record_size();
+                bytes
+                    .chunks_exact(size)
+                    .map(|c| self.run.layout.decode(c))
+                    .collect()
+            }
+            None => self.run.read_range(self.next_index, self.buffer_records)?,
+        };
+        self.next_index += batch.len() as u64;
+        self.buffer.extend(batch);
         Ok(())
     }
 
@@ -286,8 +376,21 @@ impl<L: RecordLayout> DynKWayMerge<L> {
     /// Builds a merge over sorted runs with a per-run read buffer of
     /// `buffer_records` records.
     pub fn new(layout: L, runs: &[DynRunFile<L>], buffer_records: usize) -> Result<Self> {
-        let mut readers: Vec<DynRunReader<L>> =
-            runs.iter().map(|r| r.reader(buffer_records)).collect();
+        Self::new_with_prefetch(layout, runs, buffer_records, false)
+    }
+
+    /// Like [`DynKWayMerge::new`], optionally prefetching each run's next
+    /// buffer on a background thread while the heap drains the current one.
+    pub fn new_with_prefetch(
+        layout: L,
+        runs: &[DynRunFile<L>],
+        buffer_records: usize,
+        prefetch: bool,
+    ) -> Result<Self> {
+        let mut readers: Vec<DynRunReader<L>> = runs
+            .iter()
+            .map(|r| r.reader_with_prefetch(buffer_records, prefetch))
+            .collect();
         let mut heap = BinaryHeap::new();
         for (i, reader) in readers.iter_mut().enumerate() {
             if let Some(rec) = reader.peek()? {
@@ -452,6 +555,7 @@ pub struct DynExternalSorter<L: RecordLayout> {
     memory_budget_bytes: usize,
     page_size: usize,
     parallelism: usize,
+    io_overlap: bool,
     scratch_dir: PathBuf,
     stats: SharedIoStats,
     next_run_id: u64,
@@ -470,6 +574,7 @@ impl<L: RecordLayout> DynExternalSorter<L> {
             memory_budget_bytes,
             page_size: DEFAULT_PAGE_SIZE,
             parallelism: 1,
+            io_overlap: true,
             scratch_dir: scratch_dir.as_ref().to_path_buf(),
             stats,
             next_run_id: 0,
@@ -491,6 +596,15 @@ impl<L: RecordLayout> DynExternalSorter<L> {
         self
     }
 
+    /// Enables or disables overlapped I/O — double-buffered run generation
+    /// plus prefetching merge readers; default on.  A pure performance knob:
+    /// runs are byte-identical and `IoStats` totals identical either way;
+    /// see [`crate::extsort::ExternalSortConfig::io_overlap`].
+    pub fn with_io_overlap(mut self, overlap: bool) -> Self {
+        self.io_overlap = overlap;
+        self
+    }
+
     fn records_per_chunk(&self) -> usize {
         // Half of the budget per chunk; see
         // [`crate::extsort::ExternalSortConfig::memory_budget_bytes`] for the
@@ -499,7 +613,57 @@ impl<L: RecordLayout> DynExternalSorter<L> {
     }
 
     /// Sorts `input`, spilling when the memory budget is exceeded.
+    ///
+    /// With overlapped I/O enabled (the default, see
+    /// [`DynExternalSorter::with_io_overlap`]) run generation double-buffers
+    /// through a dedicated writer worker and the merge readers prefetch;
+    /// the runs and `IoStats` totals are identical in either mode.
     pub fn sort<I>(&mut self, input: I) -> Result<DynSortOutput<L>>
+    where
+        I: IntoIterator<Item = L::Record>,
+    {
+        let (runs, mut chunk, total) = if self.io_overlap {
+            self.generate_runs_overlapped(input)?
+        } else {
+            self.generate_runs_sequential(input)?
+        };
+        if runs.is_empty() {
+            let layout = self.layout.clone();
+            let workers = effective_parallelism(self.parallelism);
+            parallel_sort_by_key(&mut chunk, workers, |r| layout.key(r));
+            return Ok(DynSortOutput {
+                in_memory: Some(chunk.into_iter()),
+                merge: None,
+                runs_generated: 0,
+                record_count: total,
+            });
+        }
+        // Release the chunk's capacity before the merge readers allocate
+        // their buffers; the readers share a quarter of the budget.
+        drop(chunk);
+        let per_run_records =
+            (self.memory_budget_bytes / 4 / self.layout.record_size() / runs.len().max(1)).max(1);
+        let merge = DynKWayMerge::new_with_prefetch(
+            self.layout.clone(),
+            &runs,
+            per_run_records,
+            self.io_overlap,
+        )?;
+        Ok(DynSortOutput {
+            in_memory: None,
+            merge: Some(merge),
+            runs_generated: runs.len(),
+            record_count: total,
+        })
+    }
+
+    /// Historical strictly alternating pipeline; see
+    /// [`crate::extsort::ExternalSorter`] for the shape of the contract.
+    #[allow(clippy::type_complexity)]
+    fn generate_runs_sequential<I>(
+        &mut self,
+        input: I,
+    ) -> Result<(Vec<DynRunFile<L>>, Vec<L::Record>, u64)>
     where
         I: IntoIterator<Item = L::Record>,
     {
@@ -514,32 +678,85 @@ impl<L: RecordLayout> DynExternalSorter<L> {
                 runs.push(self.write_run(&mut chunk)?);
             }
         }
-        if runs.is_empty() {
-            let layout = self.layout.clone();
-            let workers = effective_parallelism(self.parallelism);
-            parallel_sort_by_key(&mut chunk, workers, |r| layout.key(r));
-            return Ok(DynSortOutput {
-                in_memory: Some(chunk.into_iter()),
-                merge: None,
-                runs_generated: 0,
-                record_count: total,
-            });
-        }
-        if !chunk.is_empty() {
+        if !runs.is_empty() && !chunk.is_empty() {
             runs.push(self.write_run(&mut chunk)?);
         }
-        // Release the chunk's capacity before the merge readers allocate
-        // their buffers; the readers share a quarter of the budget.
-        drop(chunk);
-        let per_run_records =
-            (self.memory_budget_bytes / 4 / self.layout.record_size() / runs.len().max(1)).max(1);
-        let merge = DynKWayMerge::new(self.layout.clone(), &runs, per_run_records)?;
-        Ok(DynSortOutput {
-            in_memory: None,
-            merge: Some(merge),
-            runs_generated: runs.len(),
-            record_count: total,
-        })
+        Ok((runs, chunk, total))
+    }
+
+    /// Double-buffered pipeline: sorted chunks flow through a two-slot
+    /// channel to a writer worker, so sorting chunk `i + 1` overlaps
+    /// writing run `i`.  Chunk boundaries, sort order, run numbering and
+    /// each file's write sequence match the sequential pipeline exactly.
+    #[allow(clippy::type_complexity)]
+    fn generate_runs_overlapped<I>(
+        &mut self,
+        input: I,
+    ) -> Result<(Vec<DynRunFile<L>>, Vec<L::Record>, u64)>
+    where
+        I: IntoIterator<Item = L::Record>,
+    {
+        let chunk_capacity = self.records_per_chunk();
+        let workers = effective_parallelism(self.parallelism);
+        let layout = self.layout.clone();
+        let writer_layout = self.layout.clone();
+        let scratch_dir = self.scratch_dir.clone();
+        let stats = Arc::clone(&self.stats);
+        let page_size = self.page_size;
+        let first_run_id = self.next_run_id;
+
+        let (runs, chunk, total) = std::thread::scope(
+            |scope| -> Result<(Vec<DynRunFile<L>>, Vec<L::Record>, u64)> {
+                let (tx, rx) = coconut_parallel::bounded::<Vec<L::Record>>(2);
+                let writer = scope.spawn(move || -> Result<Vec<DynRunFile<L>>> {
+                    let mut runs: Vec<DynRunFile<L>> = Vec::new();
+                    while let Some(sorted_chunk) = rx.recv() {
+                        let path = scratch_dir.join(format!(
+                            "dynsort-run-{:06}.run",
+                            first_run_id + runs.len() as u64
+                        ));
+                        let mut writer = DynRunWriter::create(
+                            writer_layout.clone(),
+                            path,
+                            Arc::clone(&stats),
+                            page_size,
+                        )?;
+                        for record in &sorted_chunk {
+                            writer.push(record)?;
+                        }
+                        runs.push(writer.finish()?);
+                    }
+                    Ok(runs)
+                });
+
+                let mut chunk: Vec<L::Record> = Vec::new();
+                let mut total = 0u64;
+                let mut spilled = false;
+                for record in input {
+                    total += 1;
+                    chunk.push(record);
+                    if chunk.len() >= chunk_capacity {
+                        parallel_sort_by_key(&mut chunk, workers, |r| layout.key(r));
+                        let full = std::mem::take(&mut chunk);
+                        spilled = true;
+                        if tx.send(full).is_err() {
+                            // Writer exited early on an error; surfaced at
+                            // the join below.
+                            break;
+                        }
+                    }
+                }
+                if spilled && !chunk.is_empty() {
+                    parallel_sort_by_key(&mut chunk, workers, |r| layout.key(r));
+                    let _ = tx.send(std::mem::take(&mut chunk));
+                }
+                drop(tx);
+                let runs = writer.join().expect("run writer worker panicked")?;
+                Ok((runs, chunk, total))
+            },
+        )?;
+        self.next_run_id += runs.len() as u64;
+        Ok((runs, chunk, total))
     }
 
     fn write_run(&mut self, chunk: &mut Vec<L::Record>) -> Result<DynRunFile<L>> {
@@ -663,6 +880,71 @@ mod tests {
         let sorted: Vec<_> = out.map(|r| r.unwrap()).collect();
         assert_eq!(sorted.len(), 100);
         assert_eq!(stats.snapshot().total_accesses(), 0);
+    }
+
+    #[test]
+    fn overlapped_dyn_sort_is_identical_to_sequential() {
+        let layout = PairLayout { payload_len: 24 };
+        let records = make_records(4000, 24);
+        for parallelism in [1usize, 8] {
+            let mut outcomes = Vec::new();
+            for io_overlap in [false, true] {
+                let dir =
+                    ScratchDir::new(&format!("dynsort-ovl-{parallelism}-{io_overlap}")).unwrap();
+                let stats = IoStats::shared();
+                let mut sorter = DynExternalSorter::new(
+                    layout.clone(),
+                    32 * 300, // forces spilling
+                    dir.path(),
+                    Arc::clone(&stats),
+                )
+                .with_page_size(1024)
+                .with_parallelism(parallelism)
+                .with_io_overlap(io_overlap);
+                let out = sorter.sort(records.clone()).unwrap();
+                assert!(out.spilled());
+                let runs_generated = out.runs_generated;
+                let sorted: Vec<_> = out.map(|r| r.unwrap()).collect();
+                let mut run_bytes = Vec::new();
+                for id in 0..runs_generated {
+                    let path = dir.path().join(format!("dynsort-run-{id:06}.run"));
+                    run_bytes.push(std::fs::read(path).unwrap());
+                }
+                outcomes.push((sorted, run_bytes, stats.snapshot()));
+            }
+            assert_eq!(outcomes[0].0, outcomes[1].0, "sorted output");
+            assert_eq!(outcomes[0].1, outcomes[1].1, "spill run bytes");
+            assert_eq!(outcomes[0].2, outcomes[1].2, "IoStats totals");
+        }
+    }
+
+    #[test]
+    fn prefetching_dyn_reader_matches_direct_reader() {
+        let dir = ScratchDir::new("dynrun-prefetch").unwrap();
+        let stats = IoStats::shared();
+        // 10k records x 248 bytes = 2.4 MiB, past the PREFETCH_MIN_BYTES
+        // gate so the read-ahead worker actually engages.
+        let layout = PairLayout { payload_len: 240 };
+        let mut w =
+            DynRunWriter::create(layout.clone(), dir.file("a.run"), Arc::clone(&stats), 512)
+                .unwrap();
+        let records = make_records(10_000, 240);
+        for r in &records {
+            w.push(r).unwrap();
+        }
+        let run = w.finish().unwrap();
+        stats.reset();
+        let direct: Vec<_> = run.reader(64).map(|r| r.unwrap()).collect();
+        let direct_stats = stats.snapshot();
+        stats.reset();
+        let mut prefetching_reader = run.reader_with_prefetch(64, true);
+        let prefetched: Vec<_> = (&mut prefetching_reader).map(|r| r.unwrap()).collect();
+        assert!(
+            prefetching_reader.prefetcher.is_some(),
+            "the read-ahead worker must have engaged for a 2.4 MiB run"
+        );
+        assert_eq!(prefetched, direct);
+        assert_eq!(stats.snapshot(), direct_stats);
     }
 
     #[test]

@@ -24,11 +24,11 @@ use std::sync::Arc;
 
 use coconut_parallel::{effective_parallelism, parallel_sort_by_key};
 
-use crate::file::PagedFile;
+use crate::file::{read_ahead, PagedFile, ReadAheadBuffers};
 use crate::iostats::SharedIoStats;
 use crate::page::DEFAULT_PAGE_SIZE;
 use crate::record::{FixedRecord, KeyedRecord};
-use crate::Result;
+use crate::{record_offset, record_range, Result};
 
 /// Configuration of an external sort.
 #[derive(Debug, Clone, Copy)]
@@ -50,6 +50,19 @@ pub struct ExternalSortConfig {
     /// byte-identical run files: chunks are split into contiguous sub-chunks,
     /// sorted concurrently and stably merged before spilling.
     pub parallelism: usize,
+    /// Overlap computation with I/O (default `true`; `false` restores the
+    /// historical strictly alternating sort-then-write pipeline).
+    ///
+    /// When enabled, run generation double-buffers: sorted chunks are handed
+    /// to a dedicated writer worker through a two-slot channel, so sorting
+    /// chunk `i + 1` overlaps writing run `i` (at the cost of up to two
+    /// extra in-flight chunks of memory), and every k-way-merge reader
+    /// prefetches its next buffer on a background thread while the heap
+    /// drains the current one.  A pure performance knob: run files are
+    /// byte-identical and `IoStats` totals identical at either setting —
+    /// overlap changes *when* each I/O happens, never which I/Os happen or
+    /// their per-file order.
+    pub io_overlap: bool,
 }
 
 impl Default for ExternalSortConfig {
@@ -58,6 +71,7 @@ impl Default for ExternalSortConfig {
             memory_budget_bytes: 64 * 1024 * 1024,
             page_size: DEFAULT_PAGE_SIZE,
             parallelism: 1,
+            io_overlap: true,
         }
     }
 }
@@ -75,6 +89,13 @@ impl ExternalSortConfig {
     /// cores).
     pub fn with_parallelism(mut self, workers: usize) -> Self {
         self.parallelism = workers;
+        self
+    }
+
+    /// Enables or disables overlapped I/O (see
+    /// [`ExternalSortConfig::io_overlap`]).
+    pub fn with_io_overlap(mut self, overlap: bool) -> Self {
+        self.io_overlap = overlap;
         self
     }
 }
@@ -121,13 +142,22 @@ impl<R: FixedRecord> RunFile<R> {
     /// Returns a sequential reader over the run with the given record buffer
     /// capacity (in records; clamped to at least one page worth).
     pub fn reader(&self, buffer_records: usize) -> RunReader<R> {
-        RunReader::new(self.clone(), buffer_records)
+        RunReader::new(self.clone(), buffer_records, false)
+    }
+
+    /// Like [`RunFile::reader`], optionally reading each next buffer ahead
+    /// on a background thread while the caller consumes the current one.
+    /// Prefetching issues exactly the same reads in the same order, so the
+    /// I/O accounting is unchanged.
+    pub fn reader_with_prefetch(&self, buffer_records: usize, prefetch: bool) -> RunReader<R> {
+        RunReader::new(self.clone(), buffer_records, prefetch)
     }
 
     /// Reads the record at `index` (a positioned, typically random, read).
     pub fn read_record(&self, index: u64) -> Result<R> {
         let size = R::encoded_size();
-        let buf = self.file.read_at(index * size as u64, size)?;
+        let offset = record_offset(index, size)?;
+        let buf = self.file.read_at(offset, size)?;
         Ok(R::decode(&buf))
     }
 
@@ -138,7 +168,8 @@ impl<R: FixedRecord> RunFile<R> {
         if count == 0 {
             return Ok(Vec::new());
         }
-        let buf = self.file.read_at(index * size as u64, size * count)?;
+        let (offset, bytes) = record_range(index, count, size)?;
+        let buf = self.file.read_at(offset, bytes)?;
         Ok(buf.chunks_exact(size).map(R::decode).collect())
     }
 
@@ -203,7 +234,8 @@ impl<R: FixedRecord> RunWriter<R> {
         self.count == 0
     }
 
-    /// Finishes the run and returns a read handle.
+    /// Finishes the run and returns a read handle.  The data is synced to
+    /// the device (`sync_data`), so the run survives a crash.
     pub fn finish(mut self) -> Result<RunFile<R>> {
         self.flush()?;
         self.file.sync()?;
@@ -215,21 +247,26 @@ impl<R: FixedRecord> RunWriter<R> {
     }
 }
 
-/// Buffered sequential reader over a [`RunFile`].
+/// Buffered sequential reader over a [`RunFile`], optionally reading ahead
+/// on a background thread (see [`RunFile::reader_with_prefetch`]).
 pub struct RunReader<R: FixedRecord> {
     run: RunFile<R>,
     buffer: std::collections::VecDeque<R>,
     next_index: u64,
     buffer_records: usize,
+    prefetch: bool,
+    prefetcher: Option<ReadAheadBuffers>,
 }
 
 impl<R: FixedRecord> RunReader<R> {
-    fn new(run: RunFile<R>, buffer_records: usize) -> Self {
+    fn new(run: RunFile<R>, buffer_records: usize, prefetch: bool) -> Self {
         RunReader {
             run,
             buffer: std::collections::VecDeque::new(),
             next_index: 0,
             buffer_records: buffer_records.max(1),
+            prefetch,
+            prefetcher: None,
         }
     }
 
@@ -239,11 +276,52 @@ impl<R: FixedRecord> RunReader<R> {
     }
 
     fn refill(&mut self) -> Result<()> {
-        if self.buffer.is_empty() && self.next_index < self.run.len() {
-            let batch = self.run.read_range(self.next_index, self.buffer_records)?;
-            self.next_index += batch.len() as u64;
-            self.buffer.extend(batch);
+        if !self.buffer.is_empty() || self.next_index >= self.run.len() {
+            return Ok(());
         }
+        // Spawn the read-ahead worker lazily, and only when enough data is
+        // left that reads may actually block (see
+        // [`crate::PREFETCH_MIN_BYTES`]) — a single remaining batch or a
+        // page-cache-resident tail gains nothing from a background thread.
+        let size = R::encoded_size();
+        let remaining = self.run.len() - self.next_index;
+        if self.prefetch
+            && self.prefetcher.is_none()
+            && remaining > self.buffer_records as u64
+            && remaining.saturating_mul(size as u64) >= crate::PREFETCH_MIN_BYTES as u64
+        {
+            let total = self.run.len();
+            let batch = self.buffer_records;
+            let mut index = self.next_index;
+            let ranges = std::iter::from_fn(move || {
+                if index >= total {
+                    return None;
+                }
+                let count = batch.min((total - index) as usize);
+                let range = record_range(index, count, size);
+                index += count as u64;
+                // Offsets derived from a valid run can't overflow; treat the
+                // impossible case as end-of-stream.
+                range.ok()
+            });
+            self.prefetcher = Some(read_ahead(Arc::clone(&self.run.file), ranges));
+        }
+        let batch: Vec<R> = match &mut self.prefetcher {
+            Some(p) => {
+                let bytes = p.next_buffer().ok_or_else(|| {
+                    crate::StorageError::Corrupt(
+                        "read-ahead worker ended before its run was drained".into(),
+                    )
+                })??;
+                bytes
+                    .chunks_exact(R::encoded_size())
+                    .map(R::decode)
+                    .collect()
+            }
+            None => self.run.read_range(self.next_index, self.buffer_records)?,
+        };
+        self.next_index += batch.len() as u64;
+        self.buffer.extend(batch);
         Ok(())
     }
 
@@ -337,8 +415,20 @@ impl<R: KeyedRecord> KWayMerge<R> {
     /// Builds a merge over already-sorted runs, giving each run a read
     /// buffer of `buffer_records` records.
     pub fn new(runs: &[RunFile<R>], buffer_records: usize) -> Result<Self> {
-        let mut readers: Vec<RunReader<R>> =
-            runs.iter().map(|r| r.reader(buffer_records)).collect();
+        Self::new_with_prefetch(runs, buffer_records, false)
+    }
+
+    /// Like [`KWayMerge::new`], optionally prefetching each run's next
+    /// buffer on a background thread while the heap drains the current one.
+    pub fn new_with_prefetch(
+        runs: &[RunFile<R>],
+        buffer_records: usize,
+        prefetch: bool,
+    ) -> Result<Self> {
+        let mut readers: Vec<RunReader<R>> = runs
+            .iter()
+            .map(|r| r.reader_with_prefetch(buffer_records, prefetch))
+            .collect();
         let mut heap = BinaryHeap::new();
         for (i, reader) in readers.iter_mut().enumerate() {
             if let Some(rec) = reader.peek()? {
@@ -414,22 +504,22 @@ impl<R: KeyedRecord> ExternalSorter<R> {
 
     /// Sorts `input`, spilling to disk whenever the memory budget is
     /// exceeded, and returns an iterator over the sorted records.
+    ///
+    /// With [`ExternalSortConfig::io_overlap`] enabled (the default), run
+    /// generation double-buffers — a dedicated writer worker writes run `i`
+    /// while the caller's thread sorts chunk `i + 1` — and the merge readers
+    /// prefetch.  Either mode produces byte-identical run files and
+    /// identical `IoStats` totals; chunk boundaries and sort order never
+    /// depend on the mode.
     pub fn sort<I>(&mut self, input: I) -> Result<SortOutput<R>>
     where
         I: IntoIterator<Item = R>,
     {
-        let chunk_capacity = self.records_per_chunk();
-        let mut runs: Vec<RunFile<R>> = Vec::new();
-        let mut chunk: Vec<R> = Vec::with_capacity(chunk_capacity.min(1 << 20));
-        let mut total: u64 = 0;
-
-        for record in input {
-            total += 1;
-            chunk.push(record);
-            if chunk.len() >= chunk_capacity {
-                runs.push(self.write_run(&mut chunk)?);
-            }
-        }
+        let (runs, mut chunk, total) = if self.config.io_overlap {
+            self.generate_runs_overlapped(input)?
+        } else {
+            self.generate_runs_sequential(input)?
+        };
 
         if runs.is_empty() {
             // Everything fit in memory: sort in place, no I/O at all.
@@ -442,22 +532,110 @@ impl<R: KeyedRecord> ExternalSorter<R> {
                 record_count: total,
             });
         }
-        if !chunk.is_empty() {
-            runs.push(self.write_run(&mut chunk)?);
-        }
         // Release the chunk's capacity before the merge readers allocate
         // their buffers; the readers share a quarter of the budget (at least
         // one record each).
         drop(chunk);
         let per_run_records =
             (self.config.memory_budget_bytes / 4 / R::encoded_size() / runs.len().max(1)).max(1);
-        let merge = KWayMerge::new(&runs, per_run_records)?;
+        let merge = KWayMerge::new_with_prefetch(&runs, per_run_records, self.config.io_overlap)?;
         Ok(SortOutput {
             in_memory: None,
             merge: Some(merge),
             runs_generated: runs.len(),
             record_count: total,
         })
+    }
+
+    /// Historical strictly alternating pipeline: sort a chunk, write it,
+    /// sort the next.  Returns `(spill runs, final unsorted chunk, total)`;
+    /// the final chunk is non-empty only when nothing spilled.
+    fn generate_runs_sequential<I>(&mut self, input: I) -> Result<(Vec<RunFile<R>>, Vec<R>, u64)>
+    where
+        I: IntoIterator<Item = R>,
+    {
+        let chunk_capacity = self.records_per_chunk();
+        let mut runs: Vec<RunFile<R>> = Vec::new();
+        let mut chunk: Vec<R> = Vec::with_capacity(chunk_capacity.min(1 << 20));
+        let mut total: u64 = 0;
+        for record in input {
+            total += 1;
+            chunk.push(record);
+            if chunk.len() >= chunk_capacity {
+                runs.push(self.write_run(&mut chunk)?);
+            }
+        }
+        if !runs.is_empty() && !chunk.is_empty() {
+            runs.push(self.write_run(&mut chunk)?);
+        }
+        Ok((runs, chunk, total))
+    }
+
+    /// Double-buffered pipeline: sorted chunks flow through a two-slot
+    /// channel to a writer worker, so sorting chunk `i + 1` overlaps
+    /// writing run `i`.  Chunk boundaries, sort order, run numbering and
+    /// every file's write sequence match the sequential pipeline exactly.
+    fn generate_runs_overlapped<I>(&mut self, input: I) -> Result<(Vec<RunFile<R>>, Vec<R>, u64)>
+    where
+        I: IntoIterator<Item = R>,
+    {
+        let chunk_capacity = self.records_per_chunk();
+        let workers = effective_parallelism(self.config.parallelism);
+        let scratch_dir = self.scratch_dir.clone();
+        let stats = Arc::clone(&self.stats);
+        let page_size = self.config.page_size;
+        let first_run_id = self.next_run_id;
+
+        let (runs, chunk, total) =
+            std::thread::scope(|scope| -> Result<(Vec<RunFile<R>>, Vec<R>, u64)> {
+                let (tx, rx) = coconut_parallel::bounded::<Vec<R>>(2);
+                let writer = scope.spawn(move || -> Result<Vec<RunFile<R>>> {
+                    let mut runs: Vec<RunFile<R>> = Vec::new();
+                    while let Some(sorted_chunk) = rx.recv() {
+                        let path = scratch_dir.join(format!(
+                            "extsort-run-{:06}.run",
+                            first_run_id + runs.len() as u64
+                        ));
+                        let mut writer =
+                            RunWriter::<R>::create(path, Arc::clone(&stats), page_size)?;
+                        for record in &sorted_chunk {
+                            writer.push(record)?;
+                        }
+                        runs.push(writer.finish()?);
+                    }
+                    Ok(runs)
+                });
+
+                let mut chunk: Vec<R> = Vec::with_capacity(chunk_capacity.min(1 << 20));
+                let mut total: u64 = 0;
+                let mut spilled = false;
+                for record in input {
+                    total += 1;
+                    chunk.push(record);
+                    if chunk.len() >= chunk_capacity {
+                        parallel_sort_by_key(&mut chunk, workers, |r| r.key());
+                        let full = std::mem::replace(
+                            &mut chunk,
+                            Vec::with_capacity(chunk_capacity.min(1 << 20)),
+                        );
+                        spilled = true;
+                        if tx.send(full).is_err() {
+                            // The writer exited early: it hit an error, which
+                            // the join below surfaces.
+                            break;
+                        }
+                    }
+                }
+                if spilled && !chunk.is_empty() {
+                    parallel_sort_by_key(&mut chunk, workers, |r| r.key());
+                    let _ = tx.send(std::mem::take(&mut chunk));
+                }
+                drop(tx);
+                let runs = writer.join().expect("run writer worker panicked")?;
+                Ok((runs, chunk, total))
+            })?;
+        self.next_run_id += runs.len() as u64;
+        Ok((runs, chunk, total))
     }
 
     /// Sorts `input` and writes the result into a single sorted run file at
@@ -550,6 +728,7 @@ mod tests {
                 memory_budget_bytes: 24 * 1000, // 500 records per run
                 page_size: 4096,
                 parallelism: 1,
+                io_overlap: true,
             },
             dir.path(),
             Arc::clone(&stats),
@@ -586,6 +765,7 @@ mod tests {
                 memory_budget_bytes: 24 * 500,
                 page_size: 1024,
                 parallelism: 1,
+                io_overlap: true,
             },
             dir.path(),
             Arc::clone(&stats),
@@ -686,6 +866,7 @@ mod tests {
                     memory_budget_bytes: 24 * 4096,
                     page_size: 4096,
                     parallelism,
+                    io_overlap: true,
                 },
                 dir.path(),
                 IoStats::shared(),
@@ -699,6 +880,137 @@ mod tests {
         assert_eq!(files[0], files[1], "parallel runs must be byte-identical");
     }
 
+    /// Tentpole invariant: the overlapped pipeline writes byte-identical
+    /// run files and reports identical `IoStats` totals, spilling or not,
+    /// at sequential and multi-worker chunk sorts.
+    #[test]
+    fn overlapped_pipeline_is_byte_identical_with_same_iostats() {
+        let input = random_records(12_000, 9);
+        // (budget, spills?) — small budget spills ~24 runs, large stays in
+        // memory.
+        for (budget, expect_spill) in [(24 * 500, true), (10 << 20, false)] {
+            for parallelism in [1usize, 8] {
+                let mut outputs: Vec<(Vec<Vec<u8>>, crate::IoStatsSnapshot)> = Vec::new();
+                for io_overlap in [false, true] {
+                    let dir =
+                        ScratchDir::new(&format!("extsort-ov-{budget}-{parallelism}-{io_overlap}"))
+                            .unwrap();
+                    let stats = IoStats::shared();
+                    let mut sorter = ExternalSorter::<KeyPointerRecord>::new(
+                        ExternalSortConfig {
+                            memory_budget_bytes: budget,
+                            page_size: 4096,
+                            parallelism,
+                            io_overlap,
+                        },
+                        dir.path(),
+                        Arc::clone(&stats),
+                    );
+                    let out = sorter.sort(input.clone()).unwrap();
+                    assert_eq!(out.spilled(), expect_spill);
+                    let runs_generated = out.runs_generated;
+                    let sorted: Vec<_> = out.map(|r| r.unwrap()).collect();
+                    assert_eq!(sorted.len(), input.len());
+                    assert_sorted(&sorted);
+                    // Snapshot every spill run file, in run order.
+                    let mut files = Vec::new();
+                    for id in 0..runs_generated {
+                        let path = dir.path().join(format!("extsort-run-{id:06}.run"));
+                        files.push(std::fs::read(path).unwrap());
+                    }
+                    outputs.push((files, stats.snapshot()));
+                }
+                let (seq_files, seq_stats) = &outputs[0];
+                let (ov_files, ov_stats) = &outputs[1];
+                assert_eq!(
+                    seq_files, ov_files,
+                    "run files must be byte-identical (budget {budget}, p {parallelism})"
+                );
+                assert_eq!(
+                    seq_stats, ov_stats,
+                    "IoStats totals must be identical (budget {budget}, p {parallelism})"
+                );
+            }
+        }
+    }
+
+    /// Durability regression: after `RunWriter::finish` the run's bytes must
+    /// have reached the OS (sync_data), so a handle opened fresh by path —
+    /// sharing no state with the writer — sees every record.
+    #[test]
+    fn finished_run_is_readable_after_reopen() {
+        let dir = ScratchDir::new("runfile-reopen").unwrap();
+        let stats = IoStats::shared();
+        let path = dir.file("durable.run");
+        let records = random_records(777, 13);
+        {
+            let mut writer =
+                RunWriter::<KeyPointerRecord>::create(&path, Arc::clone(&stats), 1024).unwrap();
+            for r in &records {
+                writer.push(r).unwrap();
+            }
+            let run = writer.finish().unwrap();
+            assert_eq!(run.len(), 777);
+        } // writer handle dropped entirely
+        let file = PagedFile::open(&path, stats).unwrap();
+        assert_eq!(file.len(), 777 * 24);
+        let reopened = RunFile::<KeyPointerRecord> {
+            file: Arc::new(file),
+            count: 777,
+            _marker: std::marker::PhantomData,
+        };
+        let back: Vec<_> = reopened.reader(64).map(|r| r.unwrap()).collect();
+        assert_eq!(back, records);
+    }
+
+    #[test]
+    fn prefetching_reader_matches_direct_reader() {
+        let dir = ScratchDir::new("runfile-prefetch").unwrap();
+        let stats = IoStats::shared();
+        let mut writer =
+            RunWriter::<KeyPointerRecord>::create(dir.file("a.run"), Arc::clone(&stats), 512)
+                .unwrap();
+        // Big enough (2.4 MiB) to clear the PREFETCH_MIN_BYTES gate, so the
+        // read-ahead worker actually engages.
+        let records = random_records(100_000, 21);
+        for r in &records {
+            writer.push(r).unwrap();
+        }
+        let run = writer.finish().unwrap();
+        stats.reset();
+        let direct: Vec<_> = run.reader(128).map(|r| r.unwrap()).collect();
+        let direct_stats = stats.snapshot();
+        stats.reset();
+        let mut prefetching_reader = run.reader_with_prefetch(128, true);
+        let prefetched: Vec<_> = (&mut prefetching_reader).map(|r| r.unwrap()).collect();
+        assert!(
+            prefetching_reader.prefetcher.is_some(),
+            "the read-ahead worker must have engaged for a 2.4 MiB run"
+        );
+        let prefetch_stats = stats.snapshot();
+        assert_eq!(prefetched, direct);
+        assert_eq!(prefetch_stats, direct_stats, "same reads, same accounting");
+    }
+
+    #[test]
+    fn overflowing_record_index_is_an_error() {
+        let dir = ScratchDir::new("runfile-overflow").unwrap();
+        let stats = IoStats::shared();
+        let mut writer =
+            RunWriter::<KeyPointerRecord>::create(dir.file("a.run"), Arc::clone(&stats), 512)
+                .unwrap();
+        for r in random_records(4, 1) {
+            writer.push(&r).unwrap();
+        }
+        let run = writer.finish().unwrap();
+        // index * encoded_size would wrap u64; must surface as a typed
+        // error, not an overflow panic or a garbage read.
+        assert!(matches!(
+            run.read_record(u64::MAX / 2),
+            Err(crate::StorageError::InvalidRange { .. })
+        ));
+    }
+
     #[test]
     fn duplicate_keys_are_all_preserved() {
         let dir = ScratchDir::new("extsort-dup").unwrap();
@@ -708,6 +1020,7 @@ mod tests {
                 memory_budget_bytes: 24 * 100,
                 page_size: 1024,
                 parallelism: 1,
+                io_overlap: true,
             },
             dir.path(),
             stats,
@@ -753,6 +1066,7 @@ mod proptests {
                     memory_budget_bytes: 24 * budget_records,
                     page_size: 512,
                     parallelism: 1,
+                    io_overlap: true,
                 },
                 dir.path(),
                 stats,
@@ -761,6 +1075,50 @@ mod proptests {
             let mut expected = input;
             expected.sort_by_key(|r| (r.key, r.pointer));
             prop_assert_eq!(sorted, expected);
+        }
+
+        /// Tentpole invariant of the overlapped-I/O pipeline: for any input,
+        /// budget and worker count, the double-buffered writer + prefetching
+        /// merge produce a byte-identical final run and identical `IoStats`
+        /// totals (reads/writes, sequential/random counts) to the strictly
+        /// alternating pipeline — on spilling and in-memory workloads alike.
+        #[test]
+        fn overlapped_pipeline_matches_sequential_pipeline(
+            keys in proptest::collection::vec(0u64..128, 0..800),
+            budget_records in 4usize..96,
+            workers in 1usize..9,
+        ) {
+            let dir = ScratchDir::new("extsort-ovl-prop").unwrap();
+            let input: Vec<KeyPointerRecord> = keys
+                .iter()
+                .enumerate()
+                .map(|(i, &k)| KeyPointerRecord { key: k as u128, pointer: i as u64 })
+                .collect();
+            let mut outputs = Vec::new();
+            for (label, io_overlap) in [("off", false), ("on", true)] {
+                let stats = IoStats::shared();
+                let mut sorter = ExternalSorter::<KeyPointerRecord>::new(
+                    ExternalSortConfig {
+                        memory_budget_bytes: 24 * budget_records,
+                        page_size: 512,
+                        parallelism: workers,
+                        io_overlap,
+                    },
+                    dir.path(),
+                    Arc::clone(&stats),
+                );
+                let (run, runs_generated) = sorter
+                    .sort_to_run(input.clone(), dir.file(&format!("{label}.run")))
+                    .unwrap();
+                outputs.push((
+                    std::fs::read(run.path()).unwrap(),
+                    runs_generated,
+                    stats.snapshot(),
+                ));
+            }
+            prop_assert_eq!(&outputs[0].0, &outputs[1].0, "final run bytes");
+            prop_assert_eq!(outputs[0].1, outputs[1].1, "spill run count");
+            prop_assert_eq!(outputs[0].2, outputs[1].2, "IoStats totals");
         }
 
         /// Tentpole invariant: run files produced by the parallel
@@ -785,6 +1143,7 @@ mod proptests {
                         memory_budget_bytes: 24 * budget_records,
                         page_size: 512,
                         parallelism,
+                        io_overlap: true,
                     },
                     dir.path(),
                     IoStats::shared(),

@@ -176,31 +176,43 @@ impl PagedFile {
             file.write_all(data)?;
         }
         *len += data.len() as u64;
-        drop(len);
+        // Account while still holding the `len` lock: releasing it first
+        // would let a concurrent append slip its accounting in between,
+        // making the sequential/random classification depend on thread
+        // timing even though the file bytes themselves are identical.
         self.account(offset, data.len(), false);
+        drop(len);
         Ok(offset)
     }
 
     /// Writes `data` at `offset` (which may extend the file).
     pub fn write_at(&self, offset: u64, data: &[u8]) -> Result<()> {
+        let mut len = self.len.lock();
         {
             let mut file = self.file.lock();
             file.seek(SeekFrom::Start(offset))?;
             file.write_all(data)?;
         }
-        let mut len = self.len.lock();
         *len = (*len).max(offset + data.len() as u64);
-        drop(len);
+        // Account inside the critical section, like `append`, so concurrent
+        // writers cannot interleave write order and accounting order.
         self.account(offset, data.len(), false);
+        drop(len);
         Ok(())
     }
 
     /// Reads `len` bytes starting at `offset`.
     pub fn read_at(&self, offset: u64, len: usize) -> Result<Vec<u8>> {
         let file_len = self.len();
-        if offset + len as u64 > file_len {
+        let end = offset
+            .checked_add(len as u64)
+            .ok_or(StorageError::InvalidRange {
+                offset,
+                len: len as u64,
+            })?;
+        if end > file_len {
             return Err(StorageError::PageOutOfBounds {
-                page: page_of_offset(offset + len as u64, self.page_size),
+                page: page_of_offset(end, self.page_size),
                 pages: pages_for_bytes(file_len, self.page_size),
             });
         }
@@ -228,9 +240,15 @@ impl PagedFile {
         self.read_at(start, len)
     }
 
-    /// Flushes buffered writes to the OS.
+    /// Forces written data down to the storage device.
+    ///
+    /// `File::flush()` is a no-op for an unbuffered `std::fs::File` — the
+    /// data already sits in the OS page cache and a crash would lose it —
+    /// so durability requires `sync_data()` (fdatasync), which blocks until
+    /// the device acknowledges the bytes.  Metadata-only updates (mtime)
+    /// are not awaited; the file length is carried by the data itself.
     pub fn sync(&self) -> Result<()> {
-        self.file.lock().flush()?;
+        self.file.lock().sync_data()?;
         Ok(())
     }
 
@@ -238,6 +256,90 @@ impl PagedFile {
     /// build phase and the query phase of an experiment).
     pub fn reset_access_cursor(&self) {
         *self.last_page.lock() = None;
+    }
+}
+
+/// Smallest byte volume for which spawning a read-ahead worker pays off.
+///
+/// Below this, the whole range is likely resident in the page cache (the
+/// merges of this workspace mostly read runs they just wrote), every read is
+/// a short memcpy, and a background thread adds only spawn and hand-off
+/// cost.  Above it, reads have a realistic chance of blocking on the device,
+/// which is exactly what read-ahead hides.  The gate is a pure function of
+/// the range size, so whether a reader prefetches never depends on timing.
+pub const PREFETCH_MIN_BYTES: usize = 2 * 1024 * 1024;
+
+/// Target byte volume of one producer→consumer hand-off of a read-ahead
+/// worker.  Small reads (a 35 KiB compaction block, a few-KiB merge batch)
+/// are grouped up to this size before crossing the channel, so the context
+/// switch per hand-off is amortized over a meaningful amount of data.
+const PREFETCH_GROUP_BYTES: usize = 256 * 1024;
+
+/// Buffers read ahead of the consumer by a background worker; created with
+/// [`read_ahead`].
+///
+/// The worker issues the caller's byte ranges in order, groups the resulting
+/// buffers into hand-offs of roughly 256 KiB, and stays at
+/// most two hand-offs ahead (back-pressure bounds memory).  The reads are
+/// exactly the reads the caller would have issued inline, in the same order,
+/// so the per-file sequential/random accounting is unchanged — read-ahead
+/// moves I/O in time, it never changes which I/Os happen.  After the first
+/// failed read the worker stops (the error is delivered in place of that
+/// buffer and nothing further is read, matching the inline path, which also
+/// stops at its first error).
+pub struct ReadAheadBuffers {
+    inner: coconut_parallel::Prefetcher<Vec<Result<Vec<u8>>>>,
+    pending: std::collections::VecDeque<Result<Vec<u8>>>,
+}
+
+impl ReadAheadBuffers {
+    /// The bytes of the next range, in submission order; `None` once every
+    /// range was delivered.
+    pub fn next_buffer(&mut self) -> Option<Result<Vec<u8>>> {
+        loop {
+            if let Some(buffer) = self.pending.pop_front() {
+                return Some(buffer);
+            }
+            self.pending.extend(self.inner.recv()?);
+        }
+    }
+}
+
+/// Spawns a background worker reading the `(offset, len)` byte ranges
+/// produced by `ranges` from `file`, ahead of consumption; see
+/// [`ReadAheadBuffers`].
+pub fn read_ahead<I>(file: Arc<PagedFile>, mut ranges: I) -> ReadAheadBuffers
+where
+    I: Iterator<Item = (u64, usize)> + Send + 'static,
+{
+    let mut failed = false;
+    let inner = coconut_parallel::Prefetcher::spawn(2, move || {
+        if failed {
+            return None;
+        }
+        let mut group: Vec<Result<Vec<u8>>> = Vec::new();
+        let mut group_bytes = 0usize;
+        while group_bytes < PREFETCH_GROUP_BYTES {
+            let Some((offset, len)) = ranges.next() else {
+                break;
+            };
+            let result = file.read_at(offset, len);
+            failed = result.is_err();
+            group_bytes += result.as_ref().map(|b| b.len()).unwrap_or(0);
+            group.push(result);
+            if failed {
+                break;
+            }
+        }
+        if group.is_empty() {
+            None
+        } else {
+            Some(group)
+        }
+    });
+    ReadAheadBuffers {
+        inner,
+        pending: std::collections::VecDeque::new(),
     }
 }
 
@@ -323,8 +425,9 @@ mod tests {
         f.read_at(0, 16).unwrap();
         f.read_at(16, 16).unwrap();
         let snap = stats.snapshot();
-        // First read random (cursor reset by append is not reset: the append
-        // touched page 0, so the first read of page 0 is sequential).
+        // The append left the access cursor on page 0 (stats.reset() clears
+        // counters, not the cursor), and re-touching the previous page counts
+        // as sequential — so both reads of page 0 classify as sequential.
         assert_eq!(snap.sequential_reads, 2);
     }
 
@@ -365,6 +468,116 @@ mod tests {
         let f = PagedFile::open(&path, stats).unwrap();
         assert_eq!(f.len(), 10);
         assert_eq!(f.read_at(3, 4).unwrap(), b"3456");
+    }
+
+    #[test]
+    fn overflowing_read_range_is_an_error_not_a_panic() {
+        let (dir, stats) = setup("pf-overflow");
+        let f = PagedFile::create(dir.file("a.bin"), stats).unwrap();
+        f.append(b"abcdef").unwrap();
+        // offset + len would wrap around u64::MAX; must come back as a
+        // typed error even with overflow checks disabled.
+        assert!(matches!(
+            f.read_at(u64::MAX - 2, 100),
+            Err(StorageError::InvalidRange { .. })
+        ));
+        assert!(matches!(
+            f.read_at(u64::MAX, usize::MAX),
+            Err(StorageError::InvalidRange { .. })
+        ));
+    }
+
+    #[test]
+    fn synced_data_is_visible_through_a_fresh_descriptor() {
+        // `sync` must push the bytes to the OS (sync_data), not just run the
+        // no-op `flush`: after it returns, an entirely separate descriptor —
+        // opened by path, sharing nothing with the writer — sees the data.
+        let (dir, stats) = setup("pf-sync");
+        let path = dir.file("a.bin");
+        let f = PagedFile::create(&path, Arc::clone(&stats)).unwrap();
+        f.append(b"durable-bytes").unwrap();
+        f.sync().unwrap();
+        let raw = std::fs::read(&path).unwrap();
+        assert_eq!(raw, b"durable-bytes");
+        let reopened = PagedFile::open(&path, stats).unwrap();
+        assert_eq!(reopened.len(), 13);
+        assert_eq!(reopened.read_at(0, 7).unwrap(), b"durable");
+    }
+
+    #[test]
+    fn concurrent_appends_account_deterministically() {
+        // Each append must write *and* account atomically with respect to
+        // other appends: every append continues where the previous one left
+        // off, so with page-sized appends only the very first page can be
+        // random no matter how the threads interleave.
+        for round in 0..8 {
+            let (dir, stats) = setup(&format!("pf-append-mt-{round}"));
+            let f = Arc::new(
+                PagedFile::create_with_page_size(dir.file("a.bin"), Arc::clone(&stats), 64)
+                    .unwrap(),
+            );
+            let threads = 4;
+            let per_thread = 32;
+            std::thread::scope(|scope| {
+                for _ in 0..threads {
+                    let f = Arc::clone(&f);
+                    scope.spawn(move || {
+                        let chunk = [7u8; 64];
+                        for _ in 0..per_thread {
+                            f.append(&chunk).unwrap();
+                        }
+                    });
+                }
+            });
+            assert_eq!(f.len(), (threads * per_thread * 64) as u64);
+            let snap = stats.snapshot();
+            assert_eq!(snap.total_writes(), (threads * per_thread) as u64);
+            assert_eq!(
+                snap.random_writes, 1,
+                "interleaved appends must classify deterministically (round {round})"
+            );
+            assert_eq!(snap.sequential_writes, (threads * per_thread - 1) as u64);
+        }
+    }
+
+    #[test]
+    fn read_prefetcher_delivers_ranges_in_order_with_same_accounting() {
+        let (dir, stats) = setup("pf-prefetch");
+        let f = Arc::new(
+            PagedFile::create_with_page_size(dir.file("a.bin"), Arc::clone(&stats), 64).unwrap(),
+        );
+        let data: Vec<u8> = (0..64u16 * 4).map(|i| i as u8).collect();
+        f.append(&data).unwrap();
+        stats.reset();
+        f.reset_access_cursor();
+        let ranges: Vec<(u64, usize)> = (0..4).map(|i| (i * 64, 64)).collect();
+        let mut p = read_ahead(Arc::clone(&f), ranges.into_iter());
+        let mut got = Vec::new();
+        while let Some(batch) = p.next_buffer() {
+            got.extend(batch.unwrap());
+        }
+        drop(p);
+        assert_eq!(got, data);
+        let snap = stats.snapshot();
+        assert_eq!(snap.total_reads(), 4);
+        assert_eq!(snap.random_reads, 1, "first page only");
+        assert_eq!(snap.sequential_reads, 3);
+    }
+
+    #[test]
+    fn read_prefetcher_stops_after_first_error() {
+        let (dir, stats) = setup("pf-prefetch-err");
+        let f = Arc::new(PagedFile::create(dir.file("a.bin"), Arc::clone(&stats)).unwrap());
+        f.append(&[1u8; 32]).unwrap();
+        stats.reset();
+        // Second range is out of bounds; the third must never be read.
+        let ranges = vec![(0u64, 16usize), (1000, 16), (16, 16)];
+        let mut p = read_ahead(Arc::clone(&f), ranges.into_iter());
+        assert!(p.next_buffer().unwrap().is_ok());
+        assert!(p.next_buffer().unwrap().is_err());
+        assert!(p.next_buffer().is_none(), "worker stops after the error");
+        drop(p);
+        assert_eq!(stats.snapshot().total_reads(), 1);
     }
 
     #[test]

@@ -39,7 +39,7 @@ pub use dynsort::{
     RecordLayout,
 };
 pub use extsort::{ExternalSortConfig, ExternalSorter};
-pub use file::PagedFile;
+pub use file::{read_ahead, PagedFile, ReadAheadBuffers, PREFETCH_MIN_BYTES};
 pub use heatmap::HeatMap;
 pub use iostats::{AccessKind, IoStats, IoStatsSnapshot, SharedIoStats};
 pub use page::{PageId, DEFAULT_PAGE_SIZE};
@@ -55,6 +55,10 @@ pub enum StorageError {
     Corrupt(String),
     /// The requested page does not exist in the file.
     PageOutOfBounds { page: u64, pages: u64 },
+    /// A byte range whose arithmetic (`offset + len`, `size * count`)
+    /// overflows `u64`/`usize` — necessarily out of bounds for any real
+    /// file, reported without panicking.
+    InvalidRange { offset: u64, len: u64 },
 }
 
 impl std::fmt::Display for StorageError {
@@ -64,6 +68,9 @@ impl std::fmt::Display for StorageError {
             StorageError::Corrupt(msg) => write!(f, "corrupt data: {msg}"),
             StorageError::PageOutOfBounds { page, pages } => {
                 write!(f, "page {page} out of bounds (file has {pages} pages)")
+            }
+            StorageError::InvalidRange { offset, len } => {
+                write!(f, "byte range {len}@{offset} overflows the address space")
             }
         }
     }
@@ -86,3 +93,28 @@ impl From<std::io::Error> for StorageError {
 
 /// Convenience alias used throughout the crate.
 pub type Result<T> = std::result::Result<T, StorageError>;
+
+/// Byte offset of record `index` in a file of `size`-byte records, checked
+/// against `u64` overflow (adversarial indexes must surface as errors, not
+/// wrap or panic).
+pub(crate) fn record_offset(index: u64, size: usize) -> Result<u64> {
+    index
+        .checked_mul(size as u64)
+        .ok_or(StorageError::InvalidRange {
+            // Saturated byte figures: the exact product does not fit, which
+            // is the point — the diagnostics stay in byte units.
+            offset: index.saturating_mul(size as u64),
+            len: size as u64,
+        })
+}
+
+/// `(byte offset, byte length)` of `count` records starting at `index`,
+/// with both multiplications overflow-checked.
+pub(crate) fn record_range(index: u64, count: usize, size: usize) -> Result<(u64, usize)> {
+    let offset = record_offset(index, size)?;
+    let bytes = size.checked_mul(count).ok_or(StorageError::InvalidRange {
+        offset,
+        len: count as u64,
+    })?;
+    Ok((offset, bytes))
+}

@@ -274,6 +274,11 @@ pub struct PartitionedConfig {
     /// `0` = one per available core).  Answers and cost counters are
     /// identical at every setting; see `coconut_ctree::engine`.
     pub query_parallelism: usize,
+    /// Overlap computation with I/O during BTP partition merges (default
+    /// `true`): each merge input reads ahead on a background worker while
+    /// the k-way merge drains the current buffer.  A pure performance knob —
+    /// partitions, answers and `IoStats` totals are identical either way.
+    pub io_overlap: bool,
 }
 
 impl PartitionedConfig {
@@ -288,6 +293,7 @@ impl PartitionedConfig {
             page_size: coconut_storage::DEFAULT_PAGE_SIZE,
             parallelism: 1,
             query_parallelism: 1,
+            io_overlap: true,
         }
     }
 
@@ -320,6 +326,13 @@ impl PartitionedConfig {
     /// cores).  A pure performance knob.
     pub fn with_query_parallelism(mut self, workers: usize) -> Self {
         self.query_parallelism = workers;
+        self
+    }
+
+    /// Enables or disables overlapped merge I/O (default on).  A pure
+    /// performance knob; see [`PartitionedConfig::io_overlap`].
+    pub fn with_io_overlap(mut self, overlap: bool) -> Self {
+        self.io_overlap = overlap;
         self
     }
 
@@ -506,7 +519,12 @@ impl PartitionedStream {
             }
             let layout = self.config.layout();
             let runs: Vec<_> = files.iter().map(|f| f.run().clone()).collect();
-            let merge = coconut_storage::DynKWayMerge::new(layout, &runs, 256)?;
+            let merge = coconut_storage::DynKWayMerge::new_with_prefetch(
+                layout,
+                &runs,
+                256,
+                self.config.io_overlap,
+            )?;
             let path = self.dir.join(format!("btp-merged-{:06}.run", self.next_id));
             self.next_id += 1;
             let merged = SortedSeriesFile::build_from_sorted(

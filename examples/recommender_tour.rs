@@ -40,6 +40,7 @@ fn main() {
         parallelism: 0,
         query_parallelism: 0,
         shard_count: 1,
+        io_overlap: true,
     };
     let response = server.handle_json(&build.to_json().to_string());
     println!("{response}\n");
