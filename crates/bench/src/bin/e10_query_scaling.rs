@@ -110,7 +110,8 @@ fn main() {
                 .with_memory_budget(1 << 19)
                 .with_shard_count(shards)
                 .with_parallelism(n_threads)
-                .with_query_parallelism(query_parallelism);
+                .with_query_parallelism(query_parallelism)
+                .with_io_backend(coconut_bench::io_backend());
             // A lazy growth factor keeps >= 4 runs alive at this scale, so
             // the query fan-out has real breadth to exploit.
             config.growth_factor = 8;

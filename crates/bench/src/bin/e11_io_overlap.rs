@@ -73,6 +73,7 @@ fn run_pair(
             .with_memory_budget(budget)
             .with_parallelism(parallelism)
             .with_io_overlap(io_overlap)
+            .with_io_backend(coconut_bench::io_backend())
     });
     // Throwaway warm-up so cold page cache and allocator state don't land on
     // the first measured build.

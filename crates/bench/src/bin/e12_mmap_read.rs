@@ -1,0 +1,205 @@
+//! E12 — mmap read backend.
+//!
+//! Builds the same spilling CoconutTree with `io_backend = pread` (positioned
+//! reads through the descriptor) and `io_backend = mmap` (reads copied out of
+//! a read-only shared mapping), then:
+//!
+//! * verifies the index files are **byte-identical** and the build `IoStats`
+//!   totals identical — the backend changes how bytes travel, never which
+//!   bytes or which accounted page touches;
+//! * verifies every exact kNN answer, every `QueryCost` and the query-phase
+//!   `IoStats` match between the two backends;
+//! * times a **cold** query pass (the first pass over a freshly built index,
+//!   where the mmap backend pays its mapping establishment and page faults)
+//!   and a **hot** pass (best of several repetitions over the page-cache- and
+//!   mapping-resident index, where mapped reads skip the per-read syscall);
+//! * writes the machine-readable report to `BENCH_mmap.json`.
+//!
+//! Any identity failure makes the binary exit non-zero — this is the CI
+//! smoke check for the backend-equivalence invariant.  `COCONUT_SCALE`
+//! scales the dataset, `COCONUT_THREADS` the build workers, and
+//! `COCONUT_IO_BACKEND` selects which backend the report features as the
+//! configured default (both are always measured and cross-checked).
+
+use std::sync::Arc;
+use std::time::Instant;
+
+use coconut_bench::{f2, io_backend, print_table, scale, threads, Workbench};
+use coconut_core::{IndexConfig, IoBackend, IoStatsSnapshot, StaticIndex, VariantKind};
+use coconut_json::{Json, ToJson};
+
+struct BackendOutcome {
+    backend: IoBackend,
+    build_ms: f64,
+    cold_ms: f64,
+    hot_ms: f64,
+    build_io: IoStatsSnapshot,
+    query_io: IoStatsSnapshot,
+    answers: Vec<Vec<(u64, f64)>>,
+    costs: Vec<coconut_core::QueryCost>,
+    leaf_bytes: Vec<u8>,
+}
+
+/// One full pass of the query workload; returns the wall-clock milliseconds.
+fn query_pass(index: &StaticIndex, wb: &Workbench, k: usize) -> f64 {
+    let start = Instant::now();
+    for q in &wb.queries.queries {
+        let _ = index.exact_knn(&q.values, k).expect("query");
+    }
+    start.elapsed().as_secs_f64() * 1000.0
+}
+
+fn run_backend(
+    wb: &Workbench,
+    backend: IoBackend,
+    parallelism: usize,
+    budget: usize,
+    k: usize,
+    hot_reps: usize,
+) -> BackendOutcome {
+    let config = IndexConfig::new(VariantKind::CTree, wb.series[0].values.len())
+        .materialized(true)
+        .with_memory_budget(budget)
+        .with_parallelism(parallelism)
+        .with_io_backend(backend);
+    let stats = wb.stats();
+    let dir = wb.dir.file(&format!("ctree-{backend}"));
+    let start = Instant::now();
+    let (index, _report) =
+        StaticIndex::build(&wb.dataset, config, &dir, Arc::clone(&stats)).expect("build");
+    let build_ms = start.elapsed().as_secs_f64() * 1000.0;
+    let build_io = stats.snapshot();
+    if let StaticIndex::CTree(t) = &index {
+        assert!(
+            t.build_stats().sort_runs > 0,
+            "the workload must spill so the backend covers the sort's runs too"
+        );
+    }
+
+    // Cold pass: first queries against the fresh index (the mmap backend
+    // establishes its mapping and faults pages in here).
+    let cold_ms = query_pass(&index, wb, k);
+    // Hot passes: everything is resident; report the best repetition.
+    let mut hot_ms = f64::INFINITY;
+    for _ in 0..hot_reps.max(1) {
+        hot_ms = hot_ms.min(query_pass(&index, wb, k));
+    }
+
+    // Identity material: answers, costs and the I/O of one deterministic
+    // query pass (measured after the timings so both backends observe the
+    // identical warmed state).
+    let io_before = stats.snapshot();
+    let mut answers = Vec::new();
+    let mut costs = Vec::new();
+    for q in &wb.queries.queries {
+        let (nn, cost) = index.exact_knn(&q.values, k).expect("query");
+        answers.push(
+            nn.iter()
+                .map(|n| (n.id, n.squared_distance))
+                .collect::<Vec<_>>(),
+        );
+        costs.push(cost);
+    }
+    let query_io = stats.snapshot().since(&io_before);
+    let leaf_bytes = std::fs::read(dir.join("ctree-leaves.run")).expect("leaf file");
+
+    BackendOutcome {
+        backend,
+        build_ms,
+        cold_ms,
+        hot_ms,
+        build_io,
+        query_io,
+        answers,
+        costs,
+        leaf_bytes,
+    }
+}
+
+fn main() {
+    let n = 12_000 * scale();
+    let len = 128;
+    let q = 20;
+    let k = 5;
+    // Small enough that run generation spills, so spill runs, the merge and
+    // the leaf scans all flow through the configured backend.
+    let budget = 2 << 20;
+    let n_threads = threads();
+    let configured = io_backend();
+    let hot_reps = 5;
+    let wb = Workbench::random_walk("e12", n, len, q, 12);
+
+    let pread = run_backend(&wb, IoBackend::Pread, n_threads, budget, k, hot_reps);
+    let mmap = run_backend(&wb, IoBackend::Mmap, n_threads, budget, k, hot_reps);
+
+    let identical_files = pread.leaf_bytes == mmap.leaf_bytes;
+    let identical_build_io = pread.build_io == mmap.build_io;
+    let identical_query_io = pread.query_io == mmap.query_io;
+    let identical_answers = pread.answers == mmap.answers;
+    let identical_costs = pread.costs == mmap.costs;
+
+    let mut rows = Vec::new();
+    let mut report_runs = Vec::new();
+    for o in [&pread, &mmap] {
+        rows.push(vec![
+            o.backend.to_string(),
+            f2(o.build_ms),
+            f2(o.cold_ms),
+            f2(o.hot_ms),
+            f2(o.query_io.bytes_read as f64 / (1024.0 * 1024.0)),
+        ]);
+        report_runs.push(Json::obj(vec![
+            ("io_backend", o.backend.to_json()),
+            ("build_ms", o.build_ms.to_json()),
+            ("cold_query_pass_ms", o.cold_ms.to_json()),
+            ("hot_query_pass_ms", o.hot_ms.to_json()),
+            ("build_io", o.build_io.to_json()),
+            ("query_io", o.query_io.to_json()),
+        ]));
+    }
+    print_table(
+        &format!("E12: mmap read backend, {n} series x {len}, {n_threads} threads"),
+        &["backend", "build_ms", "cold_ms", "hot_ms", "query_MiB"],
+        &rows,
+    );
+    println!(
+        "\nconfigured backend (COCONUT_IO_BACKEND): {configured}\n\
+         leaf files byte-identical pread vs mmap:  {identical_files}\n\
+         build IoStats identical pread vs mmap:    {identical_build_io}\n\
+         query IoStats identical pread vs mmap:    {identical_query_io}\n\
+         exact kNN answers identical:              {identical_answers}\n\
+         QueryCost counters identical:             {identical_costs}\n\
+         hot-scan speedup (pread / mmap):          x{}",
+        f2(pread.hot_ms / mmap.hot_ms)
+    );
+
+    let report = Json::obj(vec![
+        ("experiment", "e12_mmap_read".to_json()),
+        ("series", n.to_json()),
+        ("series_len", len.to_json()),
+        ("budget_bytes", budget.to_json()),
+        ("queries", q.to_json()),
+        ("k", k.to_json()),
+        ("threads", n_threads.to_json()),
+        ("configured_backend", configured.to_json()),
+        ("runs", Json::Arr(report_runs)),
+        ("cold_speedup", (pread.cold_ms / mmap.cold_ms).to_json()),
+        ("hot_speedup", (pread.hot_ms / mmap.hot_ms).to_json()),
+        ("identical_index_files", identical_files.to_json()),
+        ("identical_build_iostats", identical_build_io.to_json()),
+        ("identical_query_iostats", identical_query_io.to_json()),
+        ("identical_query_answers", identical_answers.to_json()),
+        ("identical_query_costs", identical_costs.to_json()),
+    ]);
+    std::fs::write("BENCH_mmap.json", report.to_string_pretty()).expect("write report");
+    println!("\nwrote BENCH_mmap.json");
+
+    assert!(identical_files, "mmap build must be byte-identical");
+    assert!(identical_build_io, "mmap build must do identical I/O");
+    assert!(
+        identical_query_io,
+        "mmap queries must account identical I/O"
+    );
+    assert!(identical_answers, "mmap queries must answer identically");
+    assert!(identical_costs, "mmap queries must cost identically");
+}

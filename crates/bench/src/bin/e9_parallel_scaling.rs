@@ -39,7 +39,8 @@ fn run_variant(
     let config = IndexConfig::new(variant, len)
         .materialized(true)
         .with_memory_budget(8 << 20)
-        .with_parallelism(parallelism);
+        .with_parallelism(parallelism)
+        .with_io_backend(coconut_bench::io_backend());
     let stats = wb.stats();
     let dir = wb
         .dir

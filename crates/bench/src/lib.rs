@@ -40,6 +40,24 @@ pub fn threads() -> usize {
     coconut_parallel::effective_parallelism(requested)
 }
 
+/// Read backend from `COCONUT_IO_BACKEND` (`pread`, the default, or
+/// `mmap`).
+///
+/// Experiments pass this through the `io_backend` knobs of the index
+/// configurations; the CI matrix runs the suite and the smoke benches under
+/// both values.  The knob is a pure performance knob — index files, answers
+/// and `IoStats` are byte-identical at either setting (`e12_mmap_read`
+/// re-verifies this on every run).
+pub fn io_backend() -> coconut_core::IoBackend {
+    std::env::var("COCONUT_IO_BACKEND")
+        .ok()
+        .map(|v| {
+            v.parse()
+                .expect("COCONUT_IO_BACKEND must be 'pread' or 'mmap'")
+        })
+        .unwrap_or_default()
+}
+
 /// A generated dataset on disk plus its in-memory copy and query workload.
 pub struct Workbench {
     /// Scratch directory holding the raw file and all index files.

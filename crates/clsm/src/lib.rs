@@ -34,7 +34,7 @@ use coconut_series::dataset::Dataset;
 use coconut_series::distance::{euclidean_early_abandon, Neighbor};
 use coconut_series::{Series, Timestamp};
 use coconut_storage::iostats::IoStatsSnapshot;
-use coconut_storage::SharedIoStats;
+use coconut_storage::{IoBackend, SharedIoStats};
 
 /// Configuration of a CoconutLSM index.
 #[derive(Debug, Clone, Copy)]
@@ -73,6 +73,12 @@ pub struct ClsmConfig {
     /// the current one.  A pure performance knob — run files, answers and
     /// `IoStats` totals are identical at either setting.
     pub io_overlap: bool,
+    /// Read backend for the run files (default `pread`; `mmap` serves run
+    /// block scans and compaction range readers from read-only file
+    /// mappings, dropped before any compaction deletes its inputs).  A pure
+    /// performance knob — run files, answers, `QueryCost` and `IoStats`
+    /// totals are identical at either setting.
+    pub io_backend: IoBackend,
 }
 
 impl ClsmConfig {
@@ -89,6 +95,7 @@ impl ClsmConfig {
             query_parallelism: 1,
             shard_count: 1,
             io_overlap: true,
+            io_backend: IoBackend::Pread,
         }
     }
 
@@ -135,6 +142,13 @@ impl ClsmConfig {
     /// performance knob; see [`ClsmConfig::io_overlap`].
     pub fn with_io_overlap(mut self, overlap: bool) -> Self {
         self.io_overlap = overlap;
+        self
+    }
+
+    /// Selects the read backend (default `pread`).  A pure performance
+    /// knob; see [`ClsmConfig::io_backend`].
+    pub fn with_io_backend(mut self, backend: IoBackend) -> Self {
+        self.io_backend = backend;
         self
     }
 
@@ -440,7 +454,7 @@ impl ClsmTree {
             .dir
             .join(format!("clsm-L{level}-{:06}.run", self.next_run_id));
         self.next_run_id += 1;
-        SortedSeriesFile::build_from_entries_parallel(
+        SortedSeriesFile::build_from_entries_with(
             path,
             self.config.layout(),
             self.config.sax,
@@ -449,6 +463,7 @@ impl ClsmTree {
             Arc::clone(&self.stats),
             self.config.page_size,
             self.config.parallelism,
+            self.config.io_backend,
         )
     }
 
@@ -545,7 +560,7 @@ impl ClsmTree {
                 let path = self.dir.join(format!(
                     "clsm-L{target_level}-{run_id:06}-s{shard_idx:03}.run"
                 ));
-                SortedSeriesFile::build_from_sorted(
+                SortedSeriesFile::build_from_sorted_with(
                     path,
                     layout,
                     self.config.sax,
@@ -553,6 +568,7 @@ impl ClsmTree {
                     self.config.entries_per_block,
                     Arc::clone(&self.stats),
                     self.config.page_size,
+                    self.config.io_backend,
                 )
             },
         );

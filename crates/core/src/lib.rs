@@ -29,7 +29,9 @@ pub use coconut_recommender::{recommend, DataArrival, Recommendation, Scenario, 
 pub use coconut_sax::SaxConfig;
 pub use coconut_series::distance::Neighbor;
 pub use coconut_series::{Dataset, Series, TimestampedSeries};
-pub use coconut_storage::{CostModel, IoStats, IoStatsSnapshot, ScratchDir, SharedIoStats};
+pub use coconut_storage::{
+    CostModel, IoBackend, IoStats, IoStatsSnapshot, ScratchDir, SharedIoStats,
+};
 pub use coconut_stream::{
     PartitionKind, PartitionedConfig, PartitionedStream, PpStream, StreamingIndex, WindowScheme,
 };
@@ -94,6 +96,12 @@ pub struct IndexConfig {
     /// totals are identical at either setting; see DESIGN.md ("I/O
     /// overlap").
     pub io_overlap: bool,
+    /// Read backend for the index's run/leaf files (`pread` positioned
+    /// reads, the default, or `mmap` read-only file mappings).  A pure
+    /// performance knob: index files, answers, `QueryCost` and `IoStats`
+    /// totals are identical at either setting; see DESIGN.md ("Read path
+    /// backends").
+    pub io_backend: IoBackend,
 }
 
 impl IndexConfig {
@@ -110,6 +118,7 @@ impl IndexConfig {
             query_parallelism: 1,
             shard_count: 1,
             io_overlap: true,
+            io_backend: IoBackend::Pread,
         }
     }
 
@@ -151,6 +160,13 @@ impl IndexConfig {
         self
     }
 
+    /// Selects the read backend (default `pread`).  A pure performance
+    /// knob; see DESIGN.md ("Read path backends").
+    pub fn with_io_backend(mut self, backend: IoBackend) -> Self {
+        self.io_backend = backend;
+        self
+    }
+
     /// Display name like "CTreeFull" / "CTree" following Figure 1.
     pub fn display_name(&self) -> String {
         if self.materialized {
@@ -178,6 +194,7 @@ impl IndexConfig {
             query_parallelism: 1,
             shard_count: 1,
             io_overlap: true,
+            io_backend: IoBackend::Pread,
         }
     }
 }
@@ -286,7 +303,8 @@ impl StaticIndex {
                     .with_memory_budget(config.memory_budget_bytes)
                     .with_parallelism(config.parallelism)
                     .with_query_parallelism(config.query_parallelism)
-                    .with_io_overlap(config.io_overlap);
+                    .with_io_overlap(config.io_overlap)
+                    .with_io_backend(config.io_backend);
                 StaticIndex::CTree(CTree::build(
                     dataset,
                     ctree_config,
@@ -302,6 +320,7 @@ impl StaticIndex {
                     .with_query_parallelism(config.query_parallelism)
                     .with_shard_count(config.shard_count)
                     .with_io_overlap(config.io_overlap)
+                    .with_io_backend(config.io_backend)
                     .with_buffer_capacity(
                         (config.memory_budget_bytes / (config.sax.series_len * 4 + 32)).max(64),
                     );
@@ -396,6 +415,9 @@ pub struct StreamingConfig {
     /// partition merges (default `true`).  A pure performance knob; see
     /// DESIGN.md ("I/O overlap").
     pub io_overlap: bool,
+    /// Read backend for runs and partitions (default `pread`).  A pure
+    /// performance knob; see DESIGN.md ("Read path backends").
+    pub io_backend: IoBackend,
 }
 
 impl StreamingConfig {
@@ -410,6 +432,7 @@ impl StreamingConfig {
             parallelism: 1,
             query_parallelism: 1,
             io_overlap: true,
+            io_backend: IoBackend::Pread,
         }
     }
 
@@ -430,6 +453,13 @@ impl StreamingConfig {
     /// performance knob; see DESIGN.md ("I/O overlap").
     pub fn with_io_overlap(mut self, overlap: bool) -> Self {
         self.io_overlap = overlap;
+        self
+    }
+
+    /// Selects the read backend (default `pread`).  A pure performance
+    /// knob; see DESIGN.md ("Read path backends").
+    pub fn with_io_backend(mut self, backend: IoBackend) -> Self {
+        self.io_backend = backend;
         self
     }
 
@@ -460,7 +490,8 @@ pub fn streaming_index(
                         .with_growth_factor(config.growth_factor)
                         .with_parallelism(config.parallelism)
                         .with_query_parallelism(config.query_parallelism)
-                        .with_io_overlap(config.io_overlap),
+                        .with_io_overlap(config.io_overlap)
+                        .with_io_backend(config.io_backend),
                     dir,
                     stats,
                 )?;
@@ -478,7 +509,8 @@ pub fn streaming_index(
                 .with_partition_kind(kind)
                 .with_parallelism(config.parallelism)
                 .with_query_parallelism(config.query_parallelism)
-                .with_io_overlap(config.io_overlap);
+                .with_io_overlap(config.io_overlap)
+                .with_io_backend(config.io_backend);
             Ok(Box::new(PartitionedStream::temporal_partitioning(
                 cfg, dir, stats,
             )?))
@@ -489,7 +521,8 @@ pub fn streaming_index(
                 .with_growth_factor(config.growth_factor)
                 .with_parallelism(config.parallelism)
                 .with_query_parallelism(config.query_parallelism)
-                .with_io_overlap(config.io_overlap);
+                .with_io_overlap(config.io_overlap)
+                .with_io_backend(config.io_backend);
             Ok(Box::new(PartitionedStream::bounded_temporal_partitioning(
                 cfg, dir, stats,
             )?))

@@ -17,7 +17,8 @@ use std::time::Instant;
 use coconut_json::{member, member_or, FromJson, Json, JsonError, ToJson};
 
 use crate::{
-    recommend, BuildReport, Dataset, IndexConfig, IoStats, Scenario, StaticIndex, VariantKind,
+    recommend, BuildReport, Dataset, IndexConfig, IoBackend, IoStats, Scenario, StaticIndex,
+    VariantKind,
 };
 use coconut_storage::SharedIoStats;
 
@@ -51,6 +52,11 @@ pub enum PalmRequest {
         /// JSON protocol; defaults to `true`.  A pure performance knob:
         /// index files, answers and I/O totals are identical either way.
         io_overlap: bool,
+        /// Read backend for the index files ("pread" | "mmap").  Optional
+        /// in the JSON protocol; defaults to "pread".  A pure performance
+        /// knob: index files, answers and I/O totals are identical either
+        /// way.
+        io_backend: IoBackend,
     },
     /// Run a query against a registered index.
     Query {
@@ -192,6 +198,7 @@ impl ToJson for PalmRequest {
                 query_parallelism,
                 shard_count,
                 io_overlap,
+                io_backend,
             } => Json::obj(vec![
                 ("type", Json::Str("build_index".into())),
                 ("name", name.to_json()),
@@ -203,6 +210,7 @@ impl ToJson for PalmRequest {
                 ("query_parallelism", query_parallelism.to_json()),
                 ("shard_count", shard_count.to_json()),
                 ("io_overlap", io_overlap.to_json()),
+                ("io_backend", io_backend.to_json()),
             ]),
             PalmRequest::Query {
                 name,
@@ -243,6 +251,7 @@ impl FromJson for PalmRequest {
                 query_parallelism: member_or(json, "query_parallelism", 1)?,
                 shard_count: member_or(json, "shard_count", 1)?,
                 io_overlap: member_or(json, "io_overlap", true)?,
+                io_backend: member_or(json, "io_backend", IoBackend::Pread)?,
             }),
             "query" => Ok(PalmRequest::Query {
                 name: member(json, "name")?,
@@ -372,6 +381,7 @@ impl PalmServer {
                 query_parallelism,
                 shard_count,
                 io_overlap,
+                io_backend,
             } => {
                 let dataset = Dataset::open(&dataset_path)?;
                 let config = IndexConfig::new(variant, dataset.series_len())
@@ -380,7 +390,8 @@ impl PalmServer {
                     .with_parallelism(parallelism)
                     .with_query_parallelism(query_parallelism)
                     .with_shard_count(shard_count)
-                    .with_io_overlap(io_overlap);
+                    .with_io_overlap(io_overlap)
+                    .with_io_backend(io_backend);
                 let stats = IoStats::shared();
                 let dir = self.work_dir.join(&name);
                 let (index, report) =
@@ -480,6 +491,7 @@ mod tests {
             query_parallelism: 1,
             shard_count: 1,
             io_overlap: true,
+            io_backend: IoBackend::Pread,
         });
         match &built {
             PalmResponse::Built {

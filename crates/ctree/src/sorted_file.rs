@@ -23,7 +23,7 @@ use coconut_series::distance::euclidean_early_abandon;
 use coconut_series::paa::paa;
 use coconut_series::Timestamp;
 use coconut_storage::dynsort::DynRunWriter;
-use coconut_storage::SharedIoStats;
+use coconut_storage::{IoBackend, SharedIoStats};
 
 use crate::entry::{EntryLayout, SeriesEntry};
 use crate::query::{KnnHeap, QueryContext};
@@ -69,7 +69,7 @@ pub struct SortedSeriesFile {
 
 impl SortedSeriesFile {
     /// Builds a partition at `path` by streaming already-sorted entries into
-    /// blocks of `entries_per_block` entries.
+    /// blocks of `entries_per_block` entries (reads served by `pread`).
     pub fn build_from_sorted<P, I>(
         path: P,
         layout: EntryLayout,
@@ -83,8 +83,40 @@ impl SortedSeriesFile {
         P: AsRef<Path>,
         I: IntoIterator<Item = Result<SeriesEntry>>,
     {
+        Self::build_from_sorted_with(
+            path,
+            layout,
+            sax,
+            sorted,
+            entries_per_block,
+            stats,
+            page_size,
+            IoBackend::Pread,
+        )
+    }
+
+    /// Like [`SortedSeriesFile::build_from_sorted`], choosing the read
+    /// backend the finished partition serves its block scans with.  A pure
+    /// performance knob: the partition file, query answers, costs and
+    /// `IoStats` are identical at either setting.
+    #[allow(clippy::too_many_arguments)]
+    pub fn build_from_sorted_with<P, I>(
+        path: P,
+        layout: EntryLayout,
+        sax: SaxConfig,
+        sorted: I,
+        entries_per_block: usize,
+        stats: SharedIoStats,
+        page_size: usize,
+        backend: IoBackend,
+    ) -> Result<Self>
+    where
+        P: AsRef<Path>,
+        I: IntoIterator<Item = Result<SeriesEntry>>,
+    {
         assert!(entries_per_block > 0);
-        let mut writer = DynRunWriter::create(layout, path, Arc::clone(&stats), page_size)?;
+        let mut writer =
+            DynRunWriter::create_with(layout, path, Arc::clone(&stats), page_size, backend)?;
         let mut blocks: Vec<BlockMeta> = Vec::new();
         let mut current: Option<BlockMeta> = None;
         let mut index: u64 = 0;
@@ -171,15 +203,42 @@ impl SortedSeriesFile {
         path: P,
         layout: EntryLayout,
         sax: SaxConfig,
-        mut entries: Vec<SeriesEntry>,
+        entries: Vec<SeriesEntry>,
         entries_per_block: usize,
         stats: SharedIoStats,
         page_size: usize,
         parallelism: usize,
     ) -> Result<Self> {
+        Self::build_from_entries_with(
+            path,
+            layout,
+            sax,
+            entries,
+            entries_per_block,
+            stats,
+            page_size,
+            parallelism,
+            IoBackend::Pread,
+        )
+    }
+
+    /// Like [`SortedSeriesFile::build_from_entries_parallel`], additionally
+    /// choosing the read backend of the finished partition.
+    #[allow(clippy::too_many_arguments)]
+    pub fn build_from_entries_with<P: AsRef<Path>>(
+        path: P,
+        layout: EntryLayout,
+        sax: SaxConfig,
+        mut entries: Vec<SeriesEntry>,
+        entries_per_block: usize,
+        stats: SharedIoStats,
+        page_size: usize,
+        parallelism: usize,
+        backend: IoBackend,
+    ) -> Result<Self> {
         let workers = coconut_parallel::effective_parallelism(parallelism);
         coconut_parallel::parallel_sort_by_key(&mut entries, workers, |e| (e.key, e.id));
-        Self::build_from_sorted(
+        Self::build_from_sorted_with(
             path,
             layout,
             sax,
@@ -187,6 +246,7 @@ impl SortedSeriesFile {
             entries_per_block,
             stats,
             page_size,
+            backend,
         )
     }
 
@@ -306,6 +366,12 @@ impl SortedSeriesFile {
     /// The underlying run file (for merge plumbing).
     pub fn run(&self) -> &coconut_storage::DynRunFile<EntryLayout> {
         &self.run
+    }
+
+    /// Returns `true` while the backing file holds a live read mapping
+    /// (mmap backend only; used by the unmap-before-unlink tests).
+    pub fn is_mapped(&self) -> bool {
+        self.run.is_mapped()
     }
 
     /// Deletes the backing file.

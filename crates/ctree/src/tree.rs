@@ -12,6 +12,7 @@ use coconut_series::{Series, Timestamp};
 use coconut_storage::dynsort::DynExternalSorter;
 use coconut_storage::iostats::{IoStatsSnapshot, SharedIoStats};
 use coconut_storage::page::DEFAULT_PAGE_SIZE;
+use coconut_storage::IoBackend;
 
 use crate::entry::{EntryLayout, SeriesEntry};
 use crate::query::{KnnHeap, QueryContext, QueryCost};
@@ -51,6 +52,12 @@ pub struct CTreeConfig {
     /// either setting; see
     /// `coconut_storage::ExternalSortConfig::io_overlap`.
     pub io_overlap: bool,
+    /// Read backend for the leaf level and the sort's spill runs (default
+    /// `pread`; `mmap` serves block scans from a read-only file mapping).
+    /// A pure performance knob — the index files, answers, `QueryCost` and
+    /// `IoStats` totals are identical at either setting; see
+    /// `coconut_storage::IoBackend`.
+    pub io_backend: IoBackend,
 }
 
 impl CTreeConfig {
@@ -66,6 +73,7 @@ impl CTreeConfig {
             parallelism: 1,
             query_parallelism: 1,
             io_overlap: true,
+            io_backend: IoBackend::Pread,
         }
     }
 
@@ -106,6 +114,13 @@ impl CTreeConfig {
     /// performance knob; see [`CTreeConfig::io_overlap`].
     pub fn with_io_overlap(mut self, overlap: bool) -> Self {
         self.io_overlap = overlap;
+        self
+    }
+
+    /// Selects the read backend (default `pread`).  A pure performance
+    /// knob; see [`CTreeConfig::io_backend`].
+    pub fn with_io_backend(mut self, backend: IoBackend) -> Self {
+        self.io_backend = backend;
         self
     }
 
@@ -216,7 +231,8 @@ impl CTree {
             DynExternalSorter::new(layout, config.memory_budget_bytes, dir, Arc::clone(&stats))
                 .with_page_size(config.page_size)
                 .with_parallelism(config.parallelism)
-                .with_io_overlap(config.io_overlap);
+                .with_io_overlap(config.io_overlap)
+                .with_io_backend(config.io_backend);
         let sorted = sorter.sort(&mut entries)?;
         if let Some(err) = entries.error.take() {
             return Err(err);
@@ -224,7 +240,7 @@ impl CTree {
         let sort_runs = sorted.runs_generated;
 
         // Pass 3: pack the sorted stream into contiguous leaf blocks.
-        let file = SortedSeriesFile::build_from_sorted(
+        let file = SortedSeriesFile::build_from_sorted_with(
             dir.join("ctree-leaves.run"),
             layout,
             config.sax,
@@ -232,6 +248,7 @@ impl CTree {
             config.entries_per_block(),
             Arc::clone(&stats),
             config.page_size,
+            config.io_backend,
         )?;
 
         let entries_count = file.len();
@@ -471,7 +488,7 @@ impl CTree {
                 file_iter.next()
             }
         });
-        let new_file = SortedSeriesFile::build_from_sorted(
+        let new_file = SortedSeriesFile::build_from_sorted_with(
             path,
             layout,
             sax,
@@ -479,6 +496,7 @@ impl CTree {
             self.config.entries_per_block(),
             Arc::clone(&self.stats),
             self.config.page_size,
+            self.config.io_backend,
         )?;
         let old = std::mem::replace(&mut self.file, new_file);
         let _ = old.delete();

@@ -20,6 +20,7 @@ use coconut_parallel::{effective_parallelism, parallel_sort_by_key};
 
 use crate::file::{read_ahead, PagedFile, ReadAheadBuffers};
 use crate::iostats::SharedIoStats;
+use crate::mmap::IoBackend;
 use crate::page::DEFAULT_PAGE_SIZE;
 use crate::{record_offset, record_range, Result};
 
@@ -171,8 +172,22 @@ impl<L: RecordLayout> DynRunFile<L> {
         read_ahead(Arc::clone(&self.file), ranges)
     }
 
-    /// Deletes the backing file.
+    /// Returns `true` while the backing file holds a live read mapping.
+    pub fn is_mapped(&self) -> bool {
+        self.file.is_mapped()
+    }
+
+    /// Number of fdatasync calls issued on the backing file (durable
+    /// finishes sync exactly once; volatile finishes never do).
+    pub fn sync_count(&self) -> u64 {
+        self.file.sync_count()
+    }
+
+    /// Deletes the backing file.  The read mapping is dropped *before* the
+    /// unlink, so no clone of this run — a compaction reader, a query unit —
+    /// can keep serving reads through a mapping of a deleted file.
     pub fn delete(self) -> Result<()> {
+        self.file.unmap();
         let path = self.file.path().to_path_buf();
         drop(self.file);
         std::fs::remove_file(path)?;
@@ -190,14 +205,26 @@ pub struct DynRunWriter<L: RecordLayout> {
 }
 
 impl<L: RecordLayout> DynRunWriter<L> {
-    /// Creates a new run at `path`.
+    /// Creates a new run at `path` (read back with the `pread` backend).
     pub fn create<P: AsRef<Path>>(
         layout: L,
         path: P,
         stats: SharedIoStats,
         page_size: usize,
     ) -> Result<Self> {
-        let file = PagedFile::create_with_page_size(path, stats, page_size)?;
+        Self::create_with(layout, path, stats, page_size, IoBackend::Pread)
+    }
+
+    /// Like [`DynRunWriter::create`], choosing the backend the finished run
+    /// serves its reads with.
+    pub fn create_with<P: AsRef<Path>>(
+        layout: L,
+        path: P,
+        stats: SharedIoStats,
+        page_size: usize,
+        backend: IoBackend,
+    ) -> Result<Self> {
+        let file = PagedFile::create_with_page_size(path, stats, page_size)?.with_backend(backend);
         let flush_bytes = page_size.max(layout.record_size());
         Ok(DynRunWriter {
             layout,
@@ -244,6 +271,18 @@ impl<L: RecordLayout> DynRunWriter<L> {
     pub fn finish(mut self) -> Result<DynRunFile<L>> {
         self.flush()?;
         self.file.sync()?;
+        Ok(DynRunFile {
+            layout: self.layout,
+            file: Arc::new(self.file),
+            count: self.count,
+        })
+    }
+
+    /// Finishes a *volatile* scratch run without the fdatasync; see
+    /// `RunWriter::finish_volatile` — only for sorter-internal spill runs
+    /// that are merged and discarded within the same build.
+    pub fn finish_volatile(mut self) -> Result<DynRunFile<L>> {
+        self.flush()?;
         Ok(DynRunFile {
             layout: self.layout,
             file: Arc::new(self.file),
@@ -556,6 +595,7 @@ pub struct DynExternalSorter<L: RecordLayout> {
     page_size: usize,
     parallelism: usize,
     io_overlap: bool,
+    io_backend: IoBackend,
     scratch_dir: PathBuf,
     stats: SharedIoStats,
     next_run_id: u64,
@@ -575,6 +615,7 @@ impl<L: RecordLayout> DynExternalSorter<L> {
             page_size: DEFAULT_PAGE_SIZE,
             parallelism: 1,
             io_overlap: true,
+            io_backend: IoBackend::Pread,
             scratch_dir: scratch_dir.as_ref().to_path_buf(),
             stats,
             next_run_id: 0,
@@ -602,6 +643,14 @@ impl<L: RecordLayout> DynExternalSorter<L> {
     /// see [`crate::extsort::ExternalSortConfig::io_overlap`].
     pub fn with_io_overlap(mut self, overlap: bool) -> Self {
         self.io_overlap = overlap;
+        self
+    }
+
+    /// Selects the read backend for spill runs (default `pread`).  A pure
+    /// performance knob: runs and `IoStats` totals are identical either
+    /// way; see `crate::extsort::ExternalSortConfig::io_backend`.
+    pub fn with_io_backend(mut self, backend: IoBackend) -> Self {
+        self.io_backend = backend;
         self
     }
 
@@ -703,6 +752,7 @@ impl<L: RecordLayout> DynExternalSorter<L> {
         let scratch_dir = self.scratch_dir.clone();
         let stats = Arc::clone(&self.stats);
         let page_size = self.page_size;
+        let io_backend = self.io_backend;
         let first_run_id = self.next_run_id;
 
         let (runs, chunk, total) = std::thread::scope(
@@ -715,16 +765,19 @@ impl<L: RecordLayout> DynExternalSorter<L> {
                             "dynsort-run-{:06}.run",
                             first_run_id + runs.len() as u64
                         ));
-                        let mut writer = DynRunWriter::create(
+                        let mut writer = DynRunWriter::create_with(
                             writer_layout.clone(),
                             path,
                             Arc::clone(&stats),
                             page_size,
+                            io_backend,
                         )?;
                         for record in &sorted_chunk {
                             writer.push(record)?;
                         }
-                        runs.push(writer.finish()?);
+                        // Spill runs are merged and discarded within this
+                        // build: finish without the fdatasync.
+                        runs.push(writer.finish_volatile()?);
                     }
                     Ok(runs)
                 });
@@ -767,17 +820,20 @@ impl<L: RecordLayout> DynExternalSorter<L> {
             .scratch_dir
             .join(format!("dynsort-run-{:06}.run", self.next_run_id));
         self.next_run_id += 1;
-        let mut writer = DynRunWriter::create(
+        let mut writer = DynRunWriter::create_with(
             self.layout.clone(),
             path,
             Arc::clone(&self.stats),
             self.page_size,
+            self.io_backend,
         )?;
         for record in chunk.iter() {
             writer.push(record)?;
         }
         chunk.clear();
-        writer.finish()
+        // Sorter-internal spill run: merged and discarded within this build,
+        // so skip the fdatasync.
+        writer.finish_volatile()
     }
 }
 
@@ -945,6 +1001,65 @@ mod tests {
         );
         assert_eq!(prefetched, direct);
         assert_eq!(stats.snapshot(), direct_stats);
+    }
+
+    /// The mmap backend serves the dynamic sort/merge read path with
+    /// byte-identical spill runs, identical sorted output and identical
+    /// `IoStats` to positioned reads.
+    #[test]
+    fn mmap_backend_dyn_sort_matches_pread() {
+        let layout = PairLayout { payload_len: 24 };
+        let records = make_records(4000, 24);
+        let mut outcomes = Vec::new();
+        for backend in [IoBackend::Pread, IoBackend::Mmap] {
+            let dir = ScratchDir::new(&format!("dynsort-be-{backend}")).unwrap();
+            let stats = IoStats::shared();
+            let mut sorter = DynExternalSorter::new(
+                layout.clone(),
+                32 * 300, // forces spilling
+                dir.path(),
+                Arc::clone(&stats),
+            )
+            .with_page_size(1024)
+            .with_io_backend(backend);
+            let out = sorter.sort(records.clone()).unwrap();
+            assert!(out.spilled());
+            let runs_generated = out.runs_generated;
+            let sorted: Vec<_> = out.map(|r| r.unwrap()).collect();
+            let mut run_bytes = Vec::new();
+            for id in 0..runs_generated {
+                let path = dir.path().join(format!("dynsort-run-{id:06}.run"));
+                run_bytes.push(std::fs::read(path).unwrap());
+            }
+            outcomes.push((sorted, run_bytes, stats.snapshot()));
+        }
+        assert_eq!(outcomes[0].0, outcomes[1].0, "sorted output");
+        assert_eq!(outcomes[0].1, outcomes[1].1, "spill run bytes");
+        assert_eq!(outcomes[0].2, outcomes[1].2, "IoStats totals");
+    }
+
+    /// Dyn spill runs are volatile, explicit `finish` remains durable.
+    #[test]
+    fn dyn_finish_volatile_skips_the_sync() {
+        let dir = ScratchDir::new("dynrun-volatile").unwrap();
+        let layout = PairLayout { payload_len: 8 };
+        let records = make_records(50, 8);
+        let mut durable =
+            DynRunWriter::create(layout.clone(), dir.file("d.run"), IoStats::shared(), 512)
+                .unwrap();
+        let mut volatile =
+            DynRunWriter::create(layout.clone(), dir.file("v.run"), IoStats::shared(), 512)
+                .unwrap();
+        for r in &records {
+            durable.push(r).unwrap();
+            volatile.push(r).unwrap();
+        }
+        let durable = durable.finish().unwrap();
+        let volatile = volatile.finish_volatile().unwrap();
+        assert_eq!(durable.sync_count(), 1);
+        assert_eq!(volatile.sync_count(), 0);
+        let back: Vec<_> = volatile.reader(64).map(|r| r.unwrap()).collect();
+        assert_eq!(back, records);
     }
 
     #[test]

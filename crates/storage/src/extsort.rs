@@ -26,6 +26,7 @@ use coconut_parallel::{effective_parallelism, parallel_sort_by_key};
 
 use crate::file::{read_ahead, PagedFile, ReadAheadBuffers};
 use crate::iostats::SharedIoStats;
+use crate::mmap::IoBackend;
 use crate::page::DEFAULT_PAGE_SIZE;
 use crate::record::{FixedRecord, KeyedRecord};
 use crate::{record_offset, record_range, Result};
@@ -63,6 +64,13 @@ pub struct ExternalSortConfig {
     /// overlap changes *when* each I/O happens, never which I/Os happen or
     /// their per-file order.
     pub io_overlap: bool,
+    /// Read backend for the run files (default [`IoBackend::Pread`]).  With
+    /// [`IoBackend::Mmap`] every run read is served from a read-only file
+    /// mapping instead of a positioned read.  A pure performance knob: the
+    /// bytes, run files and `IoStats` totals are identical at either
+    /// setting (mapped reads account every page they copy with the same
+    /// sequential/random classification).
+    pub io_backend: IoBackend,
 }
 
 impl Default for ExternalSortConfig {
@@ -72,6 +80,7 @@ impl Default for ExternalSortConfig {
             page_size: DEFAULT_PAGE_SIZE,
             parallelism: 1,
             io_overlap: true,
+            io_backend: IoBackend::Pread,
         }
     }
 }
@@ -96,6 +105,13 @@ impl ExternalSortConfig {
     /// [`ExternalSortConfig::io_overlap`]).
     pub fn with_io_overlap(mut self, overlap: bool) -> Self {
         self.io_overlap = overlap;
+        self
+    }
+
+    /// Selects the read backend for run files (see
+    /// [`ExternalSortConfig::io_backend`]).
+    pub fn with_io_backend(mut self, backend: IoBackend) -> Self {
+        self.io_backend = backend;
         self
     }
 }
@@ -173,8 +189,23 @@ impl<R: FixedRecord> RunFile<R> {
         Ok(buf.chunks_exact(size).map(R::decode).collect())
     }
 
-    /// Deletes the backing file (consumes the handle).
+    /// Returns `true` while the backing file holds a live read mapping.
+    pub fn is_mapped(&self) -> bool {
+        self.file.is_mapped()
+    }
+
+    /// Number of fdatasync calls issued on the backing file (durable
+    /// finishes sync exactly once; volatile finishes never do).
+    pub fn sync_count(&self) -> u64 {
+        self.file.sync_count()
+    }
+
+    /// Deletes the backing file (consumes the handle).  The read mapping is
+    /// dropped *before* the unlink, so no clone of this run — a merge
+    /// reader, a query unit — can keep serving reads through a mapping of a
+    /// deleted file.
     pub fn delete(self) -> Result<()> {
+        self.file.unmap();
         let path = self.file.path().to_path_buf();
         drop(self.file);
         std::fs::remove_file(path)?;
@@ -192,9 +223,21 @@ pub struct RunWriter<R: FixedRecord> {
 }
 
 impl<R: FixedRecord> RunWriter<R> {
-    /// Creates a new run file at `path`.
+    /// Creates a new run file at `path` (read back with the `pread`
+    /// backend).
     pub fn create<P: AsRef<Path>>(path: P, stats: SharedIoStats, page_size: usize) -> Result<Self> {
-        let file = PagedFile::create_with_page_size(path, stats, page_size)?;
+        Self::create_with(path, stats, page_size, IoBackend::Pread)
+    }
+
+    /// Like [`RunWriter::create`], choosing the backend the finished run
+    /// serves its reads with.
+    pub fn create_with<P: AsRef<Path>>(
+        path: P,
+        stats: SharedIoStats,
+        page_size: usize,
+        backend: IoBackend,
+    ) -> Result<Self> {
+        let file = PagedFile::create_with_page_size(path, stats, page_size)?.with_backend(backend);
         Ok(RunWriter {
             file,
             buffer: Vec::with_capacity(page_size.max(R::encoded_size())),
@@ -244,6 +287,26 @@ impl<R: FixedRecord> RunWriter<R> {
             count: self.count,
             _marker: std::marker::PhantomData,
         })
+    }
+
+    /// Finishes a *volatile* scratch run: the buffer is flushed to the OS
+    /// but **not** fdatasynced.  For sorter-internal spill runs that are
+    /// merged and discarded within the same build, durability buys nothing —
+    /// a crash loses the whole build either way — while the skipped
+    /// `sync_data` is a device round-trip per run.  Persistent outputs must
+    /// keep using [`RunWriter::finish`].
+    pub fn finish_volatile(mut self) -> Result<RunFile<R>> {
+        self.flush()?;
+        Ok(RunFile {
+            file: Arc::new(self.file),
+            count: self.count,
+            _marker: std::marker::PhantomData,
+        })
+    }
+
+    /// Number of fdatasync calls issued on the underlying file so far.
+    pub fn sync_count(&self) -> u64 {
+        self.file.sync_count()
     }
 }
 
@@ -584,6 +647,7 @@ impl<R: KeyedRecord> ExternalSorter<R> {
         let scratch_dir = self.scratch_dir.clone();
         let stats = Arc::clone(&self.stats);
         let page_size = self.config.page_size;
+        let io_backend = self.config.io_backend;
         let first_run_id = self.next_run_id;
 
         let (runs, chunk, total) =
@@ -596,12 +660,18 @@ impl<R: KeyedRecord> ExternalSorter<R> {
                             "extsort-run-{:06}.run",
                             first_run_id + runs.len() as u64
                         ));
-                        let mut writer =
-                            RunWriter::<R>::create(path, Arc::clone(&stats), page_size)?;
+                        let mut writer = RunWriter::<R>::create_with(
+                            path,
+                            Arc::clone(&stats),
+                            page_size,
+                            io_backend,
+                        )?;
                         for record in &sorted_chunk {
                             writer.push(record)?;
                         }
-                        runs.push(writer.finish()?);
+                        // Spill runs are merged and discarded within this
+                        // build: finish without the fdatasync.
+                        runs.push(writer.finish_volatile()?);
                     }
                     Ok(runs)
                 });
@@ -648,8 +718,13 @@ impl<R: KeyedRecord> ExternalSorter<R> {
     {
         let output = self.sort(input)?;
         let runs_generated = output.runs_generated;
-        let mut writer =
-            RunWriter::create(output_path, Arc::clone(&self.stats), self.config.page_size)?;
+        // The final run is a persistent output: finish durably.
+        let mut writer = RunWriter::create_with(
+            output_path,
+            Arc::clone(&self.stats),
+            self.config.page_size,
+            self.config.io_backend,
+        )?;
         for record in output {
             writer.push(&record?)?;
         }
@@ -663,13 +738,19 @@ impl<R: KeyedRecord> ExternalSorter<R> {
             .scratch_dir
             .join(format!("extsort-run-{:06}.run", self.next_run_id));
         self.next_run_id += 1;
-        let mut writer =
-            RunWriter::<R>::create(path, Arc::clone(&self.stats), self.config.page_size)?;
+        let mut writer = RunWriter::<R>::create_with(
+            path,
+            Arc::clone(&self.stats),
+            self.config.page_size,
+            self.config.io_backend,
+        )?;
         for record in chunk.iter() {
             writer.push(record)?;
         }
         chunk.clear();
-        writer.finish()
+        // Sorter-internal spill run: merged and discarded within this build,
+        // so skip the fdatasync.
+        writer.finish_volatile()
     }
 }
 
@@ -729,6 +810,7 @@ mod tests {
                 page_size: 4096,
                 parallelism: 1,
                 io_overlap: true,
+                io_backend: IoBackend::Pread,
             },
             dir.path(),
             Arc::clone(&stats),
@@ -766,6 +848,7 @@ mod tests {
                 page_size: 1024,
                 parallelism: 1,
                 io_overlap: true,
+                io_backend: IoBackend::Pread,
             },
             dir.path(),
             Arc::clone(&stats),
@@ -867,6 +950,7 @@ mod tests {
                     page_size: 4096,
                     parallelism,
                     io_overlap: true,
+                    io_backend: IoBackend::Pread,
                 },
                 dir.path(),
                 IoStats::shared(),
@@ -902,6 +986,7 @@ mod tests {
                             page_size: 4096,
                             parallelism,
                             io_overlap,
+                            io_backend: IoBackend::Pread,
                         },
                         dir.path(),
                         Arc::clone(&stats),
@@ -1011,6 +1096,134 @@ mod tests {
         ));
     }
 
+    /// Volatile-scratch-run contract: `finish` fdatasyncs exactly once (the
+    /// run is a persistent output and must survive a crash), while
+    /// `finish_volatile` never syncs (the run is sorter-internal scratch,
+    /// merged and discarded within the same build).
+    #[test]
+    fn finish_syncs_but_finish_volatile_does_not() {
+        let dir = ScratchDir::new("runfile-volatile").unwrap();
+        let stats = IoStats::shared();
+        let records = random_records(100, 5);
+        let mut durable =
+            RunWriter::<KeyPointerRecord>::create(dir.file("d.run"), Arc::clone(&stats), 512)
+                .unwrap();
+        let mut volatile =
+            RunWriter::<KeyPointerRecord>::create(dir.file("v.run"), Arc::clone(&stats), 512)
+                .unwrap();
+        for r in &records {
+            durable.push(r).unwrap();
+            volatile.push(r).unwrap();
+        }
+        let durable = durable.finish().unwrap();
+        let volatile = volatile.finish_volatile().unwrap();
+        assert_eq!(durable.sync_count(), 1, "persistent runs must fdatasync");
+        assert_eq!(volatile.sync_count(), 0, "scratch runs must skip the sync");
+        // Volatile runs are still fully readable (the bytes are in the OS).
+        let back: Vec<_> = volatile.reader(64).map(|r| r.unwrap()).collect();
+        assert_eq!(back, records);
+        assert_eq!(std::fs::read(volatile.path()).unwrap().len(), 100 * 24);
+    }
+
+    /// The sorter applies the contract: spill runs are volatile, the final
+    /// `sort_to_run` output is durable.
+    #[test]
+    fn sort_to_run_output_is_durable() {
+        let dir = ScratchDir::new("extsort-durable-out").unwrap();
+        let mut sorter = ExternalSorter::<KeyPointerRecord>::new(
+            ExternalSortConfig {
+                memory_budget_bytes: 24 * 200,
+                page_size: 1024,
+                parallelism: 1,
+                io_overlap: true,
+                io_backend: IoBackend::Pread,
+            },
+            dir.path(),
+            IoStats::shared(),
+        );
+        let input = random_records(3000, 17);
+        let (run, runs_generated) = sorter.sort_to_run(input, dir.file("out.run")).unwrap();
+        assert!(runs_generated > 1, "the sort must spill");
+        assert_eq!(run.sync_count(), 1, "final output must be fdatasynced");
+    }
+
+    /// The mmap backend serves the whole sort/merge read path: byte-identical
+    /// final runs, identical spill files and identical `IoStats` to pread.
+    #[test]
+    fn mmap_backend_sort_matches_pread_sort() {
+        let input = random_records(6000, 23);
+        for io_overlap in [false, true] {
+            let mut outputs = Vec::new();
+            for backend in [IoBackend::Pread, IoBackend::Mmap] {
+                let dir = ScratchDir::new(&format!("extsort-be-{backend}-{io_overlap}")).unwrap();
+                let stats = IoStats::shared();
+                let mut sorter = ExternalSorter::<KeyPointerRecord>::new(
+                    ExternalSortConfig {
+                        memory_budget_bytes: 24 * 500,
+                        page_size: 4096,
+                        parallelism: 1,
+                        io_overlap,
+                        io_backend: backend,
+                    },
+                    dir.path(),
+                    Arc::clone(&stats),
+                );
+                let (run, runs_generated) = sorter
+                    .sort_to_run(input.clone(), dir.file("final.run"))
+                    .unwrap();
+                assert!(runs_generated > 1, "the sort must spill");
+                let mut spills = Vec::new();
+                for id in 0..runs_generated {
+                    spills.push(
+                        std::fs::read(dir.path().join(format!("extsort-run-{id:06}.run"))).unwrap(),
+                    );
+                }
+                outputs.push((std::fs::read(run.path()).unwrap(), spills, stats.snapshot()));
+            }
+            assert_eq!(
+                outputs[0].0, outputs[1].0,
+                "final run bytes (ov {io_overlap})"
+            );
+            assert_eq!(
+                outputs[0].1, outputs[1].1,
+                "spill run bytes (ov {io_overlap})"
+            );
+            assert_eq!(
+                outputs[0].2, outputs[1].2,
+                "IoStats totals (ov {io_overlap})"
+            );
+        }
+    }
+
+    /// Deleting a run drops its read mapping before the unlink, even while
+    /// other handles to the same run are still alive.
+    #[test]
+    fn delete_unmaps_before_unlink() {
+        let dir = ScratchDir::new("runfile-unmap").unwrap();
+        let stats = IoStats::shared();
+        let mut writer = RunWriter::<KeyPointerRecord>::create_with(
+            dir.file("m.run"),
+            Arc::clone(&stats),
+            512,
+            IoBackend::Mmap,
+        )
+        .unwrap();
+        for r in random_records(64, 3) {
+            writer.push(&r).unwrap();
+        }
+        let run = writer.finish().unwrap();
+        let clone = run.clone();
+        run.read_range(0, 64).unwrap();
+        assert!(clone.is_mapped(), "a mapped read must create the mapping");
+        let path = run.path().to_path_buf();
+        run.delete().unwrap();
+        assert!(
+            !clone.is_mapped(),
+            "delete must drop the mapping before the unlink"
+        );
+        assert!(!path.exists(), "the file must be gone");
+    }
+
     #[test]
     fn duplicate_keys_are_all_preserved() {
         let dir = ScratchDir::new("extsort-dup").unwrap();
@@ -1021,6 +1234,7 @@ mod tests {
                 page_size: 1024,
                 parallelism: 1,
                 io_overlap: true,
+                io_backend: IoBackend::Pread,
             },
             dir.path(),
             stats,
@@ -1067,6 +1281,7 @@ mod proptests {
                     page_size: 512,
                     parallelism: 1,
                     io_overlap: true,
+                    io_backend: IoBackend::Pread,
                 },
                 dir.path(),
                 stats,
@@ -1103,6 +1318,7 @@ mod proptests {
                         page_size: 512,
                         parallelism: workers,
                         io_overlap,
+                        io_backend: IoBackend::Pread,
                     },
                     dir.path(),
                     Arc::clone(&stats),
@@ -1144,6 +1360,7 @@ mod proptests {
                         page_size: 512,
                         parallelism,
                         io_overlap: true,
+                        io_backend: IoBackend::Pread,
                     },
                     dir.path(),
                     IoStats::shared(),

@@ -10,12 +10,14 @@
 use std::fs::{File, OpenOptions};
 use std::io::{Read, Seek, SeekFrom, Write};
 use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 use parking_lot::Mutex;
 
 use crate::heatmap::HeatMap;
 use crate::iostats::{AccessKind, SharedIoStats};
+use crate::mmap::{IoBackend, Mapping};
 use crate::page::{page_of_offset, pages_for_bytes, PageId, DEFAULT_PAGE_SIZE};
 use crate::{Result, StorageError};
 
@@ -28,6 +30,14 @@ pub struct PagedFile {
     last_page: Mutex<Option<(PageId, bool)>>, // (page, was_read)
     stats: SharedIoStats,
     heatmap: Option<Arc<HeatMap>>,
+    backend: IoBackend,
+    /// Lazily created read-only mapping serving reads when `backend` is
+    /// [`IoBackend::Mmap`]; re-created when a read extends past its length,
+    /// dropped explicitly by [`PagedFile::unmap`] before the file is deleted.
+    mapping: Mutex<Option<Mapping>>,
+    /// Number of `sync` (fdatasync) calls issued on this file — lets tests
+    /// assert that durable finish paths sync and volatile ones do not.
+    sync_calls: AtomicU64,
 }
 
 impl std::fmt::Debug for PagedFile {
@@ -67,6 +77,9 @@ impl PagedFile {
             last_page: Mutex::new(None),
             stats,
             heatmap: None,
+            backend: IoBackend::Pread,
+            mapping: Mutex::new(None),
+            sync_calls: AtomicU64::new(0),
         })
     }
 
@@ -95,6 +108,9 @@ impl PagedFile {
             last_page: Mutex::new(None),
             stats,
             heatmap: None,
+            backend: IoBackend::Pread,
+            mapping: Mutex::new(None),
+            sync_calls: AtomicU64::new(0),
         })
     }
 
@@ -102,6 +118,36 @@ impl PagedFile {
     pub fn with_heatmap(mut self, heatmap: Arc<HeatMap>) -> Self {
         self.heatmap = Some(heatmap);
         self
+    }
+
+    /// Selects the read backend (default [`IoBackend::Pread`]).  A pure
+    /// performance knob: mapped reads return the same bytes and account the
+    /// same page touches as positioned reads.
+    pub fn with_backend(mut self, backend: IoBackend) -> Self {
+        self.backend = backend;
+        self
+    }
+
+    /// The read backend this file serves reads with.
+    pub fn backend(&self) -> IoBackend {
+        self.backend
+    }
+
+    /// Returns `true` while a read mapping of the file is alive.
+    pub fn is_mapped(&self) -> bool {
+        self.mapping.lock().is_some()
+    }
+
+    /// Drops the read mapping (if any).  Must be called before the backing
+    /// file is unlinked so no reads can be served through a mapping of a
+    /// deleted file; a later read simply re-maps (or falls back to `pread`).
+    pub fn unmap(&self) {
+        *self.mapping.lock() = None;
+    }
+
+    /// Number of [`PagedFile::sync`] calls issued so far.
+    pub fn sync_count(&self) -> u64 {
+        self.sync_calls.load(Ordering::Relaxed)
     }
 
     /// Path of the underlying file.
@@ -217,13 +263,43 @@ impl PagedFile {
             });
         }
         let mut buf = vec![0u8; len];
-        {
+        if !self.read_mapped(offset, &mut buf, file_len) {
             let mut file = self.file.lock();
             file.seek(SeekFrom::Start(offset))?;
             file.read_exact(&mut buf)?;
         }
         self.account(offset, len, true);
         Ok(buf)
+    }
+
+    /// Serves a bounds-checked read from the file mapping when the backend
+    /// is [`IoBackend::Mmap`]; returns `false` (fall back to a positioned
+    /// read) for the `pread` backend, empty reads, or when mapping fails.
+    ///
+    /// The mapping is created lazily at the file's current length and
+    /// re-created whenever a read extends past it (the file grew since).
+    /// `MAP_SHARED` keeps in-bounds bytes coherent with descriptor writes,
+    /// so a live mapping never serves stale data.  Accounting happens in the
+    /// caller, identically to the positioned path: the copy touches exactly
+    /// the pages `account` charges, so `IoStats` totals are backend-
+    /// independent by construction.
+    fn read_mapped(&self, offset: u64, buf: &mut [u8], file_len: u64) -> bool {
+        if self.backend != IoBackend::Mmap || buf.is_empty() {
+            return false;
+        }
+        let end = offset + buf.len() as u64; // caller checked end <= file_len
+        let mut mapping = self.mapping.lock();
+        if mapping.as_ref().is_none_or(|m| (m.len() as u64) < end) {
+            // Drop the outgrown mapping before building its replacement.
+            *mapping = None;
+            match Mapping::map(&self.file.lock(), file_len) {
+                Ok(m) => *mapping = Some(m),
+                Err(_) => return false,
+            }
+        }
+        let m = mapping.as_ref().expect("mapping was just ensured");
+        buf.copy_from_slice(&m.as_slice()[offset as usize..end as usize]);
+        true
     }
 
     /// Reads one whole page (the last page may be short).
@@ -249,6 +325,7 @@ impl PagedFile {
     /// are not awaited; the file length is carried by the data itself.
     pub fn sync(&self) -> Result<()> {
         self.file.lock().sync_data()?;
+        self.sync_calls.fetch_add(1, Ordering::Relaxed);
         Ok(())
     }
 
@@ -587,5 +664,65 @@ mod tests {
         f.write_at(100, b"xy").unwrap();
         assert_eq!(f.len(), 102);
         assert_eq!(f.read_at(100, 2).unwrap(), b"xy");
+    }
+
+    /// Tentpole invariant at the lowest level: the mmap backend returns the
+    /// same bytes as positioned reads and charges the identical `IoStats`
+    /// (every touched page, same sequential/random classification).
+    #[test]
+    fn mmap_backend_reads_identical_bytes_with_identical_accounting() {
+        let data: Vec<u8> = (0..64u32 * 20).map(|i| (i % 251) as u8).collect();
+        let mut outcomes = Vec::new();
+        for backend in [IoBackend::Pread, IoBackend::Mmap] {
+            let (dir, stats) = setup(&format!("pf-backend-{backend}"));
+            let f = PagedFile::create_with_page_size(dir.file("a.bin"), Arc::clone(&stats), 64)
+                .unwrap()
+                .with_backend(backend);
+            f.append(&data).unwrap();
+            stats.reset();
+            f.reset_access_cursor();
+            let mut bytes = Vec::new();
+            // A sequential scan, a re-read, and scattered random reads.
+            for page in (0..20u64).chain([0, 13, 4, 17]) {
+                bytes.extend(f.read_at(page * 64, 64).unwrap());
+            }
+            bytes.extend(f.read_at(3, 100).unwrap()); // page-straddling read
+            outcomes.push((bytes, stats.snapshot()));
+        }
+        assert_eq!(outcomes[0].0, outcomes[1].0, "bytes must match");
+        assert_eq!(outcomes[0].1, outcomes[1].1, "IoStats must match");
+    }
+
+    #[test]
+    fn mmap_backend_remaps_after_growth_and_unmap() {
+        let (dir, stats) = setup("pf-mmap-grow");
+        let f = PagedFile::create_with_page_size(dir.file("a.bin"), stats, 64)
+            .unwrap()
+            .with_backend(IoBackend::Mmap);
+        f.append(&[1u8; 64]).unwrap();
+        assert_eq!(f.read_at(0, 64).unwrap(), vec![1u8; 64]);
+        assert!(f.is_mapped(), "first mapped read must create the mapping");
+        // Growth past the mapped length forces a remap covering the tail.
+        f.append(&[2u8; 64]).unwrap();
+        assert_eq!(f.read_at(64, 64).unwrap(), vec![2u8; 64]);
+        // In-bounds overwrite stays visible through the shared mapping.
+        f.write_at(0, &[9u8; 8]).unwrap();
+        assert_eq!(f.read_at(0, 8).unwrap(), vec![9u8; 8]);
+        // An explicit unmap drops the mapping; the next read re-creates it.
+        f.unmap();
+        assert!(!f.is_mapped());
+        assert_eq!(f.read_at(64, 64).unwrap(), vec![2u8; 64]);
+        assert!(f.is_mapped());
+    }
+
+    #[test]
+    fn sync_count_tracks_fdatasync_calls() {
+        let (dir, stats) = setup("pf-sync-count");
+        let f = PagedFile::create(dir.file("a.bin"), stats).unwrap();
+        assert_eq!(f.sync_count(), 0);
+        f.append(b"x").unwrap();
+        f.sync().unwrap();
+        f.sync().unwrap();
+        assert_eq!(f.sync_count(), 2);
     }
 }

@@ -29,6 +29,7 @@ pub mod extsort;
 pub mod file;
 pub mod heatmap;
 pub mod iostats;
+pub mod mmap;
 pub mod page;
 pub mod record;
 pub mod tempdir;
@@ -42,6 +43,7 @@ pub use extsort::{ExternalSortConfig, ExternalSorter};
 pub use file::{read_ahead, PagedFile, ReadAheadBuffers, PREFETCH_MIN_BYTES};
 pub use heatmap::HeatMap;
 pub use iostats::{AccessKind, IoStats, IoStatsSnapshot, SharedIoStats};
+pub use mmap::IoBackend;
 pub use page::{PageId, DEFAULT_PAGE_SIZE};
 pub use record::{FixedRecord, KeyedRecord};
 pub use tempdir::ScratchDir;

@@ -36,7 +36,7 @@ use coconut_ctree::{IndexError, Result};
 use coconut_sax::{SaxConfig, SortableSummarizer};
 use coconut_series::distance::Neighbor;
 use coconut_series::{Timestamp, TimestampedSeries};
-use coconut_storage::SharedIoStats;
+use coconut_storage::{IoBackend, SharedIoStats};
 
 /// Which windowing scheme a streaming index uses.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -279,6 +279,12 @@ pub struct PartitionedConfig {
     /// the k-way merge drains the current buffer.  A pure performance knob —
     /// partitions, answers and `IoStats` totals are identical either way.
     pub io_overlap: bool,
+    /// Read backend for sorted partitions (default `pread`; `mmap` serves
+    /// partition block scans and BTP merge reads from read-only file
+    /// mappings, dropped before a merge deletes its inputs).  A pure
+    /// performance knob — partitions, answers and `IoStats` totals are
+    /// identical at either setting.
+    pub io_backend: IoBackend,
 }
 
 impl PartitionedConfig {
@@ -294,6 +300,7 @@ impl PartitionedConfig {
             parallelism: 1,
             query_parallelism: 1,
             io_overlap: true,
+            io_backend: IoBackend::Pread,
         }
     }
 
@@ -333,6 +340,13 @@ impl PartitionedConfig {
     /// performance knob; see [`PartitionedConfig::io_overlap`].
     pub fn with_io_overlap(mut self, overlap: bool) -> Self {
         self.io_overlap = overlap;
+        self
+    }
+
+    /// Selects the read backend for sorted partitions (default `pread`).
+    /// A pure performance knob; see [`PartitionedConfig::io_backend`].
+    pub fn with_io_backend(mut self, backend: IoBackend) -> Self {
+        self.io_backend = backend;
         self
     }
 
@@ -433,7 +447,7 @@ impl PartitionedStream {
             PartitionKind::Sorted => {
                 let path = self.dir.join(format!("tp-part-{:06}.run", self.next_id));
                 self.next_id += 1;
-                let file = SortedSeriesFile::build_from_entries_parallel(
+                let file = SortedSeriesFile::build_from_entries_with(
                     path,
                     self.config.layout(),
                     self.config.sax,
@@ -442,6 +456,7 @@ impl PartitionedStream {
                     Arc::clone(&self.stats),
                     self.config.page_size,
                     self.config.parallelism,
+                    self.config.io_backend,
                 )?;
                 Partition::Sorted {
                     file,
@@ -527,7 +542,7 @@ impl PartitionedStream {
             )?;
             let path = self.dir.join(format!("btp-merged-{:06}.run", self.next_id));
             self.next_id += 1;
-            let merged = SortedSeriesFile::build_from_sorted(
+            let merged = SortedSeriesFile::build_from_sorted_with(
                 path,
                 layout,
                 self.config.sax,
@@ -535,6 +550,7 @@ impl PartitionedStream {
                 self.config.entries_per_block,
                 Arc::clone(&self.stats),
                 self.config.page_size,
+                self.config.io_backend,
             )?;
             for f in files {
                 let _ = f.delete();

@@ -41,6 +41,7 @@ fn main() {
         query_parallelism: 0,
         shard_count: 1,
         io_overlap: true,
+        io_backend: coconut_core::IoBackend::Pread,
     };
     let response = server.handle_json(&build.to_json().to_string());
     println!("{response}\n");
