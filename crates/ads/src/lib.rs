@@ -146,7 +146,7 @@ pub struct AdsTree {
     root: Node,
     leaves: Vec<LeafState>,
     leaf_file: Arc<PagedFile>,
-    dataset: Option<Dataset>,
+    raw: Option<coconut_ctree::raw::RawSeriesSource>,
     stats: SharedIoStats,
     buffered_total: usize,
     entries: u64,
@@ -196,7 +196,7 @@ impl AdsTree {
             root,
             leaves,
             leaf_file: file,
-            dataset: None,
+            raw: None,
             stats,
             buffered_total: 0,
             entries: 0,
@@ -231,7 +231,7 @@ impl AdsTree {
         }
         tree.flush_buffers()?;
         if !config.materialized {
-            tree.dataset = Some(dataset.reopen()?);
+            tree.attach_dataset(dataset.reopen()?)?;
         }
         tree.build_stats = AdsBuildStats {
             elapsed: start.elapsed(),
@@ -244,9 +244,14 @@ impl AdsTree {
         Ok(tree)
     }
 
-    /// Attaches the raw dataset handle used for non-materialized refinement.
-    pub fn attach_dataset(&mut self, dataset: Dataset) {
-        self.dataset = Some(dataset);
+    /// Attaches the raw dataset handle used for non-materialized
+    /// refinement (ADS+ is the baseline: fetches stay on positioned reads).
+    pub fn attach_dataset(&mut self, dataset: Dataset) -> Result<()> {
+        self.raw = Some(coconut_ctree::raw::RawSeriesSource::new(
+            dataset,
+            coconut_storage::IoBackend::Pread,
+        )?);
+        Ok(())
     }
 
     /// Configuration of this index.
@@ -548,8 +553,8 @@ impl AdsTree {
     }
 
     fn query_context(&self) -> QueryContext<'_> {
-        match &self.dataset {
-            Some(ds) => QueryContext::non_materialized(ds, Arc::clone(&self.stats)),
+        match &self.raw {
+            Some(raw) => QueryContext::non_materialized(raw, Arc::clone(&self.stats)),
             None => QueryContext::materialized(),
         }
     }

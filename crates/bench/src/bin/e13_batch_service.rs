@@ -1,0 +1,259 @@
+//! E13 — concurrent palm service + batched kNN.
+//!
+//! Exercises the two layers this round added, with identity self-checks on
+//! both (any failure exits non-zero — this is the CI smoke check):
+//!
+//! * **Engine batching** — runs a query workload one at a time and as one
+//!   `batch_knn` batch, verifies the per-query answers, `QueryCost` and
+//!   query-phase `IoStats` are identical (the batch pipeline's tentpole
+//!   invariant), and reports the throughput of both.
+//! * **Service concurrency** — `PalmServer::handle` takes `&self`: the same
+//!   workload is issued as palm `query` requests from 1 thread and from
+//!   `COCONUT_THREADS` threads sharing one server (plus the `batch` verb),
+//!   verifying identical responses and reporting the request throughput of
+//!   each mode.  With more than one thread on a multi-core box the
+//!   concurrent mode's speedup demonstrates that queries against one index
+//!   no longer serialize behind each other.
+//!
+//! `COCONUT_SCALE` scales the dataset, `COCONUT_THREADS` the worker/request
+//! threads, `COCONUT_IO_BACKEND` the read backend.  The machine-readable
+//! report goes to `BENCH_batch.json`.
+
+use std::sync::Arc;
+use std::time::Instant;
+
+use coconut_bench::{f2, io_backend, print_table, scale, threads, Workbench};
+use coconut_core::palm::{PalmRequest, PalmResponse, PalmServer};
+use coconut_core::{IndexConfig, IoStatsSnapshot, Neighbor, QueryCost, StaticIndex, VariantKind};
+use coconut_json::{Json, ToJson};
+
+fn per_query_results(responses: &[PalmResponse]) -> Vec<(Vec<u64>, Vec<u64>)> {
+    responses
+        .iter()
+        .map(|r| match r {
+            PalmResponse::QueryResult { ids, distances, .. } => {
+                (ids.clone(), distances.iter().map(|d| d.to_bits()).collect())
+            }
+            other => panic!("expected a query result, got {other:?}"),
+        })
+        .collect()
+}
+
+fn main() {
+    let n = 12_000 * scale();
+    let len = 128;
+    let n_queries = 48;
+    let k = 5;
+    let n_threads = threads();
+    let backend = io_backend();
+    let wb = Workbench::random_walk("e13", n, len, n_queries, 13);
+
+    // One index for the engine-level comparison ...
+    let config = IndexConfig::new(VariantKind::Clsm, len)
+        .materialized(true)
+        .with_memory_budget(8 << 20)
+        .with_shard_count(2)
+        .with_parallelism(n_threads)
+        .with_query_parallelism(n_threads)
+        .with_io_backend(backend);
+    let stats = wb.stats();
+    let (index, _) = StaticIndex::build(
+        &wb.dataset,
+        config,
+        &wb.dir.file("clsm-engine"),
+        Arc::clone(&stats),
+    )
+    .expect("build");
+    let queries: Vec<Vec<f32>> = wb
+        .queries
+        .queries
+        .iter()
+        .map(|q| q.values.clone())
+        .collect();
+
+    // Engine level: sequential pass.
+    let io_before = stats.snapshot();
+    let start = Instant::now();
+    let sequential: Vec<(Vec<Neighbor>, QueryCost)> = queries
+        .iter()
+        .map(|q| index.exact_knn(q, k).expect("query"))
+        .collect();
+    let sequential_ms = start.elapsed().as_secs_f64() * 1000.0;
+    let sequential_io = stats.snapshot().since(&io_before);
+
+    // Engine level: the same workload as one batch.
+    let io_before = stats.snapshot();
+    let start = Instant::now();
+    let batched = index.batch_knn(&queries, k, true).expect("batch");
+    let batched_ms = start.elapsed().as_secs_f64() * 1000.0;
+    let batched_io = stats.snapshot().since(&io_before);
+
+    let identical_engine_answers = sequential == batched;
+    let identical_engine_io = sequential_io == batched_io;
+
+    // Service level: one server, shared by request threads.
+    let server = PalmServer::new(wb.dir.file("palm-work")).with_batch_parallelism(n_threads);
+    let built = server.handle(PalmRequest::BuildIndex {
+        name: "svc".into(),
+        dataset_path: wb.dataset.path().to_string_lossy().into_owned(),
+        variant: VariantKind::Clsm,
+        materialized: true,
+        memory_budget_bytes: 8 << 20,
+        parallelism: n_threads,
+        query_parallelism: 1, // per-request work stays single-threaded
+        shard_count: 2,
+        io_overlap: true,
+        io_backend: backend,
+    });
+    assert!(matches!(built, PalmResponse::Built { .. }), "{built:?}");
+    let requests: Vec<PalmRequest> = queries
+        .iter()
+        .map(|q| PalmRequest::Query {
+            name: "svc".into(),
+            query: q.clone(),
+            k,
+            exact: true,
+        })
+        .collect();
+
+    // Warm pass (page cache, mappings), then measured passes.
+    for request in &requests {
+        server.handle(request.clone());
+    }
+
+    let start = Instant::now();
+    let single_thread: Vec<PalmResponse> =
+        requests.iter().map(|r| server.handle(r.clone())).collect();
+    let single_thread_ms = start.elapsed().as_secs_f64() * 1000.0;
+
+    let start = Instant::now();
+    let mut concurrent: Vec<Option<PalmResponse>> = vec![None; requests.len()];
+    let next = std::sync::atomic::AtomicUsize::new(0);
+    std::thread::scope(|scope| {
+        let server = &server;
+        let requests = &requests;
+        let mut handles = Vec::new();
+        for _ in 0..n_threads.max(1) {
+            let next = &next;
+            handles.push(scope.spawn(move || {
+                let mut done = Vec::new();
+                loop {
+                    let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                    if i >= requests.len() {
+                        break;
+                    }
+                    done.push((i, server.handle(requests[i].clone())));
+                }
+                done
+            }));
+        }
+        for handle in handles {
+            for (i, response) in handle.join().expect("request worker panicked") {
+                concurrent[i] = Some(response);
+            }
+        }
+    });
+    let concurrent_ms = start.elapsed().as_secs_f64() * 1000.0;
+    let concurrent: Vec<PalmResponse> = concurrent.into_iter().map(|r| r.unwrap()).collect();
+
+    // The palm batch verb over the same workload.
+    let start = Instant::now();
+    let batch_verb = server.handle(PalmRequest::Batch {
+        requests: requests.clone(),
+    });
+    let batch_verb_ms = start.elapsed().as_secs_f64() * 1000.0;
+    let PalmResponse::Batch {
+        responses: batch_responses,
+    } = batch_verb
+    else {
+        panic!("expected a batch response");
+    };
+
+    let single_results = per_query_results(&single_thread);
+    let identical_service_concurrent = single_results == per_query_results(&concurrent);
+    let identical_service_batch = single_results == per_query_results(&batch_responses);
+
+    let qps = |ms: f64| n_queries as f64 / (ms / 1000.0);
+    print_table(
+        &format!(
+            "E13: batched + concurrent palm service, {n} series x {len}, {n_threads} threads, {backend}"
+        ),
+        &["mode", "ms", "queries/s"],
+        &[
+            vec!["engine sequential".into(), f2(sequential_ms), f2(qps(sequential_ms))],
+            vec!["engine batch_knn".into(), f2(batched_ms), f2(qps(batched_ms))],
+            vec!["palm 1 thread".into(), f2(single_thread_ms), f2(qps(single_thread_ms))],
+            vec![
+                format!("palm {n_threads} threads"),
+                f2(concurrent_ms),
+                f2(qps(concurrent_ms)),
+            ],
+            vec!["palm batch verb".into(), f2(batch_verb_ms), f2(qps(batch_verb_ms))],
+        ],
+    );
+    let concurrent_speedup = single_thread_ms / concurrent_ms;
+    println!(
+        "\nbatch answers+costs identical to sequential: {identical_engine_answers}\n\
+         batch IoStats identical to sequential:       {identical_engine_io}\n\
+         concurrent responses identical:              {identical_service_concurrent}\n\
+         batch-verb responses identical:              {identical_service_batch}\n\
+         service speedup ({n_threads} threads / 1):           x{}",
+        f2(concurrent_speedup)
+    );
+
+    let io_json = |io: &IoStatsSnapshot| io.to_json();
+    let report = Json::obj(vec![
+        ("experiment", "e13_batch_service".to_json()),
+        ("series", n.to_json()),
+        ("series_len", len.to_json()),
+        ("queries", n_queries.to_json()),
+        ("k", k.to_json()),
+        ("threads", n_threads.to_json()),
+        ("io_backend", backend.to_json()),
+        ("engine_sequential_ms", sequential_ms.to_json()),
+        ("engine_batch_ms", batched_ms.to_json()),
+        (
+            "engine_batch_speedup",
+            (sequential_ms / batched_ms).to_json(),
+        ),
+        ("engine_sequential_io", io_json(&sequential_io)),
+        ("engine_batch_io", io_json(&batched_io)),
+        ("service_single_thread_ms", single_thread_ms.to_json()),
+        ("service_concurrent_ms", concurrent_ms.to_json()),
+        ("service_batch_verb_ms", batch_verb_ms.to_json()),
+        ("service_concurrent_speedup", concurrent_speedup.to_json()),
+        (
+            "identical_batch_answers",
+            identical_engine_answers.to_json(),
+        ),
+        ("identical_batch_iostats", identical_engine_io.to_json()),
+        (
+            "identical_concurrent_responses",
+            identical_service_concurrent.to_json(),
+        ),
+        (
+            "identical_batch_verb_responses",
+            identical_service_batch.to_json(),
+        ),
+    ]);
+    std::fs::write("BENCH_batch.json", report.to_string_pretty()).expect("write report");
+    println!("\nwrote BENCH_batch.json");
+
+    // Identity self-checks: non-zero exit on any mismatch.
+    assert!(
+        identical_engine_answers,
+        "batch_knn must answer identically to one-at-a-time"
+    );
+    assert!(
+        identical_engine_io,
+        "batch_knn must account identical IoStats"
+    );
+    assert!(
+        identical_service_concurrent,
+        "concurrent palm queries must answer identically"
+    );
+    assert!(
+        identical_service_batch,
+        "the palm batch verb must answer identically"
+    );
+}

@@ -27,6 +27,7 @@ use std::sync::Arc;
 
 use coconut_ctree::entry::{EntryLayout, SeriesEntry};
 use coconut_ctree::query::{KnnHeap, QueryContext, QueryCost};
+use coconut_ctree::raw::RawSeriesSource;
 use coconut_ctree::sorted_file::SortedSeriesFile;
 use coconut_ctree::{IndexError, Result};
 use coconut_sax::{SaxConfig, SortableSummarizer};
@@ -238,7 +239,7 @@ pub struct ClsmTree {
     levels: Vec<Vec<RunSet>>,
     dir: PathBuf,
     stats: SharedIoStats,
-    dataset: Option<Dataset>,
+    raw: Option<RawSeriesSource>,
     next_run_id: u64,
     lsm_stats: ClsmStats,
 }
@@ -264,15 +265,19 @@ impl ClsmTree {
             levels: Vec::new(),
             dir: dir.to_path_buf(),
             stats,
-            dataset: None,
+            raw: None,
             next_run_id: 0,
             lsm_stats: ClsmStats::default(),
         })
     }
 
-    /// Attaches the raw dataset handle used for non-materialized refinement.
-    pub fn attach_dataset(&mut self, dataset: Dataset) {
-        self.dataset = Some(dataset);
+    /// Attaches the raw dataset handle used for non-materialized
+    /// refinement.  Fetches are served through the index's `io_backend`
+    /// knob (mmap-backed when configured), with accounting identical at
+    /// either setting.
+    pub fn attach_dataset(&mut self, dataset: Dataset) -> Result<()> {
+        self.raw = Some(RawSeriesSource::new(dataset, self.config.io_backend)?);
+        Ok(())
     }
 
     /// Builds a CLSM by ingesting every series of `dataset` in order.
@@ -308,7 +313,7 @@ impl ClsmTree {
         }
         tree.flush()?;
         if !config.materialized {
-            tree.dataset = Some(dataset.reopen()?);
+            tree.attach_dataset(dataset.reopen()?)?;
         }
         Ok(tree)
     }
@@ -587,8 +592,8 @@ impl ClsmTree {
     }
 
     fn query_context(&self) -> QueryContext<'_> {
-        match &self.dataset {
-            Some(ds) => QueryContext::non_materialized(ds, Arc::clone(&self.stats)),
+        match &self.raw {
+            Some(raw) => QueryContext::non_materialized(raw, Arc::clone(&self.stats)),
             None => QueryContext::materialized(),
         }
     }
@@ -624,16 +629,11 @@ impl ClsmTree {
     /// Search units in newest-first order: the buffer, then level 0's runs
     /// (newest flush first), then deeper levels, with every shard of a
     /// sharded run as its own unit so queries fan out per shard.
-    fn query_units<'a>(
-        &'a self,
-        query: &'a [f32],
-        window: Option<(Timestamp, Timestamp)>,
-    ) -> Vec<ClsmUnit<'a>> {
+    fn query_units(&self, window: Option<(Timestamp, Timestamp)>) -> Vec<ClsmUnit<'_>> {
         let mut units = Vec::with_capacity(self.num_shards() + 1);
         if !self.buffer.is_empty() {
             units.push(ClsmUnit {
                 tree: self,
-                query,
                 window,
                 part: ClsmPart::Buffer,
             });
@@ -643,7 +643,6 @@ impl ClsmTree {
                 for shard in &run.shards {
                     units.push(ClsmUnit {
                         tree: self,
-                        query,
                         window,
                         part: ClsmPart::Shard(shard),
                     });
@@ -666,8 +665,8 @@ impl ClsmTree {
         k: usize,
         window: Option<(Timestamp, Timestamp)>,
     ) -> Result<(Vec<Neighbor>, QueryCost)> {
-        let units = self.query_units(query, window);
-        coconut_ctree::engine::parallel_knn(&units, k, self.config.query_parallelism, false)
+        let units = self.query_units(window);
+        coconut_ctree::engine::parallel_knn(&units, query, k, self.config.query_parallelism, false)
     }
 
     /// Exact kNN over the buffer plus every run, fanned out over
@@ -683,8 +682,36 @@ impl ClsmTree {
         k: usize,
         window: Option<(Timestamp, Timestamp)>,
     ) -> Result<(Vec<Neighbor>, QueryCost)> {
-        let units = self.query_units(query, window);
-        coconut_ctree::engine::parallel_knn(&units, k, self.config.query_parallelism, true)
+        let units = self.query_units(window);
+        coconut_ctree::engine::parallel_knn(&units, query, k, self.config.query_parallelism, true)
+    }
+
+    /// Runs a batch of kNN queries over the buffer plus every run through
+    /// the engine's round pipeline.
+    ///
+    /// Every query's answers and `QueryCost` are bit-identical to issuing
+    /// it alone via [`ClsmTree::exact_knn`] /
+    /// [`ClsmTree::approximate_knn`], and so is the per-file `IoStats`
+    /// accounting; see `coconut_ctree::engine`.
+    pub fn batch_knn(
+        &self,
+        queries: &[Vec<f32>],
+        k: usize,
+        exact: bool,
+    ) -> Result<Vec<(Vec<Neighbor>, QueryCost)>> {
+        self.batch_knn_window(queries, k, None, exact)
+    }
+
+    /// Like [`ClsmTree::batch_knn`], restricted to a timestamp window.
+    pub fn batch_knn_window(
+        &self,
+        queries: &[Vec<f32>],
+        k: usize,
+        window: Option<(Timestamp, Timestamp)>,
+        exact: bool,
+    ) -> Result<Vec<(Vec<Neighbor>, QueryCost)>> {
+        let units = self.query_units(window);
+        coconut_ctree::engine::batch_knn(&units, queries, k, self.config.query_parallelism, exact)
     }
 }
 
@@ -697,10 +724,10 @@ enum ClsmPart<'a> {
 }
 
 /// One independently searchable piece of a CLSM tree for the concurrent
-/// query engine.
+/// query engine.  The query is supplied per search call so one unit list
+/// serves a whole batch.
 struct ClsmUnit<'a> {
     tree: &'a ClsmTree,
-    query: &'a [f32],
     window: Option<(Timestamp, Timestamp)>,
     part: ClsmPart<'a>,
 }
@@ -710,19 +737,29 @@ impl coconut_ctree::engine::SearchUnit for ClsmUnit<'_> {
         self.tree.query_context()
     }
 
-    fn search_approximate(&self, heap: &mut KnnHeap, ctx: &mut QueryContext<'_>) -> Result<()> {
+    fn search_approximate(
+        &self,
+        query: &[f32],
+        heap: &mut KnnHeap,
+        ctx: &mut QueryContext<'_>,
+    ) -> Result<()> {
         match self.part {
             // The buffer is in memory: its "approximate" probe is the full
             // scan, which both seeds the shared bound and is exact.
-            ClsmPart::Buffer => self.tree.search_buffer(self.query, heap, ctx, self.window),
-            ClsmPart::Shard(file) => file.search_approximate(self.query, heap, ctx, self.window),
+            ClsmPart::Buffer => self.tree.search_buffer(query, heap, ctx, self.window),
+            ClsmPart::Shard(file) => file.search_approximate(query, heap, ctx, self.window),
         }
     }
 
-    fn search_exact(&self, heap: &mut KnnHeap, ctx: &mut QueryContext<'_>) -> Result<()> {
+    fn search_exact(
+        &self,
+        query: &[f32],
+        heap: &mut KnnHeap,
+        ctx: &mut QueryContext<'_>,
+    ) -> Result<()> {
         match self.part {
-            ClsmPart::Buffer => self.tree.search_buffer(self.query, heap, ctx, self.window),
-            ClsmPart::Shard(file) => file.search_exact(self.query, heap, ctx, self.window),
+            ClsmPart::Buffer => self.tree.search_buffer(query, heap, ctx, self.window),
+            ClsmPart::Shard(file) => file.search_exact(query, heap, ctx, self.window),
         }
     }
 }

@@ -364,6 +364,18 @@ impl StaticIndex {
         }
     }
 
+    /// Returns `true` when the index embeds full series values.  A
+    /// non-materialized index refines candidates from the original dataset
+    /// file, so series appended after the build (which that file does not
+    /// contain) cannot be served by it.
+    pub fn is_materialized(&self) -> bool {
+        match self {
+            StaticIndex::Ads(t) => t.config().materialized,
+            StaticIndex::CTree(t) => t.config().materialized,
+            StaticIndex::Clsm(t) => t.config().materialized,
+        }
+    }
+
     /// Approximate kNN query.
     pub fn approximate_knn(&self, query: &[f32], k: usize) -> Result<(Vec<Neighbor>, QueryCost)> {
         match self {
@@ -379,6 +391,37 @@ impl StaticIndex {
             StaticIndex::Ads(t) => t.exact_knn(query, k),
             StaticIndex::CTree(t) => t.exact_knn(query, k),
             StaticIndex::Clsm(t) => t.exact_knn(query, k),
+        }
+    }
+
+    /// Runs a batch of kNN queries, returning per-query `(neighbours,
+    /// cost)` in query order.
+    ///
+    /// Coconut variants execute the whole batch through the engine's round
+    /// pipeline (`coconut_ctree::engine::batch_knn`), reusing per-unit
+    /// state across consecutive queries; the ADS+ baseline loops.  Either
+    /// way every query's answers and `QueryCost` are bit-identical to
+    /// issuing it alone via [`StaticIndex::exact_knn`] /
+    /// [`StaticIndex::approximate_knn`].
+    pub fn batch_knn(
+        &self,
+        queries: &[Vec<f32>],
+        k: usize,
+        exact: bool,
+    ) -> Result<Vec<(Vec<Neighbor>, QueryCost)>> {
+        match self {
+            StaticIndex::Ads(t) => queries
+                .iter()
+                .map(|q| {
+                    if exact {
+                        t.exact_knn(q, k)
+                    } else {
+                        t.approximate_knn(q, k)
+                    }
+                })
+                .collect(),
+            StaticIndex::CTree(t) => t.batch_knn(queries, k, exact),
+            StaticIndex::Clsm(t) => t.batch_knn(queries, k, exact),
         }
     }
 

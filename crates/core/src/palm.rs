@@ -8,6 +8,26 @@
 //! metrics, query results, heat-map style access summaries, recommender
 //! advice).  Examples and benchmarks drive it directly; an actual HTTP
 //! front-end would be a thin wrapper around [`PalmServer::handle`].
+//!
+//! # Concurrency
+//!
+//! [`PalmServer::handle`] takes `&self`: the server is shared across request
+//! threads, so many clients are served concurrently.  The lock hierarchy has
+//! two levels (see DESIGN.md, "Palm service concurrency"):
+//!
+//! 1. the **registry** — an `RwLock` over the name → index map, held only
+//!    long enough to look a slot up (read) or register a built index
+//!    (write); index builds run entirely outside it;
+//! 2. one **slot** `RwLock` per index — queries share the read side (reads
+//!    of one index run concurrently with each other), streaming
+//!    [`PalmRequest::Insert`]s take the write side, so every query observes
+//!    a consistent snapshot of the index.
+//!
+//! A [`PalmRequest::Batch`] dispatches its sub-requests across a
+//! [`WorkerPool`]; kNN queries sharing `(index, k, exact)` are grouped and
+//! executed through the engine's batched round pipeline
+//! (`coconut_ctree::engine::batch_knn`), whose per-query answers and costs
+//! are bit-identical to one-at-a-time execution.
 
 use std::collections::HashMap;
 use std::path::PathBuf;
@@ -15,10 +35,12 @@ use std::sync::Arc;
 use std::time::Instant;
 
 use coconut_json::{member, member_or, FromJson, Json, JsonError, ToJson};
+use coconut_parallel::WorkerPool;
+use parking_lot::RwLock;
 
 use crate::{
-    recommend, BuildReport, Dataset, IndexConfig, IoBackend, IoStats, Scenario, StaticIndex,
-    VariantKind,
+    recommend, BuildReport, Dataset, IndexConfig, IoBackend, IoStats, Scenario, Series,
+    StaticIndex, VariantKind,
 };
 use coconut_storage::SharedIoStats;
 
@@ -69,6 +91,28 @@ pub enum PalmRequest {
         /// Exact or approximate search.
         exact: bool,
     },
+    /// Execute a batch of sub-requests concurrently on the worker pool.
+    ///
+    /// Responses come back in request order.  kNN queries sharing
+    /// `(index, k, exact)` are grouped through the engine's batched round
+    /// pipeline, so each one's answers and cost are identical to issuing it
+    /// alone.
+    Batch {
+        /// The sub-requests; each produces one entry of
+        /// [`PalmResponse::Batch`].
+        requests: Vec<PalmRequest>,
+    },
+    /// Append new series to a registered index (streaming ingest).  Series
+    /// ids are assigned sequentially after the index's current entries.
+    Insert {
+        /// Name of the index to append to.
+        name: String,
+        /// The series values, one inner vector per series.
+        series: Vec<Vec<f32>>,
+        /// Arrival timestamp shared by the batch.  Optional in the JSON
+        /// protocol; defaults to `0`.
+        timestamp: u64,
+    },
     /// Fetch the build report of a registered index.
     Metrics {
         /// Name of the index.
@@ -103,10 +147,25 @@ pub enum PalmResponse {
         ids: Vec<u64>,
         /// Neighbour distances (Euclidean, not squared).
         distances: Vec<f64>,
-        /// Query latency in milliseconds.
+        /// Query latency in milliseconds.  For a query answered inside a
+        /// batched group this is the wall-clock of the whole group.
         elapsed_ms: f64,
         /// Entries examined / refined / raw fetches / blocks read+skipped.
         cost: QueryCostJson,
+    },
+    /// Per-sub-request responses of a batch, in request order.
+    Batch {
+        /// One response per sub-request.
+        responses: Vec<PalmResponse>,
+    },
+    /// Result of an insert request.
+    Inserted {
+        /// Index name.
+        name: String,
+        /// Number of series appended by this request.
+        inserted: u64,
+        /// Total entries in the index afterwards.
+        total: u64,
     },
     /// Metrics of a registered index.
     Metrics {
@@ -129,9 +188,69 @@ pub enum PalmResponse {
     },
     /// The request failed.
     Error {
+        /// Machine-readable error kind; one of the `ERROR_KIND_*`
+        /// constants ("malformed_request", "unknown_index", "config",
+        /// "storage", "series").
+        kind: String,
         /// Human-readable error message.
         message: String,
     },
+}
+
+/// Error kind for requests that could not be parsed as JSON / protocol.
+pub const ERROR_KIND_MALFORMED: &str = "malformed_request";
+/// Error kind for requests naming an unregistered index.
+pub const ERROR_KIND_UNKNOWN_INDEX: &str = "unknown_index";
+/// Error kind for configuration errors (mismatched lengths, bad knobs).
+pub const ERROR_KIND_CONFIG: &str = "config";
+/// Error kind for storage-layer failures.
+pub const ERROR_KIND_STORAGE: &str = "storage";
+/// Error kind for raw-dataset failures.
+pub const ERROR_KIND_SERIES: &str = "series";
+
+/// Internal error carrying the machine-readable kind alongside the message.
+struct ServiceError {
+    kind: &'static str,
+    message: String,
+}
+
+impl ServiceError {
+    fn unknown_index(name: &str) -> Self {
+        ServiceError {
+            kind: ERROR_KIND_UNKNOWN_INDEX,
+            message: format!("no index registered under '{name}'"),
+        }
+    }
+
+    fn into_response(self) -> PalmResponse {
+        PalmResponse::Error {
+            kind: self.kind.to_string(),
+            message: self.message,
+        }
+    }
+}
+
+impl From<crate::IndexError> for ServiceError {
+    fn from(e: crate::IndexError) -> Self {
+        let kind = match &e {
+            crate::IndexError::Config(_) => ERROR_KIND_CONFIG,
+            crate::IndexError::Storage(_) => ERROR_KIND_STORAGE,
+            crate::IndexError::Series(_) => ERROR_KIND_SERIES,
+        };
+        ServiceError {
+            kind,
+            message: e.to_string(),
+        }
+    }
+}
+
+impl From<coconut_series::SeriesError> for ServiceError {
+    fn from(e: coconut_series::SeriesError) -> Self {
+        ServiceError {
+            kind: ERROR_KIND_SERIES,
+            message: e.to_string(),
+        }
+    }
 }
 
 /// JSON-friendly projection of [`coconut_ctree::query::QueryCost`].
@@ -224,6 +343,20 @@ impl ToJson for PalmRequest {
                 ("k", k.to_json()),
                 ("exact", exact.to_json()),
             ]),
+            PalmRequest::Batch { requests } => Json::obj(vec![
+                ("type", Json::Str("batch".into())),
+                ("requests", requests.to_json()),
+            ]),
+            PalmRequest::Insert {
+                name,
+                series,
+                timestamp,
+            } => Json::obj(vec![
+                ("type", Json::Str("insert".into())),
+                ("name", name.to_json()),
+                ("series", series.to_json()),
+                ("timestamp", timestamp.to_json()),
+            ]),
             PalmRequest::Metrics { name } => Json::obj(vec![
                 ("type", Json::Str("metrics".into())),
                 ("name", name.to_json()),
@@ -258,6 +391,14 @@ impl FromJson for PalmRequest {
                 query: member(json, "query")?,
                 k: member(json, "k")?,
                 exact: member(json, "exact")?,
+            }),
+            "batch" => Ok(PalmRequest::Batch {
+                requests: member(json, "requests")?,
+            }),
+            "insert" => Ok(PalmRequest::Insert {
+                name: member(json, "name")?,
+                series: member(json, "series")?,
+                timestamp: member_or(json, "timestamp", 0u64)?,
             }),
             "metrics" => Ok(PalmRequest::Metrics {
                 name: member(json, "name")?,
@@ -298,6 +439,20 @@ impl ToJson for PalmResponse {
                 ("elapsed_ms", elapsed_ms.to_json()),
                 ("cost", cost.to_json()),
             ]),
+            PalmResponse::Batch { responses } => Json::obj(vec![
+                ("type", Json::Str("batch_result".into())),
+                ("responses", responses.to_json()),
+            ]),
+            PalmResponse::Inserted {
+                name,
+                inserted,
+                total,
+            } => Json::obj(vec![
+                ("type", Json::Str("inserted".into())),
+                ("name", name.to_json()),
+                ("inserted", inserted.to_json()),
+                ("total", total.to_json()),
+            ]),
             PalmResponse::Metrics {
                 name,
                 report,
@@ -316,8 +471,9 @@ impl ToJson for PalmResponse {
                 ("type", Json::Str("indexes".into())),
                 ("names", names.to_json()),
             ]),
-            PalmResponse::Error { message } => Json::obj(vec![
+            PalmResponse::Error { kind, message } => Json::obj(vec![
                 ("type", Json::Str("error".into())),
+                ("kind", kind.to_json()),
                 ("message", message.to_json()),
             ]),
         }
@@ -330,46 +486,72 @@ struct Registered {
     stats: SharedIoStats,
 }
 
+/// One registered index behind its own reader-writer lock: queries share
+/// the read side, streaming inserts take the write side.
+type Slot = Arc<RwLock<Registered>>;
+
 /// The in-process algorithms server.
+///
+/// `handle` takes `&self`, so one server is shared across request threads;
+/// see the module docs for the lock hierarchy.
 pub struct PalmServer {
     work_dir: PathBuf,
-    indexes: HashMap<String, Registered>,
+    indexes: RwLock<HashMap<String, Slot>>,
+    pool: WorkerPool,
 }
 
 impl PalmServer {
-    /// Creates a server that stores index files under `work_dir`.
+    /// Creates a server that stores index files under `work_dir`.  Batch
+    /// sub-requests fan out over one worker per available core; see
+    /// [`PalmServer::with_batch_parallelism`].
     pub fn new<P: Into<PathBuf>>(work_dir: P) -> Self {
         PalmServer {
             work_dir: work_dir.into(),
-            indexes: HashMap::new(),
+            indexes: RwLock::new(HashMap::new()),
+            pool: WorkerPool::new(0),
         }
     }
 
+    /// Sets the worker count batch sub-requests are dispatched over
+    /// (`1` = sequential, `0` = one per available core).  A pure
+    /// performance knob: batch responses are identical at every setting.
+    pub fn with_batch_parallelism(mut self, workers: usize) -> Self {
+        self.pool = WorkerPool::new(workers);
+        self
+    }
+
     /// Handles one request, never panicking: failures become
-    /// [`PalmResponse::Error`].
-    pub fn handle(&mut self, request: PalmRequest) -> PalmResponse {
+    /// [`PalmResponse::Error`] carrying a machine-readable `kind`.
+    pub fn handle(&self, request: PalmRequest) -> PalmResponse {
         match self.try_handle(request) {
             Ok(response) => response,
-            Err(e) => PalmResponse::Error {
-                message: e.to_string(),
-            },
+            Err(e) => e.into_response(),
         }
     }
 
     /// Handles a request given as a JSON string, returning a JSON response
     /// (the exact shape the GUI client would exchange over REST).
-    pub fn handle_json(&mut self, request_json: &str) -> String {
+    pub fn handle_json(&self, request_json: &str) -> String {
         let parsed = Json::parse(request_json).and_then(|json| PalmRequest::from_json(&json));
         let response = match parsed {
             Ok(req) => self.handle(req),
             Err(e) => PalmResponse::Error {
+                kind: ERROR_KIND_MALFORMED.to_string(),
                 message: format!("malformed request: {e}"),
             },
         };
         response.to_json().to_string()
     }
 
-    fn try_handle(&mut self, request: PalmRequest) -> crate::Result<PalmResponse> {
+    fn slot(&self, name: &str) -> Result<Slot, ServiceError> {
+        self.indexes
+            .read()
+            .get(name)
+            .map(Arc::clone)
+            .ok_or_else(|| ServiceError::unknown_index(name))
+    }
+
+    fn try_handle(&self, request: PalmRequest) -> Result<PalmResponse, ServiceError> {
         match request {
             PalmRequest::BuildIndex {
                 name,
@@ -383,6 +565,8 @@ impl PalmServer {
                 io_overlap,
                 io_backend,
             } => {
+                // The build runs entirely outside the registry lock, so
+                // queries against other indexes proceed while it sorts.
                 let dataset = Dataset::open(&dataset_path)?;
                 let config = IndexConfig::new(variant, dataset.series_len())
                     .materialized(materialized)
@@ -397,13 +581,13 @@ impl PalmServer {
                 let (index, report) =
                     StaticIndex::build(&dataset, config, &dir, Arc::clone(&stats))?;
                 let variant_name = config.display_name();
-                self.indexes.insert(
+                self.indexes.write().insert(
                     name.clone(),
-                    Registered {
+                    Arc::new(RwLock::new(Registered {
                         index,
                         report,
                         stats,
-                    },
+                    })),
                 );
                 Ok(PalmResponse::Built {
                     name,
@@ -417,9 +601,8 @@ impl PalmServer {
                 k,
                 exact,
             } => {
-                let registered = self.indexes.get(&name).ok_or_else(|| {
-                    crate::IndexError::Config(format!("no index registered under '{name}'"))
-                })?;
+                let slot = self.slot(&name)?;
+                let registered = slot.read();
                 let start = Instant::now();
                 let (neighbors, cost) = if exact {
                     registered.index.exact_knn(&query, k)?
@@ -434,10 +617,44 @@ impl PalmServer {
                     cost: cost.into(),
                 })
             }
+            PalmRequest::Batch { requests } => Ok(self.execute_batch(requests)),
+            PalmRequest::Insert {
+                name,
+                series,
+                timestamp,
+            } => {
+                let slot = self.slot(&name)?;
+                // The write side: queries drain first, then the append runs
+                // exclusively, so every query sees a consistent snapshot.
+                let mut registered = slot.write();
+                // A non-materialized index refines from the original dataset
+                // file, which does not contain appended series: accepting
+                // the insert would poison every later query with fetch
+                // errors, so reject it up front.
+                if !registered.index.is_materialized() {
+                    return Err(ServiceError {
+                        kind: ERROR_KIND_CONFIG,
+                        message: format!(
+                            "index '{name}' is non-materialized: streaming inserts require a                              materialized index (appended series do not exist in the raw                              dataset file used for refinement)"
+                        ),
+                    });
+                }
+                let base = registered.index.len();
+                let batch: Vec<Series> = series
+                    .into_iter()
+                    .enumerate()
+                    .map(|(i, values)| Series::new(base + i as u64, values))
+                    .collect();
+                registered.index.insert_batch(&batch, timestamp)?;
+                Ok(PalmResponse::Inserted {
+                    name,
+                    inserted: batch.len() as u64,
+                    total: registered.index.len(),
+                })
+            }
             PalmRequest::Metrics { name } => {
-                let registered = self.indexes.get(&name).ok_or_else(|| {
-                    crate::IndexError::Config(format!("no index registered under '{name}'"))
-                })?;
+                let slot = self.slot(&name)?;
+                let registered = slot.read();
                 Ok(PalmResponse::Metrics {
                     name,
                     report: registered.report,
@@ -448,17 +665,138 @@ impl PalmServer {
                 recommendation: recommend(&scenario),
             }),
             PalmRequest::ListIndexes => {
-                let mut names: Vec<String> = self.indexes.keys().cloned().collect();
+                let mut names: Vec<String> = self.indexes.read().keys().cloned().collect();
                 names.sort();
                 Ok(PalmResponse::Indexes { names })
             }
         }
     }
 
+    /// Executes a batch: kNN queries sharing `(index, k, exact)` become one
+    /// grouped job answered through [`StaticIndex::batch_knn`]; every other
+    /// sub-request is a singleton job.  Jobs fan out over the worker pool
+    /// and responses are scattered back into request order.  Sub-requests
+    /// are consumed, never cloned; nested batches are rejected (the service
+    /// boundary must not recurse on attacker-chosen depth).
+    fn execute_batch(&self, requests: Vec<PalmRequest>) -> PalmResponse {
+        enum Job {
+            /// A singleton sub-request, taken (exactly once) by the worker
+            /// that claims the job; the `Mutex` only exists because the
+            /// pool hands out shared references.
+            Single(usize, parking_lot::Mutex<Option<PalmRequest>>),
+            Queries {
+                name: String,
+                k: usize,
+                exact: bool,
+                idxs: Vec<usize>,
+                queries: Vec<Vec<f32>>,
+            },
+        }
+        let total = requests.len();
+        let mut jobs: Vec<Job> = Vec::new();
+        let mut ready: Vec<(usize, PalmResponse)> = Vec::new();
+        let mut groups: HashMap<(String, usize, bool), usize> = HashMap::new();
+        for (i, request) in requests.into_iter().enumerate() {
+            match request {
+                PalmRequest::Query {
+                    name,
+                    query,
+                    k,
+                    exact,
+                } => {
+                    let job = *groups.entry((name.clone(), k, exact)).or_insert_with(|| {
+                        jobs.push(Job::Queries {
+                            name,
+                            k,
+                            exact,
+                            idxs: Vec::new(),
+                            queries: Vec::new(),
+                        });
+                        jobs.len() - 1
+                    });
+                    let Job::Queries { idxs, queries, .. } = &mut jobs[job] else {
+                        unreachable!("query group indexes only point at query jobs");
+                    };
+                    idxs.push(i);
+                    queries.push(query);
+                }
+                PalmRequest::Batch { .. } => ready.push((
+                    i,
+                    PalmResponse::Error {
+                        kind: ERROR_KIND_MALFORMED.to_string(),
+                        message: "batch requests cannot be nested".to_string(),
+                    },
+                )),
+                other => jobs.push(Job::Single(i, parking_lot::Mutex::new(Some(other)))),
+            }
+        }
+        let outcomes = self.pool.run(&jobs, |_, job| match job {
+            Job::Single(i, request) => {
+                let request = request
+                    .lock()
+                    .take()
+                    .expect("each singleton job is claimed exactly once");
+                vec![(*i, self.handle(request))]
+            }
+            Job::Queries {
+                name,
+                k,
+                exact,
+                idxs,
+                queries,
+            } => match self.batch_query(name, queries, *k, *exact) {
+                Ok(responses) => idxs.iter().copied().zip(responses).collect(),
+                Err(e) => {
+                    let response = e.into_response();
+                    idxs.iter().map(|&i| (i, response.clone())).collect()
+                }
+            },
+        });
+        let mut responses: Vec<Option<PalmResponse>> = vec![None; total];
+        for (i, response) in outcomes.into_iter().flatten().chain(ready) {
+            responses[i] = Some(response);
+        }
+        PalmResponse::Batch {
+            responses: responses
+                .into_iter()
+                .map(|r| r.expect("every sub-request produced a response"))
+                .collect(),
+        }
+    }
+
+    /// Answers a group of same-shape kNN queries against one index through
+    /// the engine's batched round pipeline.
+    fn batch_query(
+        &self,
+        name: &str,
+        queries: &[Vec<f32>],
+        k: usize,
+        exact: bool,
+    ) -> Result<Vec<PalmResponse>, ServiceError> {
+        let slot = self.slot(name)?;
+        let registered = slot.read();
+        let start = Instant::now();
+        let results = registered.index.batch_knn(queries, k, exact)?;
+        let elapsed_ms = start.elapsed().as_secs_f64() * 1000.0;
+        Ok(results
+            .into_iter()
+            .map(|(neighbors, cost)| PalmResponse::QueryResult {
+                name: name.to_string(),
+                ids: neighbors.iter().map(|n| n.id).collect(),
+                distances: neighbors.iter().map(|n| n.distance()).collect(),
+                elapsed_ms,
+                cost: cost.into(),
+            })
+            .collect())
+    }
+
     /// Shared I/O statistics of a registered index (for heat-map style
     /// reporting in examples).
     pub fn io_stats(&self, name: &str) -> Option<SharedIoStats> {
-        self.indexes.get(name).map(|r| Arc::clone(&r.stats))
+        self.indexes
+            .read()
+            .get(name)
+            .map(|slot| Arc::clone(&slot.read().stats))
     }
 }
 
@@ -477,14 +815,11 @@ mod tests {
         (dir, path.to_string_lossy().into_owned(), series)
     }
 
-    #[test]
-    fn build_query_metrics_roundtrip() {
-        let (dir, dataset_path, series) = setup();
-        let mut server = PalmServer::new(dir.file("work"));
-        let built = server.handle(PalmRequest::BuildIndex {
-            name: "ctree".into(),
+    fn build_request(name: &str, dataset_path: String, variant: VariantKind) -> PalmRequest {
+        PalmRequest::BuildIndex {
+            name: name.into(),
             dataset_path,
-            variant: VariantKind::CTree,
+            variant,
             materialized: true,
             memory_budget_bytes: 8 << 20,
             parallelism: 1,
@@ -492,7 +827,14 @@ mod tests {
             shard_count: 1,
             io_overlap: true,
             io_backend: IoBackend::Pread,
-        });
+        }
+    }
+
+    #[test]
+    fn build_query_metrics_roundtrip() {
+        let (dir, dataset_path, series) = setup();
+        let server = PalmServer::new(dir.file("work"));
+        let built = server.handle(build_request("ctree", dataset_path, VariantKind::CTree));
         match &built {
             PalmResponse::Built {
                 variant, report, ..
@@ -534,7 +876,7 @@ mod tests {
     #[test]
     fn json_protocol_roundtrip() {
         let (dir, dataset_path, _series) = setup();
-        let mut server = PalmServer::new(dir.file("work"));
+        let server = PalmServer::new(dir.file("work"));
         let request = format!(
             r#"{{"type":"build_index","name":"a","dataset_path":{},"variant":"CTree","materialized":false,"memory_budget_bytes":1048576}}"#,
             Json::Str(dataset_path.clone()).to_string()
@@ -547,23 +889,75 @@ mod tests {
         assert!(response.contains("malformed request"));
     }
 
+    /// Satellite: errors are structured JSON (machine-readable kind +
+    /// message), with the schema pinned field by field.
+    #[test]
+    fn errors_are_structured_json() {
+        let dir = ScratchDir::new("palm-err-json").unwrap();
+        let server = PalmServer::new(dir.file("work"));
+
+        // Unparseable request.
+        let parsed = Json::parse(&server.handle_json("{{{")).unwrap();
+        assert_eq!(parsed.get("type").and_then(|j| j.as_str()), Some("error"));
+        assert_eq!(
+            parsed.get("kind").and_then(|j| j.as_str()),
+            Some(ERROR_KIND_MALFORMED)
+        );
+        assert!(parsed.get("message").and_then(|j| j.as_str()).is_some());
+
+        // Well-formed JSON, unknown verb.
+        let parsed = Json::parse(&server.handle_json(r#"{"type":"frobnicate"}"#)).unwrap();
+        assert_eq!(
+            parsed.get("kind").and_then(|j| j.as_str()),
+            Some(ERROR_KIND_MALFORMED)
+        );
+
+        // Unknown index name.
+        let parsed =
+            Json::parse(&server.handle_json(
+                r#"{"type":"query","name":"missing","query":[0.0],"k":1,"exact":true}"#,
+            ))
+            .unwrap();
+        assert_eq!(parsed.get("type").and_then(|j| j.as_str()), Some("error"));
+        assert_eq!(
+            parsed.get("kind").and_then(|j| j.as_str()),
+            Some(ERROR_KIND_UNKNOWN_INDEX)
+        );
+        let message = parsed.get("message").and_then(|j| j.as_str()).unwrap();
+        assert!(message.contains("missing"), "message was {message}");
+
+        // Config errors carry their own kind (dataset missing -> series).
+        let parsed = Json::parse(&server.handle_json(
+            r#"{"type":"build_index","name":"x","dataset_path":"/nonexistent","variant":"CTree","materialized":false,"memory_budget_bytes":1048576}"#,
+        ))
+        .unwrap();
+        assert_eq!(parsed.get("type").and_then(|j| j.as_str()), Some("error"));
+        assert_eq!(
+            parsed.get("kind").and_then(|j| j.as_str()),
+            Some(ERROR_KIND_SERIES)
+        );
+    }
+
     #[test]
     fn unknown_index_is_an_error_response() {
         let dir = ScratchDir::new("palm-err").unwrap();
-        let mut server = PalmServer::new(dir.file("work"));
+        let server = PalmServer::new(dir.file("work"));
         let response = server.handle(PalmRequest::Query {
             name: "missing".into(),
             query: vec![0.0; 8],
             k: 1,
             exact: false,
         });
-        assert!(matches!(response, PalmResponse::Error { .. }));
+        match response {
+            PalmResponse::Error { kind, .. } => assert_eq!(kind, ERROR_KIND_UNKNOWN_INDEX),
+            other => panic!("unexpected response {other:?}"),
+        }
     }
 
     #[test]
     fn recommend_request_returns_rationale() {
         let dir = ScratchDir::new("palm-rec").unwrap();
-        let mut server = PalmServer::new(dir.file("work"));
+        let server = PalmServer::new(dir.file("work"));
         let response = server.handle(PalmRequest::Recommend {
             scenario: Scenario::streaming(1_000_000, 256),
         });
@@ -571,6 +965,275 @@ mod tests {
             PalmResponse::Recommendation { recommendation } => {
                 assert!(!recommendation.rationale.is_empty());
             }
+            other => panic!("unexpected response {other:?}"),
+        }
+    }
+
+    #[test]
+    fn insert_appends_and_is_queryable() {
+        let (dir, dataset_path, _series) = setup();
+        let server = PalmServer::new(dir.file("work"));
+        server.handle(build_request("lsm", dataset_path, VariantKind::Clsm));
+        let mut gen = RandomWalkGenerator::new(64, 77);
+        let fresh = gen.next_series();
+        let response = server.handle(PalmRequest::Insert {
+            name: "lsm".into(),
+            series: vec![fresh.values.clone()],
+            timestamp: 9,
+        });
+        match response {
+            PalmResponse::Inserted {
+                inserted, total, ..
+            } => {
+                assert_eq!(inserted, 1);
+                assert_eq!(total, 201);
+            }
+            other => panic!("unexpected response {other:?}"),
+        }
+        // The appended series got id 200 and must be findable.
+        let query: Vec<f32> = fresh.values.iter().map(|v| v + 0.001).collect();
+        match server.handle(PalmRequest::Query {
+            name: "lsm".into(),
+            query,
+            k: 1,
+            exact: true,
+        }) {
+            PalmResponse::QueryResult { ids, .. } => assert_eq!(ids, vec![200]),
+            other => panic!("unexpected response {other:?}"),
+        }
+        // Length mismatch surfaces as a config error.
+        match server.handle(PalmRequest::Insert {
+            name: "lsm".into(),
+            series: vec![vec![0.0; 3]],
+            timestamp: 10,
+        }) {
+            PalmResponse::Error { kind, .. } => assert_eq!(kind, ERROR_KIND_CONFIG),
+            other => panic!("unexpected response {other:?}"),
+        }
+    }
+
+    #[test]
+    fn insert_into_non_materialized_index_is_rejected() {
+        let (dir, dataset_path, series) = setup();
+        let server = PalmServer::new(dir.file("work"));
+        server.handle(PalmRequest::BuildIndex {
+            name: "thin".into(),
+            dataset_path,
+            variant: VariantKind::Clsm,
+            materialized: false,
+            memory_budget_bytes: 8 << 20,
+            parallelism: 1,
+            query_parallelism: 1,
+            shard_count: 1,
+            io_overlap: true,
+            io_backend: IoBackend::Pread,
+        });
+        // Appended series would not exist in the raw file the index refines
+        // from; the insert must be refused, not accepted and left to poison
+        // later queries.
+        match server.handle(PalmRequest::Insert {
+            name: "thin".into(),
+            series: vec![vec![0.5; 64]],
+            timestamp: 1,
+        }) {
+            PalmResponse::Error { kind, message } => {
+                assert_eq!(kind, ERROR_KIND_CONFIG);
+                assert!(message.contains("non-materialized"), "{message}");
+            }
+            other => panic!("unexpected response {other:?}"),
+        }
+        // The index still answers queries after the rejected insert.
+        let query: Vec<f32> = series[5].values.iter().map(|v| v + 0.001).collect();
+        match server.handle(PalmRequest::Query {
+            name: "thin".into(),
+            query,
+            k: 1,
+            exact: true,
+        }) {
+            PalmResponse::QueryResult { ids, .. } => assert_eq!(ids, vec![5]),
+            other => panic!("unexpected response {other:?}"),
+        }
+    }
+
+    #[test]
+    fn nested_batches_are_rejected_per_entry() {
+        let dir = ScratchDir::new("palm-nested").unwrap();
+        let server = PalmServer::new(dir.file("work"));
+        let response = server.handle(PalmRequest::Batch {
+            requests: vec![
+                PalmRequest::ListIndexes,
+                PalmRequest::Batch {
+                    requests: vec![PalmRequest::ListIndexes],
+                },
+            ],
+        });
+        let PalmResponse::Batch { responses } = response else {
+            panic!("expected a batch response");
+        };
+        assert!(matches!(responses[0], PalmResponse::Indexes { .. }));
+        match &responses[1] {
+            PalmResponse::Error { kind, message } => {
+                assert_eq!(kind, ERROR_KIND_MALFORMED);
+                assert!(message.contains("nested"), "{message}");
+            }
+            other => panic!("unexpected response {other:?}"),
+        }
+    }
+
+    /// Tentpole: a `batch` of queries returns, per query, exactly what the
+    /// one-at-a-time path returns — same ids, distances and cost — with
+    /// responses in request order, heterogeneous sub-requests included.
+    #[test]
+    fn batch_matches_one_at_a_time_responses() {
+        let (dir, dataset_path, _series) = setup();
+        let server = PalmServer::new(dir.file("work")).with_batch_parallelism(4);
+        server.handle(build_request("a", dataset_path.clone(), VariantKind::CTree));
+        server.handle(build_request("b", dataset_path, VariantKind::Clsm));
+
+        let mut gen = RandomWalkGenerator::new(64, 5);
+        let mut requests = vec![PalmRequest::ListIndexes];
+        for i in 0..6 {
+            let q = gen.next_series();
+            requests.push(PalmRequest::Query {
+                name: if i % 2 == 0 { "a".into() } else { "b".into() },
+                query: q.values.clone(),
+                k: 3,
+                exact: true,
+            });
+        }
+        requests.push(PalmRequest::Query {
+            name: "missing".into(),
+            query: vec![0.0; 64],
+            k: 1,
+            exact: true,
+        });
+
+        let singles: Vec<PalmResponse> =
+            requests.iter().map(|r| server.handle(r.clone())).collect();
+        let batched = server.handle(PalmRequest::Batch {
+            requests: requests.clone(),
+        });
+        let PalmResponse::Batch { responses } = batched else {
+            panic!("expected a batch response");
+        };
+        assert_eq!(responses.len(), requests.len());
+        for (single, batched) in singles.iter().zip(responses.iter()) {
+            match (single, batched) {
+                (
+                    PalmResponse::QueryResult {
+                        name: n1,
+                        ids: i1,
+                        distances: d1,
+                        ..
+                    },
+                    PalmResponse::QueryResult {
+                        name: n2,
+                        ids: i2,
+                        distances: d2,
+                        ..
+                    },
+                ) => {
+                    assert_eq!(n1, n2);
+                    assert_eq!(i1, i2);
+                    assert_eq!(d1, d2);
+                }
+                (PalmResponse::Indexes { names: a }, PalmResponse::Indexes { names: b }) => {
+                    assert_eq!(a, b)
+                }
+                (PalmResponse::Error { kind: a, .. }, PalmResponse::Error { kind: b, .. }) => {
+                    assert_eq!(a, b)
+                }
+                other => panic!("mismatched response shapes {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn batch_json_verb_roundtrips() {
+        let (dir, dataset_path, series) = setup();
+        let server = PalmServer::new(dir.file("work"));
+        server.handle(build_request("idx", dataset_path, VariantKind::CTree));
+        let q: Vec<f32> = series[3].values.iter().map(|v| v + 0.001).collect();
+        let request = PalmRequest::Batch {
+            requests: vec![
+                PalmRequest::Query {
+                    name: "idx".into(),
+                    query: q.clone(),
+                    k: 1,
+                    exact: true,
+                },
+                PalmRequest::Query {
+                    name: "idx".into(),
+                    query: q,
+                    k: 1,
+                    exact: false,
+                },
+            ],
+        };
+        let response = server.handle_json(&request.to_json().to_string());
+        let parsed = Json::parse(&response).unwrap();
+        assert_eq!(
+            parsed.get("type").and_then(|j| j.as_str()),
+            Some("batch_result")
+        );
+        let responses = parsed.get("responses").unwrap().as_arr().unwrap();
+        let first = &responses[0];
+        assert_eq!(
+            first.get("type").and_then(|j| j.as_str()),
+            Some("query_result")
+        );
+    }
+
+    /// Concurrent service smoke test: `handle` takes `&self`, so threads
+    /// share one server; queries run while another thread streams inserts,
+    /// and every response is a valid snapshot (never an error, always the
+    /// still-present base neighbour).
+    #[test]
+    fn concurrent_queries_and_inserts_share_the_server() {
+        let (dir, dataset_path, series) = setup();
+        let server = PalmServer::new(dir.file("work"));
+        server.handle(build_request("shared", dataset_path, VariantKind::Clsm));
+        let target = &series[42];
+        let query: Vec<f32> = target.values.iter().map(|v| v + 0.0005).collect();
+        std::thread::scope(|scope| {
+            let server = &server;
+            let writer = scope.spawn(move || {
+                let mut gen = RandomWalkGenerator::new(64, 901);
+                for round in 0..10 {
+                    let batch: Vec<Vec<f32>> = (0..20).map(|_| gen.next_series().values).collect();
+                    let response = server.handle(PalmRequest::Insert {
+                        name: "shared".into(),
+                        series: batch,
+                        timestamp: round,
+                    });
+                    assert!(
+                        matches!(response, PalmResponse::Inserted { .. }),
+                        "insert failed: {response:?}"
+                    );
+                }
+            });
+            for _ in 0..3 {
+                let query = query.clone();
+                scope.spawn(move || {
+                    for _ in 0..20 {
+                        match server.handle(PalmRequest::Query {
+                            name: "shared".into(),
+                            query: query.clone(),
+                            k: 1,
+                            exact: true,
+                        }) {
+                            PalmResponse::QueryResult { ids, .. } => assert_eq!(ids, vec![42]),
+                            other => panic!("query failed mid-stream: {other:?}"),
+                        }
+                    }
+                });
+            }
+            writer.join().unwrap();
+        });
+        match server.handle(PalmRequest::Metrics {
+            name: "shared".into(),
+        }) {
+            PalmResponse::Metrics { .. } => {}
             other => panic!("unexpected response {other:?}"),
         }
     }

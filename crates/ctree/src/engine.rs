@@ -1,5 +1,6 @@
 //! The concurrent query engine: parallel fan-out over search units with a
-//! shared, CAS-tightened best-so-far bound.
+//! shared, CAS-tightened best-so-far bound, for single queries and for
+//! batches of queries.
 //!
 //! Every Coconut index is queried as a collection of **search units** — the
 //! in-memory buffer, each sorted run (or shard) of a CLSM level, each
@@ -12,7 +13,7 @@
 //! # Protocol
 //!
 //! Exact queries over more than one unit run in two phases around one
-//! [`SharedBound`]:
+//! [`SharedBound`] per query:
 //!
 //! 1. **Seed** — every unit is probed *approximately* (its target block
 //!    only) with an independent local heap.  Workers publish their local
@@ -30,6 +31,27 @@
 //!    all sorted runs.
 //!
 //! Approximate queries are a single phase of independent unit probes.
+//!
+//! # Batched execution ([`batch_knn`])
+//!
+//! A batch of `N` queries is executed as a **round pipeline**: in round `r`
+//! every unit first runs the refine phase of query `r-1` and then the seed
+//! phase of query `r` (units fan out over the worker pool inside each
+//! round, and each query's bound is frozen at its round boundary exactly as
+//! in the one-at-a-time path).  Two properties follow by construction:
+//!
+//! * **Bit-identical results and accounting.**  Per query, the phase
+//!   structure, the frozen bound, the per-unit heap ceilings, the merge
+//!   order and the cost summation are exactly those of [`parallel_knn`] —
+//!   and per *file*, the access sequence is exactly the sequential one
+//!   (each unit owns its file, and its round task runs `refine(r-1)` before
+//!   `seed(r)`), so even the sequential/random `IoStats` classification
+//!   matches issuing the queries one at a time.
+//! * **Shared per-unit pruning state.**  Consecutive queries probe each hot
+//!   run back to back within one scheduled task — block fences, mappings
+//!   and the run's pages stay resident across the whole batch instead of
+//!   being re-walked per request, and a batch of `N` queries pays `N + 1`
+//!   fork/join barriers instead of `2N`.
 //!
 //! # Why the merged result is exact
 //!
@@ -50,7 +72,9 @@ use crate::Result;
 ///
 /// Implementations are searched from worker threads (`Self: Sync`) with a
 /// per-worker heap and cost context; both search methods must be
-/// deterministic functions of the unit and the heap's starting ceiling.
+/// deterministic functions of the unit, the query and the heap's starting
+/// ceiling.  The query is a parameter (rather than baked into the unit) so
+/// one unit list serves a whole batch of queries.
 pub trait SearchUnit: Sync {
     /// Fresh cost/fetch context for one phase over this unit.
     fn context(&self) -> QueryContext<'_>;
@@ -58,45 +82,145 @@ pub trait SearchUnit: Sync {
     /// Approximate probe: refine only the most promising region of the
     /// unit.  Used both as the seed phase of exact queries and as the whole
     /// of approximate queries.
-    fn search_approximate(&self, heap: &mut KnnHeap, ctx: &mut QueryContext<'_>) -> Result<()>;
+    fn search_approximate(
+        &self,
+        query: &[f32],
+        heap: &mut KnnHeap,
+        ctx: &mut QueryContext<'_>,
+    ) -> Result<()>;
 
     /// Exact contribution: refine every candidate of the unit that the
     /// heap's pruning bound cannot exclude.
-    fn search_exact(&self, heap: &mut KnnHeap, ctx: &mut QueryContext<'_>) -> Result<()>;
+    fn search_exact(
+        &self,
+        query: &[f32],
+        heap: &mut KnnHeap,
+        ctx: &mut QueryContext<'_>,
+    ) -> Result<()>;
 }
 
-fn run_phase<U: SearchUnit>(
+/// Per-unit outcome of one pipeline round: the main-phase contribution of
+/// the previous query and the seed contribution of the current one.
+type RoundOut = (
+    Option<(Vec<Neighbor>, QueryCost)>,
+    Option<(Vec<Neighbor>, QueryCost)>,
+);
+
+/// Runs a batch of kNN queries over `units` with up to `parallelism`
+/// workers (`1` = sequential, `0` = one per available core), returning each
+/// query's merged top-`k` plus its exact summed cost, in query order.
+///
+/// Every query's answers **and** `QueryCost` are bit-identical to running
+/// it alone through [`parallel_knn`] — and therefore to any other batch
+/// composition — and the per-file I/O (page touches *and* their
+/// sequential/random classification) matches issuing the queries one at a
+/// time; see the module docs for the pipeline and the determinism argument.
+/// The first unit error aborts the batch.
+pub fn batch_knn<U: SearchUnit, Q: AsRef<[f32]> + Sync>(
     units: &[U],
+    queries: &[Q],
     k: usize,
-    workers: usize,
-    ceiling: f64,
+    parallelism: usize,
     exact: bool,
-    shared: &SharedBound,
-) -> Result<(Vec<Neighbor>, QueryCost)> {
-    let outcomes = parallel_map_tasks(units, workers, |_, unit| {
-        let mut heap = KnnHeap::with_ceiling(k, ceiling);
-        let mut ctx = unit.context();
-        let searched = if exact {
-            unit.search_exact(&mut heap, &mut ctx)
-        } else {
-            unit.search_approximate(&mut heap, &mut ctx)
-        };
-        searched.map(|()| {
-            shared.tighten(heap.bound());
-            (heap.into_sorted(), ctx.cost)
-        })
-    });
-    let mut neighbors = Vec::new();
-    let mut cost = QueryCost::default();
-    for outcome in outcomes {
-        let (unit_neighbors, unit_cost) = outcome?;
-        neighbors.extend(unit_neighbors);
-        cost = cost.plus(&unit_cost);
+) -> Result<Vec<(Vec<Neighbor>, QueryCost)>> {
+    let n = queries.len();
+    if n == 0 {
+        return Ok(Vec::new());
     }
-    // Stable sort: equal `(distance, id, timestamp)` neighbours keep unit
-    // order, so the merge is deterministic.
-    neighbors.sort();
-    Ok((neighbors, cost))
+    if units.is_empty() {
+        return Ok(vec![(Vec::new(), QueryCost::default()); n]);
+    }
+    let workers = effective_parallelism(parallelism).min(units.len());
+    // Exact queries over a single unit need no seed phase (there is no
+    // cross-unit bound to share), mirroring `parallel_knn`.
+    let two_phase = exact && units.len() > 1;
+    let bounds: Vec<SharedBound> = (0..n).map(|_| SharedBound::new()).collect();
+    let mut frozen: Vec<f64> = vec![f64::INFINITY; n];
+    let mut seed_costs: Vec<QueryCost> = vec![QueryCost::default(); n];
+    let mut results: Vec<(Vec<Neighbor>, QueryCost)> = Vec::with_capacity(n);
+
+    for round in 0..=n {
+        // Round r: main phase (exact refine, or the single approximate
+        // phase) of query r-1, then seed of query r.  A unit's task runs
+        // the two strictly in that order, which is exactly the per-file
+        // access order of one-at-a-time execution.
+        let main_q = round.checked_sub(1);
+        let seed_q = (two_phase && round < n).then_some(round);
+        if main_q.is_none() && seed_q.is_none() {
+            // Single-phase batches have an empty round 0.
+            continue;
+        }
+        let frozen_ref = &frozen;
+        let bounds_ref = &bounds;
+        let outcomes = parallel_map_tasks(units, workers, |_, unit| -> Result<RoundOut> {
+            let main = match main_q {
+                Some(q) => {
+                    let query = queries[q].as_ref();
+                    let mut heap = KnnHeap::with_ceiling(k, frozen_ref[q]);
+                    let mut ctx = unit.context();
+                    if exact {
+                        unit.search_exact(query, &mut heap, &mut ctx)?;
+                    } else {
+                        unit.search_approximate(query, &mut heap, &mut ctx)?;
+                    }
+                    bounds_ref[q].tighten(heap.bound());
+                    Some((heap.into_sorted(), ctx.cost))
+                }
+                None => None,
+            };
+            let seed = match seed_q {
+                Some(q) => {
+                    let query = queries[q].as_ref();
+                    let mut heap = KnnHeap::with_ceiling(k, f64::INFINITY);
+                    let mut ctx = unit.context();
+                    unit.search_approximate(query, &mut heap, &mut ctx)?;
+                    bounds_ref[q].tighten(heap.bound());
+                    Some((heap.into_sorted(), ctx.cost))
+                }
+                None => None,
+            };
+            Ok((main, seed))
+        });
+        let mut mains: Vec<(Vec<Neighbor>, QueryCost)> = Vec::new();
+        let mut seeds: Vec<(Vec<Neighbor>, QueryCost)> = Vec::new();
+        for outcome in outcomes {
+            let (main, seed) = outcome?;
+            mains.extend(main);
+            seeds.extend(seed);
+        }
+        if let Some(q) = seed_q {
+            // Freeze query q's bound for its refine round: merge the seed
+            // candidates in unit order and publish the k-th best of the
+            // union, exactly as the single-query seed phase does.
+            let mut neighbors = Vec::new();
+            let mut cost = QueryCost::default();
+            for (unit_neighbors, unit_cost) in seeds {
+                neighbors.extend(unit_neighbors);
+                cost = cost.plus(&unit_cost);
+            }
+            neighbors.sort();
+            if neighbors.len() >= k {
+                bounds[q].tighten(neighbors[k - 1].squared_distance);
+            }
+            frozen[q] = bounds[q].get();
+            seed_costs[q] = cost;
+        }
+        if let Some(q) = main_q {
+            // Deterministic merge: concatenate in unit order, stable sort
+            // (equal `(distance, id, timestamp)` neighbours keep unit
+            // order), truncate to k; sum costs in unit order.
+            let mut neighbors = Vec::new();
+            let mut cost = seed_costs[q];
+            for (unit_neighbors, unit_cost) in mains {
+                neighbors.extend(unit_neighbors);
+                cost = cost.plus(&unit_cost);
+            }
+            neighbors.sort();
+            neighbors.truncate(k);
+            results.push((neighbors, cost));
+        }
+    }
+    Ok(results)
 }
 
 /// Runs a kNN query over `units` with up to `parallelism` workers
@@ -104,33 +228,19 @@ fn run_phase<U: SearchUnit>(
 /// top-`k` plus the exact summed cost.
 ///
 /// Results and cost are identical at every `parallelism` setting; see the
-/// module docs for the protocol and the determinism argument.
+/// module docs for the protocol and the determinism argument.  A single
+/// query is exactly a batch of one, so this delegates to [`batch_knn`] —
+/// which is what makes the batch path's per-query identity guarantee hold
+/// by construction.
 pub fn parallel_knn<U: SearchUnit>(
     units: &[U],
+    query: &[f32],
     k: usize,
     parallelism: usize,
     exact: bool,
 ) -> Result<(Vec<Neighbor>, QueryCost)> {
-    if units.is_empty() {
-        return Ok((Vec::new(), QueryCost::default()));
-    }
-    let workers = effective_parallelism(parallelism).min(units.len());
-    let shared = SharedBound::new();
-    let mut total_cost = QueryCost::default();
-    if exact && units.len() > 1 {
-        // Seed phase: cheap approximate probes establish the frozen
-        // cross-unit bound before any unit is searched exactly.
-        let (seeds, seed_cost) = run_phase(units, k, workers, f64::INFINITY, false, &shared)?;
-        total_cost = total_cost.plus(&seed_cost);
-        if seeds.len() >= k {
-            shared.tighten(seeds[k - 1].squared_distance);
-        }
-    }
-    let frozen = shared.get();
-    let (mut neighbors, main_cost) = run_phase(units, k, workers, frozen, exact, &shared)?;
-    total_cost = total_cost.plus(&main_cost);
-    neighbors.truncate(k);
-    Ok((neighbors, total_cost))
+    let mut results = batch_knn(units, &[query], k, parallelism, exact)?;
+    Ok(results.pop().unwrap_or_default())
 }
 
 #[cfg(test)]
@@ -139,8 +249,16 @@ mod tests {
     use crate::query::QueryContext;
 
     /// A purely in-memory unit over `(id, timestamp, distance)` candidates.
+    /// The "distance" of a candidate is its stored value plus the sum of the
+    /// query slice (so different queries rank candidates differently).
     struct VecUnit {
         candidates: Vec<(u64, u64, f64)>,
+    }
+
+    impl VecUnit {
+        fn distance(query: &[f32], d: f64) -> f64 {
+            d + query.iter().map(|v| *v as f64).sum::<f64>()
+        }
     }
 
     impl SearchUnit for VecUnit {
@@ -148,18 +266,29 @@ mod tests {
             QueryContext::materialized()
         }
 
-        fn search_approximate(&self, heap: &mut KnnHeap, ctx: &mut QueryContext<'_>) -> Result<()> {
+        fn search_approximate(
+            &self,
+            query: &[f32],
+            heap: &mut KnnHeap,
+            ctx: &mut QueryContext<'_>,
+        ) -> Result<()> {
             // Probe only the first candidate (the unit's "target block").
             if let Some(&(id, ts, d)) = self.candidates.first() {
                 ctx.cost.entries_examined += 1;
-                heap.offer_at(id, ts, d);
+                heap.offer_at(id, ts, Self::distance(query, d));
             }
             Ok(())
         }
 
-        fn search_exact(&self, heap: &mut KnnHeap, ctx: &mut QueryContext<'_>) -> Result<()> {
+        fn search_exact(
+            &self,
+            query: &[f32],
+            heap: &mut KnnHeap,
+            ctx: &mut QueryContext<'_>,
+        ) -> Result<()> {
             for &(id, ts, d) in &self.candidates {
                 ctx.cost.entries_examined += 1;
+                let d = Self::distance(query, d);
                 if d > heap.bound() {
                     continue;
                 }
@@ -196,9 +325,9 @@ mod tests {
     #[test]
     fn parallel_matches_sequential_results_and_cost() {
         let units = units(42);
-        let (seq, seq_cost) = parallel_knn(&units, 7, 1, true).unwrap();
+        let (seq, seq_cost) = parallel_knn(&units, &[], 7, 1, true).unwrap();
         for workers in [2, 4, 8] {
-            let (par, par_cost) = parallel_knn(&units, 7, workers, true).unwrap();
+            let (par, par_cost) = parallel_knn(&units, &[], 7, workers, true).unwrap();
             assert_eq!(seq, par, "workers={workers}");
             assert_eq!(seq_cost, par_cost, "workers={workers}");
         }
@@ -211,8 +340,8 @@ mod tests {
     #[test]
     fn approximate_mode_merges_unit_probes() {
         let units = units(7);
-        let (seq, _) = parallel_knn(&units, 3, 1, false).unwrap();
-        let (par, _) = parallel_knn(&units, 3, 8, false).unwrap();
+        let (seq, _) = parallel_knn(&units, &[], 3, 1, false).unwrap();
+        let (par, _) = parallel_knn(&units, &[], 3, 8, false).unwrap();
         assert_eq!(seq, par);
         // Approximate mode probes one candidate per unit: 5 candidates total.
         assert_eq!(seq.len(), 3);
@@ -228,15 +357,66 @@ mod tests {
             .collect();
         all.sort();
         all.truncate(9);
-        let (got, _) = parallel_knn(&units, 9, 4, true).unwrap();
+        let (got, _) = parallel_knn(&units, &[], 9, 4, true).unwrap();
         assert_eq!(got, all);
     }
 
     #[test]
     fn empty_unit_list_is_empty_answer() {
         let none: Vec<VecUnit> = Vec::new();
-        let (nn, cost) = parallel_knn(&none, 3, 4, true).unwrap();
+        let (nn, cost) = parallel_knn(&none, &[], 3, 4, true).unwrap();
         assert!(nn.is_empty());
         assert_eq!(cost, QueryCost::default());
+        let batch = batch_knn(&none, &[vec![0.0f32], vec![1.0]], 3, 4, true).unwrap();
+        assert_eq!(batch.len(), 2);
+        assert!(batch
+            .iter()
+            .all(|(nn, c)| nn.is_empty() && *c == QueryCost::default()));
+    }
+
+    /// Tentpole invariant at the engine level: a batch of N queries returns
+    /// bit-identical per-query answers and costs to N one-at-a-time calls,
+    /// at every worker count, in exact and approximate mode.
+    #[test]
+    fn batch_matches_one_at_a_time_exactly() {
+        let units = units(1234);
+        let queries: Vec<Vec<f32>> = (0..7)
+            .map(|q| vec![q as f32 * 0.5, -(q as f32), 1.0])
+            .collect();
+        for exact in [true, false] {
+            for k in [1usize, 4, 9] {
+                let singles: Vec<_> = queries
+                    .iter()
+                    .map(|q| parallel_knn(&units, q, k, 1, exact).unwrap())
+                    .collect();
+                for workers in [1, 2, 4, 8] {
+                    let batch = batch_knn(&units, &queries, k, workers, exact).unwrap();
+                    assert_eq!(
+                        batch, singles,
+                        "batch must match singles (exact={exact}, k={k}, workers={workers})"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn batch_over_single_unit_skips_the_seed_phase_like_singles() {
+        // One unit: exact queries are single-phase; the batch must agree.
+        let single_unit = vec![units(5).into_iter().next().unwrap()];
+        let queries: Vec<Vec<f32>> = vec![vec![0.0], vec![2.0], vec![-1.5]];
+        let singles: Vec<_> = queries
+            .iter()
+            .map(|q| parallel_knn(&single_unit, q, 3, 1, true).unwrap())
+            .collect();
+        let batch = batch_knn(&single_unit, &queries, 3, 4, true).unwrap();
+        assert_eq!(batch, singles);
+    }
+
+    #[test]
+    fn empty_batch_is_empty() {
+        let units = units(8);
+        let none: Vec<Vec<f32>> = Vec::new();
+        assert!(batch_knn(&units, &none, 3, 4, true).unwrap().is_empty());
     }
 }

@@ -23,19 +23,27 @@
 //!   non-materialized indexes.
 //! * [`engine`] — the concurrent query engine: deterministic parallel
 //!   fan-out over search units (runs, shards, partitions) with per-worker
-//!   heaps merged around a [`query::SharedBound`].
+//!   heaps merged around a [`query::SharedBound`], for single queries
+//!   ([`parallel_knn`]) and batches ([`batch_knn`], a round pipeline whose
+//!   per-query answers and costs are bit-identical to one-at-a-time
+//!   execution).
+//! * [`raw`] — backend-aware raw-series fetching for non-materialized
+//!   refinement ([`RawSeriesSource`]: positioned reads or an
+//!   `MADV_RANDOM`-advised mapping of the dataset file, same accounting).
 //! * [`tree`] — the [`CTree`] itself: bulk build, optional delta inserts with
 //!   fill-factor-driven merge, and query entry points.
 
 pub mod engine;
 pub mod entry;
 pub mod query;
+pub mod raw;
 pub mod sorted_file;
 pub mod tree;
 
-pub use engine::{parallel_knn, SearchUnit};
+pub use engine::{batch_knn, parallel_knn, SearchUnit};
 pub use entry::{EntryLayout, SeriesEntry};
 pub use query::{KnnHeap, QueryContext, QueryCost, SharedBound};
+pub use raw::RawSeriesSource;
 pub use sorted_file::{BlockMeta, SortedSeriesFile};
 pub use tree::{BuildStats, CTree, CTreeConfig};
 

@@ -3,11 +3,11 @@
 use std::collections::BinaryHeap;
 use std::sync::atomic::{AtomicU64, Ordering};
 
-use coconut_series::dataset::Dataset;
 use coconut_series::distance::Neighbor;
 use coconut_storage::iostats::AccessKind;
 use coconut_storage::SharedIoStats;
 
+use crate::raw::RawSeriesSource;
 use crate::Result;
 
 /// Maps an `f64` to a `u64` whose unsigned order matches the float order
@@ -211,7 +211,7 @@ impl QueryCost {
 /// Context passed through a query: access to the raw data file (for
 /// non-materialized refinement), shared I/O statistics and cost counters.
 pub struct QueryContext<'a> {
-    dataset: Option<&'a Dataset>,
+    raw: Option<&'a RawSeriesSource>,
     stats: Option<SharedIoStats>,
     /// Cost counters accumulated during the query.
     pub cost: QueryCost,
@@ -221,17 +221,19 @@ impl<'a> QueryContext<'a> {
     /// Context for a materialized index (no raw data file needed).
     pub fn materialized() -> Self {
         QueryContext {
-            dataset: None,
+            raw: None,
             stats: None,
             cost: QueryCost::default(),
         }
     }
 
-    /// Context for a non-materialized index backed by `dataset`.  Raw series
-    /// fetches are charged to `stats` as random page reads.
-    pub fn non_materialized(dataset: &'a Dataset, stats: SharedIoStats) -> Self {
+    /// Context for a non-materialized index backed by `raw` (a
+    /// backend-aware reader over the original dataset file).  Raw series
+    /// fetches are charged to `stats` as random page reads — identically at
+    /// either read backend.
+    pub fn non_materialized(raw: &'a RawSeriesSource, stats: SharedIoStats) -> Self {
         QueryContext {
-            dataset: Some(dataset),
+            raw: Some(raw),
             stats: Some(stats),
             cost: QueryCost::default(),
         }
@@ -239,23 +241,23 @@ impl<'a> QueryContext<'a> {
 
     /// Returns `true` when raw series can be fetched.
     pub fn can_fetch(&self) -> bool {
-        self.dataset.is_some()
+        self.raw.is_some()
     }
 
     /// Fetches the raw values of series `id` from the data file, charging
     /// the access as a random read.
     pub fn fetch(&mut self, id: u64) -> Result<Vec<f32>> {
-        let ds = self.dataset.ok_or_else(|| {
+        let raw = self.raw.ok_or_else(|| {
             crate::IndexError::Config(
                 "non-materialized refinement requires a raw dataset handle".into(),
             )
         })?;
-        let series = ds.read_series(id)?;
+        let values = raw.read_values(id)?;
         self.cost.raw_fetches += 1;
         if let Some(stats) = &self.stats {
-            stats.record(AccessKind::RandomRead, (series.len() * 4) as u64);
+            stats.record(AccessKind::RandomRead, (values.len() * 4) as u64);
         }
-        Ok(series.values)
+        Ok(values)
     }
 }
 
@@ -376,13 +378,23 @@ mod tests {
         let dir = ScratchDir::new("qctx").unwrap();
         let mut gen = RandomWalkGenerator::new(32, 9);
         let series = gen.generate(5);
-        let ds = Dataset::create_from_series(dir.file("d.bin"), &series).unwrap();
-        let stats = IoStats::shared();
-        let mut ctx = QueryContext::non_materialized(&ds, std::sync::Arc::clone(&stats));
-        let v = ctx.fetch(3).unwrap();
-        assert_eq!(v, series[3].values);
-        assert_eq!(ctx.cost.raw_fetches, 1);
-        assert_eq!(stats.snapshot().random_reads, 1);
+        let ds = coconut_series::Dataset::create_from_series(dir.file("d.bin"), &series).unwrap();
+        // The accounting contract is backend-independent: one random read of
+        // the series' byte volume per fetch, whether the values came from a
+        // positioned read or a mapping.
+        for backend in [
+            coconut_storage::IoBackend::Pread,
+            coconut_storage::IoBackend::Mmap,
+        ] {
+            let raw = RawSeriesSource::new(ds.reopen().unwrap(), backend).unwrap();
+            let stats = IoStats::shared();
+            let mut ctx = QueryContext::non_materialized(&raw, std::sync::Arc::clone(&stats));
+            let v = ctx.fetch(3).unwrap();
+            assert_eq!(v, series[3].values);
+            assert_eq!(ctx.cost.raw_fetches, 1);
+            assert_eq!(stats.snapshot().random_reads, 1, "{backend}");
+            assert_eq!(stats.snapshot().bytes_read, 32 * 4, "{backend}");
+        }
     }
 
     #[test]

@@ -23,7 +23,7 @@ use coconut_series::distance::euclidean_early_abandon;
 use coconut_series::paa::paa;
 use coconut_series::Timestamp;
 use coconut_storage::dynsort::DynRunWriter;
-use coconut_storage::{IoBackend, SharedIoStats};
+use coconut_storage::{AccessPattern, IoBackend, SharedIoStats};
 
 use crate::entry::{EntryLayout, SeriesEntry};
 use crate::query::{KnnHeap, QueryContext};
@@ -293,6 +293,9 @@ impl SortedSeriesFile {
         buffer_records: usize,
         prefetch: bool,
     ) -> coconut_storage::DynRunReader<EntryLayout> {
+        // A full scan walks the mapped pages front to back: let the kernel
+        // read ahead aggressively (advisory; accounting unaffected).
+        self.run.advise_read_pattern(AccessPattern::Sequential);
         self.run.reader_with_prefetch(buffer_records, prefetch)
     }
 
@@ -321,6 +324,10 @@ impl SortedSeriesFile {
         hi: Option<u128>,
         prefetch: bool,
     ) -> RangeReader<'_> {
+        // A range feeds a merge: its blocks stream in ascending order, so
+        // kernel read-ahead on the mapped pages pays off (advisory;
+        // accounting unaffected).
+        self.run.advise_read_pattern(AccessPattern::Sequential);
         // First block that can contain a key >= lo.
         let first = self.blocks.partition_point(|b| b.max_key < lo);
         // First block past the range (entirely >= hi); clamped so an
@@ -500,6 +507,10 @@ impl SortedSeriesFile {
         if self.blocks.is_empty() {
             return Ok(());
         }
+        // Query-time probes jump between blocks in bound order: disable
+        // kernel read-ahead on the mapped pages (advisory; accounting
+        // unaffected).
+        self.run.advise_read_pattern(AccessPattern::Random);
         let query_paa = paa(query, self.sax.segments);
         let summarizer = coconut_sax::SortableSummarizer::new(self.sax);
         let key = summarizer.key(query).raw();
@@ -551,6 +562,8 @@ impl SortedSeriesFile {
         if self.blocks.is_empty() {
             return Ok(());
         }
+        // See `search_approximate`: probes are random-access by design.
+        self.run.advise_read_pattern(AccessPattern::Random);
         let query_paa = paa(query, self.sax.segments);
         // Order blocks by lower bound so the tightest candidates are refined
         // first and the rest can be skipped.
@@ -768,6 +781,8 @@ mod tests {
         let sax = SaxConfig::new(64, 8, 8);
         let (series, entries) = make_entries(300, sax, false, 4);
         let dataset = Dataset::create_from_series(dir.file("raw.bin"), &series).unwrap();
+        let raw =
+            crate::raw::RawSeriesSource::new(dataset, coconut_storage::IoBackend::Pread).unwrap();
         let file = build(&dir, sax, entries, false, 32);
         let stats = IoStats::shared();
         let mut gen = RandomWalkGenerator::new(64, 101);
@@ -779,7 +794,7 @@ mod tests {
                 3,
             );
             let mut heap = KnnHeap::new(3);
-            let mut ctx = QueryContext::non_materialized(&dataset, std::sync::Arc::clone(&stats));
+            let mut ctx = QueryContext::non_materialized(&raw, std::sync::Arc::clone(&stats));
             file.search_exact(&q.values, &mut heap, &mut ctx, None)
                 .unwrap();
             let got = heap.into_sorted();

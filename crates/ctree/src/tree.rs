@@ -16,6 +16,7 @@ use coconut_storage::IoBackend;
 
 use crate::entry::{EntryLayout, SeriesEntry};
 use crate::query::{KnnHeap, QueryContext, QueryCost};
+use crate::raw::RawSeriesSource;
 use crate::sorted_file::SortedSeriesFile;
 use crate::{IndexError, Result};
 
@@ -161,7 +162,7 @@ pub struct CTree {
     config: CTreeConfig,
     summarizer: SortableSummarizer,
     file: SortedSeriesFile,
-    dataset: Option<Dataset>,
+    raw: Option<RawSeriesSource>,
     stats: SharedIoStats,
     dir: PathBuf,
     build_stats: BuildStats,
@@ -265,10 +266,12 @@ impl CTree {
             config,
             summarizer,
             file,
-            dataset: if materialized {
+            raw: if materialized {
                 None
             } else {
-                Some(dataset.reopen()?)
+                // Raw-series refinement fetches flow through the same
+                // io_backend knob as the index's own files.
+                Some(RawSeriesSource::new(dataset.reopen()?, config.io_backend)?)
             },
             stats,
             dir: dir.to_path_buf(),
@@ -334,27 +337,21 @@ impl CTree {
     }
 
     fn query_context(&self) -> QueryContext<'_> {
-        match &self.dataset {
-            Some(ds) => QueryContext::non_materialized(ds, Arc::clone(&self.stats)),
+        match &self.raw {
+            Some(raw) => QueryContext::non_materialized(raw, Arc::clone(&self.stats)),
             None => QueryContext::materialized(),
         }
     }
 
-    fn query_units<'a>(
-        &'a self,
-        query: &'a [f32],
-        window: Option<(Timestamp, Timestamp)>,
-    ) -> Vec<CTreeUnit<'a>> {
+    fn query_units(&self, window: Option<(Timestamp, Timestamp)>) -> Vec<CTreeUnit<'_>> {
         let mut units = vec![CTreeUnit {
             tree: self,
-            query,
             window,
             part: CTreePart::Leaves,
         }];
         if !self.delta.is_empty() {
             units.push(CTreeUnit {
                 tree: self,
-                query,
                 window,
                 part: CTreePart::Delta,
             });
@@ -394,8 +391,8 @@ impl CTree {
         k: usize,
         window: Option<(Timestamp, Timestamp)>,
     ) -> Result<(Vec<Neighbor>, QueryCost)> {
-        let units = self.query_units(query, window);
-        crate::engine::parallel_knn(&units, k, self.config.query_parallelism, false)
+        let units = self.query_units(window);
+        crate::engine::parallel_knn(&units, query, k, self.config.query_parallelism, false)
     }
 
     /// Exact kNN search.
@@ -410,8 +407,34 @@ impl CTree {
         k: usize,
         window: Option<(Timestamp, Timestamp)>,
     ) -> Result<(Vec<Neighbor>, QueryCost)> {
-        let units = self.query_units(query, window);
-        crate::engine::parallel_knn(&units, k, self.config.query_parallelism, true)
+        let units = self.query_units(window);
+        crate::engine::parallel_knn(&units, query, k, self.config.query_parallelism, true)
+    }
+
+    /// Runs a batch of kNN queries through the engine's round pipeline.
+    ///
+    /// Every query's answers and `QueryCost` are bit-identical to issuing
+    /// it alone via [`CTree::exact_knn`] / [`CTree::approximate_knn`], and
+    /// so is the per-file `IoStats` accounting; see `crate::engine`.
+    pub fn batch_knn(
+        &self,
+        queries: &[Vec<f32>],
+        k: usize,
+        exact: bool,
+    ) -> Result<Vec<(Vec<Neighbor>, QueryCost)>> {
+        self.batch_knn_window(queries, k, None, exact)
+    }
+
+    /// Like [`CTree::batch_knn`], restricted to a timestamp window.
+    pub fn batch_knn_window(
+        &self,
+        queries: &[Vec<f32>],
+        k: usize,
+        window: Option<(Timestamp, Timestamp)>,
+        exact: bool,
+    ) -> Result<Vec<(Vec<Neighbor>, QueryCost)>> {
+        let units = self.query_units(window);
+        crate::engine::batch_knn(&units, queries, k, self.config.query_parallelism, exact)
     }
 
     /// Inserts a batch of new series (delta inserts).  Materialized trees
@@ -520,10 +543,10 @@ enum CTreePart {
 }
 
 /// One independently searchable piece of a CTree for the concurrent query
-/// engine: the contiguous leaf level or the in-memory delta.
+/// engine: the contiguous leaf level or the in-memory delta.  The query is
+/// supplied per search call so one unit list serves a whole batch.
 struct CTreeUnit<'a> {
     tree: &'a CTree,
-    query: &'a [f32],
     window: Option<(Timestamp, Timestamp)>,
     part: CTreePart,
 }
@@ -533,30 +556,36 @@ impl crate::engine::SearchUnit for CTreeUnit<'_> {
         self.tree.query_context()
     }
 
-    fn search_approximate(&self, heap: &mut KnnHeap, ctx: &mut QueryContext<'_>) -> Result<()> {
+    fn search_approximate(
+        &self,
+        query: &[f32],
+        heap: &mut KnnHeap,
+        ctx: &mut QueryContext<'_>,
+    ) -> Result<()> {
         match self.part {
-            CTreePart::Leaves => {
-                self.tree
-                    .file
-                    .search_approximate(self.query, heap, ctx, self.window)
-            }
+            CTreePart::Leaves => self
+                .tree
+                .file
+                .search_approximate(query, heap, ctx, self.window),
             CTreePart::Delta => {
                 // The delta is in memory: its "approximate" probe is the
                 // full scan, which both seeds the bound and is exact.
-                self.tree.search_delta(self.query, heap, self.window);
+                self.tree.search_delta(query, heap, self.window);
                 Ok(())
             }
         }
     }
 
-    fn search_exact(&self, heap: &mut KnnHeap, ctx: &mut QueryContext<'_>) -> Result<()> {
+    fn search_exact(
+        &self,
+        query: &[f32],
+        heap: &mut KnnHeap,
+        ctx: &mut QueryContext<'_>,
+    ) -> Result<()> {
         match self.part {
-            CTreePart::Leaves => self
-                .tree
-                .file
-                .search_exact(self.query, heap, ctx, self.window),
+            CTreePart::Leaves => self.tree.file.search_exact(query, heap, ctx, self.window),
             CTreePart::Delta => {
-                self.tree.search_delta(self.query, heap, self.window);
+                self.tree.search_delta(query, heap, self.window);
                 Ok(())
             }
         }

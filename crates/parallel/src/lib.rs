@@ -190,6 +190,51 @@ where
         .collect()
 }
 
+/// A worker-pool executor for coarse, service-level jobs.
+///
+/// The palm request layer dispatches the sub-requests of a `batch` request
+/// through one of these: up to `workers` scoped threads claim jobs
+/// dynamically (the [`parallel_map_tasks`] protocol), so a batch of
+/// heterogeneous requests — several kNN queries next to a metrics fetch —
+/// load-balances without static partitioning, and results come back in
+/// submission order.  The pool holds no persistent threads: `run` spawns
+/// scoped workers per call, which keeps borrowed job inputs (`&PalmServer`,
+/// `&[PalmRequest]`) usable without `'static` bounds and leaves nothing to
+/// shut down.
+#[derive(Debug, Clone, Copy)]
+pub struct WorkerPool {
+    workers: usize,
+}
+
+impl WorkerPool {
+    /// Creates a pool resolving the `parallelism` knob like
+    /// [`effective_parallelism`] (`0` = one worker per available core).
+    pub fn new(parallelism: usize) -> Self {
+        WorkerPool {
+            workers: effective_parallelism(parallelism),
+        }
+    }
+
+    /// Number of workers jobs fan out over.
+    pub fn workers(&self) -> usize {
+        self.workers
+    }
+
+    /// Runs `f` over every job, in submission order, on the pool.
+    ///
+    /// Semantics are exactly [`parallel_map_tasks`]: dynamic claiming,
+    /// order-preserving results, inline execution for a single worker or a
+    /// single job.
+    pub fn run<T, R, F>(&self, jobs: &[T], f: F) -> Vec<R>
+    where
+        T: Sync,
+        R: Send,
+        F: Fn(usize, &T) -> R + Sync,
+    {
+        parallel_map_tasks(jobs, self.workers, f)
+    }
+}
+
 /// Stable sort of `items` by `key`, using up to `workers` threads.
 ///
 /// The result is **identical** to `items.sort_by(|a, b| key(a).cmp(&key(b)))`
@@ -345,6 +390,21 @@ mod tests {
         }
         let empty: Vec<u64> = Vec::new();
         assert!(parallel_map_tasks(&empty, 4, |_, x| *x).is_empty());
+    }
+
+    #[test]
+    fn worker_pool_runs_jobs_in_order() {
+        let pool = WorkerPool::new(4);
+        assert!(pool.workers() >= 1);
+        let jobs: Vec<u64> = (0..50).collect();
+        let got = pool.run(&jobs, |i, x| {
+            assert_eq!(jobs[i], *x);
+            x + 100
+        });
+        let expected: Vec<u64> = (100..150).collect();
+        assert_eq!(got, expected);
+        // Zero resolves to the available core count, never zero workers.
+        assert!(WorkerPool::new(0).workers() >= 1);
     }
 
     #[test]

@@ -172,6 +172,15 @@ impl<L: RecordLayout> DynRunFile<L> {
         read_ahead(Arc::clone(&self.file), ranges)
     }
 
+    /// Advises the kernel how the run's mapped pages are about to be
+    /// accessed (mmap backend only; see
+    /// [`PagedFile::advise_read_pattern`]).  Merge/scan range readers pass
+    /// `Sequential`, query-time block probes `Random`; accounting is
+    /// unaffected either way.
+    pub fn advise_read_pattern(&self, pattern: crate::mmap::AccessPattern) {
+        self.file.advise_read_pattern(pattern);
+    }
+
     /// Returns `true` while the backing file holds a live read mapping.
     pub fn is_mapped(&self) -> bool {
         self.file.is_mapped()

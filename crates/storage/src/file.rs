@@ -17,7 +17,7 @@ use parking_lot::Mutex;
 
 use crate::heatmap::HeatMap;
 use crate::iostats::{AccessKind, SharedIoStats};
-use crate::mmap::{IoBackend, Mapping};
+use crate::mmap::{AccessPattern, IoBackend, Mapping};
 use crate::page::{page_of_offset, pages_for_bytes, PageId, DEFAULT_PAGE_SIZE};
 use crate::{Result, StorageError};
 
@@ -35,6 +35,10 @@ pub struct PagedFile {
     /// [`IoBackend::Mmap`]; re-created when a read extends past its length,
     /// dropped explicitly by [`PagedFile::unmap`] before the file is deleted.
     mapping: Mutex<Option<Mapping>>,
+    /// Advisory access-pattern hint applied to the read mapping (mmap
+    /// backend only): merge/scan range readers advise `Sequential`,
+    /// query-time block probes advise `Random`.  Never affects accounting.
+    read_pattern: Mutex<AccessPattern>,
     /// Number of `sync` (fdatasync) calls issued on this file — lets tests
     /// assert that durable finish paths sync and volatile ones do not.
     sync_calls: AtomicU64,
@@ -79,6 +83,7 @@ impl PagedFile {
             heatmap: None,
             backend: IoBackend::Pread,
             mapping: Mutex::new(None),
+            read_pattern: Mutex::new(AccessPattern::Normal),
             sync_calls: AtomicU64::new(0),
         })
     }
@@ -110,6 +115,7 @@ impl PagedFile {
             heatmap: None,
             backend: IoBackend::Pread,
             mapping: Mutex::new(None),
+            read_pattern: Mutex::new(AccessPattern::Normal),
             sync_calls: AtomicU64::new(0),
         })
     }
@@ -143,6 +149,39 @@ impl PagedFile {
     /// deleted file; a later read simply re-maps (or falls back to `pread`).
     pub fn unmap(&self) {
         *self.mapping.lock() = None;
+    }
+
+    /// Advises the kernel how the file's mapped pages are about to be
+    /// accessed: merge/scan range readers pass
+    /// [`AccessPattern::Sequential`], query-time block probes
+    /// [`AccessPattern::Random`].
+    ///
+    /// Purely advisory and mmap-only — the `pread` backend ignores it, a
+    /// repeated hint is skipped, and `IoStats` page-touch accounting is
+    /// identical whatever was (or was not) advised.
+    pub fn advise_read_pattern(&self, pattern: AccessPattern) {
+        if self.backend != IoBackend::Mmap {
+            return;
+        }
+        {
+            // Update the stored hint first and bail when unchanged, so hot
+            // paths issue at most one madvise per pattern switch.
+            let mut current = self.read_pattern.lock();
+            if *current == pattern {
+                return;
+            }
+            *current = pattern;
+        }
+        // Lock order: `read_pattern` was released above; `read_mapped` also
+        // never holds both locks at once.
+        if let Some(mapping) = self.mapping.lock().as_ref() {
+            mapping.advise(pattern);
+        }
+    }
+
+    /// The currently advised read access pattern.
+    pub fn read_pattern(&self) -> AccessPattern {
+        *self.read_pattern.lock()
     }
 
     /// Number of [`PagedFile::sync`] calls issued so far.
@@ -293,7 +332,21 @@ impl PagedFile {
             // Drop the outgrown mapping before building its replacement.
             *mapping = None;
             match Mapping::map(&self.file.lock(), file_len) {
-                Ok(m) => *mapping = Some(m),
+                Ok(m) => {
+                    // Re-apply the stored hint while still holding the
+                    // `mapping` lock: a concurrent `advise_read_pattern`
+                    // either stored its pattern before this read (picked up
+                    // here) or blocks on `mapping` until the new mapping is
+                    // visible (advised there) — the hint is never lost
+                    // across a remap.  `advise_read_pattern` never holds
+                    // `read_pattern` while taking `mapping`, so this
+                    // nesting cannot deadlock.
+                    let pattern = *self.read_pattern.lock();
+                    if pattern != AccessPattern::Normal {
+                        m.advise(pattern);
+                    }
+                    *mapping = Some(m);
+                }
                 Err(_) => return false,
             }
         }
@@ -713,6 +766,52 @@ mod tests {
         assert!(!f.is_mapped());
         assert_eq!(f.read_at(64, 64).unwrap(), vec![2u8; 64]);
         assert!(f.is_mapped());
+    }
+
+    /// Satellite invariant: madvise access-pattern tuning is advisory only —
+    /// bytes and `IoStats` (every touched page, same sequential/random
+    /// classification) are identical whether and whatever was advised.
+    #[test]
+    fn advised_access_patterns_never_change_bytes_or_accounting() {
+        let data: Vec<u8> = (0..64u32 * 16).map(|i| (i % 199) as u8).collect();
+        let mut outcomes = Vec::new();
+        let schedules: [&[AccessPattern]; 3] = [
+            &[],
+            &[AccessPattern::Sequential],
+            &[AccessPattern::Random, AccessPattern::Sequential],
+        ];
+        for (i, schedule) in schedules.iter().enumerate() {
+            let (dir, stats) = setup(&format!("pf-advise-{i}"));
+            let f = PagedFile::create_with_page_size(dir.file("a.bin"), Arc::clone(&stats), 64)
+                .unwrap()
+                .with_backend(IoBackend::Mmap);
+            f.append(&data).unwrap();
+            stats.reset();
+            f.reset_access_cursor();
+            let mut bytes = Vec::new();
+            for (r, page) in (0..16u64).chain([2, 9, 5]).enumerate() {
+                if let Some(&p) = schedule.get(r % schedule.len().max(1)) {
+                    f.advise_read_pattern(p);
+                }
+                bytes.extend(f.read_at(page * 64, 64).unwrap());
+            }
+            outcomes.push((bytes, stats.snapshot()));
+        }
+        assert_eq!(outcomes[0].0, outcomes[1].0);
+        assert_eq!(outcomes[0].0, outcomes[2].0);
+        assert_eq!(outcomes[0].1, outcomes[1].1, "IoStats must ignore advice");
+        assert_eq!(outcomes[0].1, outcomes[2].1, "IoStats must ignore advice");
+    }
+
+    #[test]
+    fn advise_is_a_noop_on_the_pread_backend() {
+        let (dir, stats) = setup("pf-advise-pread");
+        let f = PagedFile::create(dir.file("a.bin"), stats).unwrap();
+        f.append(b"abc").unwrap();
+        f.advise_read_pattern(AccessPattern::Sequential);
+        // The pread backend never stores the hint (nothing to advise).
+        assert_eq!(f.read_pattern(), AccessPattern::Normal);
+        assert_eq!(f.read_at(0, 3).unwrap(), b"abc");
     }
 
     #[test]

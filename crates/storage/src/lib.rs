@@ -43,7 +43,7 @@ pub use extsort::{ExternalSortConfig, ExternalSorter};
 pub use file::{read_ahead, PagedFile, ReadAheadBuffers, PREFETCH_MIN_BYTES};
 pub use heatmap::HeatMap;
 pub use iostats::{AccessKind, IoStats, IoStatsSnapshot, SharedIoStats};
-pub use mmap::IoBackend;
+pub use mmap::{AccessPattern, IoBackend, Mapping};
 pub use page::{PageId, DEFAULT_PAGE_SIZE};
 pub use record::{FixedRecord, KeyedRecord};
 pub use tempdir::ScratchDir;

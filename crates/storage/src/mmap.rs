@@ -81,6 +81,40 @@ impl coconut_json::FromJson for IoBackend {
     }
 }
 
+/// Advisory access-pattern hint for a read mapping (`madvise(2)`).
+///
+/// A pure performance knob layered on a pure performance knob: the hint
+/// tunes kernel read-ahead for the mapped pages (aggressive for sequential
+/// range scans, disabled for random query-time probes) but never changes
+/// which bytes a read returns or which page touches `IoStats` accounts —
+/// accounting happens in [`crate::PagedFile`], entirely outside the kernel's
+/// read-ahead machinery.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum AccessPattern {
+    /// No particular expectation (the kernel default).
+    #[default]
+    Normal,
+    /// Pages will be touched in ascending order (merge/scan range readers):
+    /// `MADV_SEQUENTIAL`, aggressive read-ahead, early reclaim behind the
+    /// cursor.
+    Sequential,
+    /// Pages will be touched in no predictable order (query-time block
+    /// probes): `MADV_RANDOM`, read-ahead disabled so a probe faults only
+    /// the pages it needs.
+    Random,
+}
+
+impl AccessPattern {
+    /// Short lowercase name used by diagnostics.
+    pub fn name(&self) -> &'static str {
+        match self {
+            AccessPattern::Normal => "normal",
+            AccessPattern::Sequential => "sequential",
+            AccessPattern::Random => "random",
+        }
+    }
+}
+
 /// Number of file mappings currently alive in the process (diagnostic; the
 /// unmap-before-unlink tests assert on the per-file state instead, which is
 /// immune to concurrent tests creating their own mappings).
@@ -96,6 +130,9 @@ mod sys {
 
     pub const PROT_READ: c_int = 0x1;
     pub const MAP_SHARED: c_int = 0x01;
+    pub const MADV_NORMAL: c_int = 0;
+    pub const MADV_RANDOM: c_int = 1;
+    pub const MADV_SEQUENTIAL: c_int = 2;
     pub const MADV_WILLNEED: c_int = 3;
 
     extern "C" {
@@ -191,6 +228,27 @@ impl Mapping {
     pub fn as_slice(&self) -> &[u8] {
         unsafe { std::slice::from_raw_parts(self.ptr.as_ptr(), self.len) }
     }
+
+    /// Applies an advisory access-pattern hint to the whole mapping.
+    ///
+    /// Purely advisory: failures are ignored (as with the `MADV_WILLNEED`
+    /// issued at map time) and neither the returned bytes nor the `IoStats`
+    /// accounting depend on the hint.
+    #[cfg(all(unix, target_pointer_width = "64"))]
+    pub fn advise(&self, pattern: AccessPattern) {
+        let advice = match pattern {
+            AccessPattern::Normal => sys::MADV_NORMAL,
+            AccessPattern::Sequential => sys::MADV_SEQUENTIAL,
+            AccessPattern::Random => sys::MADV_RANDOM,
+        };
+        unsafe {
+            let _ = sys::madvise(self.ptr.as_ptr() as *mut std::ffi::c_void, self.len, advice);
+        }
+    }
+
+    /// No-op on platforms without `madvise`.
+    #[cfg(not(all(unix, target_pointer_width = "64")))]
+    pub fn advise(&self, _pattern: AccessPattern) {}
 }
 
 impl Drop for Mapping {
@@ -246,6 +304,25 @@ mod tests {
         f.seek(std::io::SeekFrom::Start(2)).unwrap();
         f.write_all(b"zz").unwrap();
         assert_eq!(m.as_slice(), b"aazzaaaa");
+    }
+
+    #[test]
+    fn advise_leaves_mapped_bytes_intact() {
+        let dir = crate::tempdir::ScratchDir::new("mmap-advise").unwrap();
+        let path = dir.file("a.bin");
+        let mut f = std::fs::File::create(&path).unwrap();
+        f.write_all(b"advised bytes!").unwrap();
+        f.sync_data().unwrap();
+        let f = std::fs::File::open(&path).unwrap();
+        let m = Mapping::map(&f, 14).unwrap();
+        for pattern in [
+            AccessPattern::Sequential,
+            AccessPattern::Random,
+            AccessPattern::Normal,
+        ] {
+            m.advise(pattern);
+            assert_eq!(m.as_slice(), b"advised bytes!", "{}", pattern.name());
+        }
     }
 
     #[test]

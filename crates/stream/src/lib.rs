@@ -87,6 +87,26 @@ pub trait StreamingIndex {
         exact: bool,
     ) -> Result<StreamQueryResult>;
 
+    /// Answers a batch of kNN queries constrained to one `window`.
+    ///
+    /// Every query's result must be identical to issuing it alone via
+    /// [`StreamingIndex::query_window`].  The default implementation is the
+    /// one-at-a-time loop; schemes built on the concurrent engine override
+    /// it with the batched round pipeline (`coconut_ctree::engine`), which
+    /// preserves that identity by construction.
+    fn query_window_batch(
+        &self,
+        queries: &[Vec<f32>],
+        k: usize,
+        window: Option<(Timestamp, Timestamp)>,
+        exact: bool,
+    ) -> Result<Vec<StreamQueryResult>> {
+        queries
+            .iter()
+            .map(|q| self.query_window(q, k, window, exact))
+            .collect()
+    }
+
     /// Number of partitions (1 for PP schemes).
     fn num_partitions(&self) -> usize;
 
@@ -174,6 +194,34 @@ impl StreamingIndex for PpStream {
             partitions_accessed: 1,
             partitions_total: 1,
         })
+    }
+
+    fn query_window_batch(
+        &self,
+        queries: &[Vec<f32>],
+        k: usize,
+        window: Option<(Timestamp, Timestamp)>,
+        exact: bool,
+    ) -> Result<Vec<StreamQueryResult>> {
+        match &self.backend {
+            // The CLSM backend runs the whole batch through the engine's
+            // round pipeline (per-query results identical to one-at-a-time).
+            PpBackend::Clsm(t) => Ok(t
+                .batch_knn_window(queries, k, window, exact)?
+                .into_iter()
+                .map(|(neighbors, cost)| StreamQueryResult {
+                    neighbors,
+                    cost,
+                    partitions_accessed: 1,
+                    partitions_total: 1,
+                })
+                .collect()),
+            // The ADS+ baseline has its own traversal: one-at-a-time loop.
+            PpBackend::Ads(_) => queries
+                .iter()
+                .map(|q| self.query_window(q, k, window, exact))
+                .collect(),
+        }
     }
 
     fn num_partitions(&self) -> usize {
@@ -587,6 +635,44 @@ impl PartitionedStream {
             }
         }
     }
+
+    /// Search units in newest-first order: the buffer, then every partition
+    /// whose time range intersects the window (the second value is how many
+    /// partitions will be accessed).  The engine probes them concurrently
+    /// around a shared best-so-far bound.
+    fn query_units(
+        &self,
+        k: usize,
+        window: Option<(Timestamp, Timestamp)>,
+    ) -> (Vec<StreamUnit<'_>>, usize) {
+        let mut units = Vec::with_capacity(self.partitions.len() + 1);
+        if !self.buffer.is_empty() {
+            units.push(StreamUnit {
+                stream: self,
+                k,
+                window,
+                part: StreamPart::Buffer,
+            });
+        }
+        let mut accessed = 0;
+        for partition in self.partitions.iter().rev() {
+            if !partition.intersects(window) {
+                continue;
+            }
+            accessed += 1;
+            let part = match partition {
+                Partition::Sorted { file, .. } => StreamPart::Sorted(file),
+                Partition::Ads { tree, .. } => StreamPart::Ads(tree),
+            };
+            units.push(StreamUnit {
+                stream: self,
+                k,
+                window,
+                part,
+            });
+        }
+        (units, accessed)
+    }
 }
 
 #[derive(Clone, Copy)]
@@ -600,10 +686,10 @@ enum StreamPart<'a> {
 }
 
 /// One independently searchable piece of a partitioned stream for the
-/// concurrent query engine.
+/// concurrent query engine.  The query is supplied per search call so one
+/// unit list serves a whole batch.
 struct StreamUnit<'a> {
     stream: &'a PartitionedStream,
-    query: &'a [f32],
     k: usize,
     window: Option<(Timestamp, Timestamp)>,
     part: StreamPart<'a>,
@@ -613,6 +699,7 @@ impl StreamUnit<'_> {
     fn search_ads(
         &self,
         tree: &AdsTree,
+        query: &[f32],
         exact: bool,
         heap: &mut KnnHeap,
         ctx: &mut QueryContext<'_>,
@@ -620,9 +707,9 @@ impl StreamUnit<'_> {
         // ADS partitions run their own traversal; fold their neighbours and
         // cost into this worker's heap and counters.
         let (neighbors, cost) = if exact {
-            tree.exact_knn_window(self.query, self.k, self.window)?
+            tree.exact_knn_window(query, self.k, self.window)?
         } else {
-            tree.approximate_knn_window(self.query, self.k, self.window)?
+            tree.approximate_knn_window(query, self.k, self.window)?
         };
         ctx.cost = ctx.cost.plus(&cost);
         for n in neighbors {
@@ -638,29 +725,37 @@ impl coconut_ctree::engine::SearchUnit for StreamUnit<'_> {
         QueryContext::materialized()
     }
 
-    fn search_approximate(&self, heap: &mut KnnHeap, ctx: &mut QueryContext<'_>) -> Result<()> {
+    fn search_approximate(
+        &self,
+        query: &[f32],
+        heap: &mut KnnHeap,
+        ctx: &mut QueryContext<'_>,
+    ) -> Result<()> {
         match self.part {
             // The buffer is in memory: its "approximate" probe is the full
             // scan, which both seeds the shared bound and is exact.
             StreamPart::Buffer => {
-                self.stream
-                    .search_buffer(self.query, heap, ctx, self.window);
+                self.stream.search_buffer(query, heap, ctx, self.window);
                 Ok(())
             }
-            StreamPart::Sorted(file) => file.search_approximate(self.query, heap, ctx, self.window),
-            StreamPart::Ads(tree) => self.search_ads(tree, false, heap, ctx),
+            StreamPart::Sorted(file) => file.search_approximate(query, heap, ctx, self.window),
+            StreamPart::Ads(tree) => self.search_ads(tree, query, false, heap, ctx),
         }
     }
 
-    fn search_exact(&self, heap: &mut KnnHeap, ctx: &mut QueryContext<'_>) -> Result<()> {
+    fn search_exact(
+        &self,
+        query: &[f32],
+        heap: &mut KnnHeap,
+        ctx: &mut QueryContext<'_>,
+    ) -> Result<()> {
         match self.part {
             StreamPart::Buffer => {
-                self.stream
-                    .search_buffer(self.query, heap, ctx, self.window);
+                self.stream.search_buffer(query, heap, ctx, self.window);
                 Ok(())
             }
-            StreamPart::Sorted(file) => file.search_exact(self.query, heap, ctx, self.window),
-            StreamPart::Ads(tree) => self.search_ads(tree, true, heap, ctx),
+            StreamPart::Sorted(file) => file.search_exact(query, heap, ctx, self.window),
+            StreamPart::Ads(tree) => self.search_ads(tree, query, true, heap, ctx),
         }
     }
 }
@@ -717,45 +812,46 @@ impl StreamingIndex for PartitionedStream {
         window: Option<(Timestamp, Timestamp)>,
         exact: bool,
     ) -> Result<StreamQueryResult> {
-        // Search units in newest-first order: the buffer, then every
-        // partition whose time range intersects the window.  The engine
-        // probes them concurrently around a shared best-so-far bound.
-        let mut units = Vec::with_capacity(self.partitions.len() + 1);
-        if !self.buffer.is_empty() {
-            units.push(StreamUnit {
-                stream: self,
-                query,
-                k,
-                window,
-                part: StreamPart::Buffer,
-            });
-        }
-        let mut accessed = 0;
-        for partition in self.partitions.iter().rev() {
-            if !partition.intersects(window) {
-                continue;
-            }
-            accessed += 1;
-            let part = match partition {
-                Partition::Sorted { file, .. } => StreamPart::Sorted(file),
-                Partition::Ads { tree, .. } => StreamPart::Ads(tree),
-            };
-            units.push(StreamUnit {
-                stream: self,
-                query,
-                k,
-                window,
-                part,
-            });
-        }
-        let (neighbors, cost) =
-            coconut_ctree::engine::parallel_knn(&units, k, self.config.query_parallelism, exact)?;
+        let (units, accessed) = self.query_units(k, window);
+        let (neighbors, cost) = coconut_ctree::engine::parallel_knn(
+            &units,
+            query,
+            k,
+            self.config.query_parallelism,
+            exact,
+        )?;
         Ok(StreamQueryResult {
             neighbors,
             cost,
             partitions_accessed: accessed,
             partitions_total: self.partitions.len(),
         })
+    }
+
+    fn query_window_batch(
+        &self,
+        queries: &[Vec<f32>],
+        k: usize,
+        window: Option<(Timestamp, Timestamp)>,
+        exact: bool,
+    ) -> Result<Vec<StreamQueryResult>> {
+        let (units, accessed) = self.query_units(k, window);
+        let results = coconut_ctree::engine::batch_knn(
+            &units,
+            queries,
+            k,
+            self.config.query_parallelism,
+            exact,
+        )?;
+        Ok(results
+            .into_iter()
+            .map(|(neighbors, cost)| StreamQueryResult {
+                neighbors,
+                cost,
+                partitions_accessed: accessed,
+                partitions_total: self.partitions.len(),
+            })
+            .collect())
     }
 
     fn num_partitions(&self) -> usize {

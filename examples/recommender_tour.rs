@@ -16,7 +16,7 @@ fn main() {
     let dataset_path = dir.file("data.bin");
     Dataset::create_from_series(&dataset_path, &series).expect("dataset");
 
-    let mut server = PalmServer::new(dir.file("work"));
+    let server = PalmServer::new(dir.file("work"));
 
     // 1. Ask the recommender about two very different scenarios.
     for scenario in [
