@@ -1,0 +1,283 @@
+//! E14 — the Palm TCP server under load.
+//!
+//! Drives the `coconut_net` front-end end to end and self-checks the
+//! round's tentpole invariants (any failure exits non-zero — this is the
+//! CI smoke check):
+//!
+//! * **Latency** — a single client measures per-request wall-clock over
+//!   the wire, cold (cache misses) and warm (cache hits); p50/p95/p99.
+//! * **Saturation** — `4 × max_in_flight` hammering clients; reports the
+//!   saturation throughput and the shed rate, and verifies every request
+//!   got either the correct answer or a typed `overloaded` /
+//!   `deadline_exceeded` error — no hangs, no silent disconnects.
+//! * **Identity** — every wire answer (cached and uncached alike) is
+//!   compared against an uncached in-process server over the same
+//!   dataset: ids, distances and costs must be identical.
+//! * **Shutdown** — the run ends with a graceful shutdown that must
+//!   drain, sync and leak zero threads.
+//!
+//! `COCONUT_SCALE` scales the dataset, `COCONUT_THREADS` the in-flight
+//! bound and client count, `COCONUT_IO_BACKEND` the read backend.  The
+//! machine-readable report goes to `BENCH_server.json`.
+
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use coconut_bench::{f2, io_backend, print_table, scale, threads, Workbench};
+use coconut_core::palm::{PalmRequest, PalmResponse, PalmServer};
+use coconut_core::VariantKind;
+use coconut_json::{Json, ToJson};
+use coconut_net::{NetServer, PalmClient, ServerConfig};
+
+fn percentile(sorted_ms: &[f64], p: f64) -> f64 {
+    if sorted_ms.is_empty() {
+        return 0.0;
+    }
+    let idx = ((p / 100.0) * (sorted_ms.len() - 1) as f64).round() as usize;
+    sorted_ms[idx.min(sorted_ms.len() - 1)]
+}
+
+/// Strips the timing member so responses can be compared for identity.
+fn identity_view(json: &Json) -> String {
+    let Json::Obj(members) = json else {
+        panic!("responses are objects");
+    };
+    Json::Obj(
+        members
+            .iter()
+            .filter(|(k, _)| k != "elapsed_ms")
+            .cloned()
+            .collect(),
+    )
+    .to_string()
+}
+
+fn main() {
+    let n = 8_000 * scale();
+    let len = 128;
+    let n_queries = 48;
+    let k = 5;
+    let n_threads = threads().max(1);
+    let backend = io_backend();
+    let wb = Workbench::random_walk("e14", n, len, n_queries, 14);
+
+    let build = |work: &str, cache: usize| -> PalmServer {
+        let mut palm = PalmServer::new(wb.dir.file(work));
+        if cache > 0 {
+            palm = palm.with_result_cache(cache);
+        }
+        let built = palm.handle(PalmRequest::BuildIndex {
+            name: "e14".into(),
+            dataset_path: wb.dataset.path().to_string_lossy().into_owned(),
+            variant: VariantKind::Clsm,
+            materialized: true,
+            memory_budget_bytes: 8 << 20,
+            parallelism: n_threads,
+            query_parallelism: 1,
+            shard_count: 2,
+            io_overlap: true,
+            io_backend: backend,
+        });
+        assert!(matches!(built, PalmResponse::Built { .. }), "{built:?}");
+        palm
+    };
+    let palm = Arc::new(build("served", 512));
+    let reference = build("reference", 0);
+
+    let max_in_flight = n_threads;
+    let config = ServerConfig {
+        max_in_flight,
+        drain_deadline: Duration::from_secs(30),
+        ..ServerConfig::default()
+    };
+    let server = NetServer::spawn(Arc::clone(&palm), config).expect("bind");
+    let addr = server.local_addr().to_string();
+
+    let requests: Vec<String> = wb
+        .queries
+        .queries
+        .iter()
+        .map(|q| {
+            PalmRequest::Query {
+                name: "e14".into(),
+                query: q.values.clone(),
+                k,
+                exact: true,
+            }
+            .to_json()
+            .to_string()
+        })
+        .collect();
+    let expected: Vec<String> = requests
+        .iter()
+        .map(|r| identity_view(&Json::parse(&reference.handle_json(r)).unwrap()))
+        .collect();
+
+    // Latency passes: cold (every query misses), then warm (every query
+    // hits the result cache).  Identity is asserted on both.
+    let mut identical_wire_answers = true;
+    let mut latency_pass = |label: &str| -> Vec<f64> {
+        let mut client = PalmClient::connect(&addr).expect("connect");
+        let mut latencies = Vec::with_capacity(requests.len());
+        for (request, expected) in requests.iter().zip(&expected) {
+            let start = Instant::now();
+            let response = client.call(request).expect("reply");
+            latencies.push(start.elapsed().as_secs_f64() * 1000.0);
+            let parsed = Json::parse(&response).expect("response JSON");
+            if &identity_view(&parsed) != expected {
+                eprintln!("{label}: wire answer diverged from in-process reference");
+                identical_wire_answers = false;
+            }
+        }
+        latencies.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        latencies
+    };
+    let cold = latency_pass("cold");
+    let warm = latency_pass("warm");
+    let stats_after_latency = palm.stats();
+    let warm_hits = stats_after_latency.cache_hits;
+
+    // Saturation: hammering clients, every request answered or typed.
+    let clients = (4 * max_in_flight).clamp(4, 24);
+    let per_client = 40usize;
+    let start = Instant::now();
+    let mut answered = 0u64;
+    let mut shed = 0u64;
+    let mut deadline_exceeded = 0u64;
+    std::thread::scope(|scope| {
+        let mut workers = Vec::new();
+        for c in 0..clients {
+            let addr = addr.clone();
+            let requests = &requests;
+            workers.push(scope.spawn(move || {
+                let mut client = PalmClient::connect(&addr).expect("connect");
+                let mut counts = (0u64, 0u64, 0u64);
+                for i in 0..per_client {
+                    let request = &requests[(c + i) % requests.len()];
+                    let response = client.call(request).expect("every request gets a reply");
+                    let parsed = Json::parse(&response).expect("response JSON");
+                    match parsed.get("type").and_then(|j| j.as_str()) {
+                        Some("query_result") => counts.0 += 1,
+                        Some("error") => match parsed.get("kind").and_then(|j| j.as_str()) {
+                            Some("overloaded") => counts.1 += 1,
+                            Some("deadline_exceeded") => counts.2 += 1,
+                            other => panic!("untyped failure under load: {other:?}"),
+                        },
+                        other => panic!("unexpected response type: {other:?}"),
+                    }
+                }
+                counts
+            }));
+        }
+        for worker in workers {
+            let (a, s, d) = worker.join().expect("client worker");
+            answered += a;
+            shed += s;
+            deadline_exceeded += d;
+        }
+    });
+    let saturation_s = start.elapsed().as_secs_f64();
+    let total = answered + shed + deadline_exceeded;
+    let saturation_qps = answered as f64 / saturation_s;
+    let shed_rate = shed as f64 / total as f64;
+
+    let stats = palm.stats();
+    let cache_total = stats.cache_hits + stats.cache_misses;
+    let cache_hit_rate = if cache_total > 0 {
+        stats.cache_hits as f64 / cache_total as f64
+    } else {
+        0.0
+    };
+
+    let report = server.shutdown();
+    let clean_shutdown = report.is_clean();
+
+    print_table(
+        &format!(
+            "E14: palm TCP server, {n} series x {len}, in-flight bound {max_in_flight}, \
+             {clients} clients, {backend}"
+        ),
+        &["metric", "cold", "warm"],
+        &[
+            vec![
+                "p50 ms".into(),
+                f2(percentile(&cold, 50.0)),
+                f2(percentile(&warm, 50.0)),
+            ],
+            vec![
+                "p95 ms".into(),
+                f2(percentile(&cold, 95.0)),
+                f2(percentile(&warm, 95.0)),
+            ],
+            vec![
+                "p99 ms".into(),
+                f2(percentile(&cold, 99.0)),
+                f2(percentile(&warm, 99.0)),
+            ],
+        ],
+    );
+    println!(
+        "\nsaturation: {answered} answered, {shed} shed, {deadline_exceeded} deadline \
+         ({} q/s, shed rate {})\n\
+         cache hit rate: {} ({} hits / {} lookups)\n\
+         wire answers identical to in-process: {identical_wire_answers}\n\
+         shutdown clean (drained={}, leaked={}, synced={}): {clean_shutdown}",
+        f2(saturation_qps),
+        f2(shed_rate),
+        f2(cache_hit_rate),
+        stats.cache_hits,
+        cache_total,
+        report.drained,
+        report.leaked_threads,
+        report.synced_indexes,
+    );
+
+    let json = Json::obj(vec![
+        ("experiment", "e14_server_load".to_json()),
+        ("series", n.to_json()),
+        ("series_len", len.to_json()),
+        ("queries", n_queries.to_json()),
+        ("k", k.to_json()),
+        ("threads", n_threads.to_json()),
+        ("io_backend", backend.to_json()),
+        ("max_in_flight", max_in_flight.to_json()),
+        ("clients", clients.to_json()),
+        ("cold_p50_ms", percentile(&cold, 50.0).to_json()),
+        ("cold_p95_ms", percentile(&cold, 95.0).to_json()),
+        ("cold_p99_ms", percentile(&cold, 99.0).to_json()),
+        ("warm_p50_ms", percentile(&warm, 50.0).to_json()),
+        ("warm_p95_ms", percentile(&warm, 95.0).to_json()),
+        ("warm_p99_ms", percentile(&warm, 99.0).to_json()),
+        ("saturation_qps", saturation_qps.to_json()),
+        ("saturation_answered", answered.to_json()),
+        ("saturation_shed", shed.to_json()),
+        ("saturation_deadline_exceeded", deadline_exceeded.to_json()),
+        ("shed_rate", shed_rate.to_json()),
+        ("cache_hit_rate", cache_hit_rate.to_json()),
+        ("cache_hits", stats.cache_hits.to_json()),
+        ("cache_misses", stats.cache_misses.to_json()),
+        ("identical_wire_answers", identical_wire_answers.to_json()),
+        ("shutdown_drained", report.drained.to_json()),
+        ("shutdown_leaked_threads", report.leaked_threads.to_json()),
+        ("shutdown_synced_indexes", report.synced_indexes.to_json()),
+        ("clean_shutdown", clean_shutdown.to_json()),
+    ]);
+    std::fs::write("BENCH_server.json", json.to_string_pretty()).expect("write report");
+    println!("\nwrote BENCH_server.json");
+
+    // Identity and robustness self-checks: non-zero exit on any failure.
+    assert!(
+        identical_wire_answers,
+        "wire answers must be bit-identical to the in-process reference"
+    );
+    assert_eq!(
+        total,
+        (clients * per_client) as u64,
+        "every hammered request must be accounted for"
+    );
+    assert!(
+        warm_hits >= requests.len() as u64,
+        "the warm pass must be served from the cache (hits={warm_hits})"
+    );
+    assert!(clean_shutdown, "shutdown must drain, sync and not leak");
+}

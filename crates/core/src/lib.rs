@@ -25,6 +25,7 @@ pub use coconut_ads::{AdsConfig, AdsTree};
 pub use coconut_clsm::{ClsmConfig, ClsmTree};
 pub use coconut_ctree::query::QueryCost;
 pub use coconut_ctree::{CTree, CTreeConfig, IndexError, Result};
+pub use coconut_parallel::CancelToken;
 pub use coconut_recommender::{recommend, DataArrival, Recommendation, Scenario, StructureKind};
 pub use coconut_sax::SaxConfig;
 pub use coconut_series::distance::Neighbor;
@@ -425,12 +426,95 @@ impl StaticIndex {
         }
     }
 
+    /// Single kNN query with cooperative cancellation.
+    ///
+    /// Coconut variants poll the token at the engine's `SearchUnit` round
+    /// boundaries; the ADS+ baseline (which does not go through the engine)
+    /// only checks it up front.  When the token never fires, answers and
+    /// `QueryCost` are bit-identical to [`StaticIndex::exact_knn`] /
+    /// [`StaticIndex::approximate_knn`] — the cancellable path *is* the
+    /// regular path plus pure reads of the token.  On cancellation the
+    /// query unwinds with `IndexError::Cancelled` carrying the partial cost.
+    pub fn knn_with(
+        &self,
+        query: &[f32],
+        k: usize,
+        exact: bool,
+        cancel: &coconut_parallel::CancelToken,
+    ) -> Result<(Vec<Neighbor>, QueryCost)> {
+        match self {
+            StaticIndex::Ads(t) => {
+                if cancel.is_cancelled() {
+                    return Err(IndexError::Cancelled {
+                        partial_cost: QueryCost::default(),
+                    });
+                }
+                if exact {
+                    t.exact_knn(query, k)
+                } else {
+                    t.approximate_knn(query, k)
+                }
+            }
+            StaticIndex::CTree(t) => t.knn_with(query, k, exact, cancel),
+            StaticIndex::Clsm(t) => t.knn_with(query, k, exact, cancel),
+        }
+    }
+
+    /// [`StaticIndex::batch_knn`] with cooperative cancellation.  Coconut
+    /// variants poll at the engine's round boundaries; the ADS+ loop checks
+    /// between consecutive queries, accumulating the completed queries'
+    /// costs into the `Cancelled` error.
+    pub fn batch_knn_with(
+        &self,
+        queries: &[Vec<f32>],
+        k: usize,
+        exact: bool,
+        cancel: &coconut_parallel::CancelToken,
+    ) -> Result<Vec<(Vec<Neighbor>, QueryCost)>> {
+        match self {
+            StaticIndex::Ads(t) => {
+                let mut out = Vec::with_capacity(queries.len());
+                let mut partial_cost = QueryCost::default();
+                for q in queries {
+                    if cancel.is_cancelled() {
+                        return Err(IndexError::Cancelled { partial_cost });
+                    }
+                    let result = if exact {
+                        t.exact_knn(q, k)?
+                    } else {
+                        t.approximate_knn(q, k)?
+                    };
+                    partial_cost = partial_cost.plus(&result.1);
+                    out.push(result);
+                }
+                Ok(out)
+            }
+            StaticIndex::CTree(t) => t.batch_knn_with(queries, k, exact, cancel),
+            StaticIndex::Clsm(t) => t.batch_knn_with(queries, k, exact, cancel),
+        }
+    }
+
     /// Inserts a batch of new series (updates after the initial build).
     pub fn insert_batch(&mut self, series: &[Series], timestamp: u64) -> Result<()> {
         match self {
             StaticIndex::Ads(t) => t.insert_batch(series, timestamp),
             StaticIndex::CTree(t) => t.insert_batch(series, timestamp),
             StaticIndex::Clsm(t) => t.insert_batch(series, timestamp),
+        }
+    }
+
+    /// Makes every buffered update durable: pending CTree delta entries are
+    /// merged into the contiguous (fdatasync'd) leaf file, the CLSM write
+    /// buffer is flushed into a durable run, and ADS+ leaf buffers are
+    /// written back and synced.  Used by the server's graceful shutdown;
+    /// also a *write* from the cache's point of view (flushing can change
+    /// the cost accounting of later queries), so callers holding the index
+    /// behind a lock must invalidate cached answers afterwards.
+    pub fn sync(&mut self) -> Result<()> {
+        match self {
+            StaticIndex::Ads(t) => t.flush_buffers(),
+            StaticIndex::CTree(t) => t.merge_delta(),
+            StaticIndex::Clsm(t) => t.flush(),
         }
     }
 }

@@ -29,14 +29,15 @@
 //! (`coconut_ctree::engine::batch_knn`), whose per-query answers and costs
 //! are bit-identical to one-at-a-time execution.
 
-use std::collections::HashMap;
+use std::collections::{HashMap, VecDeque};
 use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 use coconut_json::{member, member_or, FromJson, Json, JsonError, ToJson};
-use coconut_parallel::WorkerPool;
-use parking_lot::RwLock;
+use coconut_parallel::{CancelToken, WorkerPool};
+use parking_lot::{Mutex, RwLock};
 
 use crate::{
     recommend, BuildReport, Dataset, IndexConfig, IoBackend, IoStats, Scenario, Series,
@@ -125,6 +126,9 @@ pub enum PalmRequest {
     },
     /// List registered indexes.
     ListIndexes,
+    /// Fetch service counters (requests, cache hits/misses, shed load,
+    /// deadline misses).
+    Stats,
 }
 
 /// A response from the algorithms server.
@@ -186,14 +190,37 @@ pub enum PalmResponse {
         /// Registered names.
         names: Vec<String>,
     },
+    /// Service counters (see [`PalmRequest::Stats`]).
+    Stats {
+        /// Requests handled (batch sub-requests count individually).
+        requests: u64,
+        /// Queries answered from the result cache.
+        cache_hits: u64,
+        /// Queries that missed the result cache (counted only when the
+        /// cache is enabled).
+        cache_misses: u64,
+        /// Entries currently resident in the result cache.
+        cache_entries: u64,
+        /// Requests shed by admission control (reported by a network
+        /// front-end via [`PalmServer::note_shed`]).
+        shed: u64,
+        /// Requests that missed their deadline.
+        deadline_exceeded: u64,
+        /// Indexes currently registered.
+        indexes: u64,
+    },
     /// The request failed.
     Error {
         /// Machine-readable error kind; one of the `ERROR_KIND_*`
         /// constants ("malformed_request", "unknown_index", "config",
-        /// "storage", "series").
+        /// "storage", "series", "deadline_exceeded", "overloaded",
+        /// "shutting_down").
         kind: String,
         /// Human-readable error message.
         message: String,
+        /// For `deadline_exceeded`: the work performed before the
+        /// cancellation was observed.  Serialized only when present.
+        partial_cost: Option<QueryCostJson>,
     },
 }
 
@@ -207,11 +234,21 @@ pub const ERROR_KIND_CONFIG: &str = "config";
 pub const ERROR_KIND_STORAGE: &str = "storage";
 /// Error kind for raw-dataset failures.
 pub const ERROR_KIND_SERIES: &str = "series";
+/// Error kind for requests cancelled because their deadline passed.  The
+/// response carries the partial [`QueryCostJson`] accumulated so far.
+pub const ERROR_KIND_DEADLINE: &str = "deadline_exceeded";
+/// Error kind for requests shed by admission control.  Emitted by the
+/// network front-end (`coconut_net`), which adds a `retry_after_ms` hint.
+pub const ERROR_KIND_OVERLOADED: &str = "overloaded";
+/// Error kind for requests refused because the server is draining before
+/// exit.  Emitted by the network front-end (`coconut_net`).
+pub const ERROR_KIND_SHUTTING_DOWN: &str = "shutting_down";
 
 /// Internal error carrying the machine-readable kind alongside the message.
 struct ServiceError {
     kind: &'static str,
     message: String,
+    partial_cost: Option<QueryCostJson>,
 }
 
 impl ServiceError {
@@ -219,6 +256,26 @@ impl ServiceError {
         ServiceError {
             kind: ERROR_KIND_UNKNOWN_INDEX,
             message: format!("no index registered under '{name}'"),
+            partial_cost: None,
+        }
+    }
+
+    fn config(message: String) -> Self {
+        ServiceError {
+            kind: ERROR_KIND_CONFIG,
+            message,
+            partial_cost: None,
+        }
+    }
+
+    /// A request cancelled before (or while) touching the index: the
+    /// partial cost is whatever the engine accumulated up to the round
+    /// boundary where the cancellation was observed.
+    fn deadline(partial_cost: QueryCostJson) -> Self {
+        ServiceError {
+            kind: ERROR_KIND_DEADLINE,
+            message: "deadline exceeded before the request completed".to_string(),
+            partial_cost: Some(partial_cost),
         }
     }
 
@@ -226,20 +283,26 @@ impl ServiceError {
         PalmResponse::Error {
             kind: self.kind.to_string(),
             message: self.message,
+            partial_cost: self.partial_cost,
         }
     }
 }
 
 impl From<crate::IndexError> for ServiceError {
     fn from(e: crate::IndexError) -> Self {
+        if let crate::IndexError::Cancelled { partial_cost } = &e {
+            return ServiceError::deadline((*partial_cost).into());
+        }
         let kind = match &e {
             crate::IndexError::Config(_) => ERROR_KIND_CONFIG,
             crate::IndexError::Storage(_) => ERROR_KIND_STORAGE,
             crate::IndexError::Series(_) => ERROR_KIND_SERIES,
+            crate::IndexError::Cancelled { .. } => unreachable!("handled above"),
         };
         ServiceError {
             kind,
             message: e.to_string(),
+            partial_cost: None,
         }
     }
 }
@@ -249,6 +312,7 @@ impl From<coconut_series::SeriesError> for ServiceError {
         ServiceError {
             kind: ERROR_KIND_SERIES,
             message: e.to_string(),
+            partial_cost: None,
         }
     }
 }
@@ -366,6 +430,7 @@ impl ToJson for PalmRequest {
                 ("scenario", scenario.to_json()),
             ]),
             PalmRequest::ListIndexes => Json::obj(vec![("type", Json::Str("list_indexes".into()))]),
+            PalmRequest::Stats => Json::obj(vec![("type", Json::Str("stats".into()))]),
         }
     }
 }
@@ -407,6 +472,7 @@ impl FromJson for PalmRequest {
                 scenario: member(json, "scenario")?,
             }),
             "list_indexes" => Ok(PalmRequest::ListIndexes),
+            "stats" => Ok(PalmRequest::Stats),
             other => Err(JsonError::new(format!("unknown request type '{other}'"))),
         }
     }
@@ -471,11 +537,39 @@ impl ToJson for PalmResponse {
                 ("type", Json::Str("indexes".into())),
                 ("names", names.to_json()),
             ]),
-            PalmResponse::Error { kind, message } => Json::obj(vec![
-                ("type", Json::Str("error".into())),
-                ("kind", kind.to_json()),
-                ("message", message.to_json()),
+            PalmResponse::Stats {
+                requests,
+                cache_hits,
+                cache_misses,
+                cache_entries,
+                shed,
+                deadline_exceeded,
+                indexes,
+            } => Json::obj(vec![
+                ("type", Json::Str("stats".into())),
+                ("requests", requests.to_json()),
+                ("cache_hits", cache_hits.to_json()),
+                ("cache_misses", cache_misses.to_json()),
+                ("cache_entries", cache_entries.to_json()),
+                ("shed", shed.to_json()),
+                ("deadline_exceeded", deadline_exceeded.to_json()),
+                ("indexes", indexes.to_json()),
             ]),
+            PalmResponse::Error {
+                kind,
+                message,
+                partial_cost,
+            } => {
+                let mut members = vec![
+                    ("type", Json::Str("error".into())),
+                    ("kind", kind.to_json()),
+                    ("message", message.to_json()),
+                ];
+                if let Some(cost) = partial_cost {
+                    members.push(("partial_cost", cost.to_json()));
+                }
+                Json::obj(members)
+            }
         }
     }
 }
@@ -484,11 +578,179 @@ struct Registered {
     index: StaticIndex,
     report: BuildReport,
     stats: SharedIoStats,
+    /// Monotonic write-version tag.  Unique across every index the server
+    /// ever registers (drawn from [`PalmServer::versions`]), and bumped
+    /// under the slot's write lock by every mutation (insert, sync,
+    /// rebuild under the same name).  Cache entries carry the version they
+    /// were computed against; a version mismatch makes them invisible, so
+    /// a stale entry can never be served — even across an index rebuild
+    /// that reuses a name (no ABA).
+    version: u64,
 }
 
 /// One registered index behind its own reader-writer lock: queries share
 /// the read side, streaming inserts take the write side.
 type Slot = Arc<RwLock<Registered>>;
+
+/// Key of a memoized query answer: the full identity of the computation.
+/// Query values are compared bit-wise (`f32::to_bits`), so `-0.0 != 0.0`
+/// and NaN payloads are distinguished — the cache only ever coalesces
+/// requests that are bit-identical on the wire.  `window` is carried for
+/// forward compatibility with windowed queries; the service protocol
+/// currently always issues unwindowed queries (`None`).
+#[derive(Clone, PartialEq, Eq, Hash)]
+struct CacheKey {
+    name: String,
+    query_bits: Vec<u32>,
+    k: usize,
+    exact: bool,
+    window: Option<(u64, u64)>,
+}
+
+impl CacheKey {
+    fn query(name: &str, query: &[f32], k: usize, exact: bool) -> Self {
+        CacheKey {
+            name: name.to_string(),
+            query_bits: query.iter().map(|v| v.to_bits()).collect(),
+            k,
+            exact,
+            window: None,
+        }
+    }
+}
+
+/// A memoized answer: exactly what the compute path produced, so a hit is
+/// bit-identical to a recomputation against the same index version.
+#[derive(Clone)]
+struct CachedAnswer {
+    ids: Vec<u64>,
+    distances: Vec<f64>,
+    cost: QueryCostJson,
+}
+
+impl CachedAnswer {
+    fn into_response(self, name: &str, elapsed_ms: f64) -> PalmResponse {
+        PalmResponse::QueryResult {
+            name: name.to_string(),
+            ids: self.ids,
+            distances: self.distances,
+            elapsed_ms,
+            cost: self.cost,
+        }
+    }
+}
+
+struct CacheEntry {
+    version: u64,
+    answer: CachedAnswer,
+}
+
+#[derive(Default)]
+struct CacheInner {
+    map: HashMap<CacheKey, CacheEntry>,
+    /// FIFO insertion order used for eviction.  May hold keys already
+    /// purged from `map`; eviction skips them.
+    order: VecDeque<CacheKey>,
+}
+
+/// Bounded result cache with version-tagged entries (see [`Registered`]).
+struct ResultCache {
+    capacity: usize,
+    inner: Mutex<CacheInner>,
+}
+
+impl ResultCache {
+    fn new(capacity: usize) -> Self {
+        ResultCache {
+            capacity: capacity.max(1),
+            inner: Mutex::new(CacheInner::default()),
+        }
+    }
+
+    /// Returns the cached answer iff it was computed against exactly
+    /// `version`; a stale entry is dropped on sight.
+    fn lookup(&self, key: &CacheKey, version: u64) -> Option<CachedAnswer> {
+        let mut inner = self.inner.lock();
+        match inner.map.get(key) {
+            Some(entry) if entry.version == version => Some(entry.answer.clone()),
+            Some(_) => {
+                inner.map.remove(key);
+                None
+            }
+            None => None,
+        }
+    }
+
+    fn insert(&self, key: CacheKey, version: u64, answer: CachedAnswer) {
+        let mut inner = self.inner.lock();
+        if let Some(entry) = inner.map.get_mut(&key) {
+            // Same key, possibly newer version: replace in place.
+            *entry = CacheEntry { version, answer };
+            return;
+        }
+        while inner.map.len() >= self.capacity {
+            match inner.order.pop_front() {
+                Some(oldest) => {
+                    inner.map.remove(&oldest);
+                }
+                None => break,
+            }
+        }
+        inner.order.push_back(key.clone());
+        inner.map.insert(key, CacheEntry { version, answer });
+    }
+
+    /// Drops every entry belonging to `name`.  The version tags already
+    /// make such entries unservable; the purge just returns their memory.
+    fn purge(&self, name: &str) {
+        let mut inner = self.inner.lock();
+        inner.map.retain(|key, _| key.name != name);
+        inner.order.retain(|key| key.name != name);
+    }
+
+    fn len(&self) -> usize {
+        self.inner.lock().map.len()
+    }
+}
+
+/// Monotonic service counters, updated with relaxed atomics (they are
+/// telemetry, not synchronization).
+#[derive(Default)]
+pub struct ServiceStats {
+    requests: AtomicU64,
+    cache_hits: AtomicU64,
+    cache_misses: AtomicU64,
+    shed: AtomicU64,
+    deadline_exceeded: AtomicU64,
+}
+
+/// A point-in-time copy of [`ServiceStats`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ServiceStatsSnapshot {
+    /// Requests handled (batch sub-requests count individually).
+    pub requests: u64,
+    /// Queries answered from the result cache.
+    pub cache_hits: u64,
+    /// Queries that consulted the result cache and missed.
+    pub cache_misses: u64,
+    /// Requests shed by admission control (see [`PalmServer::note_shed`]).
+    pub shed: u64,
+    /// Requests that missed their deadline.
+    pub deadline_exceeded: u64,
+}
+
+impl ServiceStats {
+    /// Reads all counters.
+    pub fn snapshot(&self) -> ServiceStatsSnapshot {
+        ServiceStatsSnapshot {
+            requests: self.requests.load(Ordering::Relaxed),
+            cache_hits: self.cache_hits.load(Ordering::Relaxed),
+            cache_misses: self.cache_misses.load(Ordering::Relaxed),
+            shed: self.shed.load(Ordering::Relaxed),
+            deadline_exceeded: self.deadline_exceeded.load(Ordering::Relaxed),
+        }
+    }
+}
 
 /// The in-process algorithms server.
 ///
@@ -498,6 +760,11 @@ pub struct PalmServer {
     work_dir: PathBuf,
     indexes: RwLock<HashMap<String, Slot>>,
     pool: WorkerPool,
+    /// Result cache; `None` (the default) disables memoization entirely.
+    cache: Option<ResultCache>,
+    stats: ServiceStats,
+    /// Source of unique [`Registered::version`] tags.
+    versions: AtomicU64,
 }
 
 impl PalmServer {
@@ -509,6 +776,9 @@ impl PalmServer {
             work_dir: work_dir.into(),
             indexes: RwLock::new(HashMap::new()),
             pool: WorkerPool::new(0),
+            cache: None,
+            stats: ServiceStats::default(),
+            versions: AtomicU64::new(0),
         }
     }
 
@@ -520,27 +790,157 @@ impl PalmServer {
         self
     }
 
+    /// Enables the result cache, memoizing up to `capacity` query answers
+    /// keyed by `(index, query bits, k, exact, window)`.  Entries are
+    /// version-tagged and invalidated by the write side (inserts, syncs,
+    /// rebuilds), so a hit is bit-identical to recomputation: answers are
+    /// a pure function of the key and the index version.
+    pub fn with_result_cache(mut self, capacity: usize) -> Self {
+        self.cache = Some(ResultCache::new(capacity));
+        self
+    }
+
+    /// Whether [`PalmServer::with_result_cache`] was applied.
+    pub fn cache_enabled(&self) -> bool {
+        self.cache.is_some()
+    }
+
+    /// Service counters (shared with the `stats` verb).
+    pub fn stats(&self) -> ServiceStatsSnapshot {
+        self.stats.snapshot()
+    }
+
+    /// Records a request shed by admission control.  The network
+    /// front-end calls this when it refuses a request before it ever
+    /// reaches [`PalmServer::handle`], so the `stats` verb still sees it.
+    pub fn note_shed(&self) {
+        self.stats.shed.fetch_add(1, Ordering::Relaxed);
+    }
+
+    fn next_version(&self) -> u64 {
+        self.versions.fetch_add(1, Ordering::Relaxed) + 1
+    }
+
     /// Handles one request, never panicking: failures become
     /// [`PalmResponse::Error`] carrying a machine-readable `kind`.
     pub fn handle(&self, request: PalmRequest) -> PalmResponse {
-        match self.try_handle(request) {
+        self.handle_with(request, &CancelToken::never())
+    }
+
+    /// [`PalmServer::handle`] under a cancellation token: the engine
+    /// checks it at round boundaries and aborts with
+    /// [`ERROR_KIND_DEADLINE`] (carrying the partial cost) once it trips.
+    /// Completed requests are unaffected by the token — answers stay
+    /// bit-identical to the untokened path.
+    pub fn handle_with(&self, request: PalmRequest, cancel: &CancelToken) -> PalmResponse {
+        self.stats.requests.fetch_add(1, Ordering::Relaxed);
+        let response = match self.try_handle(request, cancel) {
             Ok(response) => response,
             Err(e) => e.into_response(),
+        };
+        if let PalmResponse::Error { kind, .. } = &response {
+            if kind == ERROR_KIND_DEADLINE {
+                self.stats.deadline_exceeded.fetch_add(1, Ordering::Relaxed);
+            }
         }
+        response
     }
 
     /// Handles a request given as a JSON string, returning a JSON response
     /// (the exact shape the GUI client would exchange over REST).
     pub fn handle_json(&self, request_json: &str) -> String {
-        let parsed = Json::parse(request_json).and_then(|json| PalmRequest::from_json(&json));
-        let response = match parsed {
-            Ok(req) => self.handle(req),
+        self.handle_json_with(request_json, &CancelToken::never())
+    }
+
+    /// [`PalmServer::handle_json`] under a cancellation token.  A numeric
+    /// top-level `deadline_ms` member tightens the token for this request
+    /// only (relative to now); the response then reports
+    /// `deadline_exceeded` if the engine could not finish in time.
+    pub fn handle_json_with(&self, request_json: &str, cancel: &CancelToken) -> String {
+        let response = match Json::parse(request_json) {
+            Ok(json) => self.handle_parsed(&json, cancel),
             Err(e) => PalmResponse::Error {
                 kind: ERROR_KIND_MALFORMED.to_string(),
                 message: format!("malformed request: {e}"),
+                partial_cost: None,
             },
         };
         response.to_json().to_string()
+    }
+
+    /// [`PalmServer::handle_json_with`] over an owned byte buffer, as a
+    /// network front-end reads it off a socket.  The buffer is consumed —
+    /// validated in place, never copied — and the invalid-UTF-8 reject
+    /// path allocates only a short fixed message, not a second copy of
+    /// the (attacker-sized) payload.
+    pub fn handle_json_bytes(&self, request: Vec<u8>, cancel: &CancelToken) -> String {
+        match String::from_utf8(request) {
+            Ok(text) => self.handle_json_with(&text, cancel),
+            Err(_) => {
+                let response = PalmResponse::Error {
+                    kind: ERROR_KIND_MALFORMED.to_string(),
+                    message: "request is not valid UTF-8".to_string(),
+                    partial_cost: None,
+                };
+                response.to_json().to_string()
+            }
+        }
+    }
+
+    /// Handles an already-parsed JSON request.  This is where the
+    /// protocol-level `deadline_ms` member is folded into the token.
+    pub fn handle_parsed(&self, json: &Json, cancel: &CancelToken) -> PalmResponse {
+        let cancel = match json.get("deadline_ms") {
+            None => cancel.clone(),
+            Some(value) => match value.as_f64() {
+                Some(ms) if ms >= 0.0 => {
+                    cancel.with_deadline(Instant::now() + Duration::from_millis(ms as u64))
+                }
+                _ => {
+                    return PalmResponse::Error {
+                        kind: ERROR_KIND_MALFORMED.to_string(),
+                        message: "deadline_ms must be a non-negative number".to_string(),
+                        partial_cost: None,
+                    }
+                }
+            },
+        };
+        match PalmRequest::from_json(json) {
+            Ok(request) => self.handle_with(request, &cancel),
+            Err(e) => PalmResponse::Error {
+                kind: ERROR_KIND_MALFORMED.to_string(),
+                message: format!("malformed request: {e}"),
+                partial_cost: None,
+            },
+        }
+    }
+
+    /// Syncs every registered index to durable storage (delta merges,
+    /// buffer flushes).  Each sync runs under its slot's write lock and —
+    /// being a mutation from the cache's point of view — bumps the slot
+    /// version and purges the index's cache entries.  Called by the
+    /// network front-end during graceful shutdown.
+    pub fn sync_all(&self) -> Result<usize, String> {
+        let slots: Vec<(String, Slot)> = self
+            .indexes
+            .read()
+            .iter()
+            .map(|(name, slot)| (name.clone(), Arc::clone(slot)))
+            .collect();
+        let mut synced = 0;
+        for (name, slot) in slots {
+            let mut registered = slot.write();
+            registered
+                .index
+                .sync()
+                .map_err(|e| format!("sync of index '{name}' failed: {e}"))?;
+            registered.version = self.next_version();
+            if let Some(cache) = &self.cache {
+                cache.purge(&name);
+            }
+            synced += 1;
+        }
+        Ok(synced)
     }
 
     fn slot(&self, name: &str) -> Result<Slot, ServiceError> {
@@ -551,7 +951,11 @@ impl PalmServer {
             .ok_or_else(|| ServiceError::unknown_index(name))
     }
 
-    fn try_handle(&self, request: PalmRequest) -> Result<PalmResponse, ServiceError> {
+    fn try_handle(
+        &self,
+        request: PalmRequest,
+        cancel: &CancelToken,
+    ) -> Result<PalmResponse, ServiceError> {
         match request {
             PalmRequest::BuildIndex {
                 name,
@@ -587,8 +991,15 @@ impl PalmServer {
                         index,
                         report,
                         stats,
+                        version: self.next_version(),
                     })),
                 );
+                // Rebuilding under an existing name is a write: the fresh
+                // version tag already hides old entries, the purge just
+                // frees them.
+                if let Some(cache) = &self.cache {
+                    cache.purge(&name);
+                }
                 Ok(PalmResponse::Built {
                     name,
                     variant: variant_name,
@@ -604,20 +1015,36 @@ impl PalmServer {
                 let slot = self.slot(&name)?;
                 let registered = slot.read();
                 let start = Instant::now();
-                let (neighbors, cost) = if exact {
-                    registered.index.exact_knn(&query, k)?
-                } else {
-                    registered.index.approximate_knn(&query, k)?
-                };
-                Ok(PalmResponse::QueryResult {
-                    name,
+                // The version is read under the slot read lock, so it is
+                // exactly the version the computation below runs against:
+                // any insert orders entirely before (older version, entry
+                // invisible to future readers) or after this read section.
+                let version = registered.version;
+                let key = self
+                    .cache
+                    .as_ref()
+                    .map(|_| CacheKey::query(&name, &query, k, exact));
+                if let (Some(cache), Some(key)) = (&self.cache, &key) {
+                    if let Some(hit) = cache.lookup(key, version) {
+                        self.stats.cache_hits.fetch_add(1, Ordering::Relaxed);
+                        let elapsed_ms = start.elapsed().as_secs_f64() * 1000.0;
+                        return Ok(hit.into_response(&name, elapsed_ms));
+                    }
+                    self.stats.cache_misses.fetch_add(1, Ordering::Relaxed);
+                }
+                let (neighbors, cost) = registered.index.knn_with(&query, k, exact, cancel)?;
+                let answer = CachedAnswer {
                     ids: neighbors.iter().map(|n| n.id).collect(),
                     distances: neighbors.iter().map(|n| n.distance()).collect(),
-                    elapsed_ms: start.elapsed().as_secs_f64() * 1000.0,
                     cost: cost.into(),
-                })
+                };
+                if let (Some(cache), Some(key)) = (&self.cache, key) {
+                    cache.insert(key, version, answer.clone());
+                }
+                let elapsed_ms = start.elapsed().as_secs_f64() * 1000.0;
+                Ok(answer.into_response(&name, elapsed_ms))
             }
-            PalmRequest::Batch { requests } => Ok(self.execute_batch(requests)),
+            PalmRequest::Batch { requests } => Ok(self.execute_batch(requests, cancel)),
             PalmRequest::Insert {
                 name,
                 series,
@@ -632,12 +1059,9 @@ impl PalmServer {
                 // the insert would poison every later query with fetch
                 // errors, so reject it up front.
                 if !registered.index.is_materialized() {
-                    return Err(ServiceError {
-                        kind: ERROR_KIND_CONFIG,
-                        message: format!(
-                            "index '{name}' is non-materialized: streaming inserts require a                              materialized index (appended series do not exist in the raw                              dataset file used for refinement)"
-                        ),
-                    });
+                    return Err(ServiceError::config(format!(
+                        "index '{name}' is non-materialized: streaming inserts require a                          materialized index (appended series do not exist in the raw                          dataset file used for refinement)"
+                    )));
                 }
                 let base = registered.index.len();
                 let batch: Vec<Series> = series
@@ -645,7 +1069,18 @@ impl PalmServer {
                     .enumerate()
                     .map(|(i, values)| Series::new(base + i as u64, values))
                     .collect();
-                registered.index.insert_batch(&batch, timestamp)?;
+                let inserted = registered.index.insert_batch(&batch, timestamp);
+                // Invalidate before releasing the write lock — and even on
+                // failure, which may have partially mutated the index.  A
+                // reader that raced this insert cached under the *old*
+                // version while holding the read side; bumping the version
+                // here makes that entry (and any in-flight insert of it)
+                // unservable before any post-insert reader can look up.
+                registered.version = self.next_version();
+                if let Some(cache) = &self.cache {
+                    cache.purge(&name);
+                }
+                inserted?;
                 Ok(PalmResponse::Inserted {
                     name,
                     inserted: batch.len() as u64,
@@ -669,16 +1104,33 @@ impl PalmServer {
                 names.sort();
                 Ok(PalmResponse::Indexes { names })
             }
+            PalmRequest::Stats => {
+                let snapshot = self.stats.snapshot();
+                Ok(PalmResponse::Stats {
+                    requests: snapshot.requests,
+                    cache_hits: snapshot.cache_hits,
+                    cache_misses: snapshot.cache_misses,
+                    cache_entries: self.cache.as_ref().map_or(0, |c| c.len() as u64),
+                    shed: snapshot.shed,
+                    deadline_exceeded: snapshot.deadline_exceeded,
+                    indexes: self.indexes.read().len() as u64,
+                })
+            }
         }
     }
 
     /// Executes a batch: kNN queries sharing `(index, k, exact)` become one
-    /// grouped job answered through [`StaticIndex::batch_knn`]; every other
-    /// sub-request is a singleton job.  Jobs fan out over the worker pool
-    /// and responses are scattered back into request order.  Sub-requests
-    /// are consumed, never cloned; nested batches are rejected (the service
-    /// boundary must not recurse on attacker-chosen depth).
-    fn execute_batch(&self, requests: Vec<PalmRequest>) -> PalmResponse {
+    /// grouped job answered through [`StaticIndex::batch_knn_with`]; every
+    /// other sub-request is a singleton job.  Jobs fan out over the worker
+    /// pool and responses are scattered back into request order.
+    /// Sub-requests are consumed, never cloned; nested batches are rejected
+    /// (the service boundary must not recurse on attacker-chosen depth).
+    ///
+    /// Deadlines are reported per sub-request: a job that trips the token
+    /// produces `deadline_exceeded` for *its* entries only, while jobs that
+    /// completed (possibly on other workers) keep their answers — the batch
+    /// as a whole never turns into one blanket error.
+    fn execute_batch(&self, requests: Vec<PalmRequest>, cancel: &CancelToken) -> PalmResponse {
         enum Job {
             /// A singleton sub-request, taken (exactly once) by the worker
             /// that claims the job; the `Mutex` only exists because the
@@ -719,12 +1171,16 @@ impl PalmServer {
                     };
                     idxs.push(i);
                     queries.push(query);
+                    // Grouped queries bypass `handle_with`, so count them
+                    // here: every sub-request shows up in the stats.
+                    self.stats.requests.fetch_add(1, Ordering::Relaxed);
                 }
                 PalmRequest::Batch { .. } => ready.push((
                     i,
                     PalmResponse::Error {
                         kind: ERROR_KIND_MALFORMED.to_string(),
                         message: "batch requests cannot be nested".to_string(),
+                        partial_cost: None,
                     },
                 )),
                 other => jobs.push(Job::Single(i, parking_lot::Mutex::new(Some(other)))),
@@ -736,7 +1192,7 @@ impl PalmServer {
                     .lock()
                     .take()
                     .expect("each singleton job is claimed exactly once");
-                vec![(*i, self.handle(request))]
+                vec![(*i, self.handle_with(request, cancel))]
             }
             Job::Queries {
                 name,
@@ -744,9 +1200,14 @@ impl PalmServer {
                 exact,
                 idxs,
                 queries,
-            } => match self.batch_query(name, queries, *k, *exact) {
+            } => match self.batch_query(name, queries, *k, *exact, cancel) {
                 Ok(responses) => idxs.iter().copied().zip(responses).collect(),
                 Err(e) => {
+                    if e.kind == ERROR_KIND_DEADLINE {
+                        self.stats
+                            .deadline_exceeded
+                            .fetch_add(idxs.len() as u64, Ordering::Relaxed);
+                    }
                     let response = e.into_response();
                     idxs.iter().map(|&i| (i, response.clone())).collect()
                 }
@@ -765,27 +1226,78 @@ impl PalmServer {
     }
 
     /// Answers a group of same-shape kNN queries against one index through
-    /// the engine's batched round pipeline.
+    /// the engine's batched round pipeline.  With the result cache enabled,
+    /// hits are served directly and only the misses go through the engine;
+    /// this is answer-preserving because batched answers are bit-identical
+    /// to one-at-a-time answers (the engine invariant), so a mix of cached
+    /// and freshly-batched entries equals the all-fresh batch.
     fn batch_query(
         &self,
         name: &str,
         queries: &[Vec<f32>],
         k: usize,
         exact: bool,
+        cancel: &CancelToken,
     ) -> Result<Vec<PalmResponse>, ServiceError> {
         let slot = self.slot(name)?;
         let registered = slot.read();
         let start = Instant::now();
-        let results = registered.index.batch_knn(queries, k, exact)?;
+        let version = registered.version;
+        let mut answers: Vec<Option<CachedAnswer>> = vec![None; queries.len()];
+        let mut miss_idxs: Vec<usize> = Vec::new();
+        match &self.cache {
+            Some(cache) => {
+                for (i, query) in queries.iter().enumerate() {
+                    let key = CacheKey::query(name, query, k, exact);
+                    match cache.lookup(&key, version) {
+                        Some(hit) => {
+                            self.stats.cache_hits.fetch_add(1, Ordering::Relaxed);
+                            answers[i] = Some(hit);
+                        }
+                        None => {
+                            self.stats.cache_misses.fetch_add(1, Ordering::Relaxed);
+                            miss_idxs.push(i);
+                        }
+                    }
+                }
+            }
+            None => miss_idxs.extend(0..queries.len()),
+        }
+        if !miss_idxs.is_empty() {
+            // Avoid re-cloning the payloads when nothing was cached.
+            let miss_queries: Vec<Vec<f32>>;
+            let engine_queries: &[Vec<f32>] = if miss_idxs.len() == queries.len() {
+                queries
+            } else {
+                miss_queries = miss_idxs.iter().map(|&i| queries[i].clone()).collect();
+                &miss_queries
+            };
+            let results = registered
+                .index
+                .batch_knn_with(engine_queries, k, exact, cancel)?;
+            for (&i, (neighbors, cost)) in miss_idxs.iter().zip(results) {
+                let answer = CachedAnswer {
+                    ids: neighbors.iter().map(|n| n.id).collect(),
+                    distances: neighbors.iter().map(|n| n.distance()).collect(),
+                    cost: cost.into(),
+                };
+                if let Some(cache) = &self.cache {
+                    cache.insert(
+                        CacheKey::query(name, &queries[i], k, exact),
+                        version,
+                        answer.clone(),
+                    );
+                }
+                answers[i] = Some(answer);
+            }
+        }
         let elapsed_ms = start.elapsed().as_secs_f64() * 1000.0;
-        Ok(results
+        Ok(answers
             .into_iter()
-            .map(|(neighbors, cost)| PalmResponse::QueryResult {
-                name: name.to_string(),
-                ids: neighbors.iter().map(|n| n.id).collect(),
-                distances: neighbors.iter().map(|n| n.distance()).collect(),
-                elapsed_ms,
-                cost: cost.into(),
+            .map(|answer| {
+                answer
+                    .expect("every query is either a cache hit or an engine result")
+                    .into_response(name, elapsed_ms)
             })
             .collect())
     }
@@ -1036,7 +1548,7 @@ mod tests {
             series: vec![vec![0.5; 64]],
             timestamp: 1,
         }) {
-            PalmResponse::Error { kind, message } => {
+            PalmResponse::Error { kind, message, .. } => {
                 assert_eq!(kind, ERROR_KIND_CONFIG);
                 assert!(message.contains("non-materialized"), "{message}");
             }
@@ -1072,7 +1584,7 @@ mod tests {
         };
         assert!(matches!(responses[0], PalmResponse::Indexes { .. }));
         match &responses[1] {
-            PalmResponse::Error { kind, message } => {
+            PalmResponse::Error { kind, message, .. } => {
                 assert_eq!(kind, ERROR_KIND_MALFORMED);
                 assert!(message.contains("nested"), "{message}");
             }
@@ -1236,5 +1748,236 @@ mod tests {
             PalmResponse::Metrics { .. } => {}
             other => panic!("unexpected response {other:?}"),
         }
+    }
+
+    /// Tentpole: cached answers are bit-identical to computed ones, and an
+    /// insert invalidates so the next query sees the new data.
+    #[test]
+    fn result_cache_hits_are_bit_identical_and_invalidated_by_inserts() {
+        let (dir, dataset_path, series) = setup();
+        let server = PalmServer::new(dir.file("work")).with_result_cache(64);
+        server.handle(build_request("c", dataset_path, VariantKind::Clsm));
+        let query: Vec<f32> = series[17].values.iter().map(|v| v + 0.001).collect();
+        let request = PalmRequest::Query {
+            name: "c".into(),
+            query: query.clone(),
+            k: 3,
+            exact: true,
+        };
+        let first = server.handle(request.clone());
+        let second = server.handle(request.clone());
+        match (&first, &second) {
+            (
+                PalmResponse::QueryResult {
+                    ids: i1,
+                    distances: d1,
+                    cost: c1,
+                    ..
+                },
+                PalmResponse::QueryResult {
+                    ids: i2,
+                    distances: d2,
+                    cost: c2,
+                    ..
+                },
+            ) => {
+                assert_eq!(i1, i2);
+                let bits1: Vec<u64> = d1.iter().map(|d| d.to_bits()).collect();
+                let bits2: Vec<u64> = d2.iter().map(|d| d.to_bits()).collect();
+                assert_eq!(bits1, bits2, "cached distances must be bit-identical");
+                assert_eq!(c1.entries_examined, c2.entries_examined);
+                assert_eq!(c1.entries_refined, c2.entries_refined);
+            }
+            other => panic!("unexpected responses {other:?}"),
+        }
+        let stats = server.stats();
+        assert_eq!(stats.cache_hits, 1, "second query must hit");
+        assert_eq!(stats.cache_misses, 1);
+
+        // Insert the query itself: the cached 1-NN answer is now stale.
+        server.handle(PalmRequest::Insert {
+            name: "c".into(),
+            series: vec![query.clone()],
+            timestamp: 1,
+        });
+        match server.handle(request) {
+            PalmResponse::QueryResult { ids, distances, .. } => {
+                assert_eq!(ids[0], 200, "query must see the freshly inserted series");
+                assert_eq!(distances[0], 0.0);
+            }
+            other => panic!("unexpected response {other:?}"),
+        }
+        let stats = server.stats();
+        assert_eq!(stats.cache_hits, 1, "post-insert query must not hit");
+        assert_eq!(stats.cache_misses, 2);
+    }
+
+    /// The `stats` verb reports the counters over JSON.
+    #[test]
+    fn stats_verb_reports_counters() {
+        let (dir, dataset_path, series) = setup();
+        let server = PalmServer::new(dir.file("work")).with_result_cache(8);
+        server.handle(build_request("s", dataset_path, VariantKind::CTree));
+        let request = PalmRequest::Query {
+            name: "s".into(),
+            query: series[0].values.clone(),
+            k: 1,
+            exact: true,
+        };
+        server.handle(request.clone());
+        server.handle(request);
+        server.note_shed();
+        let parsed = Json::parse(&server.handle_json(r#"{"type":"stats"}"#)).unwrap();
+        assert_eq!(parsed.get("type").and_then(|j| j.as_str()), Some("stats"));
+        assert_eq!(parsed.get("cache_hits").and_then(|j| j.as_f64()), Some(1.0));
+        assert_eq!(
+            parsed.get("cache_misses").and_then(|j| j.as_f64()),
+            Some(1.0)
+        );
+        assert_eq!(
+            parsed.get("cache_entries").and_then(|j| j.as_f64()),
+            Some(1.0)
+        );
+        assert_eq!(parsed.get("shed").and_then(|j| j.as_f64()), Some(1.0));
+        assert_eq!(parsed.get("indexes").and_then(|j| j.as_f64()), Some(1.0));
+    }
+
+    /// Satellite: a pre-expired deadline produces a structured
+    /// `deadline_exceeded` error with a `partial_cost` member, and the
+    /// server keeps serving afterwards.
+    #[test]
+    fn expired_deadline_is_a_structured_error_with_partial_cost() {
+        let (dir, dataset_path, series) = setup();
+        let server = PalmServer::new(dir.file("work"));
+        server.handle(build_request("d", dataset_path, VariantKind::CTree));
+        let query_json = PalmRequest::Query {
+            name: "d".into(),
+            query: series[9].values.clone(),
+            k: 1,
+            exact: true,
+        }
+        .to_json();
+        // Splice a deadline_ms of 0 into the request object.
+        let Json::Obj(mut members) = query_json else {
+            panic!("requests serialize to objects");
+        };
+        members.push(("deadline_ms".into(), Json::Num(0.0)));
+        let response = server.handle_json(&Json::Obj(members.clone()).to_string());
+        let parsed = Json::parse(&response).unwrap();
+        assert_eq!(parsed.get("type").and_then(|j| j.as_str()), Some("error"));
+        assert_eq!(
+            parsed.get("kind").and_then(|j| j.as_str()),
+            Some(ERROR_KIND_DEADLINE)
+        );
+        let partial = parsed.get("partial_cost").expect("partial cost reported");
+        assert!(partial.get("entries_examined").is_some());
+        assert_eq!(server.stats().deadline_exceeded, 1);
+
+        // A sane deadline still answers, identically to no deadline.
+        members.pop();
+        members.push(("deadline_ms".into(), Json::Num(60_000.0)));
+        let response = server.handle_json(&Json::Obj(members).to_string());
+        let parsed = Json::parse(&response).unwrap();
+        assert_eq!(
+            parsed.get("type").and_then(|j| j.as_str()),
+            Some("query_result")
+        );
+        assert_eq!(
+            parsed
+                .get("ids")
+                .and_then(|j| j.as_arr())
+                .and_then(|ids| ids[0].as_f64()),
+            Some(9.0)
+        );
+
+        // Negative deadlines are malformed, not silently clamped.
+        let response = server.handle_json(r#"{"type":"list_indexes","deadline_ms":-5}"#);
+        assert!(response.contains(ERROR_KIND_MALFORMED), "{response}");
+    }
+
+    /// Satellite: per-sub-request deadline reporting inside a batch — the
+    /// expired group fails alone, the rest of the batch still answers.
+    #[test]
+    fn batch_reports_deadlines_per_sub_request() {
+        let (dir, dataset_path, series) = setup();
+        let server = PalmServer::new(dir.file("work"));
+        server.handle(build_request("b", dataset_path, VariantKind::CTree));
+        let pre_cancelled = CancelToken::new();
+        pre_cancelled.cancel();
+        let response = server.handle_with(
+            PalmRequest::Batch {
+                requests: vec![
+                    PalmRequest::ListIndexes,
+                    PalmRequest::Query {
+                        name: "b".into(),
+                        query: series[0].values.clone(),
+                        k: 1,
+                        exact: true,
+                    },
+                ],
+            },
+            &pre_cancelled,
+        );
+        let PalmResponse::Batch { responses } = response else {
+            panic!("expected a batch response");
+        };
+        // ListIndexes does not touch the engine and still answers; the
+        // query group reports its own deadline error.
+        assert!(matches!(responses[0], PalmResponse::Indexes { .. }));
+        match &responses[1] {
+            PalmResponse::Error {
+                kind, partial_cost, ..
+            } => {
+                assert_eq!(kind, ERROR_KIND_DEADLINE);
+                assert!(partial_cost.is_some());
+            }
+            other => panic!("unexpected response {other:?}"),
+        }
+    }
+
+    /// `sync_all` persists every registered index and the server keeps
+    /// answering afterwards.
+    #[test]
+    fn sync_all_flushes_every_index() {
+        let (dir, dataset_path, series) = setup();
+        let server = PalmServer::new(dir.file("work")).with_result_cache(8);
+        server.handle(build_request("x", dataset_path.clone(), VariantKind::Clsm));
+        server.handle(build_request("y", dataset_path, VariantKind::CTree));
+        server.handle(PalmRequest::Insert {
+            name: "x".into(),
+            series: vec![series[0].values.clone()],
+            timestamp: 3,
+        });
+        assert_eq!(server.sync_all().unwrap(), 2);
+        let query: Vec<f32> = series[11].values.iter().map(|v| v + 0.001).collect();
+        match server.handle(PalmRequest::Query {
+            name: "x".into(),
+            query,
+            k: 1,
+            exact: true,
+        }) {
+            PalmResponse::QueryResult { ids, .. } => assert_eq!(ids, vec![11]),
+            other => panic!("unexpected response {other:?}"),
+        }
+    }
+
+    /// Satellite: the owned-bytes entry point consumes the buffer and
+    /// rejects invalid UTF-8 with a structured error.
+    #[test]
+    fn handle_json_bytes_rejects_invalid_utf8() {
+        let dir = ScratchDir::new("palm-bytes").unwrap();
+        let server = PalmServer::new(dir.file("work"));
+        let never = CancelToken::never();
+        let response = server.handle_json_bytes(vec![0xff, 0xfe, 0x20], &never);
+        let parsed = Json::parse(&response).unwrap();
+        assert_eq!(
+            parsed.get("kind").and_then(|j| j.as_str()),
+            Some(ERROR_KIND_MALFORMED)
+        );
+        let message = parsed.get("message").and_then(|j| j.as_str()).unwrap();
+        assert!(message.contains("UTF-8"), "{message}");
+        // Valid bytes route through the normal path.
+        let response = server.handle_json_bytes(br#"{"type":"list_indexes"}"#.to_vec(), &never);
+        assert!(response.contains("indexes"), "{response}");
     }
 }

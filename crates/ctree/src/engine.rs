@@ -62,11 +62,11 @@
 //! unit's local top-k; the deterministic merge (concatenate in unit order,
 //! stable sort, truncate to `k`) therefore returns exactly the global top-k.
 
-use coconut_parallel::{effective_parallelism, parallel_map_tasks};
+use coconut_parallel::{effective_parallelism, parallel_map_tasks, CancelToken};
 use coconut_series::distance::Neighbor;
 
 use crate::query::{KnnHeap, QueryContext, QueryCost, SharedBound};
-use crate::Result;
+use crate::{IndexError, Result};
 
 /// One independently searchable piece of an index.
 ///
@@ -123,6 +123,25 @@ pub fn batch_knn<U: SearchUnit, Q: AsRef<[f32]> + Sync>(
     parallelism: usize,
     exact: bool,
 ) -> Result<Vec<(Vec<Neighbor>, QueryCost)>> {
+    batch_knn_with(units, queries, k, parallelism, exact, &CancelToken::never())
+}
+
+/// [`batch_knn`] with cooperative cancellation.
+///
+/// The token is polled at every **round boundary** — before any unit starts
+/// the next round of the pipeline — never mid-scan, so a batch that runs to
+/// completion is bit-identical to [`batch_knn`] (the checks are pure reads).
+/// On cancellation the batch unwinds with [`IndexError::Cancelled`] carrying
+/// the summed cost of every phase that completed (finished queries plus the
+/// seed phases of aborted ones), making the aborted work observable.
+pub fn batch_knn_with<U: SearchUnit, Q: AsRef<[f32]> + Sync>(
+    units: &[U],
+    queries: &[Q],
+    k: usize,
+    parallelism: usize,
+    exact: bool,
+    cancel: &CancelToken,
+) -> Result<Vec<(Vec<Neighbor>, QueryCost)>> {
     let n = queries.len();
     if n == 0 {
         return Ok(Vec::new());
@@ -149,6 +168,18 @@ pub fn batch_knn<U: SearchUnit, Q: AsRef<[f32]> + Sync>(
         if main_q.is_none() && seed_q.is_none() {
             // Single-phase batches have an empty round 0.
             continue;
+        }
+        // Round boundary: the only cancellation point.  Completed work is
+        // summed into the error so aborted queries stay observable.
+        if cancel.is_cancelled() {
+            let mut partial_cost = QueryCost::default();
+            for (_, cost) in &results {
+                partial_cost = partial_cost.plus(cost);
+            }
+            for seed_cost in seed_costs.iter().take(n).skip(results.len()) {
+                partial_cost = partial_cost.plus(seed_cost);
+            }
+            return Err(IndexError::Cancelled { partial_cost });
         }
         let frozen_ref = &frozen;
         let bounds_ref = &bounds;
@@ -239,7 +270,21 @@ pub fn parallel_knn<U: SearchUnit>(
     parallelism: usize,
     exact: bool,
 ) -> Result<(Vec<Neighbor>, QueryCost)> {
-    let mut results = batch_knn(units, &[query], k, parallelism, exact)?;
+    parallel_knn_with(units, query, k, parallelism, exact, &CancelToken::never())
+}
+
+/// [`parallel_knn`] with cooperative cancellation (a batch of one run
+/// through [`batch_knn_with`]; the token is polled at its round
+/// boundaries — between the seed and refine phases of an exact query).
+pub fn parallel_knn_with<U: SearchUnit>(
+    units: &[U],
+    query: &[f32],
+    k: usize,
+    parallelism: usize,
+    exact: bool,
+    cancel: &CancelToken,
+) -> Result<(Vec<Neighbor>, QueryCost)> {
+    let mut results = batch_knn_with(units, &[query], k, parallelism, exact, cancel)?;
     Ok(results.pop().unwrap_or_default())
 }
 
@@ -418,5 +463,79 @@ mod tests {
         let units = units(8);
         let none: Vec<Vec<f32>> = Vec::new();
         assert!(batch_knn(&units, &none, 3, 4, true).unwrap().is_empty());
+    }
+
+    #[test]
+    fn pre_cancelled_token_aborts_before_any_work() {
+        let units = units(21);
+        let token = CancelToken::new();
+        token.cancel();
+        let queries = vec![vec![0.0f32], vec![1.0]];
+        match batch_knn_with(&units, &queries, 3, 2, true, &token) {
+            Err(IndexError::Cancelled { partial_cost }) => {
+                assert_eq!(partial_cost, QueryCost::default(), "no round ran");
+            }
+            other => panic!("expected Cancelled, got {other:?}"),
+        }
+        // A live token is invisible: same answers and costs as no token.
+        let live = CancelToken::new();
+        let with = batch_knn_with(&units, &queries, 3, 2, true, &live).unwrap();
+        let without = batch_knn(&units, &queries, 3, 2, true).unwrap();
+        assert_eq!(with, without);
+    }
+
+    /// A unit that trips the shared token from inside its seed probe, so the
+    /// *next* round boundary observes the cancellation deterministically.
+    struct TrippingUnit {
+        inner: VecUnit,
+        token: CancelToken,
+    }
+
+    impl SearchUnit for TrippingUnit {
+        fn context(&self) -> QueryContext<'_> {
+            self.inner.context()
+        }
+
+        fn search_approximate(
+            &self,
+            query: &[f32],
+            heap: &mut KnnHeap,
+            ctx: &mut QueryContext<'_>,
+        ) -> Result<()> {
+            self.token.cancel();
+            self.inner.search_approximate(query, heap, ctx)
+        }
+
+        fn search_exact(
+            &self,
+            query: &[f32],
+            heap: &mut KnnHeap,
+            ctx: &mut QueryContext<'_>,
+        ) -> Result<()> {
+            self.inner.search_exact(query, heap, ctx)
+        }
+    }
+
+    #[test]
+    fn mid_batch_cancellation_stops_at_the_round_boundary_with_partial_cost() {
+        let token = CancelToken::new();
+        let units: Vec<TrippingUnit> = units(31)
+            .into_iter()
+            .map(|inner| TrippingUnit {
+                inner,
+                token: token.clone(),
+            })
+            .collect();
+        let queries = vec![vec![0.0f32], vec![1.0], vec![2.0]];
+        // Round 0 seeds query 0 (tripping the token); the round-1 boundary
+        // must abort with exactly the seed phase's cost: one examined entry
+        // per unit.
+        match batch_knn_with(&units, &queries, 3, 4, true, &token) {
+            Err(IndexError::Cancelled { partial_cost }) => {
+                assert_eq!(partial_cost.entries_examined, units.len() as u64);
+                assert_eq!(partial_cost.entries_refined, 0, "refine never ran");
+            }
+            other => panic!("expected Cancelled, got {other:?}"),
+        }
     }
 }

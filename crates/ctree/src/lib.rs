@@ -40,7 +40,7 @@ pub mod raw;
 pub mod sorted_file;
 pub mod tree;
 
-pub use engine::{batch_knn, parallel_knn, SearchUnit};
+pub use engine::{batch_knn, batch_knn_with, parallel_knn, parallel_knn_with, SearchUnit};
 pub use entry::{EntryLayout, SeriesEntry};
 pub use query::{KnnHeap, QueryContext, QueryCost, SharedBound};
 pub use raw::RawSeriesSource;
@@ -60,6 +60,14 @@ pub enum IndexError {
     Series(SeriesError),
     /// The index was asked to do something inconsistent with its config.
     Config(String),
+    /// The operation was cancelled cooperatively (deadline exceeded or an
+    /// explicit cancel, observed at a `SearchUnit` round boundary).  Carries
+    /// the cost of the work performed before the abort so callers can
+    /// surface partial accounting instead of losing it.
+    Cancelled {
+        /// Cost accumulated before the cancellation was observed.
+        partial_cost: query::QueryCost,
+    },
 }
 
 impl std::fmt::Display for IndexError {
@@ -68,6 +76,7 @@ impl std::fmt::Display for IndexError {
             IndexError::Storage(e) => write!(f, "storage error: {e}"),
             IndexError::Series(e) => write!(f, "series error: {e}"),
             IndexError::Config(msg) => write!(f, "configuration error: {msg}"),
+            IndexError::Cancelled { .. } => write!(f, "operation cancelled (deadline exceeded)"),
         }
     }
 }
@@ -78,6 +87,7 @@ impl std::error::Error for IndexError {
             IndexError::Storage(e) => Some(e),
             IndexError::Series(e) => Some(e),
             IndexError::Config(_) => None,
+            IndexError::Cancelled { .. } => None,
         }
     }
 }

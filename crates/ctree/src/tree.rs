@@ -437,6 +437,51 @@ impl CTree {
         crate::engine::batch_knn(&units, queries, k, self.config.query_parallelism, exact)
     }
 
+    /// Single kNN query with cooperative cancellation: a batch of one run
+    /// through the engine, polling `cancel` at its round boundaries.
+    /// Answers and cost are bit-identical to [`CTree::exact_knn`] /
+    /// [`CTree::approximate_knn`] when the token never fires; on
+    /// cancellation the query unwinds with
+    /// [`IndexError::Cancelled`] carrying the
+    /// partial cost.
+    pub fn knn_with(
+        &self,
+        query: &[f32],
+        k: usize,
+        exact: bool,
+        cancel: &coconut_parallel::CancelToken,
+    ) -> Result<(Vec<Neighbor>, QueryCost)> {
+        let units = self.query_units(None);
+        crate::engine::parallel_knn_with(
+            &units,
+            query,
+            k,
+            self.config.query_parallelism,
+            exact,
+            cancel,
+        )
+    }
+
+    /// [`CTree::batch_knn`] with cooperative cancellation (polled at the
+    /// engine's round boundaries).
+    pub fn batch_knn_with(
+        &self,
+        queries: &[Vec<f32>],
+        k: usize,
+        exact: bool,
+        cancel: &coconut_parallel::CancelToken,
+    ) -> Result<Vec<(Vec<Neighbor>, QueryCost)>> {
+        let units = self.query_units(None);
+        crate::engine::batch_knn_with(
+            &units,
+            queries,
+            k,
+            self.config.query_parallelism,
+            exact,
+            cancel,
+        )
+    }
+
     /// Inserts a batch of new series (delta inserts).  Materialized trees
     /// keep the values in the delta; non-materialized trees only keep the
     /// summarization and expect the series to also exist in the raw dataset.

@@ -1,0 +1,57 @@
+//! A minimal blocking client for the newline-delimited JSON protocol,
+//! used by the integration tests and the `e14_server_load` benchmark.
+
+use std::io::{Error, ErrorKind, Result};
+use std::net::TcpStream;
+use std::time::Duration;
+
+use coconut_json::Json;
+
+use crate::frame::{write_frame, FrameOutcome, FrameReader, DEFAULT_MAX_FRAME_BYTES};
+
+/// One connection to a Palm TCP server; issues one request at a time.
+pub struct PalmClient {
+    writer: TcpStream,
+    reader: FrameReader<TcpStream>,
+}
+
+impl PalmClient {
+    /// Connects with a generous read timeout (30 s) so a dead server
+    /// surfaces as an error instead of a hang.
+    pub fn connect(addr: &str) -> Result<PalmClient> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        stream.set_read_timeout(Some(Duration::from_secs(30)))?;
+        let read_half = stream.try_clone()?;
+        Ok(PalmClient {
+            writer: stream,
+            reader: FrameReader::new(read_half, DEFAULT_MAX_FRAME_BYTES),
+        })
+    }
+
+    /// Sends one raw JSON request line and returns the raw response line.
+    pub fn call(&mut self, request: &str) -> Result<String> {
+        write_frame(&mut self.writer, request.as_bytes())?;
+        match self.reader.read_frame() {
+            FrameOutcome::Frame(frame) => String::from_utf8(frame)
+                .map_err(|_| Error::new(ErrorKind::InvalidData, "response is not UTF-8")),
+            FrameOutcome::Timeout => Err(Error::new(ErrorKind::TimedOut, "response timed out")),
+            FrameOutcome::Eof { .. } => Err(Error::new(
+                ErrorKind::UnexpectedEof,
+                "server closed the connection",
+            )),
+            FrameOutcome::TooLarge { limit } => Err(Error::new(
+                ErrorKind::InvalidData,
+                format!("response exceeded {limit} bytes"),
+            )),
+            FrameOutcome::Io(e) => Err(e),
+        }
+    }
+
+    /// [`PalmClient::call`] with JSON values on both sides.
+    pub fn call_json(&mut self, request: &Json) -> Result<Json> {
+        let response = self.call(&request.to_string())?;
+        Json::parse(&response)
+            .map_err(|e| Error::new(ErrorKind::InvalidData, format!("bad response JSON: {e}")))
+    }
+}

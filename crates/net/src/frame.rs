@@ -1,0 +1,149 @@
+//! Newline-delimited JSON framing with a hard size cap.
+//!
+//! One request or response per line, UTF-8 JSON, terminated by `\n` (a
+//! trailing `\r` is tolerated and stripped).  The reader enforces a
+//! maximum frame size *while accumulating*, so a peer cannot make the
+//! server buffer an unbounded line — the oversized frame is reported
+//! before the newline ever arrives.  Reads honour the socket's read
+//! timeout: a timeout surfaces as [`FrameOutcome::Timeout`] with the
+//! partial frame kept, letting the connection loop poll the server's
+//! shutdown state between chunks without losing data.
+
+use std::io::{ErrorKind, Read, Write};
+
+/// Default cap on a single frame (16 MiB), matching the service protocol.
+pub const DEFAULT_MAX_FRAME_BYTES: usize = 16 << 20;
+
+/// Outcome of one [`FrameReader::read_frame`] call.
+#[derive(Debug)]
+pub enum FrameOutcome {
+    /// A complete frame (the line without its `\n` / `\r\n` terminator).
+    Frame(Vec<u8>),
+    /// The read timed out before a full frame arrived; the partial frame
+    /// is retained, call again to continue.
+    Timeout,
+    /// The peer closed its write side.  `mid_frame` reports whether bytes
+    /// of an unterminated frame were discarded.
+    Eof {
+        /// `true` when the connection died with a partial frame buffered.
+        mid_frame: bool,
+    },
+    /// The frame exceeded the size cap before its newline arrived.  The
+    /// stream is beyond resynchronization: reply with an error and close.
+    TooLarge {
+        /// The enforced cap in bytes.
+        limit: usize,
+    },
+    /// Any other I/O error.
+    Io(std::io::Error),
+}
+
+/// Incremental reader for capped newline-delimited frames.
+pub struct FrameReader<R> {
+    inner: R,
+    buf: Vec<u8>,
+    /// Scan resume position: bytes before it are known newline-free.
+    scanned: usize,
+    max_frame: usize,
+}
+
+impl<R: Read> FrameReader<R> {
+    /// Wraps `inner`, enforcing `max_frame` bytes per frame.
+    pub fn new(inner: R, max_frame: usize) -> Self {
+        FrameReader {
+            inner,
+            buf: Vec::new(),
+            scanned: 0,
+            max_frame,
+        }
+    }
+
+    /// Reads until one full frame, EOF, timeout or the size cap.
+    pub fn read_frame(&mut self) -> FrameOutcome {
+        loop {
+            if let Some(offset) = self.buf[self.scanned..].iter().position(|&b| b == b'\n') {
+                let newline = self.scanned + offset;
+                let mut frame: Vec<u8> = self.buf.drain(..=newline).collect();
+                frame.pop();
+                if frame.last() == Some(&b'\r') {
+                    frame.pop();
+                }
+                self.scanned = 0;
+                return FrameOutcome::Frame(frame);
+            }
+            self.scanned = self.buf.len();
+            if self.buf.len() > self.max_frame {
+                return FrameOutcome::TooLarge {
+                    limit: self.max_frame,
+                };
+            }
+            let mut chunk = [0u8; 8192];
+            match self.inner.read(&mut chunk) {
+                Ok(0) => {
+                    return FrameOutcome::Eof {
+                        mid_frame: !self.buf.is_empty(),
+                    }
+                }
+                Ok(n) => self.buf.extend_from_slice(&chunk[..n]),
+                Err(e) if e.kind() == ErrorKind::Interrupted => continue,
+                Err(e) if e.kind() == ErrorKind::WouldBlock || e.kind() == ErrorKind::TimedOut => {
+                    return FrameOutcome::Timeout
+                }
+                Err(e) => return FrameOutcome::Io(e),
+            }
+        }
+    }
+}
+
+/// Writes one frame: the payload followed by `\n`, flushed.
+pub fn write_frame<W: Write>(writer: &mut W, payload: &[u8]) -> std::io::Result<()> {
+    writer.write_all(payload)?;
+    writer.write_all(b"\n")?;
+    writer.flush()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn splits_frames_and_strips_terminators() {
+        let data: &[u8] = b"one\r\ntwo\nthree";
+        let mut reader = FrameReader::new(data, 64);
+        assert!(matches!(reader.read_frame(), FrameOutcome::Frame(f) if f == b"one"));
+        assert!(matches!(reader.read_frame(), FrameOutcome::Frame(f) if f == b"two"));
+        assert!(matches!(
+            reader.read_frame(),
+            FrameOutcome::Eof { mid_frame: true }
+        ));
+    }
+
+    #[test]
+    fn clean_eof_is_not_mid_frame() {
+        let data: &[u8] = b"only\n";
+        let mut reader = FrameReader::new(data, 64);
+        assert!(matches!(reader.read_frame(), FrameOutcome::Frame(_)));
+        assert!(matches!(
+            reader.read_frame(),
+            FrameOutcome::Eof { mid_frame: false }
+        ));
+    }
+
+    #[test]
+    fn oversized_frame_is_reported_before_its_newline() {
+        let data = [b'x'; 200];
+        let mut reader = FrameReader::new(&data[..], 64);
+        assert!(matches!(
+            reader.read_frame(),
+            FrameOutcome::TooLarge { limit: 64 }
+        ));
+    }
+
+    #[test]
+    fn frame_at_the_cap_still_passes() {
+        let mut data = vec![b'x'; 64];
+        data.push(b'\n');
+        let mut reader = FrameReader::new(&data[..], 64);
+        assert!(matches!(reader.read_frame(), FrameOutcome::Frame(f) if f.len() == 64));
+    }
+}

@@ -1,0 +1,476 @@
+//! Integration tests for the TCP front-end: protocol identity with the
+//! in-process path, fault injection at the raw socket, admission control,
+//! deadlines, and graceful shutdown (including a SIGTERM subprocess run).
+
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use coconut_core::palm::{
+    PalmRequest, PalmServer, ERROR_KIND_DEADLINE, ERROR_KIND_MALFORMED, ERROR_KIND_OVERLOADED,
+    ERROR_KIND_SHUTTING_DOWN,
+};
+use coconut_core::{Dataset, IoBackend, VariantKind};
+use coconut_json::{Json, ToJson};
+use coconut_net::{NetServer, PalmClient, ServerConfig};
+use coconut_series::generator::{RandomWalkGenerator, SeriesGenerator};
+use coconut_storage::ScratchDir;
+
+fn make_dataset(dir: &ScratchDir, count: usize) -> (String, Vec<coconut_series::Series>) {
+    let mut gen = RandomWalkGenerator::new(64, 12);
+    let series = gen.generate(count);
+    let path = dir.file("raw.bin");
+    Dataset::create_from_series(&path, &series).unwrap();
+    (path.to_string_lossy().into_owned(), series)
+}
+
+fn build_request(name: &str, dataset_path: &str) -> PalmRequest {
+    PalmRequest::BuildIndex {
+        name: name.into(),
+        dataset_path: dataset_path.into(),
+        variant: VariantKind::Clsm,
+        materialized: true,
+        memory_budget_bytes: 8 << 20,
+        parallelism: 1,
+        query_parallelism: 1,
+        shard_count: 1,
+        io_overlap: true,
+        io_backend: IoBackend::Pread,
+    }
+}
+
+fn query_request(name: &str, query: &[f32], k: usize) -> String {
+    PalmRequest::Query {
+        name: name.into(),
+        query: query.to_vec(),
+        k,
+        exact: true,
+    }
+    .to_json()
+    .to_string()
+}
+
+fn spawn_server(palm: Arc<PalmServer>, config: ServerConfig) -> NetServer {
+    NetServer::spawn(palm, config).expect("bind")
+}
+
+fn kind_of(json: &Json) -> Option<&str> {
+    json.get("kind").and_then(|j| j.as_str())
+}
+
+fn type_of(json: &Json) -> Option<&str> {
+    json.get("type").and_then(|j| j.as_str())
+}
+
+/// Strips the timing member so responses can be compared for identity.
+fn identity_view(json: &Json) -> Json {
+    let Json::Obj(members) = json else {
+        return json.clone();
+    };
+    Json::Obj(
+        members
+            .iter()
+            .filter(|(k, _)| k != "elapsed_ms")
+            .cloned()
+            .collect(),
+    )
+}
+
+/// Tentpole acceptance: answers over the wire are bit-identical to the
+/// in-process `handle` path — with the result cache on *and* off, and on
+/// repeat queries (cache hits).
+#[test]
+fn wire_answers_are_bit_identical_to_in_process_with_and_without_cache() {
+    let dir = ScratchDir::new("net-identity").unwrap();
+    let (dataset_path, _series) = make_dataset(&dir, 200);
+    let cached = Arc::new(PalmServer::new(dir.file("work-cached")).with_result_cache(256));
+    let uncached = Arc::new(PalmServer::new(dir.file("work-uncached")));
+    cached.handle(build_request("idx", &dataset_path));
+    uncached.handle(build_request("idx", &dataset_path));
+    let server = spawn_server(Arc::clone(&cached), ServerConfig::default());
+    let mut client = PalmClient::connect(&server.local_addr().to_string()).unwrap();
+
+    let mut gen = RandomWalkGenerator::new(64, 31);
+    for _ in 0..8 {
+        let q = gen.next_series();
+        let request = query_request("idx", &q.values, 3);
+        // Ask twice so the second wire answer is served from the cache.
+        for _ in 0..2 {
+            let wire = Json::parse(&client.call(&request).unwrap()).unwrap();
+            let in_process = Json::parse(&uncached.handle_json(&request)).unwrap();
+            assert_eq!(type_of(&wire), Some("query_result"));
+            assert_eq!(
+                identity_view(&wire).to_string(),
+                identity_view(&in_process).to_string(),
+                "wire answer must equal the computed in-process answer"
+            );
+        }
+    }
+    let stats = cached.stats();
+    assert!(stats.cache_hits >= 8, "repeats must hit: {stats:?}");
+    let report = server.shutdown();
+    assert!(report.is_clean(), "unclean shutdown: {report:?}");
+}
+
+/// Satellite: an oversized frame gets a structured error, then the
+/// connection closes (the stream cannot be resynchronized).
+#[test]
+fn oversized_frame_gets_structured_error_then_close() {
+    let dir = ScratchDir::new("net-oversize").unwrap();
+    let palm = Arc::new(PalmServer::new(dir.file("work")));
+    let config = ServerConfig {
+        max_frame_bytes: 1024,
+        ..ServerConfig::default()
+    };
+    let server = spawn_server(palm, config);
+    let mut stream = TcpStream::connect(server.local_addr()).unwrap();
+    stream
+        .set_read_timeout(Some(Duration::from_secs(10)))
+        .unwrap();
+    stream.write_all(&vec![b'x'; 4096]).unwrap();
+    let mut response = String::new();
+    stream.read_to_string(&mut response).unwrap();
+    let (line, rest) = response.split_once('\n').expect("one reply line");
+    let parsed = Json::parse(line).unwrap();
+    assert_eq!(kind_of(&parsed), Some(ERROR_KIND_MALFORMED));
+    assert!(rest.is_empty(), "connection must close after the reply");
+    let report = server.shutdown();
+    assert!(report.is_clean(), "unclean shutdown: {report:?}");
+}
+
+/// Satellite: invalid UTF-8 answers `malformed_request` and the
+/// connection stays usable; a half-closed mid-frame connection is a
+/// clean disconnect; plain garbage JSON is `malformed_request`.
+#[test]
+fn malformed_input_never_kills_the_server() {
+    let dir = ScratchDir::new("net-malformed").unwrap();
+    let palm = Arc::new(PalmServer::new(dir.file("work")));
+    let server = spawn_server(palm, ServerConfig::default());
+    let addr = server.local_addr().to_string();
+
+    // Invalid UTF-8: structured error, connection survives.
+    let mut stream = TcpStream::connect(&addr).unwrap();
+    stream
+        .set_read_timeout(Some(Duration::from_secs(10)))
+        .unwrap();
+    stream.write_all(b"\xff\xfe\xfd\n").unwrap();
+    let mut reader = coconut_net::FrameReader::new(stream.try_clone().unwrap(), 1 << 20);
+    let coconut_net::FrameOutcome::Frame(frame) = reader.read_frame() else {
+        panic!("expected an error frame");
+    };
+    let parsed = Json::parse(std::str::from_utf8(&frame).unwrap()).unwrap();
+    assert_eq!(kind_of(&parsed), Some(ERROR_KIND_MALFORMED));
+    stream.write_all(b"{\"type\":\"list_indexes\"}\n").unwrap();
+    let coconut_net::FrameOutcome::Frame(frame) = reader.read_frame() else {
+        panic!("connection must stay usable after invalid UTF-8");
+    };
+    let parsed = Json::parse(std::str::from_utf8(&frame).unwrap()).unwrap();
+    assert_eq!(type_of(&parsed), Some("indexes"));
+    drop(reader);
+    drop(stream);
+
+    // Half-closed mid-frame: no reply, clean disconnect, server lives on.
+    let stream = TcpStream::connect(&addr).unwrap();
+    (&stream).write_all(b"{\"type\":\"li").unwrap();
+    stream.shutdown(std::net::Shutdown::Write).unwrap();
+    let mut remainder = Vec::new();
+    let mut read_half = stream.try_clone().unwrap();
+    read_half
+        .set_read_timeout(Some(Duration::from_secs(10)))
+        .unwrap();
+    read_half.read_to_end(&mut remainder).unwrap();
+    assert!(
+        remainder.is_empty(),
+        "mid-frame EOF must not produce a reply"
+    );
+
+    // Garbage JSON via the client: structured error.
+    let mut client = PalmClient::connect(&addr).unwrap();
+    let parsed = Json::parse(&client.call("not json at all").unwrap()).unwrap();
+    assert_eq!(kind_of(&parsed), Some(ERROR_KIND_MALFORMED));
+
+    let report = server.shutdown();
+    assert!(report.is_clean(), "unclean shutdown: {report:?}");
+}
+
+/// Admission control: with a tiny byte budget every request is shed with
+/// a structured `overloaded` error and a `retry_after_ms` hint, and the
+/// shed counter records it.
+#[test]
+fn overload_sheds_with_retry_hint() {
+    let dir = ScratchDir::new("net-shed").unwrap();
+    let palm = Arc::new(PalmServer::new(dir.file("work")));
+    let config = ServerConfig {
+        max_queued_bytes: 1,
+        retry_after_ms: 40,
+        ..ServerConfig::default()
+    };
+    let server = spawn_server(Arc::clone(&palm), config);
+    let mut client = PalmClient::connect(&server.local_addr().to_string()).unwrap();
+    for _ in 0..3 {
+        let parsed = Json::parse(&client.call(r#"{"type":"list_indexes"}"#).unwrap()).unwrap();
+        assert_eq!(kind_of(&parsed), Some(ERROR_KIND_OVERLOADED));
+        assert_eq!(
+            parsed.get("retry_after_ms").and_then(|j| j.as_f64()),
+            Some(40.0)
+        );
+    }
+    assert_eq!(palm.stats().shed, 3);
+    let report = server.shutdown();
+    assert!(report.is_clean(), "unclean shutdown: {report:?}");
+}
+
+/// Overload acceptance: with in-flight bound 1 and many hammering
+/// connections, every single request gets either the correct answer or a
+/// typed `overloaded`/`deadline_exceeded` error — no hangs, no
+/// disconnect-without-reply.
+#[test]
+fn hammered_server_answers_or_sheds_every_request() {
+    let dir = ScratchDir::new("net-hammer").unwrap();
+    let (dataset_path, series) = make_dataset(&dir, 200);
+    let palm = Arc::new(PalmServer::new(dir.file("work")).with_result_cache(64));
+    palm.handle(build_request("idx", &dataset_path));
+    let config = ServerConfig {
+        max_in_flight: 1,
+        ..ServerConfig::default()
+    };
+    let server = spawn_server(Arc::clone(&palm), config);
+    let addr = server.local_addr().to_string();
+    let query: Vec<f32> = series[7].values.iter().map(|v| v + 0.001).collect();
+    let request = query_request("idx", &query, 1);
+
+    let mut answered = 0usize;
+    let mut shed = 0usize;
+    std::thread::scope(|scope| {
+        let mut workers = Vec::new();
+        for _ in 0..8 {
+            let addr = addr.clone();
+            let request = request.clone();
+            workers.push(scope.spawn(move || {
+                let mut client = PalmClient::connect(&addr).unwrap();
+                let mut counts = (0usize, 0usize);
+                for _ in 0..20 {
+                    let response = client.call(&request).expect("every request gets a reply");
+                    let parsed = Json::parse(&response).unwrap();
+                    match type_of(&parsed) {
+                        Some("query_result") => {
+                            let ids = parsed.get("ids").unwrap().as_arr().unwrap();
+                            assert_eq!(ids[0].as_f64(), Some(7.0), "wrong answer under load");
+                            counts.0 += 1;
+                        }
+                        Some("error") => {
+                            let kind = kind_of(&parsed).unwrap();
+                            assert!(
+                                kind == ERROR_KIND_OVERLOADED || kind == ERROR_KIND_DEADLINE,
+                                "untyped failure under load: {kind}"
+                            );
+                            counts.1 += 1;
+                        }
+                        other => panic!("unexpected response type {other:?}"),
+                    }
+                }
+                counts
+            }));
+        }
+        for worker in workers {
+            let (a, s) = worker.join().unwrap();
+            answered += a;
+            shed += s;
+        }
+    });
+    assert_eq!(answered + shed, 160, "every request must be accounted for");
+    assert!(answered > 0, "some requests must get through");
+    let report = server.shutdown();
+    assert!(report.is_clean(), "unclean shutdown: {report:?}");
+}
+
+/// Deadlines over the wire: `deadline_ms: 0` answers a structured
+/// `deadline_exceeded` with a partial cost, and the connection keeps
+/// serving normal requests afterwards.
+#[test]
+fn expired_deadline_over_the_wire_reports_partial_cost() {
+    let dir = ScratchDir::new("net-deadline").unwrap();
+    let (dataset_path, series) = make_dataset(&dir, 200);
+    let palm = Arc::new(PalmServer::new(dir.file("work")));
+    palm.handle(build_request("idx", &dataset_path));
+    let server = spawn_server(palm, ServerConfig::default());
+    let mut client = PalmClient::connect(&server.local_addr().to_string()).unwrap();
+
+    let query = query_request("idx", &series[3].values, 1);
+    let expired = format!("{}{}", &query[..query.len() - 1], r#","deadline_ms":0}"#);
+    let parsed = Json::parse(&client.call(&expired).unwrap()).unwrap();
+    assert_eq!(kind_of(&parsed), Some(ERROR_KIND_DEADLINE));
+    assert!(
+        parsed.get("partial_cost").is_some(),
+        "deadline errors must report partial cost"
+    );
+    let parsed = Json::parse(&client.call(&query).unwrap()).unwrap();
+    assert_eq!(type_of(&parsed), Some("query_result"));
+    let report = server.shutdown();
+    assert!(report.is_clean(), "unclean shutdown: {report:?}");
+}
+
+/// Graceful shutdown under load: the in-flight build completes (drained),
+/// connections attempted during the drain are refused with
+/// `shutting_down` (or the socket is already gone), no thread leaks and
+/// the indexes are synced.
+#[test]
+fn graceful_shutdown_drains_in_flight_work() {
+    let dir = ScratchDir::new("net-drain").unwrap();
+    let (dataset_path, series) = make_dataset(&dir, 200);
+    let (big_path, _) = {
+        let mut gen = RandomWalkGenerator::new(64, 77);
+        let series = gen.generate(30_000);
+        let path = dir.file("big.bin");
+        Dataset::create_from_series(&path, &series).unwrap();
+        (path.to_string_lossy().into_owned(), series)
+    };
+    let palm = Arc::new(PalmServer::new(dir.file("work")));
+    palm.handle(build_request("small", &dataset_path));
+    // Leave pending deltas so the shutdown sync has real work.
+    palm.handle(PalmRequest::Insert {
+        name: "small".into(),
+        series: vec![series[0].values.clone()],
+        timestamp: 1,
+    });
+    let config = ServerConfig {
+        drain_deadline: Duration::from_secs(30),
+        ..ServerConfig::default()
+    };
+    let server = spawn_server(Arc::clone(&palm), config);
+    let addr = server.local_addr().to_string();
+
+    let builder = {
+        let addr = addr.clone();
+        let request = build_request("big", &big_path).to_json().to_string();
+        std::thread::spawn(move || {
+            let mut client = PalmClient::connect(&addr).unwrap();
+            Json::parse(&client.call(&request).unwrap()).unwrap()
+        })
+    };
+    // Let the build request get admitted before starting the drain.
+    let admit_deadline = Instant::now() + Duration::from_secs(10);
+    while server.in_flight() == 0 && Instant::now() < admit_deadline {
+        std::thread::sleep(Duration::from_millis(2));
+    }
+    assert!(server.in_flight() > 0, "build request never got admitted");
+
+    let prober = {
+        let addr = addr.clone();
+        std::thread::spawn(move || {
+            // Probe during the drain: each attempt must either be told
+            // shutting_down or fail to connect — never hang, never get a
+            // half answer.
+            let mut saw_shutting_down = false;
+            for _ in 0..50 {
+                match PalmClient::connect(&addr) {
+                    Err(_) => break,
+                    Ok(mut client) => match client.call(r#"{"type":"list_indexes"}"#) {
+                        Err(_) => {}
+                        Ok(response) => {
+                            let parsed = Json::parse(&response).unwrap();
+                            if kind_of(&parsed) == Some(ERROR_KIND_SHUTTING_DOWN) {
+                                saw_shutting_down = true;
+                            } else {
+                                // The probe raced ahead of the drain start.
+                                assert_eq!(type_of(&parsed), Some("indexes"));
+                            }
+                        }
+                    },
+                }
+                std::thread::sleep(Duration::from_millis(5));
+            }
+            saw_shutting_down
+        })
+    };
+    std::thread::sleep(Duration::from_millis(20));
+    let report = server.shutdown();
+    assert!(report.drained, "the in-flight build must drain: {report:?}");
+    assert_eq!(report.leaked_threads, 0, "no thread may leak");
+    assert!(report.sync_error.is_none(), "sync failed: {report:?}");
+    assert!(report.synced_indexes >= 1);
+    let built = builder.join().unwrap();
+    assert_eq!(
+        type_of(&built),
+        Some("built"),
+        "the drained request must complete with its real answer"
+    );
+    let saw_shutting_down = prober.join().unwrap();
+    assert!(
+        saw_shutting_down,
+        "a connection during the drain must be told shutting_down"
+    );
+}
+
+/// Acceptance: SIGTERM against the real binary under load exits 0 after a
+/// drained, synced shutdown.
+#[cfg(unix)]
+#[test]
+fn sigterm_drains_and_exits_zero() {
+    use std::io::BufRead;
+    use std::process::{Command, Stdio};
+
+    let dir = ScratchDir::new("net-sigterm").unwrap();
+    let (dataset_path, series) = make_dataset(&dir, 200);
+    let mut child = Command::new(env!("CARGO_BIN_EXE_palm-server"))
+        .env("PALM_ADDR", "127.0.0.1:0")
+        .env("PALM_WORK_DIR", dir.file("work"))
+        .stdout(Stdio::piped())
+        .stderr(Stdio::inherit())
+        .spawn()
+        .expect("spawn palm-server");
+    let stdout = child.stdout.take().unwrap();
+    let mut lines = std::io::BufReader::new(stdout).lines();
+    let banner = lines.next().expect("banner line").unwrap();
+    let addr = banner
+        .strip_prefix("palm-server listening on ")
+        .unwrap_or_else(|| panic!("unexpected banner {banner}"))
+        .to_string();
+
+    let mut client = PalmClient::connect(&addr).unwrap();
+    let built = Json::parse(
+        &client
+            .call(&build_request("idx", &dataset_path).to_json().to_string())
+            .unwrap(),
+    )
+    .unwrap();
+    assert_eq!(type_of(&built), Some("built"));
+    client
+        .call(
+            &PalmRequest::Insert {
+                name: "idx".into(),
+                series: vec![series[1].values.clone()],
+                timestamp: 2,
+            }
+            .to_json()
+            .to_string(),
+        )
+        .unwrap();
+
+    let status = Command::new("kill")
+        .args(["-TERM", &child.id().to_string()])
+        .status()
+        .expect("send SIGTERM");
+    assert!(status.success(), "kill must succeed");
+
+    let wait_deadline = Instant::now() + Duration::from_secs(30);
+    let exit = loop {
+        match child.try_wait().expect("try_wait") {
+            Some(status) => break status,
+            None if Instant::now() < wait_deadline => std::thread::sleep(Duration::from_millis(20)),
+            None => {
+                let _ = child.kill();
+                panic!("palm-server did not exit within 30s of SIGTERM");
+            }
+        }
+    };
+    assert!(exit.success(), "palm-server must exit 0, got {exit:?}");
+    let shutdown_line: Vec<String> = lines.map_while(Result::ok).collect();
+    assert!(
+        shutdown_line
+            .iter()
+            .any(|l| l.contains("shutdown") && l.contains("leaked=0") && l.contains("synced=1")),
+        "missing clean shutdown line in {shutdown_line:?}"
+    );
+}

@@ -25,8 +25,10 @@
 //! keeps the `parallelism = 1` path byte-for-byte identical to a build
 //! without this crate.
 
+pub mod cancel;
 pub mod pipeline;
 
+pub use cancel::CancelToken;
 pub use pipeline::{bounded, BoundedReceiver, BoundedSender, Prefetcher, SendError};
 
 /// Smallest number of items per worker below which spawning threads is not
