@@ -24,7 +24,9 @@ use std::time::Instant;
 
 use coconut_bench::{f2, io_backend, print_table, scale, threads, Workbench};
 use coconut_core::palm::{PalmRequest, PalmResponse, PalmServer};
-use coconut_core::{IndexConfig, IoStatsSnapshot, Neighbor, QueryCost, StaticIndex, VariantKind};
+use coconut_core::{
+    IndexConfig, IoStatsSnapshot, Neighbor, PlannerMode, QueryCost, StaticIndex, VariantKind,
+};
 use coconut_json::{Json, ToJson};
 
 fn per_query_results(responses: &[PalmResponse]) -> Vec<(Vec<u64>, Vec<u64>)> {
@@ -104,6 +106,7 @@ fn main() {
         shard_count: 2,
         io_overlap: true,
         io_backend: backend,
+        planner: PlannerMode::Fixed,
     });
     assert!(matches!(built, PalmResponse::Built { .. }), "{built:?}");
     let requests: Vec<PalmRequest> = queries

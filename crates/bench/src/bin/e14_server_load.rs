@@ -25,7 +25,7 @@ use std::time::{Duration, Instant};
 
 use coconut_bench::{f2, io_backend, print_table, scale, threads, Workbench};
 use coconut_core::palm::{PalmRequest, PalmResponse, PalmServer};
-use coconut_core::VariantKind;
+use coconut_core::{PlannerMode, VariantKind};
 use coconut_json::{Json, ToJson};
 use coconut_net::{NetServer, PalmClient, ServerConfig};
 
@@ -77,6 +77,7 @@ fn main() {
             shard_count: 2,
             io_overlap: true,
             io_backend: backend,
+            planner: PlannerMode::Fixed,
         });
         assert!(matches!(built, PalmResponse::Built { .. }), "{built:?}");
         palm

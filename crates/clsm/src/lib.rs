@@ -26,6 +26,7 @@ use std::path::{Path, PathBuf};
 use std::sync::Arc;
 
 use coconut_ctree::entry::{EntryLayout, SeriesEntry};
+use coconut_ctree::planner::{self, PlannedAnswer, PlannedBatch, PlannerInputs, PlannerMode};
 use coconut_ctree::query::{KnnHeap, QueryContext, QueryCost};
 use coconut_ctree::raw::RawSeriesSource;
 use coconut_ctree::sorted_file::SortedSeriesFile;
@@ -80,6 +81,16 @@ pub struct ClsmConfig {
     /// performance knob — run files, answers, `QueryCost` and `IoStats`
     /// totals are identical at either setting.
     pub io_backend: IoBackend,
+    /// Query planning mode (default [`PlannerMode::Fixed`]).  `Fixed` uses
+    /// the knobs above verbatim; `Adaptive` lets the per-query cost-model
+    /// planner pick fan-out, read-ahead gate and batch shape from observed
+    /// state.  Answers, `QueryCost` and `IoStats` are identical in both
+    /// modes; see `coconut_ctree::planner`.
+    pub planner: PlannerMode,
+    /// Minimum contiguous byte range for which compaction read-ahead
+    /// engages (default `coconut_storage::PREFETCH_MIN_BYTES`; `usize::MAX`
+    /// disables read-ahead).  A pure performance knob.
+    pub prefetch_min_bytes: usize,
 }
 
 impl ClsmConfig {
@@ -97,6 +108,8 @@ impl ClsmConfig {
             shard_count: 1,
             io_overlap: true,
             io_backend: IoBackend::Pread,
+            planner: PlannerMode::Fixed,
+            prefetch_min_bytes: coconut_storage::PREFETCH_MIN_BYTES,
         }
     }
 
@@ -150,6 +163,21 @@ impl ClsmConfig {
     /// knob; see [`ClsmConfig::io_backend`].
     pub fn with_io_backend(mut self, backend: IoBackend) -> Self {
         self.io_backend = backend;
+        self
+    }
+
+    /// Selects the query planning mode (default `Fixed`).  A pure
+    /// performance knob; see [`ClsmConfig::planner`].
+    pub fn with_planner(mut self, mode: PlannerMode) -> Self {
+        self.planner = mode;
+        self
+    }
+
+    /// Sets the read-ahead engagement gate for compactions in bytes
+    /// (`usize::MAX` disables read-ahead).  A pure performance knob; see
+    /// [`ClsmConfig::prefetch_min_bytes`].
+    pub fn with_prefetch_min_bytes(mut self, bytes: usize) -> Self {
+        self.prefetch_min_bytes = bytes;
         self
     }
 
@@ -552,6 +580,7 @@ impl ClsmTree {
 
         // Every shard is an independent k-way merge over the inputs' key
         // slices, writing its own file: the fan-out below is a pure speedup.
+        let prefetch_gate = self.compaction_prefetch_gate();
         let workers = coconut_parallel::effective_parallelism(self.config.parallelism);
         let shard_results = coconut_parallel::parallel_map_tasks(
             &ranges,
@@ -559,7 +588,14 @@ impl ClsmTree {
             |shard_idx, &(lo, hi)| -> Result<SortedSeriesFile> {
                 let readers: Vec<_> = inputs
                     .iter()
-                    .map(|f| f.range_reader_with_prefetch(lo, hi, self.config.io_overlap))
+                    .map(|f| {
+                        f.range_reader_with_prefetch_gate(
+                            lo,
+                            hi,
+                            self.config.io_overlap,
+                            prefetch_gate,
+                        )
+                    })
                     .collect();
                 let merge = coconut_storage::DynIterMerge::new(layout, readers)?;
                 let path = self.dir.join(format!(
@@ -595,6 +631,37 @@ impl ClsmTree {
         match &self.raw {
             Some(raw) => QueryContext::non_materialized(raw, Arc::clone(&self.stats)),
             None => QueryContext::materialized(),
+        }
+    }
+
+    /// Captures a deterministic [`PlannerInputs`] snapshot for this tree:
+    /// every field is an integer read at capture time; the decision itself
+    /// is the pure function `coconut_ctree::planner::plan`.
+    fn planner_inputs(&self, k: usize, batch_width: usize, exact: bool) -> PlannerInputs {
+        let probe = planner::host_probe();
+        let snap = self.stats.snapshot();
+        PlannerInputs {
+            footprint_bytes: self.footprint_bytes(),
+            cache_budget_bytes: probe.cache_budget_bytes,
+            unit_count: self.num_shards() + usize::from(!self.buffer.is_empty()),
+            run_count: self.num_runs().max(1),
+            cores: probe.cores,
+            k,
+            batch_width,
+            exact,
+            random_read_permille: planner::read_permille(&snap),
+        }
+    }
+
+    /// The read-ahead gate a compaction should use: the configured value in
+    /// `Fixed` mode, or the planner's choice from a fresh state snapshot in
+    /// `Adaptive` mode.
+    fn compaction_prefetch_gate(&self) -> usize {
+        match self.config.planner {
+            PlannerMode::Fixed => self.config.prefetch_min_bytes,
+            PlannerMode::Adaptive => {
+                planner::plan(&self.planner_inputs(0, 1, true)).effective_prefetch_gate()
+            }
         }
     }
 
@@ -756,6 +823,70 @@ impl ClsmTree {
             exact,
             cancel,
         )
+    }
+
+    /// Like [`ClsmTree::knn_with`], but routed through the query planner
+    /// when the config selects [`PlannerMode::Adaptive`]: the fan-out knob
+    /// comes from a [`planner::PlanReport`] captured for this query, returned
+    /// alongside the answer.  In `Fixed` mode this is exactly `knn_with`
+    /// (byte-identical path) and the report is `None`.  Answers and cost
+    /// are identical in both modes.
+    pub fn knn_planned(
+        &self,
+        query: &[f32],
+        k: usize,
+        exact: bool,
+        cancel: &coconut_parallel::CancelToken,
+    ) -> Result<PlannedAnswer> {
+        match self.config.planner {
+            PlannerMode::Fixed => self.knn_with(query, k, exact, cancel).map(|r| (r, None)),
+            PlannerMode::Adaptive => {
+                let report = planner::plan_report(self.planner_inputs(k, 1, exact));
+                let units = self.query_units(None);
+                let answer = coconut_ctree::engine::parallel_knn_with(
+                    &units,
+                    query,
+                    k,
+                    report.decision.query_parallelism,
+                    exact,
+                    cancel,
+                )?;
+                Ok((answer, Some(report)))
+            }
+        }
+    }
+
+    /// Like [`ClsmTree::batch_knn_with`], but routed through the query
+    /// planner when the config selects [`PlannerMode::Adaptive`]: fan-out
+    /// and batch round shape come from a [`planner::PlanReport`] captured for this
+    /// batch.  In `Fixed` mode this is exactly `batch_knn_with` and the
+    /// report is `None`.  Answers and cost are identical in both modes.
+    pub fn batch_knn_planned(
+        &self,
+        queries: &[Vec<f32>],
+        k: usize,
+        exact: bool,
+        cancel: &coconut_parallel::CancelToken,
+    ) -> Result<PlannedBatch> {
+        match self.config.planner {
+            PlannerMode::Fixed => self
+                .batch_knn_with(queries, k, exact, cancel)
+                .map(|r| (r, None)),
+            PlannerMode::Adaptive => {
+                let report = planner::plan_report(self.planner_inputs(k, queries.len(), exact));
+                let units = self.query_units(None);
+                let answers = coconut_ctree::engine::batch_knn_chunked(
+                    &units,
+                    queries,
+                    k,
+                    report.decision.query_parallelism,
+                    exact,
+                    report.decision.batch_chunk,
+                    cancel,
+                )?;
+                Ok((answers, Some(report)))
+            }
+        }
     }
 }
 

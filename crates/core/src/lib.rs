@@ -23,6 +23,9 @@ use coconut_json::{member, FromJson, Json, JsonError, ToJson};
 
 pub use coconut_ads::{AdsConfig, AdsTree};
 pub use coconut_clsm::{ClsmConfig, ClsmTree};
+pub use coconut_ctree::planner::{
+    self, PlanDecision, PlanReport, PlannedAnswer, PlannedBatch, PlannerInputs, PlannerMode,
+};
 pub use coconut_ctree::query::QueryCost;
 pub use coconut_ctree::{CTree, CTreeConfig, IndexError, Result};
 pub use coconut_parallel::CancelToken;
@@ -103,6 +106,17 @@ pub struct IndexConfig {
     /// totals are identical at either setting; see DESIGN.md ("Read path
     /// backends").
     pub io_backend: IoBackend,
+    /// Query planning mode (default `Adaptive`).  `Fixed` uses the knobs
+    /// above verbatim; `Adaptive` lets the per-query cost-model planner
+    /// pick fan-out, read-ahead gate and batch shape from observed state.
+    /// Answers, `QueryCost` and `IoStats` are identical in both modes; see
+    /// DESIGN.md ("Adaptive planning").
+    pub planner: PlannerMode,
+    /// Minimum contiguous byte range for which merge/compaction read-ahead
+    /// engages (default `coconut_storage::PREFETCH_MIN_BYTES`; `usize::MAX`
+    /// disables read-ahead).  A pure performance knob the adaptive planner
+    /// also sets.
+    pub prefetch_min_bytes: usize,
 }
 
 impl IndexConfig {
@@ -120,6 +134,8 @@ impl IndexConfig {
             shard_count: 1,
             io_overlap: true,
             io_backend: IoBackend::Pread,
+            planner: PlannerMode::Adaptive,
+            prefetch_min_bytes: coconut_storage::PREFETCH_MIN_BYTES,
         }
     }
 
@@ -168,6 +184,20 @@ impl IndexConfig {
         self
     }
 
+    /// Selects the query planning mode (default `Adaptive`).  A pure
+    /// performance knob; see DESIGN.md ("Adaptive planning").
+    pub fn with_planner(mut self, mode: PlannerMode) -> Self {
+        self.planner = mode;
+        self
+    }
+
+    /// Sets the read-ahead engagement gate in bytes (`usize::MAX` disables
+    /// read-ahead).  A pure performance knob.
+    pub fn with_prefetch_min_bytes(mut self, bytes: usize) -> Self {
+        self.prefetch_min_bytes = bytes;
+        self
+    }
+
     /// Display name like "CTreeFull" / "CTree" following Figure 1.
     pub fn display_name(&self) -> String {
         if self.materialized {
@@ -196,6 +226,8 @@ impl IndexConfig {
             shard_count: 1,
             io_overlap: true,
             io_backend: IoBackend::Pread,
+            planner: PlannerMode::Adaptive,
+            prefetch_min_bytes: coconut_storage::PREFETCH_MIN_BYTES,
         }
     }
 }
@@ -305,7 +337,9 @@ impl StaticIndex {
                     .with_parallelism(config.parallelism)
                     .with_query_parallelism(config.query_parallelism)
                     .with_io_overlap(config.io_overlap)
-                    .with_io_backend(config.io_backend);
+                    .with_io_backend(config.io_backend)
+                    .with_planner(config.planner)
+                    .with_prefetch_min_bytes(config.prefetch_min_bytes);
                 StaticIndex::CTree(CTree::build(
                     dataset,
                     ctree_config,
@@ -322,6 +356,8 @@ impl StaticIndex {
                     .with_shard_count(config.shard_count)
                     .with_io_overlap(config.io_overlap)
                     .with_io_backend(config.io_backend)
+                    .with_planner(config.planner)
+                    .with_prefetch_min_bytes(config.prefetch_min_bytes)
                     .with_buffer_capacity(
                         (config.memory_budget_bytes / (config.sax.series_len * 4 + 32)).max(64),
                     );
@@ -494,6 +530,49 @@ impl StaticIndex {
         }
     }
 
+    /// Like [`StaticIndex::knn_with`], but routed through the per-query
+    /// cost-model planner when the index was built with
+    /// [`PlannerMode::Adaptive`]: the execution knobs come from a
+    /// [`PlanReport`] captured for this query, returned alongside the
+    /// answer.  In `Fixed` mode (and for the ADS+ baseline, which does not
+    /// go through the engine) this is exactly `knn_with` and the report is
+    /// `None`.  Answers and `QueryCost` are identical in both modes.
+    pub fn knn_planned(
+        &self,
+        query: &[f32],
+        k: usize,
+        exact: bool,
+        cancel: &coconut_parallel::CancelToken,
+    ) -> Result<PlannedAnswer> {
+        match self {
+            StaticIndex::Ads(_) => self.knn_with(query, k, exact, cancel).map(|r| (r, None)),
+            StaticIndex::CTree(t) => t.knn_planned(query, k, exact, cancel),
+            StaticIndex::Clsm(t) => t.knn_planned(query, k, exact, cancel),
+        }
+    }
+
+    /// Like [`StaticIndex::batch_knn_with`], but routed through the
+    /// per-query cost-model planner when the index was built with
+    /// [`PlannerMode::Adaptive`] (one [`PlanReport`] covers the whole
+    /// batch).  In `Fixed` mode (and for ADS+) this is exactly
+    /// `batch_knn_with` and the report is `None`.  Answers and `QueryCost`
+    /// are identical in both modes.
+    pub fn batch_knn_planned(
+        &self,
+        queries: &[Vec<f32>],
+        k: usize,
+        exact: bool,
+        cancel: &coconut_parallel::CancelToken,
+    ) -> Result<PlannedBatch> {
+        match self {
+            StaticIndex::Ads(_) => self
+                .batch_knn_with(queries, k, exact, cancel)
+                .map(|r| (r, None)),
+            StaticIndex::CTree(t) => t.batch_knn_planned(queries, k, exact, cancel),
+            StaticIndex::Clsm(t) => t.batch_knn_planned(queries, k, exact, cancel),
+        }
+    }
+
     /// Inserts a batch of new series (updates after the initial build).
     pub fn insert_batch(&mut self, series: &[Series], timestamp: u64) -> Result<()> {
         match self {
@@ -545,6 +624,13 @@ pub struct StreamingConfig {
     /// Read backend for runs and partitions (default `pread`).  A pure
     /// performance knob; see DESIGN.md ("Read path backends").
     pub io_backend: IoBackend,
+    /// Query planning mode (default `Adaptive`).  A pure performance knob;
+    /// see DESIGN.md ("Adaptive planning").
+    pub planner: PlannerMode,
+    /// Minimum contiguous byte range for which merge read-ahead engages
+    /// (default `coconut_storage::PREFETCH_MIN_BYTES`).  A pure performance
+    /// knob the adaptive planner also sets.
+    pub prefetch_min_bytes: usize,
 }
 
 impl StreamingConfig {
@@ -560,6 +646,8 @@ impl StreamingConfig {
             query_parallelism: 1,
             io_overlap: true,
             io_backend: IoBackend::Pread,
+            planner: PlannerMode::Adaptive,
+            prefetch_min_bytes: coconut_storage::PREFETCH_MIN_BYTES,
         }
     }
 
@@ -587,6 +675,20 @@ impl StreamingConfig {
     /// knob; see DESIGN.md ("Read path backends").
     pub fn with_io_backend(mut self, backend: IoBackend) -> Self {
         self.io_backend = backend;
+        self
+    }
+
+    /// Selects the query planning mode (default `Adaptive`).  A pure
+    /// performance knob; see DESIGN.md ("Adaptive planning").
+    pub fn with_planner(mut self, mode: PlannerMode) -> Self {
+        self.planner = mode;
+        self
+    }
+
+    /// Sets the read-ahead engagement gate in bytes (`usize::MAX` disables
+    /// read-ahead).  A pure performance knob.
+    pub fn with_prefetch_min_bytes(mut self, bytes: usize) -> Self {
+        self.prefetch_min_bytes = bytes;
         self
     }
 
@@ -618,7 +720,9 @@ pub fn streaming_index(
                         .with_parallelism(config.parallelism)
                         .with_query_parallelism(config.query_parallelism)
                         .with_io_overlap(config.io_overlap)
-                        .with_io_backend(config.io_backend),
+                        .with_io_backend(config.io_backend)
+                        .with_planner(config.planner)
+                        .with_prefetch_min_bytes(config.prefetch_min_bytes),
                     dir,
                     stats,
                 )?;
@@ -637,7 +741,9 @@ pub fn streaming_index(
                 .with_parallelism(config.parallelism)
                 .with_query_parallelism(config.query_parallelism)
                 .with_io_overlap(config.io_overlap)
-                .with_io_backend(config.io_backend);
+                .with_io_backend(config.io_backend)
+                .with_planner(config.planner)
+                .with_prefetch_min_bytes(config.prefetch_min_bytes);
             Ok(Box::new(PartitionedStream::temporal_partitioning(
                 cfg, dir, stats,
             )?))
@@ -649,7 +755,9 @@ pub fn streaming_index(
                 .with_parallelism(config.parallelism)
                 .with_query_parallelism(config.query_parallelism)
                 .with_io_overlap(config.io_overlap)
-                .with_io_backend(config.io_backend);
+                .with_io_backend(config.io_backend)
+                .with_planner(config.planner)
+                .with_prefetch_min_bytes(config.prefetch_min_bytes);
             Ok(Box::new(PartitionedStream::bounded_temporal_partitioning(
                 cfg, dir, stats,
             )?))

@@ -40,8 +40,8 @@ use coconut_parallel::{CancelToken, WorkerPool};
 use parking_lot::{Mutex, RwLock};
 
 use crate::{
-    recommend, BuildReport, Dataset, IndexConfig, IoBackend, IoStats, Scenario, Series,
-    StaticIndex, VariantKind,
+    recommend, BuildReport, Dataset, IndexConfig, IoBackend, IoStats, PlanReport, PlannerMode,
+    Scenario, Series, StaticIndex, VariantKind,
 };
 use coconut_storage::SharedIoStats;
 
@@ -80,6 +80,12 @@ pub enum PalmRequest {
         /// knob: index files, answers and I/O totals are identical either
         /// way.
         io_backend: IoBackend,
+        /// Query planning mode ("fixed" | "adaptive").  Optional in the
+        /// JSON protocol; defaults to "fixed".  A pure performance knob:
+        /// query results are identical in both modes — "adaptive" only
+        /// changes which execution knobs the engine runs with, and attaches
+        /// an `explain` member to query responses.
+        planner: PlannerMode,
     },
     /// Run a query against a registered index.
     Query {
@@ -156,6 +162,11 @@ pub enum PalmResponse {
         elapsed_ms: f64,
         /// Entries examined / refined / raw fetches / blocks read+skipped.
         cost: QueryCostJson,
+        /// The planner's recorded decision for this execution, present only
+        /// when the index runs in "adaptive" mode *and* the answer was
+        /// computed (cache hits carry no plan — nothing was planned).
+        /// Serialized only when present.
+        explain: Option<PlanReportJson>,
     },
     /// Per-sub-request responses of a batch, in request order.
     Batch {
@@ -208,6 +219,19 @@ pub enum PalmResponse {
         deadline_exceeded: u64,
         /// Indexes currently registered.
         indexes: u64,
+        /// Queries (and batched groups) executed through the adaptive
+        /// planner's compute path.
+        planner_adaptive: u64,
+        /// Queries (and batched groups) executed with fixed knobs.
+        planner_fixed: u64,
+        /// Adaptive plans that chose a parallel fan-out (>1 worker).
+        plans_parallel: u64,
+        /// Adaptive plans that chose sequential execution (1 worker).
+        plans_sequential: u64,
+        /// Adaptive plans that disabled read-ahead (cache-resident index).
+        plans_read_ahead_off: u64,
+        /// Adaptive plans that split the batch into round-pipeline chunks.
+        plans_chunked: u64,
     },
     /// The request failed.
     Error {
@@ -368,6 +392,116 @@ impl FromJson for QueryCostJson {
     }
 }
 
+/// JSON-friendly projection of [`crate::PlanReport`]: the captured
+/// [`crate::PlannerInputs`] snapshot and the [`crate::PlanDecision`] chosen
+/// from it, exactly as recorded (replayable: `decision` is the pure
+/// `planner::plan` of `inputs`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PlanReportJson {
+    /// Index footprint at capture time, bytes.
+    pub footprint_bytes: u64,
+    /// Estimated page-cache budget at capture time, bytes.
+    pub cache_budget_bytes: u64,
+    /// Search units the query fans out over.
+    pub unit_count: u64,
+    /// Runs/levels backing the index.
+    pub run_count: u64,
+    /// Cores at capture time.
+    pub cores: u64,
+    /// Neighbours requested.
+    pub k: u64,
+    /// Queries covered by this plan.
+    pub batch_width: u64,
+    /// Exact or approximate search.
+    pub exact: bool,
+    /// Random share of reads so far, permille.
+    pub random_read_permille: u64,
+    /// Chosen engine fan-out workers.
+    pub query_parallelism: u64,
+    /// Chosen read-ahead engagement.
+    pub read_ahead: bool,
+    /// Chosen read-ahead gate, bytes.
+    pub prefetch_min_bytes: u64,
+    /// Chosen batch round chunk.
+    pub batch_chunk: u64,
+}
+
+impl From<PlanReport> for PlanReportJson {
+    fn from(r: PlanReport) -> Self {
+        PlanReportJson {
+            footprint_bytes: r.inputs.footprint_bytes,
+            cache_budget_bytes: r.inputs.cache_budget_bytes,
+            unit_count: r.inputs.unit_count as u64,
+            run_count: r.inputs.run_count as u64,
+            cores: r.inputs.cores as u64,
+            k: r.inputs.k as u64,
+            batch_width: r.inputs.batch_width as u64,
+            exact: r.inputs.exact,
+            random_read_permille: r.inputs.random_read_permille as u64,
+            query_parallelism: r.decision.query_parallelism as u64,
+            read_ahead: r.decision.read_ahead,
+            prefetch_min_bytes: r.decision.prefetch_min_bytes,
+            batch_chunk: r.decision.batch_chunk as u64,
+        }
+    }
+}
+
+impl ToJson for PlanReportJson {
+    fn to_json(&self) -> Json {
+        Json::obj(vec![
+            (
+                "inputs",
+                Json::obj(vec![
+                    ("footprint_bytes", self.footprint_bytes.to_json()),
+                    ("cache_budget_bytes", self.cache_budget_bytes.to_json()),
+                    ("unit_count", self.unit_count.to_json()),
+                    ("run_count", self.run_count.to_json()),
+                    ("cores", self.cores.to_json()),
+                    ("k", self.k.to_json()),
+                    ("batch_width", self.batch_width.to_json()),
+                    ("exact", self.exact.to_json()),
+                    ("random_read_permille", self.random_read_permille.to_json()),
+                ]),
+            ),
+            (
+                "decision",
+                Json::obj(vec![
+                    ("query_parallelism", self.query_parallelism.to_json()),
+                    ("read_ahead", self.read_ahead.to_json()),
+                    ("prefetch_min_bytes", self.prefetch_min_bytes.to_json()),
+                    ("batch_chunk", self.batch_chunk.to_json()),
+                ]),
+            ),
+        ])
+    }
+}
+
+impl FromJson for PlanReportJson {
+    fn from_json(json: &Json) -> coconut_json::Result<PlanReportJson> {
+        let inputs = json
+            .get("inputs")
+            .ok_or_else(|| JsonError::new("missing field 'inputs'"))?;
+        let decision = json
+            .get("decision")
+            .ok_or_else(|| JsonError::new("missing field 'decision'"))?;
+        Ok(PlanReportJson {
+            footprint_bytes: member(inputs, "footprint_bytes")?,
+            cache_budget_bytes: member(inputs, "cache_budget_bytes")?,
+            unit_count: member(inputs, "unit_count")?,
+            run_count: member(inputs, "run_count")?,
+            cores: member(inputs, "cores")?,
+            k: member(inputs, "k")?,
+            batch_width: member(inputs, "batch_width")?,
+            exact: member(inputs, "exact")?,
+            random_read_permille: member(inputs, "random_read_permille")?,
+            query_parallelism: member(decision, "query_parallelism")?,
+            read_ahead: member(decision, "read_ahead")?,
+            prefetch_min_bytes: member(decision, "prefetch_min_bytes")?,
+            batch_chunk: member(decision, "batch_chunk")?,
+        })
+    }
+}
+
 impl ToJson for PalmRequest {
     fn to_json(&self) -> Json {
         match self {
@@ -382,6 +516,7 @@ impl ToJson for PalmRequest {
                 shard_count,
                 io_overlap,
                 io_backend,
+                planner,
             } => Json::obj(vec![
                 ("type", Json::Str("build_index".into())),
                 ("name", name.to_json()),
@@ -394,6 +529,7 @@ impl ToJson for PalmRequest {
                 ("shard_count", shard_count.to_json()),
                 ("io_overlap", io_overlap.to_json()),
                 ("io_backend", io_backend.to_json()),
+                ("planner", planner.to_json()),
             ]),
             PalmRequest::Query {
                 name,
@@ -450,6 +586,7 @@ impl FromJson for PalmRequest {
                 shard_count: member_or(json, "shard_count", 1)?,
                 io_overlap: member_or(json, "io_overlap", true)?,
                 io_backend: member_or(json, "io_backend", IoBackend::Pread)?,
+                planner: member_or(json, "planner", PlannerMode::Fixed)?,
             }),
             "query" => Ok(PalmRequest::Query {
                 name: member(json, "name")?,
@@ -497,14 +634,21 @@ impl ToJson for PalmResponse {
                 distances,
                 elapsed_ms,
                 cost,
-            } => Json::obj(vec![
-                ("type", Json::Str("query_result".into())),
-                ("name", name.to_json()),
-                ("ids", ids.to_json()),
-                ("distances", distances.to_json()),
-                ("elapsed_ms", elapsed_ms.to_json()),
-                ("cost", cost.to_json()),
-            ]),
+                explain,
+            } => {
+                let mut members = vec![
+                    ("type", Json::Str("query_result".into())),
+                    ("name", name.to_json()),
+                    ("ids", ids.to_json()),
+                    ("distances", distances.to_json()),
+                    ("elapsed_ms", elapsed_ms.to_json()),
+                    ("cost", cost.to_json()),
+                ];
+                if let Some(report) = explain {
+                    members.push(("explain", report.to_json()));
+                }
+                Json::obj(members)
+            }
             PalmResponse::Batch { responses } => Json::obj(vec![
                 ("type", Json::Str("batch_result".into())),
                 ("responses", responses.to_json()),
@@ -545,6 +689,12 @@ impl ToJson for PalmResponse {
                 shed,
                 deadline_exceeded,
                 indexes,
+                planner_adaptive,
+                planner_fixed,
+                plans_parallel,
+                plans_sequential,
+                plans_read_ahead_off,
+                plans_chunked,
             } => Json::obj(vec![
                 ("type", Json::Str("stats".into())),
                 ("requests", requests.to_json()),
@@ -554,6 +704,12 @@ impl ToJson for PalmResponse {
                 ("shed", shed.to_json()),
                 ("deadline_exceeded", deadline_exceeded.to_json()),
                 ("indexes", indexes.to_json()),
+                ("planner_adaptive", planner_adaptive.to_json()),
+                ("planner_fixed", planner_fixed.to_json()),
+                ("plans_parallel", plans_parallel.to_json()),
+                ("plans_sequential", plans_sequential.to_json()),
+                ("plans_read_ahead_off", plans_read_ahead_off.to_json()),
+                ("plans_chunked", plans_chunked.to_json()),
             ]),
             PalmResponse::Error {
                 kind,
@@ -629,13 +785,21 @@ struct CachedAnswer {
 }
 
 impl CachedAnswer {
-    fn into_response(self, name: &str, elapsed_ms: f64) -> PalmResponse {
+    /// `explain` is the plan that drove this computation — `None` for cache
+    /// hits (nothing was planned) and for fixed-mode executions.
+    fn into_response(
+        self,
+        name: &str,
+        elapsed_ms: f64,
+        explain: Option<PlanReportJson>,
+    ) -> PalmResponse {
         PalmResponse::QueryResult {
             name: name.to_string(),
             ids: self.ids,
             distances: self.distances,
             elapsed_ms,
             cost: self.cost,
+            explain,
         }
     }
 }
@@ -722,6 +886,12 @@ pub struct ServiceStats {
     cache_misses: AtomicU64,
     shed: AtomicU64,
     deadline_exceeded: AtomicU64,
+    planner_adaptive: AtomicU64,
+    planner_fixed: AtomicU64,
+    plans_parallel: AtomicU64,
+    plans_sequential: AtomicU64,
+    plans_read_ahead_off: AtomicU64,
+    plans_chunked: AtomicU64,
 }
 
 /// A point-in-time copy of [`ServiceStats`].
@@ -737,6 +907,18 @@ pub struct ServiceStatsSnapshot {
     pub shed: u64,
     /// Requests that missed their deadline.
     pub deadline_exceeded: u64,
+    /// Queries (and batched groups) executed through the adaptive planner.
+    pub planner_adaptive: u64,
+    /// Queries (and batched groups) executed with fixed knobs.
+    pub planner_fixed: u64,
+    /// Adaptive plans that chose a parallel fan-out.
+    pub plans_parallel: u64,
+    /// Adaptive plans that chose sequential execution.
+    pub plans_sequential: u64,
+    /// Adaptive plans that disabled read-ahead.
+    pub plans_read_ahead_off: u64,
+    /// Adaptive plans that chunked the batch round shape.
+    pub plans_chunked: u64,
 }
 
 impl ServiceStats {
@@ -748,6 +930,37 @@ impl ServiceStats {
             cache_misses: self.cache_misses.load(Ordering::Relaxed),
             shed: self.shed.load(Ordering::Relaxed),
             deadline_exceeded: self.deadline_exceeded.load(Ordering::Relaxed),
+            planner_adaptive: self.planner_adaptive.load(Ordering::Relaxed),
+            planner_fixed: self.planner_fixed.load(Ordering::Relaxed),
+            plans_parallel: self.plans_parallel.load(Ordering::Relaxed),
+            plans_sequential: self.plans_sequential.load(Ordering::Relaxed),
+            plans_read_ahead_off: self.plans_read_ahead_off.load(Ordering::Relaxed),
+            plans_chunked: self.plans_chunked.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Folds one compute-path execution into the planner counters: `None`
+    /// means the index ran with fixed knobs, `Some` is the adaptive plan
+    /// that drove the execution (its decision is tallied by knob value).
+    fn note_plan(&self, report: Option<&PlanReport>) {
+        match report {
+            None => {
+                self.planner_fixed.fetch_add(1, Ordering::Relaxed);
+            }
+            Some(report) => {
+                self.planner_adaptive.fetch_add(1, Ordering::Relaxed);
+                if report.decision.query_parallelism > 1 {
+                    self.plans_parallel.fetch_add(1, Ordering::Relaxed);
+                } else {
+                    self.plans_sequential.fetch_add(1, Ordering::Relaxed);
+                }
+                if !report.decision.read_ahead {
+                    self.plans_read_ahead_off.fetch_add(1, Ordering::Relaxed);
+                }
+                if report.decision.batch_chunk < report.inputs.batch_width {
+                    self.plans_chunked.fetch_add(1, Ordering::Relaxed);
+                }
+            }
         }
     }
 }
@@ -968,6 +1181,7 @@ impl PalmServer {
                 shard_count,
                 io_overlap,
                 io_backend,
+                planner,
             } => {
                 // The build runs entirely outside the registry lock, so
                 // queries against other indexes proceed while it sorts.
@@ -979,7 +1193,8 @@ impl PalmServer {
                     .with_query_parallelism(query_parallelism)
                     .with_shard_count(shard_count)
                     .with_io_overlap(io_overlap)
-                    .with_io_backend(io_backend);
+                    .with_io_backend(io_backend)
+                    .with_planner(planner);
                 let stats = IoStats::shared();
                 let dir = self.work_dir.join(&name);
                 let (index, report) =
@@ -1028,11 +1243,14 @@ impl PalmServer {
                     if let Some(hit) = cache.lookup(key, version) {
                         self.stats.cache_hits.fetch_add(1, Ordering::Relaxed);
                         let elapsed_ms = start.elapsed().as_secs_f64() * 1000.0;
-                        return Ok(hit.into_response(&name, elapsed_ms));
+                        // A hit ran no plan, so there is no explain.
+                        return Ok(hit.into_response(&name, elapsed_ms, None));
                     }
                     self.stats.cache_misses.fetch_add(1, Ordering::Relaxed);
                 }
-                let (neighbors, cost) = registered.index.knn_with(&query, k, exact, cancel)?;
+                let ((neighbors, cost), plan) =
+                    registered.index.knn_planned(&query, k, exact, cancel)?;
+                self.stats.note_plan(plan.as_ref());
                 let answer = CachedAnswer {
                     ids: neighbors.iter().map(|n| n.id).collect(),
                     distances: neighbors.iter().map(|n| n.distance()).collect(),
@@ -1042,7 +1260,7 @@ impl PalmServer {
                     cache.insert(key, version, answer.clone());
                 }
                 let elapsed_ms = start.elapsed().as_secs_f64() * 1000.0;
-                Ok(answer.into_response(&name, elapsed_ms))
+                Ok(answer.into_response(&name, elapsed_ms, plan.map(Into::into)))
             }
             PalmRequest::Batch { requests } => Ok(self.execute_batch(requests, cancel)),
             PalmRequest::Insert {
@@ -1114,6 +1332,12 @@ impl PalmServer {
                     shed: snapshot.shed,
                     deadline_exceeded: snapshot.deadline_exceeded,
                     indexes: self.indexes.read().len() as u64,
+                    planner_adaptive: snapshot.planner_adaptive,
+                    planner_fixed: snapshot.planner_fixed,
+                    plans_parallel: snapshot.plans_parallel,
+                    plans_sequential: snapshot.plans_sequential,
+                    plans_read_ahead_off: snapshot.plans_read_ahead_off,
+                    plans_chunked: snapshot.plans_chunked,
                 })
             }
         }
@@ -1263,6 +1487,7 @@ impl PalmServer {
             }
             None => miss_idxs.extend(0..queries.len()),
         }
+        let mut explain: Option<PlanReportJson> = None;
         if !miss_idxs.is_empty() {
             // Avoid re-cloning the payloads when nothing was cached.
             let miss_queries: Vec<Vec<f32>>;
@@ -1272,9 +1497,12 @@ impl PalmServer {
                 miss_queries = miss_idxs.iter().map(|&i| queries[i].clone()).collect();
                 &miss_queries
             };
-            let results = registered
-                .index
-                .batch_knn_with(engine_queries, k, exact, cancel)?;
+            let (results, plan) =
+                registered
+                    .index
+                    .batch_knn_planned(engine_queries, k, exact, cancel)?;
+            self.stats.note_plan(plan.as_ref());
+            explain = plan.map(Into::into);
             for (&i, (neighbors, cost)) in miss_idxs.iter().zip(results) {
                 let answer = CachedAnswer {
                     ids: neighbors.iter().map(|n| n.id).collect(),
@@ -1292,12 +1520,19 @@ impl PalmServer {
             }
         }
         let elapsed_ms = start.elapsed().as_secs_f64() * 1000.0;
+        // One plan covered every engine-computed miss; cache hits ran no
+        // plan and carry no explain.
+        let mut missed = vec![false; queries.len()];
+        for &i in &miss_idxs {
+            missed[i] = true;
+        }
         Ok(answers
             .into_iter()
-            .map(|answer| {
+            .zip(missed)
+            .map(|(answer, was_miss)| {
                 answer
                     .expect("every query is either a cache hit or an engine result")
-                    .into_response(name, elapsed_ms)
+                    .into_response(name, elapsed_ms, if was_miss { explain } else { None })
             })
             .collect())
     }
@@ -1339,6 +1574,7 @@ mod tests {
             shard_count: 1,
             io_overlap: true,
             io_backend: IoBackend::Pread,
+            planner: PlannerMode::Fixed,
         }
     }
 
@@ -1539,6 +1775,7 @@ mod tests {
             shard_count: 1,
             io_overlap: true,
             io_backend: IoBackend::Pread,
+            planner: PlannerMode::Fixed,
         });
         // Appended series would not exist in the raw file the index refines
         // from; the insert must be refused, not accepted and left to poison

@@ -251,6 +251,7 @@ fn concurrent_reads_during_append_observe_valid_snapshots() {
         shard_count: 2,
         io_overlap: true,
         io_backend: coconut_core::IoBackend::Pread,
+        planner: coconut_core::PlannerMode::Fixed,
     });
     assert!(matches!(built, PalmResponse::Built { .. }), "{built:?}");
 

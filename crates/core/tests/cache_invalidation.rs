@@ -10,7 +10,7 @@
 //! races an in-flight insert into the cache.
 
 use coconut_core::palm::{PalmRequest, PalmResponse, PalmServer};
-use coconut_core::{Dataset, IoBackend, VariantKind};
+use coconut_core::{Dataset, IoBackend, PlannerMode, VariantKind};
 use coconut_json::{Json, ToJson};
 use coconut_series::generator::{RandomWalkGenerator, SeriesGenerator};
 use coconut_storage::ScratchDir;
@@ -28,6 +28,7 @@ fn build_request(name: &str, dataset_path: &str) -> PalmRequest {
         shard_count: 1,
         io_overlap: true,
         io_backend: IoBackend::Pread,
+        planner: PlannerMode::Fixed,
     }
 }
 

@@ -1,0 +1,336 @@
+//! Planner equivalence: the adaptive per-query planner is answer-invisible.
+//!
+//! The tentpole guarantee of adaptive execution is that the planner only
+//! ever assigns knobs that are already proven pure performance knobs, so a
+//! planner-routed query is bit-identical — neighbours, distances,
+//! tie-breaking, `QueryCost` counters and `IoStats` classification — to
+//! *every* fixed-knob configuration, on CTree, CLSM and the partitioned
+//! streaming schemes, exact and approximate, single and batched.  And the
+//! plan itself is deterministic: identical [`PlannerInputs`] always yield
+//! identical [`PlanReport`]s, so every recorded report replays.
+
+use coconut_core::{
+    planner, streaming_index, IndexConfig, IoStats, PartitionKind, PartitionedConfig,
+    PartitionedStream, PlannerInputs, PlannerMode, ScratchDir, StaticIndex, StreamingConfig,
+    VariantKind, WindowScheme,
+};
+use coconut_parallel::CancelToken;
+use coconut_series::generator::{RandomWalkGenerator, SeismicStreamGenerator, SeriesGenerator};
+use coconut_series::Dataset;
+use proptest::prelude::*;
+
+/// Worker count for the fixed "parallel" comparators (`COCONUT_THREADS`,
+/// default 8, legally above this machine's core count).
+fn parallel_workers() -> usize {
+    std::env::var("COCONUT_THREADS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .filter(|&v| v > 1)
+        .unwrap_or(8)
+}
+
+fn build_static(
+    dir: &ScratchDir,
+    dataset: &Dataset,
+    variant: VariantKind,
+    tag: &str,
+    planner_mode: PlannerMode,
+    query_parallelism: usize,
+) -> (StaticIndex, coconut_core::SharedIoStats) {
+    let config = IndexConfig::new(variant, 64)
+        .materialized(true)
+        .with_memory_budget(1 << 19)
+        .with_shard_count(if variant == VariantKind::Clsm { 3 } else { 1 })
+        .with_query_parallelism(query_parallelism)
+        .with_planner(planner_mode);
+    let stats = IoStats::shared();
+    let subdir = dir.file(&format!("{}-{tag}", variant.name()));
+    let (index, _) =
+        StaticIndex::build(dataset, config, &subdir, std::sync::Arc::clone(&stats)).expect("build");
+    (index, stats)
+}
+
+/// The planner-routed single-query path is bit-identical — answers,
+/// `QueryCost` *and* `IoStats` classification — to every fixed
+/// `query_parallelism`, on CTree and CLSM, exact and approximate; adaptive
+/// queries return a replayable report, fixed queries return none.
+#[test]
+fn planned_static_queries_match_every_fixed_knob() {
+    let dir = ScratchDir::new("peq-static").unwrap();
+    let mut gen = RandomWalkGenerator::new(64, 41);
+    let series = gen.generate(600);
+    let dataset = Dataset::create_from_series(dir.file("raw.bin"), &series).unwrap();
+    let workers = parallel_workers();
+    let never = CancelToken::never();
+
+    for variant in [VariantKind::CTree, VariantKind::Clsm] {
+        let (adaptive, adaptive_io) = build_static(
+            &dir,
+            &dataset,
+            variant,
+            "adaptive",
+            PlannerMode::Adaptive,
+            1,
+        );
+        let fixed: Vec<_> = [1usize, workers]
+            .into_iter()
+            .map(|qp| {
+                build_static(
+                    &dir,
+                    &dataset,
+                    variant,
+                    &format!("fixed-q{qp}"),
+                    PlannerMode::Fixed,
+                    qp,
+                )
+            })
+            .collect();
+        // Index construction itself is knob-invariant.
+        for (_, io) in &fixed {
+            assert_eq!(
+                adaptive_io.snapshot(),
+                io.snapshot(),
+                "{}: build I/O must not depend on the planner",
+                variant.name()
+            );
+        }
+
+        let mut qgen = RandomWalkGenerator::new(64, 41 ^ 0xbeef);
+        for round in 0..6 {
+            let q = qgen.next_series();
+            let k = 1 + round % 7;
+            for exact in [true, false] {
+                let ((nn_a, cost_a), report) =
+                    adaptive.knn_planned(&q.values, k, exact, &never).unwrap();
+                let report = report.expect("adaptive queries must carry a plan report");
+                assert_eq!(
+                    report.decision,
+                    planner::plan(&report.inputs),
+                    "every recorded report must replay from its own inputs"
+                );
+                assert_eq!(report.inputs.k, k);
+                assert_eq!(report.inputs.exact, exact);
+                assert_eq!(report.inputs.batch_width, 1);
+                for (index, _) in &fixed {
+                    let ((nn_f, cost_f), no_report) =
+                        index.knn_planned(&q.values, k, exact, &never).unwrap();
+                    assert!(no_report.is_none(), "fixed queries must not plan");
+                    assert_eq!(
+                        nn_a,
+                        nn_f,
+                        "{} k={k} exact={exact}: answers differ",
+                        variant.name()
+                    );
+                    assert_eq!(cost_a, cost_f, "{} k={k} exact={exact}", variant.name());
+                }
+            }
+        }
+        // The queries above exercised both trees identically at the I/O
+        // layer too (reads *and* their sequential/random classification).
+        assert_eq!(
+            adaptive_io.snapshot(),
+            fixed[0].1.snapshot(),
+            "{}: query I/O must not depend on the planner",
+            variant.name()
+        );
+    }
+}
+
+/// The planner-routed batch path (one plan for the whole batch, rounds
+/// possibly re-chunked) is element-wise identical to the fixed batch path
+/// at every batch width.
+#[test]
+fn planned_batches_match_fixed_at_every_width() {
+    let dir = ScratchDir::new("peq-batch").unwrap();
+    let mut gen = RandomWalkGenerator::new(64, 57);
+    let series = gen.generate(500);
+    let dataset = Dataset::create_from_series(dir.file("raw.bin"), &series).unwrap();
+    let never = CancelToken::never();
+
+    for variant in [VariantKind::CTree, VariantKind::Clsm] {
+        let (adaptive, _) = build_static(
+            &dir,
+            &dataset,
+            variant,
+            "badaptive",
+            PlannerMode::Adaptive,
+            1,
+        );
+        let (fixed, _) = build_static(&dir, &dataset, variant, "bfixed", PlannerMode::Fixed, 1);
+        let mut qgen = RandomWalkGenerator::new(64, 57 ^ 0xf00d);
+        for width in [1usize, 3, 17] {
+            let queries: Vec<Vec<f32>> = (0..width).map(|_| qgen.next_series().values).collect();
+            for exact in [true, false] {
+                let (batch_a, report) = adaptive
+                    .batch_knn_planned(&queries, 4, exact, &never)
+                    .unwrap();
+                let report = report.expect("adaptive batches must carry a plan report");
+                assert_eq!(report.inputs.batch_width, width);
+                assert_eq!(report.decision, planner::plan(&report.inputs));
+                let (batch_f, no_report) =
+                    fixed.batch_knn_planned(&queries, 4, exact, &never).unwrap();
+                assert!(no_report.is_none());
+                assert_eq!(
+                    batch_a,
+                    batch_f,
+                    "{} width={width} exact={exact}",
+                    variant.name()
+                );
+            }
+        }
+    }
+}
+
+/// The planner-routed windowed streaming paths (TP and BTP) are identical
+/// to the fixed paths — neighbours, costs and partition accounting — for
+/// full-history and windowed queries, single and batched.
+#[test]
+fn planned_stream_queries_match_fixed() {
+    let dir = ScratchDir::new("peq-stream").unwrap();
+    let mut gen = SeismicStreamGenerator::new(64, 23, 0.1);
+    let batches: Vec<_> = (0..8).map(|_| gen.next_batch(60)).collect();
+    let query = gen.quake_template();
+    let queries: Vec<Vec<f32>> = vec![query.clone(), query.iter().map(|v| v + 0.5).collect()];
+
+    for scheme in [
+        WindowScheme::TemporalPartitioning,
+        WindowScheme::BoundedTemporalPartitioning,
+    ] {
+        let mut streams = Vec::new();
+        for mode in [PlannerMode::Adaptive, PlannerMode::Fixed] {
+            let cfg = PartitionedConfig::new(coconut_sax::SaxConfig::paper_default(64))
+                .with_buffer_capacity(60)
+                .with_partition_kind(PartitionKind::Sorted)
+                .with_planner(mode);
+            let subdir = dir.file(&format!("{}-{}", scheme.short_name(), mode.name()));
+            std::fs::create_dir_all(&subdir).unwrap();
+            let mut stream = match scheme {
+                WindowScheme::TemporalPartitioning => {
+                    PartitionedStream::temporal_partitioning(cfg, &subdir, IoStats::shared())
+                }
+                _ => PartitionedStream::bounded_temporal_partitioning(
+                    cfg,
+                    &subdir,
+                    IoStats::shared(),
+                ),
+            }
+            .unwrap();
+            for batch in &batches {
+                use coconut_core::StreamingIndex;
+                stream.ingest_batch(batch).unwrap();
+            }
+            streams.push(stream);
+        }
+        let (adaptive, fixed) = (&streams[0], &streams[1]);
+
+        for window in [None, Some((100u64, 350u64)), Some((0u64, 30u64))] {
+            for exact in [true, false] {
+                let (res_a, report) = adaptive
+                    .query_window_planned(&query, 3, window, exact)
+                    .unwrap();
+                let report = report.expect("adaptive stream queries must plan");
+                assert_eq!(report.decision, planner::plan(&report.inputs));
+                let (res_f, no_report) = fixed
+                    .query_window_planned(&query, 3, window, exact)
+                    .unwrap();
+                assert!(no_report.is_none());
+                assert_eq!(res_a.neighbors, res_f.neighbors, "{scheme:?} {window:?}");
+                assert_eq!(res_a.cost, res_f.cost, "{scheme:?} {window:?}");
+                assert_eq!(res_a.partitions_accessed, res_f.partitions_accessed);
+
+                let (batch_a, breport) = adaptive
+                    .query_window_batch_planned(&queries, 3, window, exact)
+                    .unwrap();
+                let breport = breport.expect("adaptive stream batches must plan");
+                assert_eq!(breport.inputs.batch_width, queries.len());
+                assert_eq!(breport.decision, planner::plan(&breport.inputs));
+                let (batch_f, _) = fixed
+                    .query_window_batch_planned(&queries, 3, window, exact)
+                    .unwrap();
+                assert_eq!(batch_a.len(), batch_f.len());
+                for (a, f) in batch_a.iter().zip(&batch_f) {
+                    assert_eq!(a.neighbors, f.neighbors, "{scheme:?} {window:?}");
+                    assert_eq!(a.cost, f.cost, "{scheme:?} {window:?}");
+                }
+            }
+        }
+    }
+}
+
+/// The `streaming_index` factory threads the planner mode through: an
+/// adaptive config answers identically to a fixed one via the trait
+/// surface.
+#[test]
+fn streaming_factory_threads_planner_mode() {
+    let dir = ScratchDir::new("peq-factory").unwrap();
+    let mut gen = SeismicStreamGenerator::new(64, 5, 0.1);
+    let batches: Vec<_> = (0..6).map(|_| gen.next_batch(50)).collect();
+    let query = gen.quake_template();
+    let mut results = Vec::new();
+    for mode in [PlannerMode::Fixed, PlannerMode::Adaptive] {
+        let config = StreamingConfig::new(
+            VariantKind::Clsm,
+            WindowScheme::BoundedTemporalPartitioning,
+            64,
+        )
+        .with_planner(mode);
+        let mut index = streaming_index(
+            config,
+            &dir.file(&format!("factory-{}", mode.name())),
+            IoStats::shared(),
+        )
+        .unwrap();
+        for batch in &batches {
+            index.ingest_batch(batch).unwrap();
+        }
+        let r = index
+            .query_window(&query, 4, Some((20, 200)), true)
+            .unwrap();
+        results.push((r.neighbors, r.cost));
+    }
+    assert_eq!(results[0], results[1]);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Determinism pin: `plan` is a pure function of the captured inputs —
+    /// identical [`PlannerInputs`] always produce identical decisions, and
+    /// a [`PlanReport`] always replays (`decision == plan(&inputs)`), so
+    /// recorded explains are trustworthy on any host.
+    #[test]
+    fn identical_inputs_yield_identical_plans(
+        footprint_bytes in 0u64..=u64::MAX,
+        cache_budget_bytes in 0u64..=u64::MAX,
+        unit_count in 0usize..10_000,
+        run_count in 0usize..1_000,
+        cores in 0usize..256,
+        k in 0usize..1_000,
+        batch_width in 0usize..100_000,
+        exact_bit in 0u8..2,
+        random_read_permille in 0u32..=1_000,
+    ) {
+        let inputs = PlannerInputs {
+            footprint_bytes,
+            cache_budget_bytes,
+            unit_count,
+            run_count,
+            cores,
+            k,
+            batch_width,
+            exact: exact_bit == 1,
+            random_read_permille,
+        };
+        let first = planner::plan(&inputs);
+        let second = planner::plan(&inputs);
+        prop_assert_eq!(first, second);
+        let report = planner::plan_report(inputs);
+        prop_assert_eq!(report.inputs, inputs);
+        prop_assert_eq!(report.decision, planner::plan(&inputs));
+        // Structural sanity that holds for *every* input: the engine knobs
+        // stay in their legal ranges.
+        prop_assert!(report.decision.query_parallelism >= 1);
+        prop_assert!(report.decision.batch_chunk >= 1);
+        prop_assert!(report.decision.prefetch_min_bytes > 0);
+    }
+}

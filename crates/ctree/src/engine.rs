@@ -254,6 +254,50 @@ pub fn batch_knn_with<U: SearchUnit, Q: AsRef<[f32]> + Sync>(
     Ok(results)
 }
 
+/// [`batch_knn_with`] over consecutive sub-batches of at most `chunk`
+/// queries (`0` = the whole batch in one pipeline).
+///
+/// This is the executor behind the planner's **batch round shape** knob:
+/// because a batch's per-query answers and costs are identical to
+/// one-at-a-time execution, they are identical under *any* chunking — the
+/// chunk size only bounds the per-pipeline bookkeeping (one `SharedBound`
+/// and frozen-bound slot per in-flight query) and trades fork/join barriers
+/// (`N + chunks` instead of `N + 1`).  On cancellation the partial cost
+/// sums every completed chunk plus the aborting chunk's own partial cost,
+/// exactly as an unchunked batch would report it.
+pub fn batch_knn_chunked<U: SearchUnit, Q: AsRef<[f32]> + Sync>(
+    units: &[U],
+    queries: &[Q],
+    k: usize,
+    parallelism: usize,
+    exact: bool,
+    chunk: usize,
+    cancel: &CancelToken,
+) -> Result<Vec<(Vec<Neighbor>, QueryCost)>> {
+    let chunk = if chunk == 0 {
+        queries.len().max(1)
+    } else {
+        chunk
+    };
+    let mut results: Vec<(Vec<Neighbor>, QueryCost)> = Vec::with_capacity(queries.len());
+    for part in queries.chunks(chunk) {
+        match batch_knn_with(units, part, k, parallelism, exact, cancel) {
+            Ok(part_results) => results.extend(part_results),
+            Err(IndexError::Cancelled { partial_cost }) => {
+                let mut total = partial_cost;
+                for (_, cost) in &results {
+                    total = total.plus(cost);
+                }
+                return Err(IndexError::Cancelled {
+                    partial_cost: total,
+                });
+            }
+            Err(e) => return Err(e),
+        }
+    }
+    Ok(results)
+}
+
 /// Runs a kNN query over `units` with up to `parallelism` workers
 /// (`1` = sequential, `0` = one per available core) and returns the merged
 /// top-`k` plus the exact summed cost.
@@ -456,6 +500,21 @@ mod tests {
             .collect();
         let batch = batch_knn(&single_unit, &queries, 3, 4, true).unwrap();
         assert_eq!(batch, singles);
+    }
+
+    #[test]
+    fn chunked_batch_matches_the_unchunked_batch() {
+        let units = units(77);
+        let queries: Vec<Vec<f32>> = (0..11).map(|q| vec![q as f32, 0.5]).collect();
+        for exact in [true, false] {
+            let whole = batch_knn(&units, &queries, 4, 2, exact).unwrap();
+            for chunk in [0, 1, 2, 3, 5, 11, 64] {
+                let chunked =
+                    batch_knn_chunked(&units, &queries, 4, 2, exact, chunk, &CancelToken::never())
+                        .unwrap();
+                assert_eq!(chunked, whole, "chunk={chunk} exact={exact}");
+            }
+        }
     }
 
     #[test]

@@ -35,13 +35,17 @@
 
 pub mod engine;
 pub mod entry;
+pub mod planner;
 pub mod query;
 pub mod raw;
 pub mod sorted_file;
 pub mod tree;
 
-pub use engine::{batch_knn, batch_knn_with, parallel_knn, parallel_knn_with, SearchUnit};
+pub use engine::{
+    batch_knn, batch_knn_chunked, batch_knn_with, parallel_knn, parallel_knn_with, SearchUnit,
+};
 pub use entry::{EntryLayout, SeriesEntry};
+pub use planner::{PlanDecision, PlanReport, PlannerInputs, PlannerMode};
 pub use query::{KnnHeap, QueryContext, QueryCost, SharedBound};
 pub use raw::RawSeriesSource;
 pub use sorted_file::{BlockMeta, SortedSeriesFile};

@@ -293,10 +293,28 @@ impl SortedSeriesFile {
         buffer_records: usize,
         prefetch: bool,
     ) -> coconut_storage::DynRunReader<EntryLayout> {
+        self.reader_with_prefetch_gate(
+            buffer_records,
+            prefetch,
+            coconut_storage::PREFETCH_MIN_BYTES,
+        )
+    }
+
+    /// Like [`SortedSeriesFile::reader_with_prefetch`] with an explicit
+    /// read-ahead engage gate in bytes (`usize::MAX` never spawns the
+    /// worker) — the knob the adaptive planner sets; a pure performance
+    /// knob either way.
+    pub fn reader_with_prefetch_gate(
+        &self,
+        buffer_records: usize,
+        prefetch: bool,
+        prefetch_min_bytes: usize,
+    ) -> coconut_storage::DynRunReader<EntryLayout> {
         // A full scan walks the mapped pages front to back: let the kernel
         // read ahead aggressively (advisory; accounting unaffected).
         self.run.advise_read_pattern(AccessPattern::Sequential);
-        self.run.reader_with_prefetch(buffer_records, prefetch)
+        self.run
+            .reader_with_prefetch_gate(buffer_records, prefetch, prefetch_min_bytes)
     }
 
     /// Returns a sequential reader over the entries whose key lies in
@@ -324,6 +342,20 @@ impl SortedSeriesFile {
         hi: Option<u128>,
         prefetch: bool,
     ) -> RangeReader<'_> {
+        self.range_reader_with_prefetch_gate(lo, hi, prefetch, coconut_storage::PREFETCH_MIN_BYTES)
+    }
+
+    /// Like [`SortedSeriesFile::range_reader_with_prefetch`] with an
+    /// explicit read-ahead engage gate in bytes (`usize::MAX` never spawns
+    /// the worker) — the knob the adaptive planner sets; a pure performance
+    /// knob either way.
+    pub fn range_reader_with_prefetch_gate(
+        &self,
+        lo: u128,
+        hi: Option<u128>,
+        prefetch: bool,
+        prefetch_min_bytes: usize,
+    ) -> RangeReader<'_> {
         // A range feeds a merge: its blocks stream in ascending order, so
         // kernel read-ahead on the mapped pages pays off (advisory;
         // accounting unaffected).
@@ -347,9 +379,8 @@ impl SortedSeriesFile {
             .map(|b| b.count as u64)
             .sum::<u64>()
             * coconut_storage::RecordLayout::record_size(self.run.layout()) as u64;
-        let engage = prefetch
-            && last.saturating_sub(first) > 1
-            && range_bytes >= coconut_storage::PREFETCH_MIN_BYTES as u64;
+        let engage =
+            prefetch && last.saturating_sub(first) > 1 && range_bytes >= prefetch_min_bytes as u64;
         let prefetcher = engage.then(|| {
             self.run.range_prefetcher(
                 self.blocks[first..last]

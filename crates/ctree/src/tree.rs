@@ -15,6 +15,7 @@ use coconut_storage::page::DEFAULT_PAGE_SIZE;
 use coconut_storage::IoBackend;
 
 use crate::entry::{EntryLayout, SeriesEntry};
+use crate::planner::{self, PlannedAnswer, PlannedBatch, PlannerInputs, PlannerMode};
 use crate::query::{KnnHeap, QueryContext, QueryCost};
 use crate::raw::RawSeriesSource;
 use crate::sorted_file::SortedSeriesFile;
@@ -59,6 +60,16 @@ pub struct CTreeConfig {
     /// `IoStats` totals are identical at either setting; see
     /// `coconut_storage::IoBackend`.
     pub io_backend: IoBackend,
+    /// Query planning mode (default [`PlannerMode::Fixed`]).  `Fixed` uses
+    /// the knobs above verbatim; `Adaptive` lets the per-query cost-model
+    /// planner override the pure performance knobs (fan-out, read-ahead
+    /// gate, batch shape) from observed state.  Answers, `QueryCost` and
+    /// `IoStats` are identical in both modes; see `crate::planner`.
+    pub planner: PlannerMode,
+    /// Minimum contiguous byte range for which read-ahead engages on delta
+    /// merges (default `coconut_storage::PREFETCH_MIN_BYTES`;
+    /// `usize::MAX` disables read-ahead).  A pure performance knob.
+    pub prefetch_min_bytes: usize,
 }
 
 impl CTreeConfig {
@@ -75,6 +86,8 @@ impl CTreeConfig {
             query_parallelism: 1,
             io_overlap: true,
             io_backend: IoBackend::Pread,
+            planner: PlannerMode::Fixed,
+            prefetch_min_bytes: coconut_storage::PREFETCH_MIN_BYTES,
         }
     }
 
@@ -122,6 +135,21 @@ impl CTreeConfig {
     /// knob; see [`CTreeConfig::io_backend`].
     pub fn with_io_backend(mut self, backend: IoBackend) -> Self {
         self.io_backend = backend;
+        self
+    }
+
+    /// Selects the query planning mode (default `Fixed`).  A pure
+    /// performance knob; see [`CTreeConfig::planner`].
+    pub fn with_planner(mut self, mode: PlannerMode) -> Self {
+        self.planner = mode;
+        self
+    }
+
+    /// Sets the read-ahead engagement gate for delta merges in bytes
+    /// (`usize::MAX` disables read-ahead).  A pure performance knob; see
+    /// [`CTreeConfig::prefetch_min_bytes`].
+    pub fn with_prefetch_min_bytes(mut self, bytes: usize) -> Self {
+        self.prefetch_min_bytes = bytes;
         self
     }
 
@@ -233,7 +261,8 @@ impl CTree {
                 .with_page_size(config.page_size)
                 .with_parallelism(config.parallelism)
                 .with_io_overlap(config.io_overlap)
-                .with_io_backend(config.io_backend);
+                .with_io_backend(config.io_backend)
+                .with_prefetch_min_bytes(config.prefetch_min_bytes);
         let sorted = sorter.sort(&mut entries)?;
         if let Some(err) = entries.error.take() {
             return Err(err);
@@ -357,6 +386,101 @@ impl CTree {
             });
         }
         units
+    }
+
+    /// Captures a deterministic snapshot of the observed state the planner
+    /// decides from.  Every field is an integer read at capture time; the
+    /// decision itself is the pure function `crate::planner::plan`.
+    fn planner_inputs(&self, k: usize, batch_width: usize, exact: bool) -> PlannerInputs {
+        let probe = planner::host_probe();
+        let snap = self.stats.snapshot();
+        PlannerInputs {
+            footprint_bytes: self.footprint_bytes(),
+            cache_budget_bytes: probe.cache_budget_bytes,
+            unit_count: self.query_units(None).len(),
+            run_count: 1,
+            cores: probe.cores,
+            k,
+            batch_width,
+            exact,
+            random_read_permille: planner::read_permille(&snap),
+        }
+    }
+
+    /// The read-ahead gate a delta merge should use: the configured value in
+    /// `Fixed` mode, or the planner's choice from a fresh state snapshot in
+    /// `Adaptive` mode.
+    fn merge_prefetch_gate(&self) -> usize {
+        match self.config.planner {
+            PlannerMode::Fixed => self.config.prefetch_min_bytes,
+            PlannerMode::Adaptive => {
+                planner::plan(&self.planner_inputs(0, 1, true)).effective_prefetch_gate()
+            }
+        }
+    }
+
+    /// Like [`CTree::knn_with`], but routed through the query planner when
+    /// the config selects [`PlannerMode::Adaptive`]: the fan-out knob comes
+    /// from a [`planner::PlanReport`] captured for this query, returned alongside the
+    /// answer.  In `Fixed` mode this is exactly `knn_with` (byte-identical
+    /// path) and the report is `None`.  Answers and cost are identical in
+    /// both modes.
+    pub fn knn_planned(
+        &self,
+        query: &[f32],
+        k: usize,
+        exact: bool,
+        cancel: &coconut_parallel::CancelToken,
+    ) -> Result<PlannedAnswer> {
+        match self.config.planner {
+            PlannerMode::Fixed => self.knn_with(query, k, exact, cancel).map(|r| (r, None)),
+            PlannerMode::Adaptive => {
+                let report = planner::plan_report(self.planner_inputs(k, 1, exact));
+                let units = self.query_units(None);
+                let answer = crate::engine::parallel_knn_with(
+                    &units,
+                    query,
+                    k,
+                    report.decision.query_parallelism,
+                    exact,
+                    cancel,
+                )?;
+                Ok((answer, Some(report)))
+            }
+        }
+    }
+
+    /// Like [`CTree::batch_knn_with`], but routed through the query planner
+    /// when the config selects [`PlannerMode::Adaptive`]: fan-out and batch
+    /// round shape come from a [`planner::PlanReport`] captured for this batch.  In
+    /// `Fixed` mode this is exactly `batch_knn_with` and the report is
+    /// `None`.  Answers and cost are identical in both modes.
+    pub fn batch_knn_planned(
+        &self,
+        queries: &[Vec<f32>],
+        k: usize,
+        exact: bool,
+        cancel: &coconut_parallel::CancelToken,
+    ) -> Result<PlannedBatch> {
+        match self.config.planner {
+            PlannerMode::Fixed => self
+                .batch_knn_with(queries, k, exact, cancel)
+                .map(|r| (r, None)),
+            PlannerMode::Adaptive => {
+                let report = planner::plan_report(self.planner_inputs(k, queries.len(), exact));
+                let units = self.query_units(None);
+                let answers = crate::engine::batch_knn_chunked(
+                    &units,
+                    queries,
+                    k,
+                    report.decision.query_parallelism,
+                    exact,
+                    report.decision.batch_chunk,
+                    cancel,
+                )?;
+                Ok((answers, Some(report)))
+            }
+        }
     }
 
     fn search_delta(
@@ -533,7 +657,11 @@ impl CTree {
         // current one interleaves with the delta.
         let mut file_iter = self
             .file
-            .reader_with_prefetch(self.config.entries_per_block(), self.config.io_overlap)
+            .reader_with_prefetch_gate(
+                self.config.entries_per_block(),
+                self.config.io_overlap,
+                self.merge_prefetch_gate(),
+            )
             .map(|r| r.map_err(IndexError::from))
             .peekable();
         self.generation += 1;

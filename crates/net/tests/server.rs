@@ -11,7 +11,7 @@ use coconut_core::palm::{
     PalmRequest, PalmServer, ERROR_KIND_DEADLINE, ERROR_KIND_MALFORMED, ERROR_KIND_OVERLOADED,
     ERROR_KIND_SHUTTING_DOWN,
 };
-use coconut_core::{Dataset, IoBackend, VariantKind};
+use coconut_core::{Dataset, IoBackend, PlannerMode, VariantKind};
 use coconut_json::{Json, ToJson};
 use coconut_net::{NetServer, PalmClient, ServerConfig};
 use coconut_series::generator::{RandomWalkGenerator, SeriesGenerator};
@@ -37,6 +37,7 @@ fn build_request(name: &str, dataset_path: &str) -> PalmRequest {
         shard_count: 1,
         io_overlap: true,
         io_backend: IoBackend::Pread,
+        planner: PlannerMode::Fixed,
     }
 }
 
@@ -473,4 +474,130 @@ fn sigterm_drains_and_exits_zero() {
             .any(|l| l.contains("shutdown") && l.contains("leaked=0") && l.contains("synced=1")),
         "missing clean shutdown line in {shutdown_line:?}"
     );
+}
+
+/// Strips timing and the planner's `explain` member so adaptive and fixed
+/// responses can be compared for answer identity.
+fn answer_view(json: &Json) -> Json {
+    let Json::Obj(members) = json else {
+        return json.clone();
+    };
+    Json::Obj(
+        members
+            .iter()
+            .filter(|(k, _)| k != "elapsed_ms" && k != "explain" && k != "name")
+            .cloned()
+            .collect(),
+    )
+}
+
+/// Tentpole over the wire: a `planner: "adaptive"` build accepts queries
+/// whose answers are bit-identical to the fixed-planner path, computed
+/// responses carry a replayable `explain` report, cache hits do not, and
+/// the `stats` verb exposes the planner counters.
+#[test]
+fn adaptive_planner_wire_path_explains_and_counts() {
+    let dir = ScratchDir::new("net-planner").unwrap();
+    let (dataset_path, _series) = make_dataset(&dir, 200);
+    let palm = Arc::new(PalmServer::new(dir.file("work")).with_result_cache(64));
+    let server = spawn_server(Arc::clone(&palm), ServerConfig::default());
+    let mut client = PalmClient::connect(&server.local_addr().to_string()).unwrap();
+
+    // Build one fixed and one adaptive index over the same dataset.  The
+    // adaptive build goes through raw JSON to pin the wire spelling.
+    let built = Json::parse(
+        &client
+            .call(&build_request("fixed", &dataset_path).to_json().to_string())
+            .unwrap(),
+    )
+    .unwrap();
+    assert_eq!(type_of(&built), Some("built"));
+    let mut adaptive = build_request("adaptive", &dataset_path).to_json();
+    if let Json::Obj(members) = &mut adaptive {
+        for (key, value) in members.iter_mut() {
+            if key == "planner" {
+                *value = Json::Str("adaptive".into());
+            }
+        }
+    }
+    let built = Json::parse(&client.call(&adaptive.to_string()).unwrap()).unwrap();
+    assert_eq!(type_of(&built), Some("built"));
+
+    let mut gen = RandomWalkGenerator::new(64, 77);
+    for _ in 0..4 {
+        let q = gen.next_series();
+        let on_fixed =
+            Json::parse(&client.call(&query_request("fixed", &q.values, 3)).unwrap()).unwrap();
+        let on_adaptive = Json::parse(
+            &client
+                .call(&query_request("adaptive", &q.values, 3))
+                .unwrap(),
+        )
+        .unwrap();
+        assert_eq!(type_of(&on_adaptive), Some("query_result"));
+        assert_eq!(
+            answer_view(&on_adaptive).to_string(),
+            answer_view(&on_fixed).to_string(),
+            "adaptive answers must be bit-identical to fixed answers"
+        );
+        assert!(
+            on_fixed.get("explain").is_none(),
+            "fixed-planner responses must not carry an explain report"
+        );
+        let explain = on_adaptive
+            .get("explain")
+            .expect("computed adaptive responses carry an explain report");
+        let inputs = explain.get("inputs").expect("explain.inputs");
+        let decision = explain.get("decision").expect("explain.decision");
+        for field in ["footprint_bytes", "cache_budget_bytes", "cores", "k"] {
+            assert!(inputs.get(field).is_some(), "missing inputs.{field}");
+        }
+        for field in ["query_parallelism", "read_ahead", "prefetch_min_bytes"] {
+            assert!(decision.get(field).is_some(), "missing decision.{field}");
+        }
+
+        // The same query again is a cache hit: identical answer, no explain
+        // (nothing was planned).
+        let repeat = Json::parse(
+            &client
+                .call(&query_request("adaptive", &q.values, 3))
+                .unwrap(),
+        )
+        .unwrap();
+        assert_eq!(
+            answer_view(&repeat).to_string(),
+            answer_view(&on_adaptive).to_string()
+        );
+        assert!(
+            repeat.get("explain").is_none(),
+            "cache hits must not carry an explain report"
+        );
+    }
+
+    let stats = Json::parse(
+        &client
+            .call(&PalmRequest::Stats.to_json().to_string())
+            .unwrap(),
+    )
+    .unwrap();
+    let counter = |name: &str| {
+        stats
+            .get(name)
+            .and_then(|j| j.as_f64())
+            .unwrap_or_else(|| panic!("stats missing {name}")) as u64
+    };
+    assert_eq!(
+        counter("planner_adaptive"),
+        4,
+        "one plan per computed query"
+    );
+    assert_eq!(counter("planner_fixed"), 4);
+    assert_eq!(
+        counter("plans_parallel") + counter("plans_sequential"),
+        counter("planner_adaptive"),
+        "every adaptive plan is either parallel or sequential"
+    );
+
+    let report = server.shutdown();
+    assert!(report.is_clean(), "unclean shutdown: {report:?}");
 }

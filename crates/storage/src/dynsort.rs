@@ -146,12 +146,25 @@ impl<L: RecordLayout> DynRunFile<L> {
     /// one.  Prefetching issues exactly the same reads in the same order, so
     /// the I/O accounting is unchanged.
     pub fn reader_with_prefetch(&self, buffer_records: usize, prefetch: bool) -> DynRunReader<L> {
+        self.reader_with_prefetch_gate(buffer_records, prefetch, crate::PREFETCH_MIN_BYTES)
+    }
+
+    /// Like [`DynRunFile::reader_with_prefetch`] with an explicit read-ahead
+    /// engage gate in bytes (`usize::MAX` never spawns the worker); see
+    /// `crate::extsort::ExternalSortConfig::prefetch_min_bytes`.
+    pub fn reader_with_prefetch_gate(
+        &self,
+        buffer_records: usize,
+        prefetch: bool,
+        prefetch_min_bytes: usize,
+    ) -> DynRunReader<L> {
         DynRunReader {
             run: self.clone(),
             buffer: VecDeque::new(),
             next_index: 0,
             buffer_records: buffer_records.max(1),
             prefetch,
+            prefetch_min_bytes,
             prefetcher: None,
         }
     }
@@ -308,6 +321,7 @@ pub struct DynRunReader<L: RecordLayout> {
     next_index: u64,
     buffer_records: usize,
     prefetch: bool,
+    prefetch_min_bytes: usize,
     prefetcher: Option<ReadAheadBuffers>,
 }
 
@@ -324,7 +338,7 @@ impl<L: RecordLayout> DynRunReader<L> {
             && self.prefetcher.is_none()
             && remaining > self.buffer_records as u64
             && remaining.saturating_mul(self.run.layout.record_size() as u64)
-                >= crate::PREFETCH_MIN_BYTES as u64
+                >= self.prefetch_min_bytes as u64
         {
             let size = self.run.layout.record_size();
             let total = self.run.len();
@@ -435,9 +449,28 @@ impl<L: RecordLayout> DynKWayMerge<L> {
         buffer_records: usize,
         prefetch: bool,
     ) -> Result<Self> {
+        Self::new_with_prefetch_gate(
+            layout,
+            runs,
+            buffer_records,
+            prefetch,
+            crate::PREFETCH_MIN_BYTES,
+        )
+    }
+
+    /// Like [`DynKWayMerge::new_with_prefetch`] with an explicit read-ahead
+    /// engage gate; see
+    /// `crate::extsort::ExternalSortConfig::prefetch_min_bytes`.
+    pub fn new_with_prefetch_gate(
+        layout: L,
+        runs: &[DynRunFile<L>],
+        buffer_records: usize,
+        prefetch: bool,
+        prefetch_min_bytes: usize,
+    ) -> Result<Self> {
         let mut readers: Vec<DynRunReader<L>> = runs
             .iter()
-            .map(|r| r.reader_with_prefetch(buffer_records, prefetch))
+            .map(|r| r.reader_with_prefetch_gate(buffer_records, prefetch, prefetch_min_bytes))
             .collect();
         let mut heap = BinaryHeap::new();
         for (i, reader) in readers.iter_mut().enumerate() {
@@ -605,6 +638,7 @@ pub struct DynExternalSorter<L: RecordLayout> {
     parallelism: usize,
     io_overlap: bool,
     io_backend: IoBackend,
+    prefetch_min_bytes: usize,
     scratch_dir: PathBuf,
     stats: SharedIoStats,
     next_run_id: u64,
@@ -625,10 +659,20 @@ impl<L: RecordLayout> DynExternalSorter<L> {
             parallelism: 1,
             io_overlap: true,
             io_backend: IoBackend::Pread,
+            prefetch_min_bytes: crate::PREFETCH_MIN_BYTES,
             scratch_dir: scratch_dir.as_ref().to_path_buf(),
             stats,
             next_run_id: 0,
         }
+    }
+
+    /// Sets the read-ahead engage gate for the merge readers in bytes
+    /// (default [`crate::PREFETCH_MIN_BYTES`]; `usize::MAX` disables
+    /// read-ahead).  A pure performance knob; see
+    /// [`crate::extsort::ExternalSortConfig::prefetch_min_bytes`].
+    pub fn with_prefetch_min_bytes(mut self, bytes: usize) -> Self {
+        self.prefetch_min_bytes = bytes;
+        self
     }
 
     /// Overrides the page size used for spill runs.
@@ -701,11 +745,12 @@ impl<L: RecordLayout> DynExternalSorter<L> {
         drop(chunk);
         let per_run_records =
             (self.memory_budget_bytes / 4 / self.layout.record_size() / runs.len().max(1)).max(1);
-        let merge = DynKWayMerge::new_with_prefetch(
+        let merge = DynKWayMerge::new_with_prefetch_gate(
             self.layout.clone(),
             &runs,
             per_run_records,
             self.io_overlap,
+            self.prefetch_min_bytes,
         )?;
         Ok(DynSortOutput {
             in_memory: None,

@@ -71,6 +71,13 @@ pub struct ExternalSortConfig {
     /// setting (mapped reads account every page they copy with the same
     /// sequential/random classification).
     pub io_backend: IoBackend,
+    /// Minimum number of bytes left in a run below which the prefetching
+    /// readers do not spawn their background read-ahead worker (default
+    /// [`crate::PREFETCH_MIN_BYTES`]).  A pure performance knob — it only
+    /// decides whether a thread is spawned, never which reads happen; the
+    /// planner lowers or raises it per workload, and `usize::MAX` disables
+    /// read-ahead outright.
+    pub prefetch_min_bytes: usize,
 }
 
 impl Default for ExternalSortConfig {
@@ -81,6 +88,7 @@ impl Default for ExternalSortConfig {
             parallelism: 1,
             io_overlap: true,
             io_backend: IoBackend::Pread,
+            prefetch_min_bytes: crate::PREFETCH_MIN_BYTES,
         }
     }
 }
@@ -112,6 +120,13 @@ impl ExternalSortConfig {
     /// [`ExternalSortConfig::io_backend`]).
     pub fn with_io_backend(mut self, backend: IoBackend) -> Self {
         self.io_backend = backend;
+        self
+    }
+
+    /// Sets the read-ahead engage gate in bytes (see
+    /// [`ExternalSortConfig::prefetch_min_bytes`]).
+    pub fn with_prefetch_min_bytes(mut self, bytes: usize) -> Self {
+        self.prefetch_min_bytes = bytes;
         self
     }
 }
@@ -158,7 +173,12 @@ impl<R: FixedRecord> RunFile<R> {
     /// Returns a sequential reader over the run with the given record buffer
     /// capacity (in records; clamped to at least one page worth).
     pub fn reader(&self, buffer_records: usize) -> RunReader<R> {
-        RunReader::new(self.clone(), buffer_records, false)
+        RunReader::new(
+            self.clone(),
+            buffer_records,
+            false,
+            crate::PREFETCH_MIN_BYTES,
+        )
     }
 
     /// Like [`RunFile::reader`], optionally reading each next buffer ahead
@@ -166,7 +186,23 @@ impl<R: FixedRecord> RunFile<R> {
     /// Prefetching issues exactly the same reads in the same order, so the
     /// I/O accounting is unchanged.
     pub fn reader_with_prefetch(&self, buffer_records: usize, prefetch: bool) -> RunReader<R> {
-        RunReader::new(self.clone(), buffer_records, prefetch)
+        RunReader::new(
+            self.clone(),
+            buffer_records,
+            prefetch,
+            crate::PREFETCH_MIN_BYTES,
+        )
+    }
+
+    /// Like [`RunFile::reader_with_prefetch`] with an explicit read-ahead
+    /// engage gate (see [`ExternalSortConfig::prefetch_min_bytes`]).
+    pub fn reader_with_prefetch_gate(
+        &self,
+        buffer_records: usize,
+        prefetch: bool,
+        prefetch_min_bytes: usize,
+    ) -> RunReader<R> {
+        RunReader::new(self.clone(), buffer_records, prefetch, prefetch_min_bytes)
     }
 
     /// Reads the record at `index` (a positioned, typically random, read).
@@ -318,17 +354,24 @@ pub struct RunReader<R: FixedRecord> {
     next_index: u64,
     buffer_records: usize,
     prefetch: bool,
+    prefetch_min_bytes: usize,
     prefetcher: Option<ReadAheadBuffers>,
 }
 
 impl<R: FixedRecord> RunReader<R> {
-    fn new(run: RunFile<R>, buffer_records: usize, prefetch: bool) -> Self {
+    fn new(
+        run: RunFile<R>,
+        buffer_records: usize,
+        prefetch: bool,
+        prefetch_min_bytes: usize,
+    ) -> Self {
         RunReader {
             run,
             buffer: std::collections::VecDeque::new(),
             next_index: 0,
             buffer_records: buffer_records.max(1),
             prefetch,
+            prefetch_min_bytes,
             prefetcher: None,
         }
     }
@@ -351,7 +394,7 @@ impl<R: FixedRecord> RunReader<R> {
         if self.prefetch
             && self.prefetcher.is_none()
             && remaining > self.buffer_records as u64
-            && remaining.saturating_mul(size as u64) >= crate::PREFETCH_MIN_BYTES as u64
+            && remaining.saturating_mul(size as u64) >= self.prefetch_min_bytes as u64
         {
             let total = self.run.len();
             let batch = self.buffer_records;
@@ -488,9 +531,20 @@ impl<R: KeyedRecord> KWayMerge<R> {
         buffer_records: usize,
         prefetch: bool,
     ) -> Result<Self> {
+        Self::new_with_prefetch_gate(runs, buffer_records, prefetch, crate::PREFETCH_MIN_BYTES)
+    }
+
+    /// Like [`KWayMerge::new_with_prefetch`] with an explicit read-ahead
+    /// engage gate (see [`ExternalSortConfig::prefetch_min_bytes`]).
+    pub fn new_with_prefetch_gate(
+        runs: &[RunFile<R>],
+        buffer_records: usize,
+        prefetch: bool,
+        prefetch_min_bytes: usize,
+    ) -> Result<Self> {
         let mut readers: Vec<RunReader<R>> = runs
             .iter()
-            .map(|r| r.reader_with_prefetch(buffer_records, prefetch))
+            .map(|r| r.reader_with_prefetch_gate(buffer_records, prefetch, prefetch_min_bytes))
             .collect();
         let mut heap = BinaryHeap::new();
         for (i, reader) in readers.iter_mut().enumerate() {
@@ -601,7 +655,12 @@ impl<R: KeyedRecord> ExternalSorter<R> {
         drop(chunk);
         let per_run_records =
             (self.config.memory_budget_bytes / 4 / R::encoded_size() / runs.len().max(1)).max(1);
-        let merge = KWayMerge::new_with_prefetch(&runs, per_run_records, self.config.io_overlap)?;
+        let merge = KWayMerge::new_with_prefetch_gate(
+            &runs,
+            per_run_records,
+            self.config.io_overlap,
+            self.config.prefetch_min_bytes,
+        )?;
         Ok(SortOutput {
             in_memory: None,
             merge: Some(merge),
@@ -811,6 +870,7 @@ mod tests {
                 parallelism: 1,
                 io_overlap: true,
                 io_backend: IoBackend::Pread,
+                prefetch_min_bytes: crate::PREFETCH_MIN_BYTES,
             },
             dir.path(),
             Arc::clone(&stats),
@@ -849,6 +909,7 @@ mod tests {
                 parallelism: 1,
                 io_overlap: true,
                 io_backend: IoBackend::Pread,
+                prefetch_min_bytes: crate::PREFETCH_MIN_BYTES,
             },
             dir.path(),
             Arc::clone(&stats),
@@ -951,6 +1012,7 @@ mod tests {
                     parallelism,
                     io_overlap: true,
                     io_backend: IoBackend::Pread,
+                    prefetch_min_bytes: crate::PREFETCH_MIN_BYTES,
                 },
                 dir.path(),
                 IoStats::shared(),
@@ -987,6 +1049,7 @@ mod tests {
                             parallelism,
                             io_overlap,
                             io_backend: IoBackend::Pread,
+                            prefetch_min_bytes: crate::PREFETCH_MIN_BYTES,
                         },
                         dir.path(),
                         Arc::clone(&stats),
@@ -1137,6 +1200,7 @@ mod tests {
                 parallelism: 1,
                 io_overlap: true,
                 io_backend: IoBackend::Pread,
+                prefetch_min_bytes: crate::PREFETCH_MIN_BYTES,
             },
             dir.path(),
             IoStats::shared(),
@@ -1164,6 +1228,7 @@ mod tests {
                         parallelism: 1,
                         io_overlap,
                         io_backend: backend,
+                        prefetch_min_bytes: crate::PREFETCH_MIN_BYTES,
                     },
                     dir.path(),
                     Arc::clone(&stats),
@@ -1235,6 +1300,7 @@ mod tests {
                 parallelism: 1,
                 io_overlap: true,
                 io_backend: IoBackend::Pread,
+                prefetch_min_bytes: crate::PREFETCH_MIN_BYTES,
             },
             dir.path(),
             stats,
@@ -1282,6 +1348,7 @@ mod proptests {
                     parallelism: 1,
                     io_overlap: true,
                     io_backend: IoBackend::Pread,
+                    prefetch_min_bytes: crate::PREFETCH_MIN_BYTES,
                 },
                 dir.path(),
                 stats,
@@ -1319,6 +1386,7 @@ mod proptests {
                         parallelism: workers,
                         io_overlap,
                         io_backend: IoBackend::Pread,
+                        prefetch_min_bytes: crate::PREFETCH_MIN_BYTES,
                     },
                     dir.path(),
                     Arc::clone(&stats),
@@ -1361,6 +1429,7 @@ mod proptests {
                         parallelism,
                         io_overlap: true,
                         io_backend: IoBackend::Pread,
+                        prefetch_min_bytes: crate::PREFETCH_MIN_BYTES,
                     },
                     dir.path(),
                     IoStats::shared(),

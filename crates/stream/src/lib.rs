@@ -30,6 +30,7 @@ use std::sync::Arc;
 use coconut_ads::{AdsConfig, AdsTree};
 use coconut_clsm::ClsmTree;
 use coconut_ctree::entry::{EntryLayout, SeriesEntry};
+use coconut_ctree::planner::{self, PlanReport, PlannerInputs, PlannerMode};
 use coconut_ctree::query::{KnnHeap, QueryContext, QueryCost};
 use coconut_ctree::sorted_file::SortedSeriesFile;
 use coconut_ctree::{IndexError, Result};
@@ -333,6 +334,16 @@ pub struct PartitionedConfig {
     /// performance knob — partitions, answers and `IoStats` totals are
     /// identical at either setting.
     pub io_backend: IoBackend,
+    /// Query planning mode (default [`PlannerMode::Fixed`]).  `Fixed` uses
+    /// the knobs above verbatim; `Adaptive` lets the per-query cost-model
+    /// planner pick fan-out, read-ahead gate and batch shape from observed
+    /// state.  Answers, `QueryCost` and `IoStats` are identical in both
+    /// modes; see `coconut_ctree::planner`.
+    pub planner: PlannerMode,
+    /// Minimum contiguous byte range for which BTP merge read-ahead engages
+    /// (default `coconut_storage::PREFETCH_MIN_BYTES`; `usize::MAX`
+    /// disables read-ahead).  A pure performance knob.
+    pub prefetch_min_bytes: usize,
 }
 
 impl PartitionedConfig {
@@ -349,6 +360,8 @@ impl PartitionedConfig {
             query_parallelism: 1,
             io_overlap: true,
             io_backend: IoBackend::Pread,
+            planner: PlannerMode::Fixed,
+            prefetch_min_bytes: coconut_storage::PREFETCH_MIN_BYTES,
         }
     }
 
@@ -395,6 +408,21 @@ impl PartitionedConfig {
     /// A pure performance knob; see [`PartitionedConfig::io_backend`].
     pub fn with_io_backend(mut self, backend: IoBackend) -> Self {
         self.io_backend = backend;
+        self
+    }
+
+    /// Selects the query planning mode (default `Fixed`).  A pure
+    /// performance knob; see [`PartitionedConfig::planner`].
+    pub fn with_planner(mut self, mode: PlannerMode) -> Self {
+        self.planner = mode;
+        self
+    }
+
+    /// Sets the read-ahead engagement gate for BTP merges in bytes
+    /// (`usize::MAX` disables read-ahead).  A pure performance knob; see
+    /// [`PartitionedConfig::prefetch_min_bytes`].
+    pub fn with_prefetch_min_bytes(mut self, bytes: usize) -> Self {
+        self.prefetch_min_bytes = bytes;
         self
     }
 
@@ -582,11 +610,12 @@ impl PartitionedStream {
             }
             let layout = self.config.layout();
             let runs: Vec<_> = files.iter().map(|f| f.run().clone()).collect();
-            let merge = coconut_storage::DynKWayMerge::new_with_prefetch(
+            let merge = coconut_storage::DynKWayMerge::new_with_prefetch_gate(
                 layout,
                 &runs,
                 256,
                 self.config.io_overlap,
+                self.merge_prefetch_gate(),
             )?;
             let path = self.dir.join(format!("btp-merged-{:06}.run", self.next_id));
             self.next_id += 1;
@@ -672,6 +701,132 @@ impl PartitionedStream {
             });
         }
         (units, accessed)
+    }
+
+    /// Captures a deterministic [`PlannerInputs`] snapshot for this stream:
+    /// every field is an integer read at capture time; the decision itself
+    /// is the pure function `coconut_ctree::planner::plan`.
+    fn planner_inputs(
+        &self,
+        k: usize,
+        batch_width: usize,
+        exact: bool,
+        unit_count: usize,
+    ) -> PlannerInputs {
+        let probe = planner::host_probe();
+        let snap = self.stats.snapshot();
+        PlannerInputs {
+            footprint_bytes: self.partitions.iter().map(|p| p.footprint()).sum(),
+            cache_budget_bytes: probe.cache_budget_bytes,
+            unit_count,
+            run_count: self.partitions.len().max(1),
+            cores: probe.cores,
+            k,
+            batch_width,
+            exact,
+            random_read_permille: planner::read_permille(&snap),
+        }
+    }
+
+    /// The read-ahead gate a BTP merge should use: the configured value in
+    /// `Fixed` mode, or the planner's choice from a fresh state snapshot in
+    /// `Adaptive` mode.
+    fn merge_prefetch_gate(&self) -> usize {
+        match self.config.planner {
+            PlannerMode::Fixed => self.config.prefetch_min_bytes,
+            PlannerMode::Adaptive => {
+                let unit_count = self.partitions.len() + usize::from(!self.buffer.is_empty());
+                planner::plan(&self.planner_inputs(0, 1, true, unit_count))
+                    .effective_prefetch_gate()
+            }
+        }
+    }
+
+    /// Like [`StreamingIndex::query_window`], but routed through the query
+    /// planner when the config selects [`PlannerMode::Adaptive`]: the
+    /// fan-out knob comes from a [`PlanReport`] captured for this query
+    /// (over the units the window actually selects), returned alongside the
+    /// result.  In `Fixed` mode this is exactly `query_window`
+    /// (byte-identical path) and the report is `None`.  Results are
+    /// identical in both modes.
+    pub fn query_window_planned(
+        &self,
+        query: &[f32],
+        k: usize,
+        window: Option<(Timestamp, Timestamp)>,
+        exact: bool,
+    ) -> Result<(StreamQueryResult, Option<PlanReport>)> {
+        match self.config.planner {
+            PlannerMode::Fixed => self
+                .query_window(query, k, window, exact)
+                .map(|r| (r, None)),
+            PlannerMode::Adaptive => {
+                let (units, accessed) = self.query_units(k, window);
+                let report = planner::plan_report(self.planner_inputs(k, 1, exact, units.len()));
+                let (neighbors, cost) = coconut_ctree::engine::parallel_knn(
+                    &units,
+                    query,
+                    k,
+                    report.decision.query_parallelism,
+                    exact,
+                )?;
+                Ok((
+                    StreamQueryResult {
+                        neighbors,
+                        cost,
+                        partitions_accessed: accessed,
+                        partitions_total: self.partitions.len(),
+                    },
+                    Some(report),
+                ))
+            }
+        }
+    }
+
+    /// Like [`StreamingIndex::query_window_batch`], but routed through the
+    /// query planner when the config selects [`PlannerMode::Adaptive`]:
+    /// fan-out and batch round shape come from a [`PlanReport`] captured
+    /// for this batch.  In `Fixed` mode this is exactly
+    /// `query_window_batch` and the report is `None`.  Results are
+    /// identical in both modes.
+    pub fn query_window_batch_planned(
+        &self,
+        queries: &[Vec<f32>],
+        k: usize,
+        window: Option<(Timestamp, Timestamp)>,
+        exact: bool,
+    ) -> Result<(Vec<StreamQueryResult>, Option<PlanReport>)> {
+        match self.config.planner {
+            PlannerMode::Fixed => self
+                .query_window_batch(queries, k, window, exact)
+                .map(|r| (r, None)),
+            PlannerMode::Adaptive => {
+                let (units, accessed) = self.query_units(k, window);
+                let report =
+                    planner::plan_report(self.planner_inputs(k, queries.len(), exact, units.len()));
+                let results = coconut_ctree::engine::batch_knn_chunked(
+                    &units,
+                    queries,
+                    k,
+                    report.decision.query_parallelism,
+                    exact,
+                    report.decision.batch_chunk,
+                    &coconut_parallel::CancelToken::never(),
+                )?;
+                Ok((
+                    results
+                        .into_iter()
+                        .map(|(neighbors, cost)| StreamQueryResult {
+                            neighbors,
+                            cost,
+                            partitions_accessed: accessed,
+                            partitions_total: self.partitions.len(),
+                        })
+                        .collect(),
+                    Some(report),
+                ))
+            }
+        }
     }
 }
 

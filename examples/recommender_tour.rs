@@ -42,6 +42,7 @@ fn main() {
         shard_count: 1,
         io_overlap: true,
         io_backend: coconut_core::IoBackend::Pread,
+        planner: coconut_core::PlannerMode::Fixed,
     };
     let response = server.handle_json(&build.to_json().to_string());
     println!("{response}\n");
