@@ -104,6 +104,7 @@ fn main() {
         parallelism: n_threads,
         query_parallelism: 1, // per-request work stays single-threaded
         shard_count: 2,
+        range: None,
         io_overlap: true,
         io_backend: backend,
         planner: PlannerMode::Fixed,

@@ -75,6 +75,7 @@ fn main() {
             parallelism: n_threads,
             query_parallelism: 1,
             shard_count: 2,
+            range: None,
             io_overlap: true,
             io_backend: backend,
             planner: PlannerMode::Fixed,

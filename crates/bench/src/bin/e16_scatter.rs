@@ -1,0 +1,389 @@
+//! E16 — scatter-gather Palm: one worker vs a sharded fleet.
+//!
+//! Spawns real `coconut_net` worker servers on localhost, fronts them
+//! with a [`Coordinator`] behind its own TCP listener, and drives the
+//! whole stack over the wire — the same topology `palm-coord` serves in
+//! production, minus the process boundary.  Two fleets are measured:
+//!
+//! * **1 worker** — the degenerate fleet; must be indistinguishable
+//!   from a plain in-process `PalmServer` (identical answers *and*
+//!   identical costs, the only wiggle room being `elapsed_ms`).
+//! * **N workers** — the sharded fleet; exact answers must be
+//!   bit-identical to the 1-worker fleet (costs legitimately differ:
+//!   N differently-shaped trees prune differently).
+//!
+//! For each fleet the run reports per-query p50/p95/p99 wire latency
+//! and the saturation throughput under hammering clients, where every
+//! request must come back answered or with a typed `overloaded` /
+//! `deadline_exceeded` error.  Any identity mismatch or unaccounted
+//! request fails the asserts at the bottom — this binary is the CI
+//! smoke check for the scatter-gather path (non-zero exit on failure).
+//!
+//! `COCONUT_SCALE` scales the dataset, `COCONUT_THREADS` the per-worker
+//! build parallelism, `COCONUT_IO_BACKEND` the read backend.  The
+//! machine-readable report goes to `BENCH_shard.json`.
+
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use coconut_bench::{f2, io_backend, print_table, scale, threads, Workbench};
+use coconut_core::backend::ExecutionBackend;
+use coconut_core::palm::{PalmRequest, PalmResponse, PalmServer};
+use coconut_core::{PlannerMode, VariantKind};
+use coconut_json::{Json, ToJson};
+use coconut_net::{Coordinator, NetServer, PalmClient, RemoteBackend, ServerConfig};
+
+const FLEET_WORKERS: usize = 4;
+
+fn percentile(sorted_ms: &[f64], p: f64) -> f64 {
+    if sorted_ms.is_empty() {
+        return 0.0;
+    }
+    let idx = ((p / 100.0) * (sorted_ms.len() - 1) as f64).round() as usize;
+    sorted_ms[idx.min(sorted_ms.len() - 1)]
+}
+
+/// Recursively drops the named members from every object in `json`.
+fn strip_keys(json: &Json, keys: &[&str]) -> Json {
+    match json {
+        Json::Obj(members) => Json::Obj(
+            members
+                .iter()
+                .filter(|(k, _)| !keys.contains(&k.as_str()))
+                .map(|(k, v)| (k.clone(), strip_keys(v, keys)))
+                .collect(),
+        ),
+        Json::Arr(items) => Json::Arr(items.iter().map(|v| strip_keys(v, keys)).collect()),
+        other => other.clone(),
+    }
+}
+
+/// Identity view for the degeneracy claim: everything but timing.
+fn normalized(response: &str) -> String {
+    strip_keys(
+        &Json::parse(response).expect("response JSON"),
+        &["elapsed_ms"],
+    )
+    .to_string()
+}
+
+/// Identity view for the cross-shard-count claim: the answer itself
+/// (ids, squared distances, timestamps) without timing or cost.
+fn answers(response: &str) -> String {
+    strip_keys(
+        &Json::parse(response).expect("response JSON"),
+        &["elapsed_ms", "cost", "explain"],
+    )
+    .to_string()
+}
+
+/// One running fleet: worker servers plus the coordinator's listener.
+struct Fleet {
+    workers: Vec<NetServer>,
+    coordinator: NetServer<Coordinator>,
+}
+
+impl Fleet {
+    /// Spawns `workers` fresh Palm workers and a coordinator over them,
+    /// all on loopback.  `max_in_flight` bounds the coordinator's
+    /// admission; the workers get a generous bound so sheds happen at
+    /// the fleet's front door, where the hint-honoring retry sits.
+    fn spawn(wb: &Workbench, tag: &str, workers: usize, max_in_flight: usize) -> Fleet {
+        let worker_config = ServerConfig {
+            max_in_flight: 64,
+            drain_deadline: Duration::from_secs(30),
+            ..ServerConfig::default()
+        };
+        let worker_servers: Vec<NetServer> = (0..workers)
+            .map(|w| {
+                let palm = PalmServer::new(wb.dir.file(&format!("{tag}-w{w}")));
+                NetServer::spawn(Arc::new(palm), worker_config.clone()).expect("spawn worker")
+            })
+            .collect();
+        let backends: Vec<Arc<dyn ExecutionBackend>> = worker_servers
+            .iter()
+            .map(|server| {
+                Arc::new(RemoteBackend::new(server.local_addr().to_string()))
+                    as Arc<dyn ExecutionBackend>
+            })
+            .collect();
+        let coordinator = NetServer::spawn(
+            Arc::new(Coordinator::new(backends)),
+            ServerConfig {
+                max_in_flight,
+                drain_deadline: Duration::from_secs(30),
+                ..ServerConfig::default()
+            },
+        )
+        .expect("spawn coordinator");
+        Fleet {
+            workers: worker_servers,
+            coordinator,
+        }
+    }
+
+    fn addr(&self) -> String {
+        self.coordinator.local_addr().to_string()
+    }
+
+    /// Graceful shutdown of the whole fleet; true when every server
+    /// drained, synced and leaked nothing.
+    fn shutdown(self) -> bool {
+        let mut clean = self.coordinator.shutdown().is_clean();
+        for worker in self.workers {
+            clean &= worker.shutdown().is_clean();
+        }
+        clean
+    }
+}
+
+/// What one fleet measured.
+struct FleetRun {
+    workers: usize,
+    latencies_ms: Vec<f64>,
+    responses: Vec<String>,
+    saturation_qps: f64,
+    answered: u64,
+    shed: u64,
+    deadline_exceeded: u64,
+    hammered: u64,
+    clean_shutdown: bool,
+}
+
+fn run_fleet(
+    wb: &Workbench,
+    workers: usize,
+    n_threads: usize,
+    requests: &[String],
+    build: &PalmRequest,
+) -> FleetRun {
+    let tag = format!("e16-f{workers}");
+    let fleet = Fleet::spawn(wb, &tag, workers, n_threads.max(1));
+    let addr = fleet.addr();
+
+    let mut client = PalmClient::connect(&addr).expect("connect coordinator");
+    let built = client
+        .call_json(&build.to_json())
+        .expect("build over the wire");
+    assert_eq!(
+        built.get("type").and_then(Json::as_str),
+        Some("built"),
+        "fleet of {workers}: build failed: {}",
+        built.to_string()
+    );
+
+    // Latency pass: one client, per-request wall clock over the wire.
+    let mut latencies_ms = Vec::with_capacity(requests.len());
+    let mut responses = Vec::with_capacity(requests.len());
+    for request in requests {
+        let start = Instant::now();
+        let response = client.call(request).expect("reply");
+        latencies_ms.push(start.elapsed().as_secs_f64() * 1000.0);
+        responses.push(response);
+    }
+    latencies_ms.sort_by(|a, b| a.partial_cmp(b).unwrap());
+
+    // Saturation pass: hammering clients; every request must come back
+    // answered or with a typed shed / deadline error.
+    let clients = 8usize;
+    let per_client = 30usize;
+    let start = Instant::now();
+    let mut answered = 0u64;
+    let mut shed = 0u64;
+    let mut deadline_exceeded = 0u64;
+    std::thread::scope(|scope| {
+        let mut handles = Vec::new();
+        for c in 0..clients {
+            let addr = addr.clone();
+            handles.push(scope.spawn(move || {
+                let mut client = PalmClient::connect(&addr).expect("connect");
+                let mut counts = (0u64, 0u64, 0u64);
+                for i in 0..per_client {
+                    let request = &requests[(c + i) % requests.len()];
+                    let response = client.call(request).expect("every request gets a reply");
+                    let parsed = Json::parse(&response).expect("response JSON");
+                    match parsed.get("type").and_then(|j| j.as_str()) {
+                        Some("query_result") => counts.0 += 1,
+                        Some("error") => match parsed.get("kind").and_then(|j| j.as_str()) {
+                            Some("overloaded") => counts.1 += 1,
+                            Some("deadline_exceeded") => counts.2 += 1,
+                            other => panic!("untyped failure under load: {other:?}"),
+                        },
+                        other => panic!("unexpected response type: {other:?}"),
+                    }
+                }
+                counts
+            }));
+        }
+        for handle in handles {
+            let (a, s, d) = handle.join().expect("client worker");
+            answered += a;
+            shed += s;
+            deadline_exceeded += d;
+        }
+    });
+    let saturation_qps = answered as f64 / start.elapsed().as_secs_f64();
+
+    drop(client);
+    let clean_shutdown = fleet.shutdown();
+    FleetRun {
+        workers,
+        latencies_ms,
+        responses,
+        saturation_qps,
+        answered,
+        shed,
+        deadline_exceeded,
+        hammered: (clients * per_client) as u64,
+        clean_shutdown,
+    }
+}
+
+fn main() {
+    let n = 6_000 * scale();
+    let len = 128;
+    let n_queries = 48;
+    let k = 5;
+    let n_threads = threads().max(1);
+    let backend = io_backend();
+    let wb = Workbench::random_walk("e16", n, len, n_queries, 16);
+
+    let build = PalmRequest::BuildIndex {
+        name: "e16".into(),
+        dataset_path: wb.dataset.path().to_string_lossy().into_owned(),
+        variant: VariantKind::Clsm,
+        materialized: true,
+        memory_budget_bytes: 8 << 20,
+        parallelism: n_threads,
+        query_parallelism: 1,
+        shard_count: 2,
+        range: None,
+        io_overlap: true,
+        io_backend: backend,
+        planner: PlannerMode::Fixed,
+    };
+    let requests: Vec<String> = wb
+        .queries
+        .queries
+        .iter()
+        .map(|q| {
+            PalmRequest::Query {
+                name: "e16".into(),
+                query: q.values.clone(),
+                k,
+                exact: true,
+            }
+            .to_json()
+            .to_string()
+        })
+        .collect();
+
+    // In-process single-node reference for the degeneracy claim.
+    let reference = PalmServer::new(wb.dir.file("e16-reference"));
+    let reference_built = reference.handle(build.clone());
+    assert!(
+        matches!(reference_built, PalmResponse::Built { .. }),
+        "{reference_built:?}"
+    );
+    let reference_answers: Vec<String> = requests
+        .iter()
+        .map(|r| normalized(&reference.handle_json(r)))
+        .collect();
+
+    let single = run_fleet(&wb, 1, n_threads, &requests, &build);
+    let fleet = run_fleet(&wb, FLEET_WORKERS, n_threads, &requests, &build);
+
+    // Identity self-checks.
+    let mut degenerate_identity = true;
+    for (response, expected) in single.responses.iter().zip(&reference_answers) {
+        if &normalized(response) != expected {
+            eprintln!("1-worker fleet diverged from the in-process server");
+            degenerate_identity = false;
+        }
+    }
+    let mut sharded_identity = true;
+    for (one, many) in single.responses.iter().zip(&fleet.responses) {
+        if answers(one) != answers(many) {
+            eprintln!("{FLEET_WORKERS}-worker exact answers diverged from 1-worker");
+            sharded_identity = false;
+        }
+    }
+
+    let row = |label: &str, f: &dyn Fn(&FleetRun) -> String| -> Vec<String> {
+        vec![label.into(), f(&single), f(&fleet)]
+    };
+    print_table(
+        &format!(
+            "E16: scatter-gather over localhost, {n} series x {len}, k={k}, \
+             1 vs {FLEET_WORKERS} workers, {backend}"
+        ),
+        &["metric", "1 worker", &format!("{FLEET_WORKERS} workers")],
+        &[
+            row("p50 ms", &|r| f2(percentile(&r.latencies_ms, 50.0))),
+            row("p95 ms", &|r| f2(percentile(&r.latencies_ms, 95.0))),
+            row("p99 ms", &|r| f2(percentile(&r.latencies_ms, 99.0))),
+            row("saturation q/s", &|r| f2(r.saturation_qps)),
+            row("answered", &|r| r.answered.to_string()),
+            row("shed", &|r| r.shed.to_string()),
+            row("deadline", &|r| r.deadline_exceeded.to_string()),
+        ],
+    );
+    println!(
+        "\n1-worker fleet identical to in-process server: {degenerate_identity}\n\
+         {FLEET_WORKERS}-worker answers identical to 1-worker: {sharded_identity}\n\
+         clean shutdowns: single={}, fleet={}",
+        single.clean_shutdown, fleet.clean_shutdown
+    );
+
+    let fleet_json = |r: &FleetRun| {
+        Json::obj(vec![
+            ("workers", r.workers.to_json()),
+            ("p50_ms", percentile(&r.latencies_ms, 50.0).to_json()),
+            ("p95_ms", percentile(&r.latencies_ms, 95.0).to_json()),
+            ("p99_ms", percentile(&r.latencies_ms, 99.0).to_json()),
+            ("saturation_qps", r.saturation_qps.to_json()),
+            ("answered", r.answered.to_json()),
+            ("shed", r.shed.to_json()),
+            ("deadline_exceeded", r.deadline_exceeded.to_json()),
+            ("clean_shutdown", r.clean_shutdown.to_json()),
+        ])
+    };
+    let json = Json::obj(vec![
+        ("experiment", "e16_scatter".to_json()),
+        ("series", n.to_json()),
+        ("series_len", len.to_json()),
+        ("queries", n_queries.to_json()),
+        ("k", k.to_json()),
+        ("threads", n_threads.to_json()),
+        ("io_backend", backend.to_json()),
+        ("single", fleet_json(&single)),
+        ("fleet", fleet_json(&fleet)),
+        ("degenerate_identity", degenerate_identity.to_json()),
+        ("sharded_identity", sharded_identity.to_json()),
+    ]);
+    std::fs::write("BENCH_shard.json", json.to_string_pretty()).expect("write report");
+    println!("\nwrote BENCH_shard.json");
+
+    // Self-checks: non-zero exit on any failure.
+    assert!(
+        degenerate_identity,
+        "a 1-worker fleet must be indistinguishable from the in-process server"
+    );
+    assert!(
+        sharded_identity,
+        "sharded exact answers must be bit-identical to single-node"
+    );
+    for run in [&single, &fleet] {
+        assert_eq!(
+            run.answered + run.shed + run.deadline_exceeded,
+            run.hammered,
+            "every hammered request must be accounted for ({} workers)",
+            run.workers
+        );
+        assert!(
+            run.clean_shutdown,
+            "fleet of {} must drain, sync and not leak",
+            run.workers
+        );
+    }
+}

@@ -13,6 +13,7 @@
 //!   client/server protocol (build an index, run queries, fetch metrics,
 //!   consult the recommender).
 
+pub mod backend;
 pub mod palm;
 
 use std::path::Path;
@@ -23,6 +24,7 @@ use coconut_json::{member, FromJson, Json, JsonError, ToJson};
 
 pub use coconut_ads::{AdsConfig, AdsTree};
 pub use coconut_clsm::{ClsmConfig, ClsmTree};
+pub use coconut_ctree::engine::merge_topk;
 pub use coconut_ctree::planner::{
     self, PlanDecision, PlanReport, PlannedAnswer, PlannedBatch, PlannerInputs, PlannerMode,
 };

@@ -71,6 +71,13 @@ pub enum PalmRequest {
         /// Key-range shards per CLSM compaction.  Optional in the JSON
         /// protocol; defaults to `1` (ignored by non-CLSM variants).
         shard_count: usize,
+        /// Restrict the build to the dataset's id window `[lo, hi)`.
+        /// Optional in the JSON protocol (`range_lo`/`range_hi` members);
+        /// defaults to the whole file.  Ids stay global (a series' id is
+        /// its file position), which is what makes service-level sharding
+        /// sound: each worker builds over its own contiguous id range of
+        /// the shared dataset and merged answers need no id translation.
+        range: Option<(u64, u64)>,
         /// Overlap computation with I/O during the build.  Optional in the
         /// JSON protocol; defaults to `true`.  A pure performance knob:
         /// index files, answers and I/O totals are identical either way.
@@ -119,6 +126,12 @@ pub enum PalmRequest {
         /// Arrival timestamp shared by the batch.  Optional in the JSON
         /// protocol; defaults to `0`.
         timestamp: u64,
+        /// First id to assign, overriding the default
+        /// `index.len()`-sequential assignment.  Optional in the JSON
+        /// protocol.  Used by the scatter-gather coordinator, which owns
+        /// the global id space and routes each insert to one shard; direct
+        /// single-node clients leave it unset.
+        base_id: Option<u64>,
     },
     /// Fetch the build report of a registered index.
     Metrics {
@@ -157,6 +170,15 @@ pub enum PalmResponse {
         ids: Vec<u64>,
         /// Neighbour distances (Euclidean, not squared).
         distances: Vec<f64>,
+        /// Squared distances, exactly as the engine compares them.  The
+        /// full neighbour identity `(squared_distance, id, timestamp)`
+        /// travels on the wire so a scatter-gather coordinator can merge
+        /// per-shard top-k with the engine's own total order, bit-exactly
+        /// (`sqrt` rounding could collapse distinct squared distances).
+        squared_distances: Vec<f64>,
+        /// Arrival timestamps of the matched entries (zero for static
+        /// data); the tie-break of last resort in the engine's order.
+        timestamps: Vec<u64>,
         /// Query latency in milliseconds.  For a query answered inside a
         /// batched group this is the wall-clock of the whole group.
         elapsed_ms: f64,
@@ -245,7 +267,52 @@ pub enum PalmResponse {
         /// For `deadline_exceeded`: the work performed before the
         /// cancellation was observed.  Serialized only when present.
         partial_cost: Option<QueryCostJson>,
+        /// For `overloaded`: how long the client should wait before
+        /// retrying.  Attached by the network front-end's admission
+        /// control and preserved end-to-end so retry loops (the client's
+        /// `call_with_retry`, the coordinator's per-shard retries) can
+        /// honour the server's hint.  Serialized only when present.
+        retry_after_ms: Option<u64>,
+        /// For `shard_unavailable` (and other scatter-gather failures):
+        /// the per-shard partial costs the coordinator had collected when
+        /// the request failed, in shard order.  Serialized only when
+        /// present.
+        shard_costs: Option<Vec<ShardCostJson>>,
     },
+}
+
+/// Per-shard cost evidence attached to scatter-gather error responses: what
+/// each worker reported (or failed to report) before the coordinator gave
+/// up on the request.
+#[derive(Debug, Clone, Copy)]
+pub struct ShardCostJson {
+    /// Shard index in the coordinator's configured order.
+    pub shard: u64,
+    /// The shard's (possibly partial) cost; `None` when the shard became
+    /// unreachable before reporting anything.
+    pub cost: Option<QueryCostJson>,
+}
+
+impl ToJson for ShardCostJson {
+    fn to_json(&self) -> Json {
+        let mut members = vec![("shard", self.shard.to_json())];
+        if let Some(cost) = &self.cost {
+            members.push(("cost", cost.to_json()));
+        }
+        Json::obj(members)
+    }
+}
+
+impl FromJson for ShardCostJson {
+    fn from_json(json: &Json) -> coconut_json::Result<ShardCostJson> {
+        Ok(ShardCostJson {
+            shard: member(json, "shard")?,
+            cost: match json.get("cost") {
+                Some(cost) => Some(QueryCostJson::from_json(cost)?),
+                None => None,
+            },
+        })
+    }
 }
 
 /// Error kind for requests that could not be parsed as JSON / protocol.
@@ -267,6 +334,12 @@ pub const ERROR_KIND_OVERLOADED: &str = "overloaded";
 /// Error kind for requests refused because the server is draining before
 /// exit.  Emitted by the network front-end (`coconut_net`).
 pub const ERROR_KIND_SHUTTING_DOWN: &str = "shutting_down";
+/// Error kind for scatter-gather requests that lost a shard: a worker
+/// became unreachable (connection refused, reset, or silent past the
+/// deadline) before every fragment of the answer arrived.  Emitted by the
+/// coordinator (`coconut_net::coordinator`), carrying the per-shard
+/// partial costs collected so far in `shard_costs`.
+pub const ERROR_KIND_SHARD_UNAVAILABLE: &str = "shard_unavailable";
 
 /// Internal error carrying the machine-readable kind alongside the message.
 struct ServiceError {
@@ -308,6 +381,8 @@ impl ServiceError {
             kind: self.kind.to_string(),
             message: self.message,
             partial_cost: self.partial_cost,
+            retry_after_ms: None,
+            shard_costs: None,
         }
     }
 }
@@ -342,7 +417,7 @@ impl From<coconut_series::SeriesError> for ServiceError {
 }
 
 /// JSON-friendly projection of [`coconut_ctree::query::QueryCost`].
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct QueryCostJson {
     /// Entries whose summarization was examined.
     pub entries_examined: u64,
@@ -514,23 +589,31 @@ impl ToJson for PalmRequest {
                 parallelism,
                 query_parallelism,
                 shard_count,
+                range,
                 io_overlap,
                 io_backend,
                 planner,
-            } => Json::obj(vec![
-                ("type", Json::Str("build_index".into())),
-                ("name", name.to_json()),
-                ("dataset_path", dataset_path.to_json()),
-                ("variant", variant.to_json()),
-                ("materialized", materialized.to_json()),
-                ("memory_budget_bytes", memory_budget_bytes.to_json()),
-                ("parallelism", parallelism.to_json()),
-                ("query_parallelism", query_parallelism.to_json()),
-                ("shard_count", shard_count.to_json()),
-                ("io_overlap", io_overlap.to_json()),
-                ("io_backend", io_backend.to_json()),
-                ("planner", planner.to_json()),
-            ]),
+            } => {
+                let mut members = vec![
+                    ("type", Json::Str("build_index".into())),
+                    ("name", name.to_json()),
+                    ("dataset_path", dataset_path.to_json()),
+                    ("variant", variant.to_json()),
+                    ("materialized", materialized.to_json()),
+                    ("memory_budget_bytes", memory_budget_bytes.to_json()),
+                    ("parallelism", parallelism.to_json()),
+                    ("query_parallelism", query_parallelism.to_json()),
+                    ("shard_count", shard_count.to_json()),
+                    ("io_overlap", io_overlap.to_json()),
+                    ("io_backend", io_backend.to_json()),
+                    ("planner", planner.to_json()),
+                ];
+                if let Some((lo, hi)) = range {
+                    members.push(("range_lo", lo.to_json()));
+                    members.push(("range_hi", hi.to_json()));
+                }
+                Json::obj(members)
+            }
             PalmRequest::Query {
                 name,
                 query,
@@ -551,12 +634,19 @@ impl ToJson for PalmRequest {
                 name,
                 series,
                 timestamp,
-            } => Json::obj(vec![
-                ("type", Json::Str("insert".into())),
-                ("name", name.to_json()),
-                ("series", series.to_json()),
-                ("timestamp", timestamp.to_json()),
-            ]),
+                base_id,
+            } => {
+                let mut members = vec![
+                    ("type", Json::Str("insert".into())),
+                    ("name", name.to_json()),
+                    ("series", series.to_json()),
+                    ("timestamp", timestamp.to_json()),
+                ];
+                if let Some(base) = base_id {
+                    members.push(("base_id", base.to_json()));
+                }
+                Json::obj(members)
+            }
             PalmRequest::Metrics { name } => Json::obj(vec![
                 ("type", Json::Str("metrics".into())),
                 ("name", name.to_json()),
@@ -584,6 +674,17 @@ impl FromJson for PalmRequest {
                 parallelism: member_or(json, "parallelism", 1)?,
                 query_parallelism: member_or(json, "query_parallelism", 1)?,
                 shard_count: member_or(json, "shard_count", 1)?,
+                range: match (json.get("range_lo"), json.get("range_hi")) {
+                    (None, None) => None,
+                    (Some(_), Some(_)) => {
+                        Some((member(json, "range_lo")?, member(json, "range_hi")?))
+                    }
+                    _ => {
+                        return Err(JsonError::new(
+                            "range_lo and range_hi must be given together",
+                        ))
+                    }
+                },
                 io_overlap: member_or(json, "io_overlap", true)?,
                 io_backend: member_or(json, "io_backend", IoBackend::Pread)?,
                 planner: member_or(json, "planner", PlannerMode::Fixed)?,
@@ -601,6 +702,10 @@ impl FromJson for PalmRequest {
                 name: member(json, "name")?,
                 series: member(json, "series")?,
                 timestamp: member_or(json, "timestamp", 0u64)?,
+                base_id: match json.get("base_id") {
+                    Some(_) => Some(member(json, "base_id")?),
+                    None => None,
+                },
             }),
             "metrics" => Ok(PalmRequest::Metrics {
                 name: member(json, "name")?,
@@ -632,6 +737,8 @@ impl ToJson for PalmResponse {
                 name,
                 ids,
                 distances,
+                squared_distances,
+                timestamps,
                 elapsed_ms,
                 cost,
                 explain,
@@ -641,6 +748,8 @@ impl ToJson for PalmResponse {
                     ("name", name.to_json()),
                     ("ids", ids.to_json()),
                     ("distances", distances.to_json()),
+                    ("squared_distances", squared_distances.to_json()),
+                    ("timestamps", timestamps.to_json()),
                     ("elapsed_ms", elapsed_ms.to_json()),
                     ("cost", cost.to_json()),
                 ];
@@ -715,6 +824,8 @@ impl ToJson for PalmResponse {
                 kind,
                 message,
                 partial_cost,
+                retry_after_ms,
+                shard_costs,
             } => {
                 let mut members = vec![
                     ("type", Json::Str("error".into())),
@@ -724,8 +835,91 @@ impl ToJson for PalmResponse {
                 if let Some(cost) = partial_cost {
                     members.push(("partial_cost", cost.to_json()));
                 }
+                if let Some(ms) = retry_after_ms {
+                    members.push(("retry_after_ms", ms.to_json()));
+                }
+                if let Some(costs) = shard_costs {
+                    members.push(("shard_costs", costs.to_json()));
+                }
                 Json::obj(members)
             }
+        }
+    }
+}
+
+impl FromJson for PalmResponse {
+    fn from_json(json: &Json) -> coconut_json::Result<PalmResponse> {
+        let kind: String = member(json, "type")?;
+        match kind.as_str() {
+            "built" => Ok(PalmResponse::Built {
+                name: member(json, "name")?,
+                variant: member(json, "variant")?,
+                report: member(json, "report")?,
+            }),
+            "query_result" => Ok(PalmResponse::QueryResult {
+                name: member(json, "name")?,
+                ids: member(json, "ids")?,
+                distances: member(json, "distances")?,
+                squared_distances: member(json, "squared_distances")?,
+                timestamps: member(json, "timestamps")?,
+                elapsed_ms: member(json, "elapsed_ms")?,
+                cost: member(json, "cost")?,
+                explain: match json.get("explain") {
+                    Some(report) => Some(PlanReportJson::from_json(report)?),
+                    None => None,
+                },
+            }),
+            "batch_result" => Ok(PalmResponse::Batch {
+                responses: member(json, "responses")?,
+            }),
+            "inserted" => Ok(PalmResponse::Inserted {
+                name: member(json, "name")?,
+                inserted: member(json, "inserted")?,
+                total: member(json, "total")?,
+            }),
+            "metrics" => Ok(PalmResponse::Metrics {
+                name: member(json, "name")?,
+                report: member(json, "report")?,
+                footprint_bytes: member(json, "footprint_bytes")?,
+            }),
+            "recommendation" => Ok(PalmResponse::Recommendation {
+                recommendation: member(json, "recommendation")?,
+            }),
+            "indexes" => Ok(PalmResponse::Indexes {
+                names: member(json, "names")?,
+            }),
+            "stats" => Ok(PalmResponse::Stats {
+                requests: member(json, "requests")?,
+                cache_hits: member(json, "cache_hits")?,
+                cache_misses: member(json, "cache_misses")?,
+                cache_entries: member(json, "cache_entries")?,
+                shed: member(json, "shed")?,
+                deadline_exceeded: member(json, "deadline_exceeded")?,
+                indexes: member(json, "indexes")?,
+                planner_adaptive: member(json, "planner_adaptive")?,
+                planner_fixed: member(json, "planner_fixed")?,
+                plans_parallel: member(json, "plans_parallel")?,
+                plans_sequential: member(json, "plans_sequential")?,
+                plans_read_ahead_off: member(json, "plans_read_ahead_off")?,
+                plans_chunked: member(json, "plans_chunked")?,
+            }),
+            "error" => Ok(PalmResponse::Error {
+                kind: member(json, "kind")?,
+                message: member(json, "message")?,
+                partial_cost: match json.get("partial_cost") {
+                    Some(cost) => Some(QueryCostJson::from_json(cost)?),
+                    None => None,
+                },
+                retry_after_ms: match json.get("retry_after_ms") {
+                    Some(_) => Some(member(json, "retry_after_ms")?),
+                    None => None,
+                },
+                shard_costs: match json.get("shard_costs") {
+                    Some(_) => Some(member(json, "shard_costs")?),
+                    None => None,
+                },
+            }),
+            other => Err(JsonError::new(format!("unknown response type '{other}'"))),
         }
     }
 }
@@ -781,10 +975,25 @@ impl CacheKey {
 struct CachedAnswer {
     ids: Vec<u64>,
     distances: Vec<f64>,
+    squared_distances: Vec<f64>,
+    timestamps: Vec<u64>,
     cost: QueryCostJson,
 }
 
 impl CachedAnswer {
+    /// Captures the engine's answer with full neighbour identity.
+    fn from_neighbors(
+        neighbors: &[coconut_series::distance::Neighbor],
+        cost: QueryCostJson,
+    ) -> Self {
+        CachedAnswer {
+            ids: neighbors.iter().map(|n| n.id).collect(),
+            distances: neighbors.iter().map(|n| n.distance()).collect(),
+            squared_distances: neighbors.iter().map(|n| n.squared_distance).collect(),
+            timestamps: neighbors.iter().map(|n| n.timestamp).collect(),
+            cost,
+        }
+    }
     /// `explain` is the plan that drove this computation — `None` for cache
     /// hits (nothing was planned) and for fixed-mode executions.
     fn into_response(
@@ -797,6 +1006,8 @@ impl CachedAnswer {
             name: name.to_string(),
             ids: self.ids,
             distances: self.distances,
+            squared_distances: self.squared_distances,
+            timestamps: self.timestamps,
             elapsed_ms,
             cost: self.cost,
             explain,
@@ -1076,6 +1287,8 @@ impl PalmServer {
                 kind: ERROR_KIND_MALFORMED.to_string(),
                 message: format!("malformed request: {e}"),
                 partial_cost: None,
+                retry_after_ms: None,
+                shard_costs: None,
             },
         };
         response.to_json().to_string()
@@ -1094,6 +1307,8 @@ impl PalmServer {
                     kind: ERROR_KIND_MALFORMED.to_string(),
                     message: "request is not valid UTF-8".to_string(),
                     partial_cost: None,
+                    retry_after_ms: None,
+                    shard_costs: None,
                 };
                 response.to_json().to_string()
             }
@@ -1114,6 +1329,8 @@ impl PalmServer {
                         kind: ERROR_KIND_MALFORMED.to_string(),
                         message: "deadline_ms must be a non-negative number".to_string(),
                         partial_cost: None,
+                        retry_after_ms: None,
+                        shard_costs: None,
                     }
                 }
             },
@@ -1124,6 +1341,8 @@ impl PalmServer {
                 kind: ERROR_KIND_MALFORMED.to_string(),
                 message: format!("malformed request: {e}"),
                 partial_cost: None,
+                retry_after_ms: None,
+                shard_costs: None,
             },
         }
     }
@@ -1179,13 +1398,19 @@ impl PalmServer {
                 parallelism,
                 query_parallelism,
                 shard_count,
+                range,
                 io_overlap,
                 io_backend,
                 planner,
             } => {
                 // The build runs entirely outside the registry lock, so
                 // queries against other indexes proceed while it sorts.
-                let dataset = Dataset::open(&dataset_path)?;
+                // A ranged build (service-level sharding) windows the
+                // dataset to `[lo, hi)`; ids stay global.
+                let dataset = match range {
+                    None => Dataset::open(&dataset_path)?,
+                    Some((lo, hi)) => Dataset::open_range(&dataset_path, lo, hi)?,
+                };
                 let config = IndexConfig::new(variant, dataset.series_len())
                     .materialized(materialized)
                     .with_memory_budget(memory_budget_bytes.max(1 << 20))
@@ -1251,11 +1476,7 @@ impl PalmServer {
                 let ((neighbors, cost), plan) =
                     registered.index.knn_planned(&query, k, exact, cancel)?;
                 self.stats.note_plan(plan.as_ref());
-                let answer = CachedAnswer {
-                    ids: neighbors.iter().map(|n| n.id).collect(),
-                    distances: neighbors.iter().map(|n| n.distance()).collect(),
-                    cost: cost.into(),
-                };
+                let answer = CachedAnswer::from_neighbors(&neighbors, cost.into());
                 if let (Some(cache), Some(key)) = (&self.cache, key) {
                     cache.insert(key, version, answer.clone());
                 }
@@ -1267,6 +1488,7 @@ impl PalmServer {
                 name,
                 series,
                 timestamp,
+                base_id,
             } => {
                 let slot = self.slot(&name)?;
                 // The write side: queries drain first, then the append runs
@@ -1281,7 +1503,10 @@ impl PalmServer {
                         "index '{name}' is non-materialized: streaming inserts require a                          materialized index (appended series do not exist in the raw                          dataset file used for refinement)"
                     )));
                 }
-                let base = registered.index.len();
+                // The coordinator owns the global id space when sharding
+                // and passes the base explicitly; a direct client gets the
+                // local-sequential default.
+                let base = base_id.unwrap_or_else(|| registered.index.len());
                 let batch: Vec<Series> = series
                     .into_iter()
                     .enumerate()
@@ -1405,6 +1630,8 @@ impl PalmServer {
                         kind: ERROR_KIND_MALFORMED.to_string(),
                         message: "batch requests cannot be nested".to_string(),
                         partial_cost: None,
+                        retry_after_ms: None,
+                        shard_costs: None,
                     },
                 )),
                 other => jobs.push(Job::Single(i, parking_lot::Mutex::new(Some(other)))),
@@ -1504,11 +1731,7 @@ impl PalmServer {
             self.stats.note_plan(plan.as_ref());
             explain = plan.map(Into::into);
             for (&i, (neighbors, cost)) in miss_idxs.iter().zip(results) {
-                let answer = CachedAnswer {
-                    ids: neighbors.iter().map(|n| n.id).collect(),
-                    distances: neighbors.iter().map(|n| n.distance()).collect(),
-                    cost: cost.into(),
-                };
+                let answer = CachedAnswer::from_neighbors(&neighbors, cost.into());
                 if let Some(cache) = &self.cache {
                     cache.insert(
                         CacheKey::query(name, &queries[i], k, exact),
@@ -1572,6 +1795,7 @@ mod tests {
             parallelism: 1,
             query_parallelism: 1,
             shard_count: 1,
+            range: None,
             io_overlap: true,
             io_backend: IoBackend::Pread,
             planner: PlannerMode::Fixed,
@@ -1728,6 +1952,7 @@ mod tests {
             name: "lsm".into(),
             series: vec![fresh.values.clone()],
             timestamp: 9,
+            base_id: None,
         });
         match response {
             PalmResponse::Inserted {
@@ -1754,6 +1979,7 @@ mod tests {
             name: "lsm".into(),
             series: vec![vec![0.0; 3]],
             timestamp: 10,
+            base_id: None,
         }) {
             PalmResponse::Error { kind, .. } => assert_eq!(kind, ERROR_KIND_CONFIG),
             other => panic!("unexpected response {other:?}"),
@@ -1773,6 +1999,7 @@ mod tests {
             parallelism: 1,
             query_parallelism: 1,
             shard_count: 1,
+            range: None,
             io_overlap: true,
             io_backend: IoBackend::Pread,
             planner: PlannerMode::Fixed,
@@ -1784,6 +2011,7 @@ mod tests {
             name: "thin".into(),
             series: vec![vec![0.5; 64]],
             timestamp: 1,
+            base_id: None,
         }) {
             PalmResponse::Error { kind, message, .. } => {
                 assert_eq!(kind, ERROR_KIND_CONFIG);
@@ -1954,6 +2182,7 @@ mod tests {
                         name: "shared".into(),
                         series: batch,
                         timestamp: round,
+                        base_id: None,
                     });
                     assert!(
                         matches!(response, PalmResponse::Inserted { .. }),
@@ -2036,6 +2265,7 @@ mod tests {
             name: "c".into(),
             series: vec![query.clone()],
             timestamp: 1,
+            base_id: None,
         });
         match server.handle(request) {
             PalmResponse::QueryResult { ids, distances, .. } => {
@@ -2184,6 +2414,7 @@ mod tests {
             name: "x".into(),
             series: vec![series[0].values.clone()],
             timestamp: 3,
+            base_id: None,
         });
         assert_eq!(server.sync_all().unwrap(), 2);
         let query: Vec<f32> = series[11].values.iter().map(|v| v + 0.001).collect();

@@ -249,6 +249,7 @@ fn concurrent_reads_during_append_observe_valid_snapshots() {
         parallelism: 1,
         query_parallelism: 2,
         shard_count: 2,
+        range: None,
         io_overlap: true,
         io_backend: coconut_core::IoBackend::Pread,
         planner: coconut_core::PlannerMode::Fixed,
@@ -278,6 +279,7 @@ fn concurrent_reads_during_append_observe_valid_snapshots() {
                     name: "stress".into(),
                     series: batch,
                     timestamp: round,
+                    base_id: None,
                 }) {
                     PalmResponse::Inserted { inserted, .. } => assert_eq!(inserted, 40),
                     other => panic!("insert failed: {other:?}"),

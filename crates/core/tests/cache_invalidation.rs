@@ -26,6 +26,7 @@ fn build_request(name: &str, dataset_path: &str) -> PalmRequest {
         parallelism: 1,
         query_parallelism: 1,
         shard_count: 1,
+        range: None,
         io_overlap: true,
         io_backend: IoBackend::Pread,
         planner: PlannerMode::Fixed,
@@ -86,6 +87,7 @@ fn readers_racing_inserts_never_observe_stale_answers() {
                     name: "race".into(),
                     series: vec![close],
                     timestamp: round,
+                    base_id: None,
                 }) {
                     PalmResponse::Inserted { .. } => {}
                     other => panic!("insert failed: {other:?}"),
@@ -137,6 +139,7 @@ fn readers_racing_inserts_never_observe_stale_answers() {
             name: "race".into(),
             series: vec![close],
             timestamp: round,
+            base_id: None,
         });
     }
     let computed = fresh_server.handle(request);
@@ -189,6 +192,7 @@ proptest! {
                         name: "p".into(),
                         series: batch,
                         timestamp: arg,
+                        base_id: None,
                     }
                 }
                 // Queries from the pool, varying k and exactness.

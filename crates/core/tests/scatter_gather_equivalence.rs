@@ -1,0 +1,356 @@
+//! Scatter-gather equivalence: the distributed query path answers
+//! bit-identically to single-node execution.
+//!
+//! Three distinct identity claims are pinned here (see DESIGN.md,
+//! "Scatter-gather"):
+//!
+//! 1. **Exact-answer identity** — at every shard count, exact kNN through
+//!    the coordinator returns the same `(id, timestamp, squared_distance)`
+//!    lists, bit-for-bit, as one unsharded index over the same data.
+//!    Per-shard true top-k over disjoint id ranges, merged with the
+//!    engine's own total order, *is* the global top-k, and surviving
+//!    candidates get their distances fully computed by the same kernel.
+//! 2. **Topology identity** — a coordinator over in-process
+//!    `LocalBackend`s and one over `RemoteBackend`s (real TCP workers)
+//!    produce identical responses in their entirety: answers, merged
+//!    `QueryCost`, everything but wall-clock.  The wire adds nothing and
+//!    loses nothing (`coconut-json` prints `f64` shortest-round-trip).
+//! 3. **N=1 degeneracy** — a coordinator over one shard is the identity
+//!    function around a plain `PalmServer`: answers *and* `QueryCost`
+//!    match the undistributed service bit-for-bit, exact and approximate
+//!    alike.
+//!
+//! Approximate answers and costs at N>1 are deliberately *not* compared
+//! against the unsharded index: N shards hold N differently-shaped trees
+//! whose pruning bounds differ, so only claims 1-3 are sound — and they
+//! are the ones the coordinator's correctness rests on.
+
+use std::sync::Arc;
+
+use coconut_core::backend::{ExecutionBackend, LocalBackend};
+use coconut_core::palm::{PalmRequest, PalmResponse, PalmServer};
+use coconut_core::{Dataset, IoBackend, PlannerMode, VariantKind};
+use coconut_json::{Json, ToJson};
+use coconut_net::{Coordinator, NetServer, RemoteBackend, ServerConfig};
+use coconut_series::generator::{RandomWalkGenerator, SeriesGenerator};
+use coconut_storage::ScratchDir;
+use proptest::prelude::*;
+
+const SERIES_LEN: usize = 64;
+
+fn build_request(name: &str, dataset_path: &str) -> PalmRequest {
+    PalmRequest::BuildIndex {
+        name: name.into(),
+        dataset_path: dataset_path.into(),
+        variant: VariantKind::Clsm,
+        materialized: true,
+        memory_budget_bytes: 4 << 20,
+        parallelism: 1,
+        query_parallelism: 1,
+        shard_count: 1,
+        range: None,
+        io_overlap: true,
+        io_backend: IoBackend::Pread,
+        planner: PlannerMode::Fixed,
+    }
+}
+
+fn query_request(name: &str, query: &[f32], k: usize, exact: bool) -> PalmRequest {
+    PalmRequest::Query {
+        name: name.into(),
+        query: query.to_vec(),
+        k,
+        exact,
+    }
+}
+
+/// A coordinator over `shards` in-process workers, plus the workers
+/// themselves (so callers can build through the coordinator).
+fn local_fleet(dir: &ScratchDir, tag: &str, shards: usize) -> Coordinator {
+    let backends: Vec<Arc<dyn ExecutionBackend>> = (0..shards)
+        .map(|shard| {
+            let palm = Arc::new(PalmServer::new(dir.file(&format!("{tag}-w{shard}"))));
+            Arc::new(LocalBackend::new(palm)) as Arc<dyn ExecutionBackend>
+        })
+        .collect();
+    Coordinator::new(backends)
+}
+
+/// A coordinator over `shards` real TCP workers.  The returned servers
+/// must stay alive while the coordinator is used.
+fn remote_fleet(dir: &ScratchDir, tag: &str, shards: usize) -> (Coordinator, Vec<NetServer>) {
+    let mut servers = Vec::with_capacity(shards);
+    let mut backends: Vec<Arc<dyn ExecutionBackend>> = Vec::with_capacity(shards);
+    for shard in 0..shards {
+        let palm = Arc::new(PalmServer::new(dir.file(&format!("{tag}-w{shard}"))));
+        let server = NetServer::spawn(palm, ServerConfig::default()).unwrap();
+        backends.push(Arc::new(RemoteBackend::new(
+            server.local_addr().to_string(),
+        )));
+        servers.push(server);
+    }
+    (Coordinator::new(backends), servers)
+}
+
+/// Response JSON with the named members removed at any depth.
+fn strip_keys(json: Json, keys: &[&str]) -> Json {
+    match json {
+        Json::Obj(members) => Json::Obj(
+            members
+                .into_iter()
+                .filter(|(key, _)| !keys.contains(&key.as_str()))
+                .map(|(key, value)| (key, strip_keys(value, keys)))
+                .collect(),
+        ),
+        Json::Arr(items) => Json::Arr(items.into_iter().map(|v| strip_keys(v, keys)).collect()),
+        other => other,
+    }
+}
+
+/// Everything but wall-clock: the comparison for claims that include
+/// `QueryCost` identity (same index shapes on both sides).
+fn normalized(response: &PalmResponse) -> String {
+    strip_keys(response.to_json(), &["elapsed_ms"]).to_string()
+}
+
+/// Answers only — `(id, timestamp, squared_distance)` lists and their
+/// derived distances.  Used where the index *shapes* differ (N shards vs
+/// one tree), so costs legitimately diverge while answers must not.
+fn answers(response: &PalmResponse) -> String {
+    strip_keys(response.to_json(), &["elapsed_ms", "cost", "explain"]).to_string()
+}
+
+fn dataset(dir: &ScratchDir, n: usize, seed: u64) -> (String, Vec<coconut_series::Series>) {
+    let mut gen = RandomWalkGenerator::new(SERIES_LEN, seed);
+    let series = gen.generate(n);
+    let path = dir.file("raw.bin");
+    Dataset::create_from_series(&path, &series).unwrap();
+    (path.to_string_lossy().into_owned(), series)
+}
+
+fn queries(series: &[coconut_series::Series], count: usize) -> Vec<Vec<f32>> {
+    (0..count)
+        .map(|i| {
+            let base = &series[(i * 37) % series.len()].values;
+            base.iter().map(|v| v + 0.01 * (i as f32 + 1.0)).collect()
+        })
+        .collect()
+}
+
+/// Claim 1: exact answers through the coordinator are bit-identical to
+/// one unsharded index, across shard counts and batch widths.
+#[test]
+fn exact_answers_match_single_node_at_every_shard_count() {
+    let dir = ScratchDir::new("sg-exact").unwrap();
+    let (dataset_path, series) = dataset(&dir, 240, 7);
+    let single = PalmServer::new(dir.file("single"));
+    assert!(matches!(
+        single.handle(build_request("idx", &dataset_path)),
+        PalmResponse::Built { .. }
+    ));
+    let qs = queries(&series, 8);
+    for shards in [1usize, 2, 4] {
+        let fleet = local_fleet(&dir, &format!("s{shards}"), shards);
+        let built = fleet.handle_with_deadline(build_request("idx", &dataset_path), None);
+        assert!(matches!(built, PalmResponse::Built { .. }), "{built:?}");
+        // Single queries, varying k.
+        for (i, q) in qs.iter().enumerate() {
+            let k = 1 + i % 7;
+            let expected = single.handle(query_request("idx", q, k, true));
+            let merged = fleet.handle_with_deadline(query_request("idx", q, k, true), None);
+            assert_eq!(
+                answers(&expected),
+                answers(&merged),
+                "exact kNN diverged at {shards} shards, k={k}"
+            );
+        }
+        // Batched widths 1, 3, 8.
+        for width in [1usize, 3, 8] {
+            let batch: Vec<PalmRequest> = qs
+                .iter()
+                .take(width)
+                .map(|q| query_request("idx", q, 5, true))
+                .collect();
+            let expected = single.handle(PalmRequest::Batch {
+                requests: batch.clone(),
+            });
+            let merged = fleet.handle_with_deadline(PalmRequest::Batch { requests: batch }, None);
+            assert_eq!(
+                answers(&expected),
+                answers(&merged),
+                "batched exact kNN diverged at {shards} shards, width {width}"
+            );
+        }
+    }
+}
+
+/// Claim 2: local and remote topologies answer identically — answers,
+/// merged `QueryCost`, error-free equality of whole responses — across
+/// shard counts, exactness and batch widths.
+#[test]
+fn local_and_remote_topologies_are_identical() {
+    let dir = ScratchDir::new("sg-topo").unwrap();
+    let (dataset_path, series) = dataset(&dir, 180, 11);
+    let qs = queries(&series, 6);
+    for shards in [1usize, 2, 4] {
+        let local = local_fleet(&dir, &format!("l{shards}"), shards);
+        let (remote, servers) = remote_fleet(&dir, &format!("r{shards}"), shards);
+        for fleet in [&local, &remote] {
+            let built = fleet.handle_with_deadline(build_request("idx", &dataset_path), None);
+            assert!(matches!(built, PalmResponse::Built { .. }), "{built:?}");
+        }
+        for exact in [true, false] {
+            for (i, q) in qs.iter().enumerate() {
+                let k = 1 + i % 5;
+                let a = local.handle_with_deadline(query_request("idx", q, k, exact), None);
+                let b = remote.handle_with_deadline(query_request("idx", q, k, exact), None);
+                assert_eq!(
+                    normalized(&a),
+                    normalized(&b),
+                    "topologies diverged at {shards} shards, k={k}, exact={exact}"
+                );
+            }
+            for width in [3usize, 8] {
+                let batch: Vec<PalmRequest> = qs
+                    .iter()
+                    .cycle()
+                    .take(width)
+                    .map(|q| query_request("idx", q, 4, exact))
+                    .collect();
+                let a = local.handle_with_deadline(
+                    PalmRequest::Batch {
+                        requests: batch.clone(),
+                    },
+                    None,
+                );
+                let b = remote.handle_with_deadline(PalmRequest::Batch { requests: batch }, None);
+                assert_eq!(
+                    normalized(&a),
+                    normalized(&b),
+                    "batched topologies diverged at {shards} shards, width {width}, exact={exact}"
+                );
+            }
+        }
+        // Aggregated verbs agree across topologies too.
+        for request in [
+            PalmRequest::ListIndexes,
+            PalmRequest::Metrics { name: "idx".into() },
+        ] {
+            let a = local.handle_with_deadline(request.clone(), None);
+            let b = remote.handle_with_deadline(request, None);
+            assert_eq!(normalized(&a), normalized(&b), "{shards} shards");
+        }
+        for server in servers {
+            let report = server.shutdown();
+            assert!(report.is_clean(), "{report:?}");
+        }
+    }
+}
+
+/// Claim 3: one shard behind the coordinator degenerates to the plain
+/// service — answers *and* costs, exact and approximate.
+#[test]
+fn single_shard_coordinator_degenerates_to_plain_server() {
+    let dir = ScratchDir::new("sg-degenerate").unwrap();
+    let (dataset_path, series) = dataset(&dir, 150, 23);
+    let plain = PalmServer::new(dir.file("plain"));
+    plain.handle(build_request("idx", &dataset_path));
+    let fleet = local_fleet(&dir, "one", 1);
+    fleet.handle_with_deadline(build_request("idx", &dataset_path), None);
+    let qs = queries(&series, 6);
+    for exact in [true, false] {
+        for (i, q) in qs.iter().enumerate() {
+            let k = 1 + i % 6;
+            let expected = plain.handle(query_request("idx", q, k, exact));
+            let merged = fleet.handle_with_deadline(query_request("idx", q, k, exact), None);
+            assert_eq!(
+                normalized(&expected),
+                normalized(&merged),
+                "single-shard coordinator diverged, k={k}, exact={exact}"
+            );
+        }
+    }
+    // Metrics degenerate too (one shard, nothing to aggregate).
+    let expected = plain.handle(PalmRequest::Metrics { name: "idx".into() });
+    let merged = fleet.handle_with_deadline(PalmRequest::Metrics { name: "idx".into() }, None);
+    assert_eq!(normalized(&expected), normalized(&merged));
+}
+
+/// Sharded `stats` aggregates per-shard counters: the fleet's requests
+/// and cache counters are the field-wise sums of its workers'.
+#[test]
+fn stats_aggregate_across_shards() {
+    let dir = ScratchDir::new("sg-stats").unwrap();
+    let (dataset_path, series) = dataset(&dir, 120, 31);
+    let fleet = local_fleet(&dir, "st", 2);
+    fleet.handle_with_deadline(build_request("idx", &dataset_path), None);
+    for q in queries(&series, 4) {
+        let response = fleet.handle_with_deadline(query_request("idx", &q, 3, true), None);
+        assert!(matches!(response, PalmResponse::QueryResult { .. }));
+    }
+    match fleet.handle_with_deadline(PalmRequest::Stats, None) {
+        PalmResponse::Stats {
+            requests, indexes, ..
+        } => {
+            // Each of the 2 shards saw the build, 4 queries, and the
+            // scattered stats request itself.
+            assert_eq!(requests, 12, "per-shard counters must sum");
+            assert_eq!(indexes, 1, "indexes reports the fleet-wide name count");
+        }
+        other => panic!("unexpected stats response {other:?}"),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(3))]
+
+    /// Random query/insert interleavings against both topologies: after
+    /// every operation the exact answers of the unsharded single node and
+    /// the 2-shard coordinator agree bit-for-bit.  Inserts go through the
+    /// coordinator's id routing, so this also pins that the coordinator's
+    /// global id assignment matches single-node sequential assignment.
+    #[test]
+    fn random_interleavings_agree_across_topologies(
+        seed in 0u64..500,
+        ops in proptest::collection::vec(0u8..4, 4..12),
+    ) {
+        let dir = ScratchDir::new("sg-prop").unwrap();
+        let (dataset_path, series) = dataset(&dir, 90, seed);
+        let single = PalmServer::new(dir.file("single"));
+        single.handle(build_request("idx", &dataset_path));
+        let fleet = local_fleet(&dir, "fleet", 2);
+        fleet.handle_with_deadline(build_request("idx", &dataset_path), None);
+        let mut gen = RandomWalkGenerator::new(SERIES_LEN, seed ^ 0xc0c0);
+        for (step, op) in ops.into_iter().enumerate() {
+            if op == 0 {
+                // Insert a small batch through both topologies.
+                let fresh: Vec<Vec<f32>> = (0..1 + step % 3).map(|_| gen.next_series().values).collect();
+                let insert = PalmRequest::Insert {
+                    name: "idx".into(),
+                    series: fresh,
+                    timestamp: step as u64,
+                    base_id: None,
+                };
+                let a = single.handle(insert.clone());
+                let b = fleet.handle_with_deadline(insert, None);
+                // Inserted totals agree because the coordinator's global
+                // id space starts at the dataset length, like the index's.
+                prop_assert_eq!(normalized(&a), normalized(&b), "insert diverged at step {}", step);
+            } else {
+                let q: Vec<f32> = series[(seed as usize + step * 13) % series.len()]
+                    .values
+                    .iter()
+                    .map(|v| v + 0.02 * op as f32)
+                    .collect();
+                let k = 1 + (step % 5);
+                let expected = single.handle(query_request("idx", &q, k, true));
+                let merged = fleet.handle_with_deadline(query_request("idx", &q, k, true), None);
+                prop_assert_eq!(
+                    answers(&expected),
+                    answers(&merged),
+                    "query diverged at step {}", step
+                );
+            }
+        }
+    }
+}

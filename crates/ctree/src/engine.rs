@@ -99,6 +99,31 @@ pub trait SearchUnit: Sync {
     ) -> Result<()>;
 }
 
+/// Deterministically merges per-part top-`k` candidate lists into the
+/// global top-`k`: concatenate in part order, stable sort by the total
+/// `(distance, id, timestamp)` neighbour order, truncate to `k`; costs are
+/// summed in part order.
+///
+/// This is **the** merge of the engine — every round of
+/// [`batch_knn_with`] folds its per-unit results through it — exposed so
+/// that higher layers composing partial answers (the service-level
+/// scatter-gather coordinator merging per-shard top-k) provably apply the
+/// identical rule: as long as each part is itself a true top-`k` of a
+/// disjoint slice of the candidate space, the merged list is the true
+/// global top-`k` in the engine's order (see the module docs, "Why the
+/// merged result is exact").
+pub fn merge_topk(parts: Vec<(Vec<Neighbor>, QueryCost)>, k: usize) -> (Vec<Neighbor>, QueryCost) {
+    let mut neighbors = Vec::new();
+    let mut cost = QueryCost::default();
+    for (part_neighbors, part_cost) in parts {
+        neighbors.extend(part_neighbors);
+        cost = cost.plus(&part_cost);
+    }
+    neighbors.sort();
+    neighbors.truncate(k);
+    (neighbors, cost)
+}
+
 /// Per-unit outcome of one pipeline round: the main-phase contribution of
 /// the previous query and the seed contribution of the current one.
 type RoundOut = (
@@ -237,18 +262,14 @@ pub fn batch_knn_with<U: SearchUnit, Q: AsRef<[f32]> + Sync>(
             seed_costs[q] = cost;
         }
         if let Some(q) = main_q {
-            // Deterministic merge: concatenate in unit order, stable sort
-            // (equal `(distance, id, timestamp)` neighbours keep unit
-            // order), truncate to k; sum costs in unit order.
-            let mut neighbors = Vec::new();
-            let mut cost = seed_costs[q];
-            for (unit_neighbors, unit_cost) in mains {
-                neighbors.extend(unit_neighbors);
-                cost = cost.plus(&unit_cost);
-            }
-            neighbors.sort();
-            neighbors.truncate(k);
-            results.push((neighbors, cost));
+            // Deterministic merge through [`merge_topk`]: concatenate in
+            // unit order, stable sort (equal `(distance, id, timestamp)`
+            // neighbours keep unit order), truncate to k; sum costs in
+            // unit order, seeded with the query's seed-phase cost.
+            let mut parts = Vec::with_capacity(mains.len() + 1);
+            parts.push((Vec::new(), seed_costs[q]));
+            parts.extend(mains);
+            results.push(merge_topk(parts, k));
         }
     }
     Ok(results)

@@ -92,7 +92,11 @@ impl RawSeriesSource {
     /// Serves the fetch from the mapping; `Ok(None)` means "fall back to a
     /// positioned read" (platform without mmap, or the kernel refused).
     fn read_mapped(&self, id: u64) -> Result<Option<Vec<f32>>> {
-        if id >= self.dataset.len() {
+        // Ids are global file positions: a dataset handle windowed to an id
+        // range (service-level sharding) still serves point fetches of any
+        // series in the file, so validate against the file count, exactly
+        // as the pread path's `read_series` does.
+        if id >= self.dataset.meta().count {
             return Err(SeriesError::UnknownSeries(id).into());
         }
         let mut mapping = self.mapping.lock();

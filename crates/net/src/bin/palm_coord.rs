@@ -1,0 +1,94 @@
+//! The `palm-coord` binary: a scatter-gather coordinator fronting a
+//! fleet of `palm-server` workers.
+//!
+//! Configured through the shared `PALM_*` environment (see
+//! `coconut_net::config`); `PALM_WORKERS` is required — a comma-separated
+//! list of worker addresses, one shard each, in shard order.
+//!
+//! Prints `palm-coord listening on <addr>` once ready.  On SIGTERM or
+//! SIGINT it drains gracefully and exits `0` iff no thread leaked (the
+//! workers own their indexes and sync on their own shutdown).
+
+use std::process::ExitCode;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use coconut_core::backend::ExecutionBackend;
+use coconut_net::{coord_env, Coordinator, NetServer, RemoteBackend};
+
+/// Set by the signal handler; the main loop polls it.
+static SHUTDOWN: AtomicBool = AtomicBool::new(false);
+
+#[cfg(unix)]
+mod sig {
+    use super::SHUTDOWN;
+    use std::sync::atomic::Ordering;
+
+    const SIGINT: i32 = 2;
+    const SIGTERM: i32 = 15;
+
+    extern "C" fn on_signal(_signum: i32) {
+        // A store to a static atomic is async-signal-safe.
+        SHUTDOWN.store(true, Ordering::SeqCst);
+    }
+
+    extern "C" {
+        fn signal(signum: i32, handler: extern "C" fn(i32)) -> isize;
+    }
+
+    pub fn install() {
+        unsafe {
+            signal(SIGINT, on_signal);
+            signal(SIGTERM, on_signal);
+        }
+    }
+}
+
+#[cfg(not(unix))]
+mod sig {
+    /// Without unix signals the coordinator runs until killed externally.
+    pub fn install() {}
+}
+
+fn main() -> ExitCode {
+    sig::install();
+    let env = match coord_env() {
+        Ok(env) => env,
+        Err(e) => {
+            eprintln!("palm-coord: bad configuration: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let shards: Vec<Arc<dyn ExecutionBackend>> = env
+        .workers
+        .iter()
+        .map(|addr| Arc::new(RemoteBackend::new(addr)) as Arc<dyn ExecutionBackend>)
+        .collect();
+    let coordinator = Arc::new(Coordinator::new(shards));
+    let server = match NetServer::spawn(coordinator, env.config) {
+        Ok(server) => server,
+        Err(e) => {
+            eprintln!("palm-coord: bind failed: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    println!(
+        "palm-coord listening on {} ({} shards)",
+        server.local_addr(),
+        env.workers.len()
+    );
+    while !SHUTDOWN.load(Ordering::SeqCst) {
+        std::thread::sleep(Duration::from_millis(50));
+    }
+    let report = server.shutdown();
+    println!(
+        "palm-coord shutdown: drained={} cancelled={} leaked={}",
+        report.drained, report.cancelled_in_flight, report.leaked_threads
+    );
+    if report.is_clean() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}

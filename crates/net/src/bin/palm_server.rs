@@ -1,17 +1,9 @@
 //! The `palm-server` binary: a Palm algorithms server on a TCP port.
 //!
-//! Configured through environment variables (all optional):
-//!
-//! | variable                 | default       | meaning                         |
-//! |--------------------------|---------------|---------------------------------|
-//! | `PALM_ADDR`              | `127.0.0.1:0` | bind address (`:0` = free port) |
-//! | `PALM_WORK_DIR`          | temp dir      | index file directory            |
-//! | `PALM_MAX_IN_FLIGHT`     | `64`          | admission: concurrent requests  |
-//! | `PALM_MAX_QUEUED_BYTES`  | `67108864`    | admission: queued payload bytes |
-//! | `PALM_MAX_FRAME_BYTES`   | `16777216`    | per-frame size cap              |
-//! | `PALM_DEFAULT_DEADLINE_MS` | none        | server-wide request deadline    |
-//! | `PALM_DRAIN_MS`          | `5000`        | shutdown drain deadline         |
-//! | `PALM_CACHE_ENTRIES`     | `1024`        | result cache size (`0` = off)   |
+//! Configured through the shared `PALM_*` environment — see
+//! `coconut_net::config` for the variable table.  Unlike earlier
+//! revisions, an unparseable value is *reported* and refuses startup
+//! instead of silently running with the default.
 //!
 //! Prints `palm-server listening on <addr>` once ready.  On SIGTERM or
 //! SIGINT it drains gracefully (see `NetServer::shutdown`) and exits `0`
@@ -23,7 +15,7 @@ use std::sync::Arc;
 use std::time::Duration;
 
 use coconut_core::palm::PalmServer;
-use coconut_net::{NetServer, ServerConfig};
+use coconut_net::{server_env, NetServer};
 
 /// Set by the signal handler; the main loop polls it.
 static SHUTDOWN: AtomicBool = AtomicBool::new(false);
@@ -59,40 +51,20 @@ mod sig {
     pub fn install() {}
 }
 
-fn env_usize(name: &str, default: usize) -> usize {
-    std::env::var(name)
-        .ok()
-        .and_then(|v| v.parse().ok())
-        .unwrap_or(default)
-}
-
-fn env_u64(name: &str) -> Option<u64> {
-    std::env::var(name).ok().and_then(|v| v.parse().ok())
-}
-
 fn main() -> ExitCode {
     sig::install();
-    let config = ServerConfig {
-        addr: std::env::var("PALM_ADDR").unwrap_or_else(|_| "127.0.0.1:0".to_string()),
-        max_in_flight: env_usize("PALM_MAX_IN_FLIGHT", 64),
-        max_queued_bytes: env_usize("PALM_MAX_QUEUED_BYTES", 64 << 20),
-        max_frame_bytes: env_usize("PALM_MAX_FRAME_BYTES", 16 << 20),
-        default_deadline_ms: env_u64("PALM_DEFAULT_DEADLINE_MS"),
-        retry_after_ms: env_u64("PALM_RETRY_AFTER_MS").unwrap_or(25),
-        drain_deadline: Duration::from_millis(env_u64("PALM_DRAIN_MS").unwrap_or(5000)),
-        read_poll: Duration::from_millis(50),
+    let env = match server_env() {
+        Ok(env) => env,
+        Err(e) => {
+            eprintln!("palm-server: bad configuration: {e}");
+            return ExitCode::FAILURE;
+        }
     };
-    let work_dir = std::env::var("PALM_WORK_DIR")
-        .map(Into::into)
-        .unwrap_or_else(|_| {
-            std::env::temp_dir().join(format!("palm-server-{}", std::process::id()))
-        });
-    let cache_entries = env_usize("PALM_CACHE_ENTRIES", 1024);
-    let mut palm = PalmServer::new(work_dir);
-    if cache_entries > 0 {
-        palm = palm.with_result_cache(cache_entries);
+    let mut palm = PalmServer::new(env.work_dir);
+    if env.cache_entries > 0 {
+        palm = palm.with_result_cache(env.cache_entries);
     }
-    let server = match NetServer::spawn(Arc::new(palm), config) {
+    let server = match NetServer::spawn(Arc::new(palm), env.config) {
         Ok(server) => server,
         Err(e) => {
             eprintln!("palm-server: bind failed: {e}");

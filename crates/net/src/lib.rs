@@ -29,10 +29,16 @@
 //! case answers a structured `malformed_request` error or closes the
 //! connection cleanly (see the crate's integration tests).
 
+pub mod backend;
 pub mod client;
+pub mod config;
+pub mod coordinator;
 pub mod frame;
 pub mod server;
 
-pub use client::PalmClient;
+pub use backend::RemoteBackend;
+pub use client::{CallError, PalmClient, RetryPolicy};
+pub use config::{coord_env, server_env, ConfigError, CoordEnv, ServerEnv};
+pub use coordinator::Coordinator;
 pub use frame::{write_frame, FrameOutcome, FrameReader, DEFAULT_MAX_FRAME_BYTES};
-pub use server::{NetServer, ServerConfig, ShutdownReport};
+pub use server::{NetServer, RequestHandler, ServerConfig, ShutdownReport};

@@ -16,6 +16,37 @@ use parking_lot::Mutex;
 
 use crate::frame::{write_frame, FrameOutcome, FrameReader, DEFAULT_MAX_FRAME_BYTES};
 
+/// What the front-end needs from the thing it serves.  [`PalmServer`]
+/// is the original implementation; the coordinator implements it too, so
+/// one acceptor/admission/shutdown machine fronts both a worker and a
+/// whole shard fleet.
+pub trait RequestHandler: Send + Sync + 'static {
+    /// Handles one request frame (UTF-8 JSON bytes) to a JSON response
+    /// string, under the given cancellation token.
+    fn handle_json_bytes(&self, request: Vec<u8>, cancel: &CancelToken) -> String;
+
+    /// Notes a request shed by admission control (for the `stats` verb).
+    fn note_shed(&self);
+
+    /// Persists whatever the handler owns during graceful shutdown;
+    /// returns how many indexes were synced.
+    fn sync_all(&self) -> Result<usize, String>;
+}
+
+impl RequestHandler for PalmServer {
+    fn handle_json_bytes(&self, request: Vec<u8>, cancel: &CancelToken) -> String {
+        PalmServer::handle_json_bytes(self, request, cancel)
+    }
+
+    fn note_shed(&self) {
+        PalmServer::note_shed(self);
+    }
+
+    fn sync_all(&self) -> Result<usize, String> {
+        PalmServer::sync_all(self)
+    }
+}
+
 /// Configuration of a [`NetServer`].
 #[derive(Debug, Clone)]
 pub struct ServerConfig {
@@ -87,8 +118,8 @@ const STATE_RUNNING: u8 = 0;
 const STATE_DRAINING: u8 = 1;
 const STATE_STOPPED: u8 = 2;
 
-struct Shared {
-    palm: Arc<PalmServer>,
+struct Shared<H: RequestHandler> {
+    handler: Arc<H>,
     config: ServerConfig,
     state: AtomicU8,
     in_flight: AtomicUsize,
@@ -98,7 +129,7 @@ struct Shared {
     kill: CancelToken,
 }
 
-impl Shared {
+impl<H: RequestHandler> Shared<H> {
     fn state(&self) -> u8 {
         self.state.load(Ordering::SeqCst)
     }
@@ -106,7 +137,7 @@ impl Shared {
     /// Admission control: reserves an in-flight slot and the request's
     /// bytes, or returns `None` (shed).  The reservation is released when
     /// the returned guard drops — after the response has been computed.
-    fn try_admit(&self, bytes: usize) -> Option<Admit<'_>> {
+    fn try_admit(&self, bytes: usize) -> Option<Admit<'_, H>> {
         let in_flight = self.in_flight.fetch_add(1, Ordering::AcqRel);
         if in_flight >= self.config.max_in_flight {
             self.in_flight.fetch_sub(1, Ordering::AcqRel);
@@ -126,12 +157,12 @@ impl Shared {
 }
 
 /// RAII release of an admission reservation.
-struct Admit<'a> {
-    shared: &'a Shared,
+struct Admit<'a, H: RequestHandler> {
+    shared: &'a Shared<H>,
     bytes: usize,
 }
 
-impl Drop for Admit<'_> {
+impl<H: RequestHandler> Drop for Admit<'_, H> {
     fn drop(&mut self) {
         self.shared
             .queued_bytes
@@ -140,27 +171,28 @@ impl Drop for Admit<'_> {
     }
 }
 
-/// A running TCP front-end over a shared [`PalmServer`].
+/// A running TCP front-end over a shared [`RequestHandler`] — a
+/// [`PalmServer`] by default, or a coordinator fronting a shard fleet.
 ///
 /// The acceptor and every connection run on their own threads;
 /// [`NetServer::shutdown`] drains, cancels, joins and syncs (see
 /// [`ShutdownReport`]).
-pub struct NetServer {
-    shared: Arc<Shared>,
+pub struct NetServer<H: RequestHandler = PalmServer> {
+    shared: Arc<Shared<H>>,
     local_addr: SocketAddr,
     acceptor: Option<JoinHandle<()>>,
     connections: Arc<Mutex<Vec<JoinHandle<()>>>>,
 }
 
-impl NetServer {
+impl<H: RequestHandler> NetServer<H> {
     /// Binds `config.addr` and starts accepting connections, serving
-    /// requests through `palm`.
-    pub fn spawn(palm: Arc<PalmServer>, config: ServerConfig) -> std::io::Result<NetServer> {
+    /// requests through `handler`.
+    pub fn spawn(handler: Arc<H>, config: ServerConfig) -> std::io::Result<NetServer<H>> {
         let listener = TcpListener::bind(&config.addr)?;
         listener.set_nonblocking(true)?;
         let local_addr = listener.local_addr()?;
         let shared = Arc::new(Shared {
-            palm,
+            handler,
             config,
             state: AtomicU8::new(STATE_RUNNING),
             in_flight: AtomicUsize::new(0),
@@ -186,9 +218,9 @@ impl NetServer {
         self.local_addr
     }
 
-    /// The served [`PalmServer`] (e.g. to read its stats in-process).
-    pub fn palm(&self) -> &Arc<PalmServer> {
-        &self.shared.palm
+    /// The served handler (e.g. to read its stats in-process).
+    pub fn handler(&self) -> &Arc<H> {
+        &self.shared.handler
     }
 
     /// Requests currently admitted and executing.
@@ -236,7 +268,7 @@ impl NetServer {
                 leaked_threads += 1;
             }
         }
-        let (synced_indexes, sync_error) = match self.shared.palm.sync_all() {
+        let (synced_indexes, sync_error) = match self.shared.handler.sync_all() {
             Ok(n) => (n, None),
             Err(e) => (0, Some(e)),
         };
@@ -247,6 +279,14 @@ impl NetServer {
             synced_indexes,
             sync_error,
         }
+    }
+}
+
+impl NetServer<PalmServer> {
+    /// The served [`PalmServer`] (kept for callers that predate the
+    /// [`RequestHandler`] seam).
+    pub fn palm(&self) -> &Arc<PalmServer> {
+        self.handler()
     }
 }
 
@@ -262,9 +302,9 @@ fn error_payload(kind: &str, message: &str, retry_after_ms: Option<u64>) -> Stri
     Json::obj(members).to_string()
 }
 
-fn accept_loop(
+fn accept_loop<H: RequestHandler>(
     listener: &TcpListener,
-    shared: &Arc<Shared>,
+    shared: &Arc<Shared<H>>,
     connections: &Arc<Mutex<Vec<JoinHandle<()>>>>,
 ) {
     loop {
@@ -301,7 +341,7 @@ fn accept_loop(
     }
 }
 
-fn serve_connection(shared: &Shared, stream: TcpStream) {
+fn serve_connection<H: RequestHandler>(shared: &Shared<H>, stream: TcpStream) {
     let _ = stream.set_nodelay(true);
     let _ = stream.set_read_timeout(Some(shared.config.read_poll));
     let Ok(read_half) = stream.try_clone() else {
@@ -341,7 +381,7 @@ fn serve_connection(shared: &Shared, stream: TcpStream) {
                 }
                 let response = match shared.try_admit(frame.len()) {
                     None => {
-                        shared.palm.note_shed();
+                        shared.handler.note_shed();
                         error_payload(
                             ERROR_KIND_OVERLOADED,
                             "request shed by admission control",
@@ -355,7 +395,7 @@ fn serve_connection(shared: &Shared, stream: TcpStream) {
                                 .with_deadline(Instant::now() + Duration::from_millis(ms)),
                             None => shared.kill.clone(),
                         };
-                        let response = shared.palm.handle_json_bytes(frame, &cancel);
+                        let response = shared.handler.handle_json_bytes(frame, &cancel);
                         drop(admit);
                         response
                     }
@@ -368,7 +408,7 @@ fn serve_connection(shared: &Shared, stream: TcpStream) {
     }
 }
 
-impl Drop for NetServer {
+impl<H: RequestHandler> Drop for NetServer<H> {
     fn drop(&mut self) {
         // A dropped (not shut down) server still stops its threads so
         // tests cannot leak acceptors; `shutdown` is the orderly path.

@@ -35,6 +35,7 @@ fn build_request(name: &str, dataset_path: &str) -> PalmRequest {
         parallelism: 1,
         query_parallelism: 1,
         shard_count: 1,
+        range: None,
         io_overlap: true,
         io_backend: IoBackend::Pread,
         planner: PlannerMode::Fixed,
@@ -334,6 +335,7 @@ fn graceful_shutdown_drains_in_flight_work() {
         name: "small".into(),
         series: vec![series[0].values.clone()],
         timestamp: 1,
+        base_id: None,
     });
     let config = ServerConfig {
         drain_deadline: Duration::from_secs(30),
@@ -443,6 +445,7 @@ fn sigterm_drains_and_exits_zero() {
                 name: "idx".into(),
                 series: vec![series[1].values.clone()],
                 timestamp: 2,
+                base_id: None,
             }
             .to_json()
             .to_string(),

@@ -104,14 +104,28 @@ impl DatasetWriter {
     }
 }
 
-/// Read-only handle to a dataset file.
+/// Read-only handle to a dataset file, optionally restricted to a
+/// contiguous id window.
 ///
 /// Cloning the handle is cheap (it re-opens the file), and reads are
 /// positioned, so a `Dataset` can be shared across index variants.
+///
+/// A *windowed* handle (see [`Dataset::open_range`]) exposes only the
+/// series in `[lo, hi)` — [`Dataset::len`] and [`Dataset::iter`] cover the
+/// window — but ids stay **global** (a series' id is its position in the
+/// file), so an index built over a window reports the same ids as an index
+/// built over the whole file, and point reads by global id keep working.
+/// This is the primitive behind service-level sharding: each worker builds
+/// over its own key range of the shared dataset file and the coordinator's
+/// merged answers carry globally unique ids with no translation.
 pub struct Dataset {
     path: PathBuf,
     file: File,
     meta: SeriesMeta,
+    /// The visible id window `[view_lo, view_hi)`; the full file when
+    /// opened through [`Dataset::open`].
+    view_lo: u64,
+    view_hi: u64,
 }
 
 impl std::fmt::Debug for Dataset {
@@ -149,7 +163,26 @@ impl Dataset {
             path: path.as_ref().to_path_buf(),
             file,
             meta: SeriesMeta { series_len, count },
+            view_lo: 0,
+            view_hi: count,
         })
+    }
+
+    /// Opens an existing dataset file restricted to the id window
+    /// `[lo, hi)`.  Ids remain global (see the type docs); only
+    /// [`Dataset::len`], [`Dataset::iter`] and [`Dataset::contains`] are
+    /// narrowed.
+    pub fn open_range<P: AsRef<Path>>(path: P, lo: u64, hi: u64) -> Result<Self> {
+        let mut ds = Dataset::open(path)?;
+        if lo > hi || hi > ds.meta.count {
+            return Err(SeriesError::BadHeader(format!(
+                "invalid dataset range [{lo}, {hi}) over {} series",
+                ds.meta.count
+            )));
+        }
+        ds.view_lo = lo;
+        ds.view_hi = hi;
+        Ok(ds)
     }
 
     /// Builds a dataset file at `path` from in-memory series and opens it.
@@ -165,14 +198,25 @@ impl Dataset {
         self.meta
     }
 
-    /// Number of series in the dataset.
+    /// Number of series visible through this handle (the window size for a
+    /// handle from [`Dataset::open_range`], the file count otherwise).
     pub fn len(&self) -> u64 {
-        self.meta.count
+        self.view_hi - self.view_lo
     }
 
-    /// Returns `true` when the dataset holds no series.
+    /// Returns `true` when the handle exposes no series.
     pub fn is_empty(&self) -> bool {
-        self.meta.count == 0
+        self.view_hi == self.view_lo
+    }
+
+    /// The visible id window `[lo, hi)`.
+    pub fn id_range(&self) -> (u64, u64) {
+        (self.view_lo, self.view_hi)
+    }
+
+    /// Whether `id` falls inside the visible window.
+    pub fn contains(&self, id: SeriesId) -> bool {
+        id >= self.view_lo && id < self.view_hi
     }
 
     /// Length of each series in the dataset.
@@ -210,14 +254,16 @@ impl Dataset {
         ids.iter().map(|&id| self.read_series(id)).collect()
     }
 
-    /// Returns a sequential iterator over all series in the dataset.
+    /// Returns a sequential iterator over the visible series, yielding
+    /// their global ids.
     pub fn iter(&self) -> Result<DatasetReader> {
-        DatasetReader::new(&self.path)
+        DatasetReader::new(&self.path, self.view_lo, self.view_hi)
     }
 
-    /// Re-opens the dataset (useful to hand independent handles to threads).
+    /// Re-opens the dataset, preserving the id window (useful to hand
+    /// independent handles to threads).
     pub fn reopen(&self) -> Result<Dataset> {
-        Dataset::open(&self.path)
+        Dataset::open_range(&self.path, self.view_lo, self.view_hi)
     }
 }
 
@@ -234,23 +280,28 @@ fn read_exact_at(file: &File, buf: &mut [u8], offset: u64) -> std::io::Result<()
     f.read_exact(buf)
 }
 
-/// Streaming sequential reader over a dataset file.
+/// Streaming sequential reader over a dataset file (or an id window of
+/// one); yields global ids.
 pub struct DatasetReader {
     reader: BufReader<File>,
     meta: SeriesMeta,
     next_id: SeriesId,
+    end_id: SeriesId,
 }
 
 impl DatasetReader {
-    fn new(path: &Path) -> Result<Self> {
+    fn new(path: &Path, lo: SeriesId, hi: SeriesId) -> Result<Self> {
         let ds = Dataset::open(path)?;
         let file = File::open(path)?;
         let mut reader = BufReader::with_capacity(1 << 20, file);
-        reader.seek(SeekFrom::Start(HEADER_LEN))?;
+        reader.seek(SeekFrom::Start(
+            HEADER_LEN + lo * (ds.meta.series_len as u64) * 4,
+        ))?;
         Ok(DatasetReader {
             reader,
             meta: ds.meta,
-            next_id: 0,
+            next_id: lo,
+            end_id: hi.min(ds.meta.count),
         })
     }
 
@@ -264,7 +315,7 @@ impl Iterator for DatasetReader {
     type Item = Result<Series>;
 
     fn next(&mut self) -> Option<Self::Item> {
-        if self.next_id >= self.meta.count {
+        if self.next_id >= self.end_id {
             return None;
         }
         let mut buf = vec![0u8; self.meta.series_len * 4];
@@ -373,6 +424,37 @@ mod tests {
         assert_eq!(ds.file_size(), HEADER_LEN + 10 * 16 * 4);
         let actual = std::fs::metadata(&path).unwrap().len();
         assert_eq!(actual, ds.file_size());
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn windowed_view_keeps_global_ids() {
+        let path = temp_path("window.bin");
+        let mut gen = RandomWalkGenerator::new(16, 7);
+        let series = gen.generate(10);
+        Dataset::create_from_series(&path, &series).unwrap();
+        let ds = Dataset::open_range(&path, 3, 7).unwrap();
+        assert_eq!(ds.len(), 4);
+        assert_eq!(ds.id_range(), (3, 7));
+        assert!(ds.contains(3) && ds.contains(6));
+        assert!(!ds.contains(2) && !ds.contains(7));
+        let scanned: Vec<Series> = ds.iter().unwrap().map(|r| r.unwrap()).collect();
+        assert_eq!(scanned.len(), 4);
+        for (offset, s) in scanned.iter().enumerate() {
+            assert_eq!(s.id, 3 + offset as u64);
+            assert_eq!(s.values, series[3 + offset].values);
+        }
+        // Point reads by global id stay file-wide: refinement fetches may
+        // target any series of the shared file.
+        assert_eq!(ds.read_series(0).unwrap().values, series[0].values);
+        assert_eq!(ds.read_series(9).unwrap().values, series[9].values);
+        // The window is preserved across reopen.
+        let ds2 = ds.reopen().unwrap();
+        assert_eq!(ds2.len(), 4);
+        assert_eq!(ds2.id_range(), (3, 7));
+        // Invalid windows are rejected.
+        assert!(Dataset::open_range(&path, 5, 4).is_err());
+        assert!(Dataset::open_range(&path, 0, 11).is_err());
         std::fs::remove_file(&path).unwrap();
     }
 

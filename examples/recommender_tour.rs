@@ -40,6 +40,7 @@ fn main() {
         parallelism: 0,
         query_parallelism: 0,
         shard_count: 1,
+        range: None,
         io_overlap: true,
         io_backend: coconut_core::IoBackend::Pread,
         planner: coconut_core::PlannerMode::Fixed,
