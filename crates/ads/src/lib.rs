@@ -23,13 +23,14 @@ use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use coconut_ctree::entry::{EntryLayout, SeriesEntry};
+use coconut_ctree::kernels::euclidean_early_abandon;
 use coconut_ctree::query::{KnnHeap, QueryContext, QueryCost};
 use coconut_ctree::{IndexError, Result};
 use coconut_sax::breakpoints::BreakpointTable;
 use coconut_sax::mindist::{mindist_paa_isax_sq, mindist_paa_sax_sq};
 use coconut_sax::{InvSaxKey, IsaxWord, SaxConfig, SortableSummarizer};
 use coconut_series::dataset::Dataset;
-use coconut_series::distance::{euclidean_early_abandon, Neighbor};
+use coconut_series::distance::Neighbor;
 use coconut_series::paa::paa;
 use coconut_series::{Series, Timestamp};
 use coconut_storage::iostats::IoStatsSnapshot;

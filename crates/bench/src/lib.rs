@@ -1,7 +1,7 @@
-//! Shared harness used by the experiment binaries (`e1_*` .. `e11_*`).
+//! Shared harness used by the experiment binaries (`e1_*` .. `e17_*`).
 //!
 //! Each binary reproduces one experiment from the paper (see DESIGN.md for
-//! the experiment index and EXPERIMENTS.md for paper-vs-measured notes) and
+//! the experiment index) and
 //! prints its results as aligned text tables so the "rows/series" the paper
 //! would report can be regenerated with a single `cargo run --release -p
 //! coconut-bench --bin eN_...` invocation.

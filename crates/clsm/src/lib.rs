@@ -26,6 +26,7 @@ use std::path::{Path, PathBuf};
 use std::sync::Arc;
 
 use coconut_ctree::entry::{EntryLayout, SeriesEntry};
+use coconut_ctree::kernels::euclidean_early_abandon;
 use coconut_ctree::planner::{self, PlannedAnswer, PlannedBatch, PlannerInputs, PlannerMode};
 use coconut_ctree::query::{KnnHeap, QueryContext, QueryCost};
 use coconut_ctree::raw::RawSeriesSource;
@@ -33,7 +34,7 @@ use coconut_ctree::sorted_file::SortedSeriesFile;
 use coconut_ctree::{IndexError, Result};
 use coconut_sax::{SaxConfig, SortableSummarizer};
 use coconut_series::dataset::Dataset;
-use coconut_series::distance::{euclidean_early_abandon, Neighbor};
+use coconut_series::distance::Neighbor;
 use coconut_series::{Series, Timestamp};
 use coconut_storage::iostats::IoStatsSnapshot;
 use coconut_storage::{IoBackend, SharedIoStats};

@@ -27,6 +27,11 @@
 //!   ([`parallel_knn`]) and batches ([`batch_knn`], a round pipeline whose
 //!   per-query answers and costs are bit-identical to one-at-a-time
 //!   execution).
+//! * [`kernels`] — the dispatch surface for the explicit SIMD
+//!   distance/znorm/PAA backends (scalar / SSE2 / AVX2, runtime-detected,
+//!   `COCONUT_KERNELS` override) used by every scan in this crate and the
+//!   index crates built on it; bit-identical across backends by
+//!   construction.
 //! * [`raw`] — backend-aware raw-series fetching for non-materialized
 //!   refinement ([`RawSeriesSource`]: positioned reads or an
 //!   `MADV_RANDOM`-advised mapping of the dataset file, same accounting).
@@ -35,6 +40,7 @@
 
 pub mod engine;
 pub mod entry;
+pub mod kernels;
 pub mod planner;
 pub mod query;
 pub mod raw;
@@ -45,6 +51,7 @@ pub use engine::{
     batch_knn, batch_knn_chunked, batch_knn_with, parallel_knn, parallel_knn_with, SearchUnit,
 };
 pub use entry::{EntryLayout, SeriesEntry};
+pub use kernels::KernelBackend;
 pub use planner::{PlanDecision, PlanReport, PlannerInputs, PlannerMode};
 pub use query::{KnnHeap, QueryContext, QueryCost, SharedBound};
 pub use raw::RawSeriesSource;

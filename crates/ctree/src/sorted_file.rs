@@ -16,10 +16,10 @@
 use std::path::Path;
 use std::sync::Arc;
 
+use crate::kernels::euclidean_early_abandon;
 use coconut_sax::breakpoints::BreakpointTable;
 use coconut_sax::mindist::{mindist_paa_isax_sq, mindist_paa_sax_sq};
 use coconut_sax::{InvSaxKey, SaxConfig};
-use coconut_series::distance::euclidean_early_abandon;
 use coconut_series::paa::paa;
 use coconut_series::Timestamp;
 use coconut_storage::dynsort::DynRunWriter;

@@ -4,10 +4,11 @@ use std::path::{Path, PathBuf};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
+use crate::kernels::euclidean_early_abandon;
 use coconut_parallel::effective_parallelism;
 use coconut_sax::{SaxConfig, SortableSummarizer};
 use coconut_series::dataset::Dataset;
-use coconut_series::distance::{euclidean_early_abandon, Neighbor};
+use coconut_series::distance::Neighbor;
 use coconut_series::{Series, Timestamp};
 use coconut_storage::dynsort::DynExternalSorter;
 use coconut_storage::iostats::{IoStatsSnapshot, SharedIoStats};

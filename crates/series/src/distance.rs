@@ -6,56 +6,20 @@
 //! pruning bounds (computed in `f64` by the summarization layer) comparable
 //! without precision surprises.
 
-/// Width of the accumulator kernels: 8 independent `f64` lanes, enough for
-/// the compiler to keep the loop body in vector registers (auto-vectorizes to
-/// 2×AVX2 / 4×SSE2 lanes) while hiding the FP-add latency chain.
-const LANES: usize = 8;
-
-#[inline]
-fn lane_sum(acc: [f64; LANES]) -> f64 {
-    // Pairwise reduction: fixed association order, independent of how many
-    // chunks were processed, so partial (early-abandon) and full evaluations
-    // of the same prefix agree bit-for-bit.
-    ((acc[0] + acc[4]) + (acc[2] + acc[6])) + ((acc[1] + acc[5]) + (acc[3] + acc[7]))
-}
-
-#[inline]
-fn squared_tail(a: &[f32], b: &[f32]) -> f64 {
-    let mut acc = 0.0f64;
-    for (&x, &y) in a.iter().zip(b.iter()) {
-        let d = x as f64 - y as f64;
-        acc += d * d;
-    }
-    acc
-}
+use crate::kernels;
 
 /// Squared Euclidean distance between two equal-length slices.
 ///
-/// Accumulates in eight independent `f64` lanes over 8-wide chunks (an
-/// auto-vectorizable shape) and reduces the lanes pairwise at the end; the
-/// scalar remainder is added last.
+/// Accumulates in eight independent `f64` lanes over 8-wide chunks and
+/// reduces the lanes pairwise at the end; the scalar remainder is added
+/// last.  Dispatches to the process-wide [`kernels`] backend (explicit
+/// SSE2/AVX2 where available); every backend is bit-identical to the scalar
+/// reference.
 ///
 /// # Panics
 /// Panics if the slices have different lengths.
 pub fn squared_euclidean(a: &[f32], b: &[f32]) -> f64 {
-    assert_eq!(
-        a.len(),
-        b.len(),
-        "squared_euclidean requires equal-length series"
-    );
-    let mut acc = [0.0f64; LANES];
-    let chunks = a.len() / LANES;
-    for (ca, cb) in a
-        .chunks_exact(LANES)
-        .zip(b.chunks_exact(LANES))
-        .take(chunks)
-    {
-        for lane in 0..LANES {
-            let d = ca[lane] as f64 - cb[lane] as f64;
-            acc[lane] += d * d;
-        }
-    }
-    lane_sum(acc) + squared_tail(&a[chunks * LANES..], &b[chunks * LANES..])
+    kernels::squared_euclidean_with(kernels::active_backend(), a, b)
 }
 
 /// Euclidean distance between two equal-length slices.
@@ -72,36 +36,14 @@ pub fn euclidean(a: &[f32], b: &[f32]) -> f64 {
 /// candidates are abandoned after a few terms.
 /// The abandon check runs **per 8-wide chunk** rather than per element: the
 /// partial sum is monotone, so checking it at chunk boundaries abandons at
-/// most seven elements later than a per-element check would, while letting
-/// the chunk body vectorize.  The returned distance (when the candidate
-/// survives) is bit-identical to [`squared_euclidean`].
+/// most seven elements later than a per-element check would, while keeping
+/// the chunk body vectorizable.  The returned distance (when the candidate
+/// survives) is bit-identical to [`squared_euclidean`], and the abandon
+/// decision itself is bit-identical across every [`kernels`] backend (all
+/// backends check the identical partial sum at the identical chunk
+/// boundaries).
 pub fn euclidean_early_abandon(a: &[f32], b: &[f32], threshold: f64) -> Option<f64> {
-    assert_eq!(
-        a.len(),
-        b.len(),
-        "euclidean_early_abandon requires equal-length series"
-    );
-    let mut acc = [0.0f64; LANES];
-    let chunks = a.len() / LANES;
-    for (ca, cb) in a
-        .chunks_exact(LANES)
-        .zip(b.chunks_exact(LANES))
-        .take(chunks)
-    {
-        for lane in 0..LANES {
-            let d = ca[lane] as f64 - cb[lane] as f64;
-            acc[lane] += d * d;
-        }
-        if lane_sum(acc) > threshold {
-            return None;
-        }
-    }
-    let total = lane_sum(acc) + squared_tail(&a[chunks * LANES..], &b[chunks * LANES..]);
-    if total > threshold {
-        None
-    } else {
-        Some(total)
-    }
+    kernels::euclidean_early_abandon_with(kernels::active_backend(), a, b, threshold)
 }
 
 /// Result of a nearest-neighbour computation: the series id, the arrival

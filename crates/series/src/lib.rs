@@ -13,6 +13,10 @@
 //!   similarity search.
 //! * [`distance`] — Euclidean distance, squared distance and the
 //!   early-abandoning variant used by exact search.
+//! * [`kernels`] — the explicit SIMD backends (scalar / SSE2 / AVX2 with
+//!   runtime detection) behind the distance, z-normalization and PAA hot
+//!   loops, bit-identical to each other by construction and selectable via
+//!   `COCONUT_KERNELS`.
 //! * [`mod@paa`] — Piecewise Aggregate Approximation, the dimensionality
 //!   reduction on top of which SAX/iSAX summarizations are defined.
 //! * [`generator`] — synthetic dataset generators: pure random walks, an
@@ -30,6 +34,7 @@
 pub mod dataset;
 pub mod distance;
 pub mod generator;
+pub mod kernels;
 pub mod paa;
 pub mod series;
 pub mod stats;
@@ -41,6 +46,7 @@ pub use distance::{euclidean, euclidean_early_abandon, squared_euclidean};
 pub use generator::{
     AstronomyGenerator, PatternKind, RandomWalkGenerator, SeismicStreamGenerator, SeriesGenerator,
 };
+pub use kernels::KernelBackend;
 pub use paa::paa;
 pub use series::{Series, SeriesId, SeriesMeta, Timestamp, TimestampedSeries};
 pub use workload::{QueryWorkload, WorkloadKind};

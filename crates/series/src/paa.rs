@@ -24,11 +24,16 @@ pub fn paa(values: &[f32], segments: usize) -> Vec<f64> {
     );
     let n = values.len();
     if n.is_multiple_of(segments) {
-        // Fast path: equal-width integer segments.
+        // Fast path: equal-width integer segments.  Each segment sum
+        // accumulates in the shared 8-lane kernel shape (sub-8 segments are
+        // pure sequential tail, exactly the historical order) and dispatches
+        // to the process-wide SIMD backend; results are bit-identical at
+        // every backend.
+        let backend = crate::kernels::active_backend();
         let width = n / segments;
         return values
             .chunks_exact(width)
-            .map(|chunk| chunk.iter().map(|&v| v as f64).sum::<f64>() / width as f64)
+            .map(|chunk| crate::kernels::sum_with(backend, chunk) / width as f64)
             .collect();
     }
     // General path: fractional segment boundaries.  Each point i covers the

@@ -20,46 +20,25 @@ pub fn znormalize(values: &[f32]) -> Vec<f32> {
     out
 }
 
-/// Accumulator width shared with the distance kernels: 8 independent `f64`
-/// lanes over 8-wide chunks, an auto-vectorizable shape.
-const LANES: usize = 8;
-
-#[inline]
-fn lane_sum(acc: [f64; LANES]) -> f64 {
-    ((acc[0] + acc[4]) + (acc[2] + acc[6])) + ((acc[1] + acc[5]) + (acc[3] + acc[7]))
-}
-
-/// Sum of `f(v)` over `values`, accumulated in 8 independent lanes.
-#[inline]
-fn chunked_sum(values: &[f32], f: impl Fn(f64) -> f64) -> f64 {
-    let mut acc = [0.0f64; LANES];
-    let chunks = values.len() / LANES;
-    for chunk in values.chunks_exact(LANES).take(chunks) {
-        for lane in 0..LANES {
-            acc[lane] += f(chunk[lane] as f64);
-        }
-    }
-    let mut tail = 0.0f64;
-    for &v in &values[chunks * LANES..] {
-        tail += f(v as f64);
-    }
-    lane_sum(acc) + tail
-}
+use crate::kernels;
 
 /// Z-normalizes `values` in place (zero mean, unit standard deviation).
 ///
 /// Near-constant inputs (standard deviation below [`MIN_STDDEV`]) are set to
 /// all zeros.
+///
+/// The mean/variance sums accumulate in 8 independent `f64` lanes over
+/// 8-wide chunks (the accumulator shape shared with the distance kernels)
+/// and the scale pass is elementwise; all three dispatch to the
+/// process-wide [`kernels`] backend and are bit-identical at every setting.
 pub fn znormalize_in_place(values: &mut [f32]) {
     if values.is_empty() {
         return;
     }
+    let backend = kernels::active_backend();
     let n = values.len() as f64;
-    let mean = chunked_sum(values, |v| v) / n;
-    let var = chunked_sum(values, |v| {
-        let d = v - mean;
-        d * d
-    }) / n;
+    let mean = kernels::sum_with(backend, values) / n;
+    let var = kernels::sum_sq_dev_with(backend, values, mean) / n;
     let std = var.sqrt();
     if std < MIN_STDDEV {
         for v in values.iter_mut() {
@@ -67,10 +46,7 @@ pub fn znormalize_in_place(values: &mut [f32]) {
         }
         return;
     }
-    let inv = 1.0 / std;
-    for v in values.iter_mut() {
-        *v = ((*v as f64 - mean) * inv) as f32;
-    }
+    kernels::scale_with(backend, values, mean, 1.0 / std);
 }
 
 /// Returns the mean and (population) standard deviation of `values`.
@@ -78,12 +54,10 @@ pub fn mean_std(values: &[f32]) -> (f64, f64) {
     if values.is_empty() {
         return (0.0, 0.0);
     }
+    let backend = kernels::active_backend();
     let n = values.len() as f64;
-    let mean = chunked_sum(values, |v| v) / n;
-    let var = chunked_sum(values, |v| {
-        let d = v - mean;
-        d * d
-    }) / n;
+    let mean = kernels::sum_with(backend, values) / n;
+    let var = kernels::sum_sq_dev_with(backend, values, mean) / n;
     (mean, var.sqrt())
 }
 

@@ -1,0 +1,94 @@
+//! Best-effort page-cache eviction for cold-cache benchmarking.
+//!
+//! The `e17_scale` bench wants to measure *cold* query latencies — every
+//! leaf block read paying a real storage round trip — without root access
+//! to `/proc/sys/vm/drop_caches`.  `posix_fadvise(POSIX_FADV_DONTNEED)`
+//! is the unprivileged tool for that: it asks the kernel to drop the
+//! file's clean page-cache pages.  It is advisory (a page pinned by a
+//! concurrent mapping, or one the kernel declines to drop, simply stays),
+//! so callers get a `bool` — *the hint was delivered*, not *the cache is
+//! cold* — and benches report which of the two regimes they measured.
+//!
+//! Like [`crate::mmap`], the build environment is offline, so the syscall
+//! is declared directly rather than through a crate, assuming the LP64 ABI
+//! (`off_t` = `i64`).  On non-64-bit or non-Unix targets the function
+//! compiles to `false` and benches fall back to warm-cache-only numbers.
+
+use std::path::Path;
+
+/// Asks the kernel to drop the page-cache pages of the file at `path`.
+///
+/// Flushes dirty pages first (`fsync`) because `POSIX_FADV_DONTNEED`
+/// ignores dirty pages — a just-written bench file would otherwise stay
+/// fully cached.  Returns `true` when the hint was delivered (the advice
+/// call returned 0), `false` when the platform has no `posix_fadvise` or
+/// the file could not be opened/advised.  Never fails: eviction is a
+/// measurement aid, not a correctness requirement.
+pub fn drop_page_cache<P: AsRef<Path>>(path: P) -> bool {
+    imp::drop_page_cache(path.as_ref())
+}
+
+#[cfg(all(unix, target_pointer_width = "64"))]
+mod imp {
+    use std::os::unix::io::AsRawFd;
+    use std::path::Path;
+
+    const POSIX_FADV_DONTNEED: std::ffi::c_int = 4;
+
+    extern "C" {
+        fn posix_fadvise(
+            fd: std::ffi::c_int,
+            offset: i64,
+            len: i64,
+            advice: std::ffi::c_int,
+        ) -> std::ffi::c_int;
+    }
+
+    pub fn drop_page_cache(path: &Path) -> bool {
+        let Ok(file) = std::fs::File::open(path) else {
+            return false;
+        };
+        // DONTNEED skips dirty pages; flush them so the drop can take.
+        let _ = file.sync_all();
+        // offset 0, len 0 = the whole file.  posix_fadvise returns the
+        // error number directly (it does not set errno).
+        unsafe { posix_fadvise(file.as_raw_fd(), 0, 0, POSIX_FADV_DONTNEED) == 0 }
+    }
+}
+
+#[cfg(not(all(unix, target_pointer_width = "64")))]
+mod imp {
+    use std::path::Path;
+
+    pub fn drop_page_cache(_path: &Path) -> bool {
+        false
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ScratchDir;
+
+    #[test]
+    fn dropping_a_real_file_reports_delivery_and_preserves_bytes() {
+        let dir = ScratchDir::new("fadvise").unwrap();
+        let path = dir.file("blob.bin");
+        let payload: Vec<u8> = (0..64 * 1024).map(|i| (i % 251) as u8).collect();
+        std::fs::write(&path, &payload).unwrap();
+        let delivered = drop_page_cache(&path);
+        if cfg!(all(unix, target_pointer_width = "64")) {
+            assert!(delivered, "fadvise on a regular file should succeed");
+        } else {
+            assert!(!delivered);
+        }
+        // Eviction must never change what readers see.
+        assert_eq!(std::fs::read(&path).unwrap(), payload);
+    }
+
+    #[test]
+    fn missing_file_is_a_clean_false() {
+        let dir = ScratchDir::new("fadvise-missing").unwrap();
+        assert!(!drop_page_cache(dir.file("nope.bin")));
+    }
+}

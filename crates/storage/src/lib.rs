@@ -26,6 +26,7 @@
 pub mod cost;
 pub mod dynsort;
 pub mod extsort;
+pub mod fadvise;
 pub mod file;
 pub mod heatmap;
 pub mod iostats;
@@ -40,6 +41,7 @@ pub use dynsort::{
     RecordLayout,
 };
 pub use extsort::{ExternalSortConfig, ExternalSorter};
+pub use fadvise::drop_page_cache;
 pub use file::{read_ahead, PagedFile, ReadAheadBuffers, PREFETCH_MIN_BYTES};
 pub use heatmap::HeatMap;
 pub use iostats::{AccessKind, IoStats, IoStatsSnapshot, SharedIoStats};

@@ -655,11 +655,9 @@ impl PartitionedStream {
                 }
             }
             ctx.cost.entries_examined += 1;
-            if let Some(d) = coconut_series::distance::euclidean_early_abandon(
-                query,
-                &entry.values,
-                heap.bound(),
-            ) {
+            if let Some(d) =
+                coconut_ctree::kernels::euclidean_early_abandon(query, &entry.values, heap.bound())
+            {
                 heap.offer_at(entry.id, entry.timestamp, d);
             }
         }
