@@ -22,7 +22,7 @@
 use std::sync::Arc;
 use std::time::Instant;
 
-use coconut_bench::{f2, io_backend, print_table, scale, threads, Workbench};
+use coconut_bench::{compression, f2, io_backend, print_table, scale, threads, Workbench};
 use coconut_core::palm::{PalmRequest, PalmResponse, PalmServer};
 use coconut_core::{
     IndexConfig, IoStatsSnapshot, Neighbor, PlannerMode, QueryCost, StaticIndex, VariantKind,
@@ -108,6 +108,7 @@ fn main() {
         io_overlap: true,
         io_backend: backend,
         planner: PlannerMode::Fixed,
+        compression: compression(),
     });
     assert!(matches!(built, PalmResponse::Built { .. }), "{built:?}");
     let requests: Vec<PalmRequest> = queries

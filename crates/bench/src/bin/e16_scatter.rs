@@ -26,7 +26,7 @@
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
-use coconut_bench::{f2, io_backend, print_table, scale, threads, Workbench};
+use coconut_bench::{compression, f2, io_backend, print_table, scale, threads, Workbench};
 use coconut_core::backend::ExecutionBackend;
 use coconut_core::palm::{PalmRequest, PalmResponse, PalmServer};
 use coconut_core::{PlannerMode, VariantKind};
@@ -261,6 +261,7 @@ fn main() {
         io_overlap: true,
         io_backend: backend,
         planner: PlannerMode::Fixed,
+        compression: compression(),
     };
     let requests: Vec<String> = wb
         .queries

@@ -58,6 +58,18 @@ pub fn io_backend() -> coconut_core::IoBackend {
         .unwrap_or_default()
 }
 
+/// On-disk compression from `COCONUT_COMPRESSION` (`off`, the default, or
+/// `prefix`).
+///
+/// Experiments pass this through the `compression` knobs of the index
+/// configurations; the CI matrix runs the suite and the smoke benches under
+/// both values.  A pure performance knob — answers, `QueryCost` and the
+/// logical `IoStats` view are identical at either setting
+/// (`e18_compression` re-verifies this on every run).
+pub fn compression() -> coconut_core::Compression {
+    coconut_core::Compression::from_env()
+}
+
 /// A generated dataset on disk plus its in-memory copy and query workload.
 pub struct Workbench {
     /// Scratch directory holding the raw file and all index files.

@@ -92,6 +92,11 @@ pub struct ClsmConfig {
     /// engages (default `coconut_storage::PREFETCH_MIN_BYTES`; `usize::MAX`
     /// disables read-ahead).  A pure performance knob.
     pub prefetch_min_bytes: usize,
+    /// On-disk compression of every run (default `off`).  Answers,
+    /// `QueryCost` and the logical `IoStats` view are identical at either
+    /// setting; flushes, compactions and probes just move fewer physical
+    /// bytes.  See `coconut_storage::Compression`.
+    pub compression: coconut_storage::Compression,
 }
 
 impl ClsmConfig {
@@ -111,6 +116,7 @@ impl ClsmConfig {
             io_backend: IoBackend::Pread,
             planner: PlannerMode::Fixed,
             prefetch_min_bytes: coconut_storage::PREFETCH_MIN_BYTES,
+            compression: coconut_storage::Compression::Off,
         }
     }
 
@@ -182,6 +188,13 @@ impl ClsmConfig {
         self
     }
 
+    /// Selects the on-disk compression (default `off`).  A logical-view
+    /// no-op; see [`ClsmConfig::compression`].
+    pub fn with_compression(mut self, compression: coconut_storage::Compression) -> Self {
+        self.compression = compression;
+        self
+    }
+
     fn layout(&self) -> EntryLayout {
         if self.materialized {
             EntryLayout::materialized(self.sax.key_bits(), self.sax.series_len)
@@ -245,9 +258,16 @@ impl RunSet {
         self.len() == 0
     }
 
-    /// Total on-disk size across all shards.
+    /// Total logical size (records x record size) across all shards; used
+    /// for budget arithmetic so thresholds are knob-invariant.
     pub fn byte_size(&self) -> u64 {
         self.shards.iter().map(|s| s.byte_size()).sum()
+    }
+
+    /// Actual bytes on disk across all shards (smaller than
+    /// [`RunSet::byte_size`] when compression is on).
+    pub fn physical_byte_size(&self) -> u64 {
+        self.shards.iter().map(|s| s.physical_byte_size()).sum()
     }
 
     fn delete(self) -> Result<()> {
@@ -387,12 +407,14 @@ impl ClsmTree {
         self.levels.len()
     }
 
-    /// On-disk footprint in bytes.
+    /// On-disk footprint in bytes — the *physical* size, so with
+    /// compression on, planner residency decisions see the real (smaller)
+    /// working set.
     pub fn footprint_bytes(&self) -> u64 {
         self.levels
             .iter()
             .flat_map(|l| l.iter())
-            .map(|r| r.byte_size())
+            .map(|r| r.physical_byte_size())
             .sum()
     }
 
@@ -488,7 +510,7 @@ impl ClsmTree {
             .dir
             .join(format!("clsm-L{level}-{:06}.run", self.next_run_id));
         self.next_run_id += 1;
-        SortedSeriesFile::build_from_entries_with(
+        SortedSeriesFile::build_from_entries_compressed(
             path,
             self.config.layout(),
             self.config.sax,
@@ -498,6 +520,7 @@ impl ClsmTree {
             self.config.page_size,
             self.config.parallelism,
             self.config.io_backend,
+            self.config.compression,
         )
     }
 
@@ -602,7 +625,7 @@ impl ClsmTree {
                 let path = self.dir.join(format!(
                     "clsm-L{target_level}-{run_id:06}-s{shard_idx:03}.run"
                 ));
-                SortedSeriesFile::build_from_sorted_with(
+                SortedSeriesFile::build_from_sorted_compressed(
                     path,
                     layout,
                     self.config.sax,
@@ -611,6 +634,7 @@ impl ClsmTree {
                     Arc::clone(&self.stats),
                     self.config.page_size,
                     self.config.io_backend,
+                    self.config.compression,
                 )
             },
         );

@@ -145,6 +145,7 @@ mod tests {
             io_overlap: true,
             io_backend: IoBackend::Pread,
             planner: PlannerMode::Fixed,
+            compression: coconut_storage::Compression::Off,
         }
     }
 

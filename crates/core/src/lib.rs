@@ -36,7 +36,7 @@ pub use coconut_sax::SaxConfig;
 pub use coconut_series::distance::Neighbor;
 pub use coconut_series::{Dataset, Series, TimestampedSeries};
 pub use coconut_storage::{
-    CostModel, IoBackend, IoStats, IoStatsSnapshot, ScratchDir, SharedIoStats,
+    Compression, CostModel, IoBackend, IoStats, IoStatsSnapshot, ScratchDir, SharedIoStats,
 };
 pub use coconut_stream::{
     PartitionKind, PartitionedConfig, PartitionedStream, PpStream, StreamingIndex, WindowScheme,
@@ -119,6 +119,11 @@ pub struct IndexConfig {
     /// disables read-ahead).  A pure performance knob the adaptive planner
     /// also sets.
     pub prefetch_min_bytes: usize,
+    /// On-disk compression of sorted runs and leaf blocks (default `off`).
+    /// Answers, `QueryCost` and the logical `IoStats` view are identical at
+    /// either setting; only physical bytes on disk and read shrink.  See
+    /// DESIGN.md ("Compressed runs").
+    pub compression: coconut_storage::Compression,
 }
 
 impl IndexConfig {
@@ -138,6 +143,7 @@ impl IndexConfig {
             io_backend: IoBackend::Pread,
             planner: PlannerMode::Adaptive,
             prefetch_min_bytes: coconut_storage::PREFETCH_MIN_BYTES,
+            compression: coconut_storage::Compression::Off,
         }
     }
 
@@ -200,6 +206,14 @@ impl IndexConfig {
         self
     }
 
+    /// Selects the on-disk compression of sorted runs and leaf blocks
+    /// (default `off`).  A pure performance knob; see DESIGN.md
+    /// ("Compressed runs").
+    pub fn with_compression(mut self, compression: coconut_storage::Compression) -> Self {
+        self.compression = compression;
+        self
+    }
+
     /// Display name like "CTreeFull" / "CTree" following Figure 1.
     pub fn display_name(&self) -> String {
         if self.materialized {
@@ -230,6 +244,7 @@ impl IndexConfig {
             io_backend: IoBackend::Pread,
             planner: PlannerMode::Adaptive,
             prefetch_min_bytes: coconut_storage::PREFETCH_MIN_BYTES,
+            compression: coconut_storage::Compression::Off,
         }
     }
 }
@@ -341,7 +356,8 @@ impl StaticIndex {
                     .with_io_overlap(config.io_overlap)
                     .with_io_backend(config.io_backend)
                     .with_planner(config.planner)
-                    .with_prefetch_min_bytes(config.prefetch_min_bytes);
+                    .with_prefetch_min_bytes(config.prefetch_min_bytes)
+                    .with_compression(config.compression);
                 StaticIndex::CTree(CTree::build(
                     dataset,
                     ctree_config,
@@ -360,6 +376,7 @@ impl StaticIndex {
                     .with_io_backend(config.io_backend)
                     .with_planner(config.planner)
                     .with_prefetch_min_bytes(config.prefetch_min_bytes)
+                    .with_compression(config.compression)
                     .with_buffer_capacity(
                         (config.memory_budget_bytes / (config.sax.series_len * 4 + 32)).max(64),
                     );
@@ -633,6 +650,9 @@ pub struct StreamingConfig {
     /// (default `coconut_storage::PREFETCH_MIN_BYTES`).  A pure performance
     /// knob the adaptive planner also sets.
     pub prefetch_min_bytes: usize,
+    /// On-disk compression of runs and partitions (default `off`).  A pure
+    /// performance knob; see DESIGN.md ("Compressed runs").
+    pub compression: coconut_storage::Compression,
 }
 
 impl StreamingConfig {
@@ -650,6 +670,7 @@ impl StreamingConfig {
             io_backend: IoBackend::Pread,
             planner: PlannerMode::Adaptive,
             prefetch_min_bytes: coconut_storage::PREFETCH_MIN_BYTES,
+            compression: coconut_storage::Compression::Off,
         }
     }
 
@@ -694,6 +715,13 @@ impl StreamingConfig {
         self
     }
 
+    /// Selects the on-disk compression of runs and partitions (default
+    /// `off`).  A pure performance knob; see DESIGN.md ("Compressed runs").
+    pub fn with_compression(mut self, compression: coconut_storage::Compression) -> Self {
+        self.compression = compression;
+        self
+    }
+
     /// Display name like "ADS+ PP", "CLSM BTP".
     pub fn display_name(&self) -> String {
         format!("{} {}", self.variant.name(), self.scheme.short_name())
@@ -724,7 +752,8 @@ pub fn streaming_index(
                         .with_io_overlap(config.io_overlap)
                         .with_io_backend(config.io_backend)
                         .with_planner(config.planner)
-                        .with_prefetch_min_bytes(config.prefetch_min_bytes),
+                        .with_prefetch_min_bytes(config.prefetch_min_bytes)
+                        .with_compression(config.compression),
                     dir,
                     stats,
                 )?;
@@ -745,7 +774,8 @@ pub fn streaming_index(
                 .with_io_overlap(config.io_overlap)
                 .with_io_backend(config.io_backend)
                 .with_planner(config.planner)
-                .with_prefetch_min_bytes(config.prefetch_min_bytes);
+                .with_prefetch_min_bytes(config.prefetch_min_bytes)
+                .with_compression(config.compression);
             Ok(Box::new(PartitionedStream::temporal_partitioning(
                 cfg, dir, stats,
             )?))
@@ -759,7 +789,8 @@ pub fn streaming_index(
                 .with_io_overlap(config.io_overlap)
                 .with_io_backend(config.io_backend)
                 .with_planner(config.planner)
-                .with_prefetch_min_bytes(config.prefetch_min_bytes);
+                .with_prefetch_min_bytes(config.prefetch_min_bytes)
+                .with_compression(config.compression);
             Ok(Box::new(PartitionedStream::bounded_temporal_partitioning(
                 cfg, dir, stats,
             )?))

@@ -93,6 +93,12 @@ pub enum PalmRequest {
         /// changes which execution knobs the engine runs with, and attaches
         /// an `explain` member to query responses.
         planner: PlannerMode,
+        /// On-disk compression of sorted runs and leaf blocks ("off" |
+        /// "prefix").  Optional in the JSON protocol; defaults to the
+        /// `COCONUT_COMPRESSION` environment variable (itself defaulting to
+        /// "off").  A pure performance knob: answers, `QueryCost` and the
+        /// logical I/O totals are identical at either setting.
+        compression: coconut_storage::Compression,
     },
     /// Run a query against a registered index.
     Query {
@@ -593,6 +599,7 @@ impl ToJson for PalmRequest {
                 io_overlap,
                 io_backend,
                 planner,
+                compression,
             } => {
                 let mut members = vec![
                     ("type", Json::Str("build_index".into())),
@@ -607,6 +614,7 @@ impl ToJson for PalmRequest {
                     ("io_overlap", io_overlap.to_json()),
                     ("io_backend", io_backend.to_json()),
                     ("planner", planner.to_json()),
+                    ("compression", compression.to_json()),
                 ];
                 if let Some((lo, hi)) = range {
                     members.push(("range_lo", lo.to_json()));
@@ -688,6 +696,11 @@ impl FromJson for PalmRequest {
                 io_overlap: member_or(json, "io_overlap", true)?,
                 io_backend: member_or(json, "io_backend", IoBackend::Pread)?,
                 planner: member_or(json, "planner", PlannerMode::Fixed)?,
+                compression: member_or(
+                    json,
+                    "compression",
+                    coconut_storage::Compression::from_env(),
+                )?,
             }),
             "query" => Ok(PalmRequest::Query {
                 name: member(json, "name")?,
@@ -1402,6 +1415,7 @@ impl PalmServer {
                 io_overlap,
                 io_backend,
                 planner,
+                compression,
             } => {
                 // The build runs entirely outside the registry lock, so
                 // queries against other indexes proceed while it sorts.
@@ -1419,7 +1433,8 @@ impl PalmServer {
                     .with_shard_count(shard_count)
                     .with_io_overlap(io_overlap)
                     .with_io_backend(io_backend)
-                    .with_planner(planner);
+                    .with_planner(planner)
+                    .with_compression(compression);
                 let stats = IoStats::shared();
                 let dir = self.work_dir.join(&name);
                 let (index, report) =
@@ -1799,6 +1814,7 @@ mod tests {
             io_overlap: true,
             io_backend: IoBackend::Pread,
             planner: PlannerMode::Fixed,
+            compression: coconut_storage::Compression::Off,
         }
     }
 
@@ -2003,6 +2019,7 @@ mod tests {
             io_overlap: true,
             io_backend: IoBackend::Pread,
             planner: PlannerMode::Fixed,
+            compression: coconut_storage::Compression::Off,
         });
         // Appended series would not exist in the raw file the index refines
         // from; the insert must be refused, not accepted and left to poison

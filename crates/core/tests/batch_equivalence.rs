@@ -253,6 +253,7 @@ fn concurrent_reads_during_append_observe_valid_snapshots() {
         io_overlap: true,
         io_backend: coconut_core::IoBackend::Pread,
         planner: coconut_core::PlannerMode::Fixed,
+        compression: coconut_core::Compression::Off,
     });
     assert!(matches!(built, PalmResponse::Built { .. }), "{built:?}");
 

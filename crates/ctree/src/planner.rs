@@ -318,6 +318,23 @@ fn parse_meminfo_available(text: &str) -> Option<u64> {
 mod tests {
     use super::*;
 
+    /// Regression test: the probe must report the host's real core count.
+    /// An earlier revision collapsed `cores` to a constant, silently
+    /// pinning every adaptive fan-out decision to single-core behavior on
+    /// multi-core hosts.
+    #[test]
+    fn host_probe_reports_real_core_count() {
+        let probe = host_probe();
+        let expected = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1);
+        assert_eq!(probe.cores, expected);
+        assert!(probe.cores >= 1);
+        assert!(probe.cache_budget_bytes > 0);
+        // The probe is process-wide and stable across calls.
+        assert_eq!(host_probe().cores, probe.cores);
+    }
+
     fn base_inputs() -> PlannerInputs {
         PlannerInputs {
             footprint_bytes: 64 << 20,

@@ -23,7 +23,7 @@ use coconut_sax::{InvSaxKey, SaxConfig};
 use coconut_series::paa::paa;
 use coconut_series::Timestamp;
 use coconut_storage::dynsort::DynRunWriter;
-use coconut_storage::{AccessPattern, IoBackend, SharedIoStats};
+use coconut_storage::{AccessPattern, Compression, IoBackend, SharedIoStats};
 
 use crate::entry::{EntryLayout, SeriesEntry};
 use crate::query::{KnnHeap, QueryContext};
@@ -114,9 +114,50 @@ impl SortedSeriesFile {
         P: AsRef<Path>,
         I: IntoIterator<Item = Result<SeriesEntry>>,
     {
+        Self::build_from_sorted_compressed(
+            path,
+            layout,
+            sax,
+            sorted,
+            entries_per_block,
+            stats,
+            page_size,
+            backend,
+            Compression::Off,
+        )
+    }
+
+    /// Like [`SortedSeriesFile::build_from_sorted_with`], additionally
+    /// choosing the on-disk [`Compression`] of the partition.  `off`
+    /// produces byte-identical files to every release before the knob
+    /// existed; `prefix` front-codes the sorted invSAX keys and
+    /// delta-codes ids/timestamps into ~4 KiB blocks.  Answers, costs and
+    /// the logical `IoStats` view are identical either way.
+    #[allow(clippy::too_many_arguments)]
+    pub fn build_from_sorted_compressed<P, I>(
+        path: P,
+        layout: EntryLayout,
+        sax: SaxConfig,
+        sorted: I,
+        entries_per_block: usize,
+        stats: SharedIoStats,
+        page_size: usize,
+        backend: IoBackend,
+        compression: Compression,
+    ) -> Result<Self>
+    where
+        P: AsRef<Path>,
+        I: IntoIterator<Item = Result<SeriesEntry>>,
+    {
         assert!(entries_per_block > 0);
-        let mut writer =
-            DynRunWriter::create_with(layout, path, Arc::clone(&stats), page_size, backend)?;
+        let mut writer = DynRunWriter::create_compressed(
+            layout,
+            path,
+            Arc::clone(&stats),
+            page_size,
+            backend,
+            compression,
+        )?;
         let mut blocks: Vec<BlockMeta> = Vec::new();
         let mut current: Option<BlockMeta> = None;
         let mut index: u64 = 0;
@@ -229,16 +270,46 @@ impl SortedSeriesFile {
         path: P,
         layout: EntryLayout,
         sax: SaxConfig,
-        mut entries: Vec<SeriesEntry>,
+        entries: Vec<SeriesEntry>,
         entries_per_block: usize,
         stats: SharedIoStats,
         page_size: usize,
         parallelism: usize,
         backend: IoBackend,
     ) -> Result<Self> {
+        Self::build_from_entries_compressed(
+            path,
+            layout,
+            sax,
+            entries,
+            entries_per_block,
+            stats,
+            page_size,
+            parallelism,
+            backend,
+            Compression::Off,
+        )
+    }
+
+    /// Like [`SortedSeriesFile::build_from_entries_with`], additionally
+    /// choosing the on-disk [`Compression`]; see
+    /// [`SortedSeriesFile::build_from_sorted_compressed`].
+    #[allow(clippy::too_many_arguments)]
+    pub fn build_from_entries_compressed<P: AsRef<Path>>(
+        path: P,
+        layout: EntryLayout,
+        sax: SaxConfig,
+        mut entries: Vec<SeriesEntry>,
+        entries_per_block: usize,
+        stats: SharedIoStats,
+        page_size: usize,
+        parallelism: usize,
+        backend: IoBackend,
+        compression: Compression,
+    ) -> Result<Self> {
         let workers = coconut_parallel::effective_parallelism(parallelism);
         coconut_parallel::parallel_sort_by_key(&mut entries, workers, |e| (e.key, e.id));
-        Self::build_from_sorted_with(
+        Self::build_from_sorted_compressed(
             path,
             layout,
             sax,
@@ -247,6 +318,7 @@ impl SortedSeriesFile {
             stats,
             page_size,
             backend,
+            compression,
         )
     }
 
@@ -260,9 +332,41 @@ impl SortedSeriesFile {
         self.run.is_empty()
     }
 
-    /// On-disk size in bytes.
+    /// Logical size in bytes (`entries × record_size`, compression-blind);
+    /// cost and buffer arithmetic stays on this view so decisions are
+    /// identical at compression off/prefix.
     pub fn byte_size(&self) -> u64 {
         self.run.byte_size()
+    }
+
+    /// Bytes the partition actually occupies on disk (smaller than
+    /// [`SortedSeriesFile::byte_size`] when compressed).
+    pub fn physical_byte_size(&self) -> u64 {
+        self.run.physical_byte_size()
+    }
+
+    /// The on-disk compression the partition was built with.
+    pub fn compression(&self) -> Compression {
+        self.run.compression()
+    }
+
+    /// Reads only the invSAX keys of `count` entries starting at `index`,
+    /// in key order.  On compressed materialized partitions this touches
+    /// just the blocks' head regions — the raw f32 values never leave the
+    /// disk — so a cold key-only scan moves strictly fewer physical bytes
+    /// than an entry scan; the logical `IoStats` view is charged like a
+    /// full-record read on every path, keeping it knob-invariant.
+    pub fn scan_keys(&self, index: u64, count: usize) -> Result<Vec<u128>> {
+        let heads = self.run.read_heads_raw(index, count)?;
+        let head = self.run.head_size();
+        Ok(heads
+            .chunks_exact(head)
+            .map(|h| {
+                let mut k = [0u8; 16];
+                k.copy_from_slice(&h[..16]);
+                u128::from_be_bytes(k)
+            })
+            .collect())
     }
 
     /// The block index.

@@ -71,6 +71,13 @@ pub struct CTreeConfig {
     /// merges (default `coconut_storage::PREFETCH_MIN_BYTES`;
     /// `usize::MAX` disables read-ahead).  A pure performance knob.
     pub prefetch_min_bytes: usize,
+    /// On-disk compression of the leaf level and the sort's spill runs
+    /// (default `off`).  `prefix` front-codes the sorted invSAX keys and
+    /// delta-codes ids/timestamps into ~4 KiB blocks.  Answers,
+    /// `QueryCost` and the logical `IoStats` view are identical at either
+    /// setting; only the physical bytes (and the on-disk footprint the
+    /// adaptive planner sees) shrink.  See `coconut_storage::Compression`.
+    pub compression: coconut_storage::Compression,
 }
 
 impl CTreeConfig {
@@ -89,6 +96,7 @@ impl CTreeConfig {
             io_backend: IoBackend::Pread,
             planner: PlannerMode::Fixed,
             prefetch_min_bytes: coconut_storage::PREFETCH_MIN_BYTES,
+            compression: coconut_storage::Compression::Off,
         }
     }
 
@@ -151,6 +159,14 @@ impl CTreeConfig {
     /// [`CTreeConfig::prefetch_min_bytes`].
     pub fn with_prefetch_min_bytes(mut self, bytes: usize) -> Self {
         self.prefetch_min_bytes = bytes;
+        self
+    }
+
+    /// Selects the on-disk compression (default `off`).  Answers, costs
+    /// and the logical `IoStats` view are identical either way; see
+    /// [`CTreeConfig::compression`].
+    pub fn with_compression(mut self, compression: coconut_storage::Compression) -> Self {
+        self.compression = compression;
         self
     }
 
@@ -263,6 +279,7 @@ impl CTree {
                 .with_parallelism(config.parallelism)
                 .with_io_overlap(config.io_overlap)
                 .with_io_backend(config.io_backend)
+                .with_compression(config.compression)
                 .with_prefetch_min_bytes(config.prefetch_min_bytes);
         let sorted = sorter.sort(&mut entries)?;
         if let Some(err) = entries.error.take() {
@@ -271,7 +288,7 @@ impl CTree {
         let sort_runs = sorted.runs_generated;
 
         // Pass 3: pack the sorted stream into contiguous leaf blocks.
-        let file = SortedSeriesFile::build_from_sorted_with(
+        let file = SortedSeriesFile::build_from_sorted_compressed(
             dir.join("ctree-leaves.run"),
             layout,
             config.sax,
@@ -280,10 +297,11 @@ impl CTree {
             Arc::clone(&stats),
             config.page_size,
             config.io_backend,
+            config.compression,
         )?;
 
         let entries_count = file.len();
-        let footprint = file.byte_size();
+        let footprint = file.physical_byte_size();
         let delta_capacity = Self::delta_capacity_for(&config, entries_count);
         let build_stats = BuildStats {
             elapsed: start.elapsed(),
@@ -346,9 +364,12 @@ impl CTree {
         self.len() == 0
     }
 
-    /// On-disk footprint of the index in bytes.
+    /// On-disk footprint of the index in bytes — the *physical* size, so
+    /// compressed trees report (and the adaptive planner's residency test
+    /// sees) their real, smaller working set.  Equals the logical size when
+    /// compression is off.
     pub fn footprint_bytes(&self) -> u64 {
-        self.file.byte_size()
+        self.file.physical_byte_size()
     }
 
     /// Build statistics.
@@ -685,7 +706,7 @@ impl CTree {
                 file_iter.next()
             }
         });
-        let new_file = SortedSeriesFile::build_from_sorted_with(
+        let new_file = SortedSeriesFile::build_from_sorted_compressed(
             path,
             layout,
             sax,
@@ -694,6 +715,7 @@ impl CTree {
             Arc::clone(&self.stats),
             self.config.page_size,
             self.config.io_backend,
+            self.config.compression,
         )?;
         let old = std::mem::replace(&mut self.file, new_file);
         let _ = old.delete();

@@ -430,6 +430,7 @@ impl Coordinator {
             io_overlap,
             io_backend,
             planner,
+            compression,
         } = request
         else {
             unreachable!("caller matched BuildIndex");
@@ -468,6 +469,7 @@ impl Coordinator {
                     io_overlap,
                     io_backend,
                     planner,
+                    compression,
                 },
                 deadline,
             )

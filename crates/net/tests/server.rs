@@ -39,6 +39,7 @@ fn build_request(name: &str, dataset_path: &str) -> PalmRequest {
         io_overlap: true,
         io_backend: IoBackend::Pread,
         planner: PlannerMode::Fixed,
+        compression: coconut_storage::Compression::Off,
     }
 }
 

@@ -56,9 +56,13 @@
 //!
 //! [`active_backend`] resolves once per process: the `COCONUT_KERNELS`
 //! environment variable (`auto` | `scalar` | `sse2` | `avx2`) when set,
-//! otherwise the best backend the CPU supports
-//! (`is_x86_feature_detected!("avx2")` → AVX2, else SSE2 on `x86_64`, else
-//! scalar).  The public kernel entry points in [`crate::distance`],
+//! otherwise the best backend by the pinned preference order AVX2 >
+//! scalar > SSE2 (`is_x86_feature_detected!("avx2")` → AVX2, else scalar).
+//! SSE2 is deliberately *not* auto-selected: its four 2-lane `f64`
+//! registers lose to what the compiler already auto-vectorizes for the
+//! scalar kernel on the same baseline ISA, so it is only reachable by an
+//! explicit `COCONUT_KERNELS=sse2` opt-in (kept for A/B measurement).
+//! The public kernel entry points in [`crate::distance`],
 //! [`crate::znorm`] and [`crate::paa`](mod@crate::paa) dispatch through it, so every caller
 //! — summarization, index build, query refinement — uses the same backend.
 //! Benches and equivalence tests address a specific backend through the
@@ -116,11 +120,23 @@ impl KernelBackend {
         Self::ALL.into_iter().filter(|b| b.available()).collect()
     }
 
-    /// The best backend the current CPU supports (ignores the environment).
+    /// Auto-selection preference order.  AVX2 first; then *scalar*, not
+    /// SSE2: the SSE2 kernel's four 2-lane `f64` registers are no faster
+    /// than the auto-vectorized scalar loop on the same baseline ISA, so
+    /// `auto` must never regress to it.  SSE2 stays last, reachable only by
+    /// explicit `COCONUT_KERNELS=sse2` opt-in.
+    const PREFERENCE: [KernelBackend; 3] = [
+        KernelBackend::Avx2,
+        KernelBackend::Scalar,
+        KernelBackend::Sse2,
+    ];
+
+    /// The best backend the current CPU supports (ignores the environment),
+    /// following the pinned `PREFERENCE` order (AVX2, then scalar, then
+    /// SSE2 — SSE2 is explicit-opt-in only).
     pub fn detect() -> KernelBackend {
-        *Self::ALL
+        *Self::PREFERENCE
             .iter()
-            .rev()
             .find(|b| b.available())
             .expect("scalar backend is always available")
     }
@@ -755,6 +771,19 @@ mod tests {
         assert!(KernelBackend::Scalar.available());
         assert!(KernelBackend::available_backends().contains(&KernelBackend::Scalar));
         assert!(KernelBackend::detect().available());
+    }
+
+    #[test]
+    fn auto_detection_never_picks_sse2() {
+        // SSE2 is always available on x86_64 yet slower than the
+        // auto-vectorized scalar kernel; `auto` must resolve past it.
+        assert_ne!(KernelBackend::detect(), KernelBackend::Sse2);
+        // On any CPU without AVX2 the pinned order lands on scalar.
+        if !KernelBackend::Avx2.available() {
+            assert_eq!(KernelBackend::detect(), KernelBackend::Scalar);
+        } else {
+            assert_eq!(KernelBackend::detect(), KernelBackend::Avx2);
+        }
     }
 
     #[test]

@@ -79,6 +79,8 @@ mod tests {
             random_writes: rw,
             bytes_read: 0,
             bytes_written: 0,
+            physical_bytes_read: 0,
+            physical_bytes_written: 0,
         }
     }
 

@@ -42,6 +42,12 @@ pub struct PagedFile {
     /// Number of `sync` (fdatasync) calls issued on this file — lets tests
     /// assert that durable finish paths sync and volatile ones do not.
     sync_calls: AtomicU64,
+    /// When set, accesses charge only the *physical* byte counters of
+    /// `IoStats` (no sequential/random classification).  Compressed run
+    /// files set this: their logical view is charged from record arithmetic
+    /// by a [`crate::block::LogicalAccountant`], while the block frames
+    /// going through this file are pure physical traffic.
+    physical_only: bool,
 }
 
 impl std::fmt::Debug for PagedFile {
@@ -85,6 +91,7 @@ impl PagedFile {
             mapping: Mutex::new(None),
             read_pattern: Mutex::new(AccessPattern::Normal),
             sync_calls: AtomicU64::new(0),
+            physical_only: false,
         })
     }
 
@@ -117,6 +124,7 @@ impl PagedFile {
             mapping: Mutex::new(None),
             read_pattern: Mutex::new(AccessPattern::Normal),
             sync_calls: AtomicU64::new(0),
+            physical_only: false,
         })
     }
 
@@ -137,6 +145,20 @@ impl PagedFile {
     /// The read backend this file serves reads with.
     pub fn backend(&self) -> IoBackend {
         self.backend
+    }
+
+    /// Switches the file to *physical-only* accounting: every access charges
+    /// `IoStats::record_physical` (bytes that actually crossed the file API)
+    /// and skips the sequential/random page classification entirely.
+    ///
+    /// Compressed run files use this — their logical view is charged from
+    /// record arithmetic by a [`crate::block::LogicalAccountant`] so it
+    /// stays identical to an uncompressed run, while the compressed block
+    /// frames flowing through this file are counted as the physical traffic
+    /// they are.
+    pub fn with_physical_only_accounting(mut self) -> Self {
+        self.physical_only = true;
+        self
     }
 
     /// Returns `true` while a read mapping of the file is alive.
@@ -225,6 +247,15 @@ impl PagedFile {
         }
         let first = page_of_offset(offset, self.page_size);
         let last = page_of_offset(offset + bytes as u64 - 1, self.page_size);
+        if self.physical_only {
+            // Physical traffic of a compressed run: charge exactly the bytes
+            // that crossed the file API, no classification (the logical
+            // accountant owns the sequential/random story).  Page-rounding
+            // would double-charge pages shared by consecutive sub-page
+            // block-frame appends.
+            self.stats.record_physical(is_read, bytes as u64);
+            return;
+        }
         let mut last_page = self.last_page.lock();
         for page in first..=last {
             let sequential = match *last_page {
@@ -445,9 +476,23 @@ impl ReadAheadBuffers {
 /// Spawns a background worker reading the `(offset, len)` byte ranges
 /// produced by `ranges` from `file`, ahead of consumption; see
 /// [`ReadAheadBuffers`].
-pub fn read_ahead<I>(file: Arc<PagedFile>, mut ranges: I) -> ReadAheadBuffers
+pub fn read_ahead<I>(file: Arc<PagedFile>, ranges: I) -> ReadAheadBuffers
 where
     I: Iterator<Item = (u64, usize)> + Send + 'static,
+{
+    read_ahead_with(ranges, move |offset, len| file.read_at(offset, len))
+}
+
+/// The generalization behind [`read_ahead`]: the worker resolves each
+/// `(start, count)` range through an arbitrary `read` closure instead of a
+/// raw `PagedFile` read.  Compressed runs pass *record* ranges and a
+/// closure that reads + decodes their blocks, so the prefetched buffers
+/// hold the same decoded record bytes the inline path produces — same
+/// reads, same order, same accounting, whatever the on-disk format.
+pub fn read_ahead_with<I, F>(mut ranges: I, mut read: F) -> ReadAheadBuffers
+where
+    I: Iterator<Item = (u64, usize)> + Send + 'static,
+    F: FnMut(u64, usize) -> Result<Vec<u8>> + Send + 'static,
 {
     let mut failed = false;
     let inner = coconut_parallel::Prefetcher::spawn(2, move || {
@@ -457,10 +502,10 @@ where
         let mut group: Vec<Result<Vec<u8>>> = Vec::new();
         let mut group_bytes = 0usize;
         while group_bytes < PREFETCH_GROUP_BYTES {
-            let Some((offset, len)) = ranges.next() else {
+            let Some((start, count)) = ranges.next() else {
                 break;
             };
-            let result = file.read_at(offset, len);
+            let result = read(start, count);
             failed = result.is_err();
             group_bytes += result.as_ref().map(|b| b.len()).unwrap_or(0);
             group.push(result);

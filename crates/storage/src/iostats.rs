@@ -7,6 +7,25 @@
 //! of the paper's performance argument: Coconut's value is that it converts
 //! the random-I/O-heavy workflows of prior data series indexes into mostly
 //! sequential ones.
+//!
+//! # Logical vs physical bytes
+//!
+//! Since block compression (the `compression` knob, see
+//! [`crate::block`]) the counters carry two views of the same traffic:
+//!
+//! * the **logical** view — the six classic counters
+//!   (`sequential_reads` … `bytes_written`) describe the *record* stream
+//!   the caller addressed, page-accounted exactly as an uncompressed file
+//!   would have been.  Compression never changes them: they are the
+//!   identity surface the equivalence grids pin.
+//! * the **physical** view — `physical_bytes_read` / `physical_bytes_written`
+//!   count the bytes that actually crossed the file API.  Uncompressed
+//!   files charge both views identically ([`IoStats::record`]); compressed
+//!   files charge the logical view from their record arithmetic
+//!   ([`IoStats::record_logical`] via [`crate::block::LogicalAccountant`])
+//!   and the physical view from the block frames they really touch
+//!   ([`IoStats::record_physical`]), so the compression win is honestly
+//!   visible instead of faking pread parity.
 
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
@@ -49,6 +68,8 @@ pub struct IoStats {
     random_writes: AtomicU64,
     bytes_read: AtomicU64,
     bytes_written: AtomicU64,
+    physical_bytes_read: AtomicU64,
+    physical_bytes_written: AtomicU64,
 }
 
 /// A cheaply cloneable handle to shared [`IoStats`].
@@ -60,8 +81,19 @@ impl IoStats {
         Arc::new(IoStats::default())
     }
 
-    /// Records one page access of the given kind and byte volume.
+    /// Records one page access of the given kind and byte volume, charging
+    /// both the logical and the physical view (an uncompressed page access
+    /// moves exactly the bytes it addresses).
     pub fn record(&self, kind: AccessKind, bytes: u64) {
+        self.record_logical(kind, bytes);
+        self.record_physical(kind.is_read(), bytes);
+    }
+
+    /// Records one *logical* page access: the classification counters and
+    /// logical byte totals only.  Compressed runs charge these from their
+    /// record arithmetic (see [`crate::block::LogicalAccountant`]), so the
+    /// logical view is identical to an uncompressed file by construction.
+    pub fn record_logical(&self, kind: AccessKind, bytes: u64) {
         match kind {
             AccessKind::SequentialRead => {
                 self.sequential_reads.fetch_add(1, Ordering::Relaxed);
@@ -82,6 +114,18 @@ impl IoStats {
         }
     }
 
+    /// Records *physical* bytes only — the traffic that actually crossed the
+    /// file API.  Compressed runs charge the block frames they touch here,
+    /// without disturbing the logical classification counters.
+    pub fn record_physical(&self, is_read: bool, bytes: u64) {
+        if is_read {
+            self.physical_bytes_read.fetch_add(bytes, Ordering::Relaxed);
+        } else {
+            self.physical_bytes_written
+                .fetch_add(bytes, Ordering::Relaxed);
+        }
+    }
+
     /// Takes an immutable snapshot of the counters.
     pub fn snapshot(&self) -> IoStatsSnapshot {
         IoStatsSnapshot {
@@ -91,6 +135,8 @@ impl IoStats {
             random_writes: self.random_writes.load(Ordering::Relaxed),
             bytes_read: self.bytes_read.load(Ordering::Relaxed),
             bytes_written: self.bytes_written.load(Ordering::Relaxed),
+            physical_bytes_read: self.physical_bytes_read.load(Ordering::Relaxed),
+            physical_bytes_written: self.physical_bytes_written.load(Ordering::Relaxed),
         }
     }
 
@@ -102,6 +148,8 @@ impl IoStats {
         self.random_writes.store(0, Ordering::Relaxed);
         self.bytes_read.store(0, Ordering::Relaxed);
         self.bytes_written.store(0, Ordering::Relaxed);
+        self.physical_bytes_read.store(0, Ordering::Relaxed);
+        self.physical_bytes_written.store(0, Ordering::Relaxed);
     }
 }
 
@@ -116,10 +164,16 @@ pub struct IoStatsSnapshot {
     pub sequential_writes: u64,
     /// Number of random page writes.
     pub random_writes: u64,
-    /// Total bytes read.
+    /// Total logical bytes read (the record stream the caller addressed).
     pub bytes_read: u64,
-    /// Total bytes written.
+    /// Total logical bytes written.
     pub bytes_written: u64,
+    /// Bytes that actually crossed the file API on reads (equals
+    /// `bytes_read` for uncompressed files; smaller under `prefix`
+    /// compression).
+    pub physical_bytes_read: u64,
+    /// Bytes that actually crossed the file API on writes.
+    pub physical_bytes_written: u64,
 }
 
 impl IoStatsSnapshot {
@@ -171,6 +225,24 @@ impl IoStatsSnapshot {
             random_writes: self.random_writes.saturating_sub(earlier.random_writes),
             bytes_read: self.bytes_read.saturating_sub(earlier.bytes_read),
             bytes_written: self.bytes_written.saturating_sub(earlier.bytes_written),
+            physical_bytes_read: self
+                .physical_bytes_read
+                .saturating_sub(earlier.physical_bytes_read),
+            physical_bytes_written: self
+                .physical_bytes_written
+                .saturating_sub(earlier.physical_bytes_written),
+        }
+    }
+
+    /// The logical view alone: this snapshot with the physical byte counters
+    /// zeroed.  Two runs of the same work at different `compression`
+    /// settings have equal `logical()` projections (the identity surface);
+    /// their physical counters legitimately differ.
+    pub fn logical(&self) -> IoStatsSnapshot {
+        IoStatsSnapshot {
+            physical_bytes_read: 0,
+            physical_bytes_written: 0,
+            ..*self
         }
     }
 
@@ -201,18 +273,37 @@ impl IoStatsSnapshot {
                 "bytes_written",
                 coconut_json::ToJson::to_json(&self.bytes_written),
             ),
+            (
+                "physical_bytes_read",
+                coconut_json::ToJson::to_json(&self.physical_bytes_read),
+            ),
+            (
+                "physical_bytes_written",
+                coconut_json::ToJson::to_json(&self.physical_bytes_written),
+            ),
         ])
     }
 
     /// Parses the JSON object produced by [`IoStatsSnapshot::to_json`].
+    /// The physical byte members are optional (defaulting to the logical
+    /// figures) so snapshots serialized before the logical/physical split
+    /// still parse.
     pub fn from_json(json: &coconut_json::Json) -> coconut_json::Result<IoStatsSnapshot> {
+        let bytes_read: u64 = coconut_json::member(json, "bytes_read")?;
+        let bytes_written: u64 = coconut_json::member(json, "bytes_written")?;
         Ok(IoStatsSnapshot {
             sequential_reads: coconut_json::member(json, "sequential_reads")?,
             random_reads: coconut_json::member(json, "random_reads")?,
             sequential_writes: coconut_json::member(json, "sequential_writes")?,
             random_writes: coconut_json::member(json, "random_writes")?,
-            bytes_read: coconut_json::member(json, "bytes_read")?,
-            bytes_written: coconut_json::member(json, "bytes_written")?,
+            bytes_read,
+            bytes_written,
+            physical_bytes_read: coconut_json::member_or(json, "physical_bytes_read", bytes_read)?,
+            physical_bytes_written: coconut_json::member_or(
+                json,
+                "physical_bytes_written",
+                bytes_written,
+            )?,
         })
     }
 
@@ -225,6 +316,8 @@ impl IoStatsSnapshot {
             random_writes: self.random_writes + other.random_writes,
             bytes_read: self.bytes_read + other.bytes_read,
             bytes_written: self.bytes_written + other.bytes_written,
+            physical_bytes_read: self.physical_bytes_read + other.physical_bytes_read,
+            physical_bytes_written: self.physical_bytes_written + other.physical_bytes_written,
         }
     }
 }
@@ -281,6 +374,47 @@ mod tests {
         assert!(AccessKind::SequentialRead.is_sequential());
         assert!(!AccessKind::RandomWrite.is_read());
         assert!(!AccessKind::RandomWrite.is_sequential());
+    }
+
+    #[test]
+    fn logical_and_physical_views_split() {
+        let stats = IoStats::default();
+        // An uncompressed access charges both views.
+        stats.record(AccessKind::SequentialRead, 4096);
+        // A compressed run charges the views separately: the logical record
+        // range, and the smaller physical frame actually read.
+        stats.record_logical(AccessKind::SequentialRead, 4096);
+        stats.record_physical(true, 1000);
+        stats.record_logical(AccessKind::RandomWrite, 4096);
+        stats.record_physical(false, 700);
+        let snap = stats.snapshot();
+        assert_eq!(snap.bytes_read, 2 * 4096);
+        assert_eq!(snap.physical_bytes_read, 4096 + 1000);
+        assert_eq!(snap.bytes_written, 4096);
+        assert_eq!(snap.physical_bytes_written, 700);
+        assert_eq!(snap.sequential_reads, 2);
+        assert_eq!(snap.random_writes, 1);
+        // The logical projection zeroes only the physical counters.
+        let logical = snap.logical();
+        assert_eq!(logical.physical_bytes_read, 0);
+        assert_eq!(logical.physical_bytes_written, 0);
+        assert_eq!(logical.bytes_read, snap.bytes_read);
+        // JSON round-trip carries the physical members.
+        let back = IoStatsSnapshot::from_json(&snap.to_json()).unwrap();
+        assert_eq!(back, snap);
+        // A pre-split snapshot (no physical members) parses with
+        // physical == logical.
+        let legacy_json = coconut_json::Json::obj(vec![
+            ("sequential_reads", coconut_json::ToJson::to_json(&2u64)),
+            ("random_reads", coconut_json::ToJson::to_json(&0u64)),
+            ("sequential_writes", coconut_json::ToJson::to_json(&0u64)),
+            ("random_writes", coconut_json::ToJson::to_json(&1u64)),
+            ("bytes_read", coconut_json::ToJson::to_json(&8192u64)),
+            ("bytes_written", coconut_json::ToJson::to_json(&4096u64)),
+        ]);
+        let legacy = IoStatsSnapshot::from_json(&legacy_json).unwrap();
+        assert_eq!(legacy.physical_bytes_read, 8192);
+        assert_eq!(legacy.physical_bytes_written, 4096);
     }
 
     #[test]

@@ -23,6 +23,7 @@
 //!   ([`ExternalSorter`]) that CoconutTree bulk-loading and CoconutLSM / BTP
 //!   merging are built on.
 
+pub mod block;
 pub mod cost;
 pub mod dynsort;
 pub mod extsort;
@@ -35,6 +36,7 @@ pub mod page;
 pub mod record;
 pub mod tempdir;
 
+pub use block::{ColumnSpec, Compression, LogicalAccountant};
 pub use cost::CostModel;
 pub use dynsort::{
     DynExternalSorter, DynIterMerge, DynKWayMerge, DynRunFile, DynRunReader, DynRunWriter,
@@ -42,7 +44,7 @@ pub use dynsort::{
 };
 pub use extsort::{ExternalSortConfig, ExternalSorter};
 pub use fadvise::drop_page_cache;
-pub use file::{read_ahead, PagedFile, ReadAheadBuffers, PREFETCH_MIN_BYTES};
+pub use file::{read_ahead, read_ahead_with, PagedFile, ReadAheadBuffers, PREFETCH_MIN_BYTES};
 pub use heatmap::HeatMap;
 pub use iostats::{AccessKind, IoStats, IoStatsSnapshot, SharedIoStats};
 pub use mmap::{AccessPattern, IoBackend, Mapping};

@@ -294,7 +294,9 @@ impl Partition {
 
     fn footprint(&self) -> u64 {
         match self {
-            Partition::Sorted { file, .. } => file.byte_size(),
+            // Physical size: with compression on, planner residency
+            // decisions see the real (smaller) working set.
+            Partition::Sorted { file, .. } => file.physical_byte_size(),
             Partition::Ads { tree, .. } => tree.footprint_bytes(),
         }
     }
@@ -344,6 +346,10 @@ pub struct PartitionedConfig {
     /// (default `coconut_storage::PREFETCH_MIN_BYTES`; `usize::MAX`
     /// disables read-ahead).  A pure performance knob.
     pub prefetch_min_bytes: usize,
+    /// On-disk compression of sorted partitions (default `off`).  Answers,
+    /// `QueryCost` and the logical `IoStats` view are identical at either
+    /// setting; partitions and merges just move fewer physical bytes.
+    pub compression: coconut_storage::Compression,
 }
 
 impl PartitionedConfig {
@@ -362,6 +368,7 @@ impl PartitionedConfig {
             io_backend: IoBackend::Pread,
             planner: PlannerMode::Fixed,
             prefetch_min_bytes: coconut_storage::PREFETCH_MIN_BYTES,
+            compression: coconut_storage::Compression::Off,
         }
     }
 
@@ -423,6 +430,14 @@ impl PartitionedConfig {
     /// [`PartitionedConfig::prefetch_min_bytes`].
     pub fn with_prefetch_min_bytes(mut self, bytes: usize) -> Self {
         self.prefetch_min_bytes = bytes;
+        self
+    }
+
+    /// Selects the on-disk compression of sorted partitions (default
+    /// `off`).  A pure performance knob; see
+    /// [`PartitionedConfig::compression`].
+    pub fn with_compression(mut self, compression: coconut_storage::Compression) -> Self {
+        self.compression = compression;
         self
     }
 
@@ -523,7 +538,7 @@ impl PartitionedStream {
             PartitionKind::Sorted => {
                 let path = self.dir.join(format!("tp-part-{:06}.run", self.next_id));
                 self.next_id += 1;
-                let file = SortedSeriesFile::build_from_entries_with(
+                let file = SortedSeriesFile::build_from_entries_compressed(
                     path,
                     self.config.layout(),
                     self.config.sax,
@@ -533,6 +548,7 @@ impl PartitionedStream {
                     self.config.page_size,
                     self.config.parallelism,
                     self.config.io_backend,
+                    self.config.compression,
                 )?;
                 Partition::Sorted {
                     file,
@@ -619,7 +635,7 @@ impl PartitionedStream {
             )?;
             let path = self.dir.join(format!("btp-merged-{:06}.run", self.next_id));
             self.next_id += 1;
-            let merged = SortedSeriesFile::build_from_sorted_with(
+            let merged = SortedSeriesFile::build_from_sorted_compressed(
                 path,
                 layout,
                 self.config.sax,
@@ -628,6 +644,7 @@ impl PartitionedStream {
                 Arc::clone(&self.stats),
                 self.config.page_size,
                 self.config.io_backend,
+                self.config.compression,
             )?;
             for f in files {
                 let _ = f.delete();
